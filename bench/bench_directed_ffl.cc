@@ -1,0 +1,84 @@
+// Directed labeled motifs (the paper's §6 future work, implemented):
+// recovers the feed-forward loop as the unique directed motif of a
+// synthetic gene regulatory network — reproducing the classic Milo et al.
+// (Science 2002) observation — and labels its roles with GO terms through
+// the unchanged LaMoFinder pipeline.
+#include <iostream>
+
+#include "core/lamofinder.h"
+#include "motif/directed_motifs.h"
+#include "motif/frequency.h"
+#include "synth/grn_generator.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+int main() {
+  using namespace lamo;
+  std::cout << "=== Directed motifs in a regulatory network (future-work "
+               "extension; Milo et al. shape) ===\n\n";
+
+  GrnConfig config;
+  config.num_genes = 600;
+  config.background_arcs = 1100;
+  config.planted_ffls = 70;
+  const GrnDataset dataset = BuildGrnDataset(config);
+  std::cout << "network: " << dataset.grn.ToString() << " ("
+            << dataset.ffls.size() << " planted FFLs)\n\n";
+
+  DirectedMotifConfig motif_config;
+  motif_config.size = 3;
+  motif_config.min_frequency = 15;
+  motif_config.num_random_networks = 20;
+  motif_config.uniqueness_threshold = 0.0;  // show every frequent class
+  const auto motifs = FindDirectedNetworkMotifs(dataset.grn, motif_config);
+
+  SmallDigraph ffl(3);
+  ffl.AddArc(0, 1);
+  ffl.AddArc(0, 2);
+  ffl.AddArc(1, 2);
+  const auto ffl_code = DirectedCanonicalCode(ffl);
+
+  TablePrinter table({"directed size-3 class", "freq (F1)",
+                      "vertex-disjoint (F3)", "uniqueness", "motif?"});
+  const DirectedMotif* ffl_motif = nullptr;
+  for (const DirectedMotif& m : motifs) {
+    const bool is_motif = m.as_motif.uniqueness > 0.95;
+    table.AddRow({m.pattern.ToString() +
+                      (m.as_motif.code == ffl_code ? "  <- FFL" : ""),
+                  std::to_string(m.as_motif.frequency),
+                  std::to_string(Frequency(
+                      m.as_motif, FrequencyMeasure::kF3VertexDisjoint)),
+                  FormatDouble(m.as_motif.uniqueness, 2),
+                  is_motif ? "yes" : ""});
+    if (m.as_motif.code == ffl_code) ffl_motif = &m;
+  }
+  table.Print(std::cout);
+
+  if (ffl_motif == nullptr || ffl_motif->as_motif.uniqueness <= 0.95) {
+    std::cout << "\nUNEXPECTED: the FFL should be the standout motif.\n";
+    return 1;
+  }
+  std::cout << "\nExpected shape (Milo et al. / paper section 6): the "
+               "feed-forward loop stands out against the arc-swap null "
+               "model -> OK\n\n";
+
+  // Label the FFL and report role coherence.
+  LaMoFinder finder(dataset.ontology, dataset.weights, dataset.informative,
+                    dataset.annotations);
+  LaMoFinderConfig label_config;
+  label_config.sigma = 10;
+  label_config.max_occurrences = 200;
+  const auto labeled = finder.LabelAll({ffl_motif->as_motif}, label_config);
+  std::cout << "labeled FFL schemes (sigma = 10): " << labeled.size() << "\n";
+  for (const LabeledMotif& lm : labeled) {
+    std::cout << "  freq " << lm.frequency << ": "
+              << lm.SchemeToString(dataset.ontology) << "\n";
+  }
+  std::cout << "\nplanted role terms: regulator "
+            << dataset.ontology.TermName(dataset.ffl_role_terms[0])
+            << ", intermediate "
+            << dataset.ontology.TermName(dataset.ffl_role_terms[1])
+            << ", target "
+            << dataset.ontology.TermName(dataset.ffl_role_terms[2]) << "\n";
+  return 0;
+}

@@ -1,0 +1,129 @@
+// Scaling benchmarks backing the complexity claims of Section 3:
+//  - LaMoFinder's pairwise-similarity stage is O(|D|^2) in the number of
+//    occurrences;
+//  - the symmetry computation is polynomial in motif size (the paper cites
+//    an O(n^3) heuristic; our twin classes are O(n^2) and exact orbits are
+//    backtracking with refinement pruning);
+//  - per-orbit pairing is O(t^3) Hungarian versus the paper's O(t!)
+//    enumeration.
+#include <benchmark/benchmark.h>
+
+#include "core/assignment.h"
+#include "core/lamofinder.h"
+#include "core/paper_example.h"
+#include "graph/automorphism.h"
+#include "graph/canonical.h"
+#include "util/random.h"
+
+namespace lamo {
+namespace {
+
+const PaperExample& Example() {
+  static const PaperExample* example = new PaperExample(MakePaperExample());
+  return *example;
+}
+
+// A motif value with `d` synthetic occurrences over the example's proteins.
+Motif MotifWithOccurrences(size_t d) {
+  const PaperExample& ex = Example();
+  Motif motif;
+  motif.pattern = ex.motif;
+  motif.code = CanonicalCode(ex.motif);
+  Rng rng(d);
+  for (size_t i = 0; i < d; ++i) {
+    // Reuse the four real occurrences' proteins in rotated combinations so
+    // profiles stay realistic.
+    const auto& base = ex.occurrences[i % 4];
+    MotifOccurrence occ;
+    const size_t shift = rng.Uniform(4);
+    for (size_t pos = 0; pos < 4; ++pos) {
+      occ.proteins.push_back(base[(pos + shift) % 4]);
+    }
+    motif.occurrences.push_back(std::move(occ));
+  }
+  motif.frequency = d;
+  motif.uniqueness = 1.0;
+  return motif;
+}
+
+void BM_LaMoFinderVsOccurrenceCount(benchmark::State& state) {
+  const PaperExample& ex = Example();
+  const size_t d = static_cast<size_t>(state.range(0));
+  const Motif motif = MotifWithOccurrences(d);
+  LaMoFinder finder(ex.ontology, ex.weights, ex.informative,
+                    ex.protein_annotations);
+  LaMoFinderConfig config;
+  config.sigma = d + 1;          // suppress emission: time the clustering
+  config.max_occurrences = 0;    // no cap: expose the O(|D|^2) stage
+  config.min_similarity = 0.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(finder.LabelMotif(motif, config));
+  }
+  state.SetComplexityN(static_cast<int64_t>(d));
+}
+BENCHMARK(BM_LaMoFinderVsOccurrenceCount)
+    ->Arg(16)
+    ->Arg(32)
+    ->Arg(64)
+    ->Arg(128)
+    ->Complexity();
+
+void BM_TwinClasses(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(n * 7);
+  SmallGraph g(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    for (uint32_t j = i + 1; j < n; ++j) {
+      if (rng.Bernoulli(0.3)) g.AddEdge(i, j);
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(TwinClasses(g));
+  }
+}
+BENCHMARK(BM_TwinClasses)->Arg(8)->Arg(16)->Arg(25);
+
+void BM_VertexOrbits(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  SmallGraph cycle(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    cycle.AddEdge(i, static_cast<uint32_t>((i + 1) % n));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(VertexOrbits(cycle));
+  }
+}
+BENCHMARK(BM_VertexOrbits)->Arg(8)->Arg(16)->Arg(25);
+
+void BM_HungarianAssignment(benchmark::State& state) {
+  const size_t t = static_cast<size_t>(state.range(0));
+  Rng rng(t * 13);
+  std::vector<std::vector<double>> score(t, std::vector<double>(t));
+  for (auto& row : score) {
+    for (double& cell : row) cell = rng.NextDouble();
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MaxSumAssignment(score, nullptr));
+  }
+}
+BENCHMARK(BM_HungarianAssignment)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_BruteForceAssignment(benchmark::State& state) {
+  // The paper's pairing enumeration: factorial — only tiny orbits are
+  // feasible, which is exactly the point of the Hungarian replacement.
+  const size_t t = static_cast<size_t>(state.range(0));
+  Rng rng(t * 17);
+  std::vector<std::vector<double>> score(t, std::vector<double>(t));
+  for (auto& row : score) {
+    for (double& cell : row) cell = rng.NextDouble();
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MaxSumAssignmentBruteForce(score, nullptr));
+  }
+}
+BENCHMARK(BM_BruteForceAssignment)->Arg(4)->Arg(6)->Arg(8);
+
+}  // namespace
+}  // namespace lamo
+
+BENCHMARK_MAIN();

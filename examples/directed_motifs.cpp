@@ -1,0 +1,99 @@
+// Labeled *directed* network motifs — the extension the paper names as
+// future work ("we plan to look into mining labeled and directed network
+// motifs"). Builds a synthetic gene regulatory network with planted
+// feed-forward loops (FFLs), recovers the FFL as a directed motif (the
+// classic Milo et al. result), and labels it with GO terms via LaMoFinder,
+// whose clustering honors the *directed* symmetric vertex sets.
+//
+// Usage: directed_motifs [--genes N]
+#include <cstdio>
+#include <cstring>
+
+#include "core/lamofinder.h"
+#include "graph/small_digraph.h"
+#include "motif/directed_motifs.h"
+#include "synth/grn_generator.h"
+
+namespace {
+
+// The canonical FFL pattern a->b, a->c, b->c.
+lamo::SmallDigraph FflPattern() {
+  lamo::SmallDigraph ffl(3);
+  ffl.AddArc(0, 1);
+  ffl.AddArc(0, 2);
+  ffl.AddArc(1, 2);
+  return ffl;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace lamo;
+  size_t num_genes = 500;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--genes") == 0) {
+      num_genes = std::strtoull(argv[i + 1], nullptr, 10);
+    }
+  }
+
+  GrnConfig config;
+  config.num_genes = num_genes;
+  const GrnDataset dataset = BuildGrnDataset(config);
+  std::printf("regulatory network: %s (%zu planted FFLs)\n",
+              dataset.grn.ToString().c_str(), dataset.ffls.size());
+
+  // Directed motif finding at size 3.
+  DirectedMotifConfig motif_config;
+  motif_config.size = 3;
+  motif_config.min_frequency = 20;
+  motif_config.num_random_networks = 10;
+  motif_config.uniqueness_threshold = 0.95;
+  const auto motifs = FindDirectedNetworkMotifs(dataset.grn, motif_config);
+  std::printf("directed network motifs (size 3, freq >= 20, uniq > 0.95): "
+              "%zu\n\n", motifs.size());
+
+  const auto ffl_code = DirectedCanonicalCode(FflPattern());
+  const DirectedMotif* ffl = nullptr;
+  for (const DirectedMotif& m : motifs) {
+    std::printf("  %-60s freq %zu  uniq %.2f%s\n",
+                m.pattern.ToString().c_str(), m.as_motif.frequency,
+                m.as_motif.uniqueness,
+                m.as_motif.code == ffl_code ? "   <- feed-forward loop" : "");
+    if (m.as_motif.code == ffl_code) ffl = &m;
+  }
+  if (ffl == nullptr) {
+    std::printf("\nfeed-forward loop not among the motifs (unexpected)\n");
+    return 1;
+  }
+
+  // Label the FFL with GO terms: the directed symmetric sets (all
+  // singletons: an FFL is asymmetric) flow into LaMoFinder via the
+  // override.
+  std::printf("\ndirected symmetric sets of the FFL:");
+  for (const auto& cls : ffl->as_motif.symmetric_sets_override) {
+    std::printf(" {");
+    for (size_t i = 0; i < cls.size(); ++i) {
+      std::printf("%s%u", i ? "," : "", cls[i]);
+    }
+    std::printf("}");
+  }
+  std::printf("  (all singletons: the FFL has no interchangeable roles)\n");
+
+  LaMoFinder finder(dataset.ontology, dataset.weights, dataset.informative,
+                    dataset.annotations);
+  LaMoFinderConfig label_config;
+  label_config.sigma = 10;
+  label_config.max_occurrences = 200;
+  const auto labeled = finder.LabelAll({ffl->as_motif}, label_config);
+  std::printf("\nlabeled directed motifs from the FFL: %zu\n", labeled.size());
+  for (const LabeledMotif& lm : labeled) {
+    std::printf("  freq %zu: %s\n", lm.frequency,
+                lm.SchemeToString(dataset.ontology).c_str());
+  }
+  std::printf("\nplanted role terms were: regulator %s, intermediate %s, "
+              "target %s\n",
+              dataset.ontology.TermName(dataset.ffl_role_terms[0]).c_str(),
+              dataset.ontology.TermName(dataset.ffl_role_terms[1]).c_str(),
+              dataset.ontology.TermName(dataset.ffl_role_terms[2]).c_str());
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Network motif mining demo: exhaustive ESU enumeration, the level-wise
+// NeMoFinder-style miner, and the mfinder-style sampling estimator, cross-
+// checked against each other on one network (Tasks 1-2 of the paper).
+//
+// Usage: mine_motifs [--proteins N] [--size K]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "graph/canonical.h"
+#include "graph/generators.h"
+#include "motif/esu.h"
+#include "motif/miner.h"
+#include "motif/uniqueness.h"
+#include "util/timer.h"
+
+int main(int argc, char** argv) {
+  using namespace lamo;
+  size_t num_proteins = 600;
+  size_t k = 4;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--proteins") == 0) {
+      num_proteins = std::strtoull(argv[i + 1], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--size") == 0) {
+      k = std::strtoull(argv[i + 1], nullptr, 10);
+    }
+  }
+
+  Rng rng(7);
+  const Graph g = DuplicationDivergence(num_proteins, 0.3, 0.15, rng);
+  std::printf("network: %s\n\n", g.ToString().c_str());
+
+  // 1. Exhaustive ESU: ground-truth class counts.
+  Timer timer;
+  const auto exact = CountSubgraphClasses(g, k);
+  size_t exact_total = 0;
+  for (const auto& [code, count] : exact) exact_total += count;
+  std::printf("ESU: %zu size-%zu classes, %zu connected sets  [%.2fs]\n",
+              exact.size(), k, exact_total, timer.ElapsedSeconds());
+
+  // 2. Level-wise miner restricted to frequent classes.
+  timer.Reset();
+  MinerConfig miner_config;
+  miner_config.min_size = k;
+  miner_config.max_size = k;
+  miner_config.min_frequency = 20;
+  const auto motifs = FrequentSubgraphMiner(g, miner_config).Mine();
+  std::printf("miner: %zu classes with frequency >= 20  [%.2fs]\n",
+              motifs.size(), timer.ElapsedSeconds());
+  for (const Motif& m : motifs) {
+    const auto it = exact.find(m.code);
+    std::printf("  %-40s  miner=%zu  esu=%zu  %s\n", m.ToString().c_str(),
+                m.frequency, it == exact.end() ? 0 : it->second,
+                (it != exact.end() && it->second == m.frequency) ? "OK"
+                                                                 : "MISMATCH");
+  }
+
+  // 3. Sampling estimator (RAND-ESU / mfinder style).
+  timer.Reset();
+  Rng sample_rng(11);
+  std::vector<double> probabilities(k, 1.0);
+  probabilities[k - 1] = 0.3;
+  probabilities[k - 2] = 0.5;
+  const auto sampled = SampleSubgraphClasses(g, k, probabilities, sample_rng);
+  std::printf(
+      "\nsampling: %zu sets sampled, estimated total %.0f (exact %zu)  "
+      "[%.2fs]\n",
+      sampled.samples, sampled.estimated_total, exact_total,
+      timer.ElapsedSeconds());
+
+  // 4. Uniqueness of the frequent classes.
+  timer.Reset();
+  std::vector<Motif> scored = motifs;
+  UniquenessConfig uniq;
+  uniq.num_random_networks = 10;
+  EvaluateUniqueness(g, uniq, &scored);
+  std::printf("\nuniqueness against 10 rewired networks:\n");
+  for (const Motif& m : scored) {
+    std::printf("  freq %6zu  uniqueness %.2f  %s\n", m.frequency,
+                m.uniqueness, m.uniqueness > 0.95 ? "MOTIF" : "");
+  }
+  std::printf("[%.2fs]\n", timer.ElapsedSeconds());
+  return 0;
+}

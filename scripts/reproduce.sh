@@ -1,0 +1,19 @@
+#!/bin/sh
+# Rebuilds the library and regenerates every table and figure of the paper
+# (plus the ablations and the future-work extension), leaving outputs in
+# reproduction_output/.
+set -e
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure
+
+OUT=reproduction_output
+mkdir -p "$OUT"
+for bench in build/bench/*; do
+  name="$(basename "$bench")"
+  echo "== $name =="
+  "$bench" | tee "$OUT/$name.txt"
+done
+echo "All outputs in $OUT/; compare against EXPERIMENTS.md."

@@ -1,0 +1,100 @@
+#include "core/assignment.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace lamo {
+
+double MaxSumAssignment(const std::vector<std::vector<double>>& score,
+                        std::vector<int>* matching) {
+  const size_t n = score.size();
+  if (n == 0) {
+    if (matching != nullptr) matching->clear();
+    return 0.0;
+  }
+  for (const auto& row : score) LAMO_CHECK_EQ(row.size(), n);
+
+  // Hungarian algorithm (Kuhn-Munkres with potentials), minimizing the
+  // negated scores. 1-indexed internal arrays per the classic formulation.
+  const double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> u(n + 1, 0.0), v(n + 1, 0.0);
+  std::vector<int> p(n + 1, 0), way(n + 1, 0);
+  auto cost = [&](size_t i, size_t j) { return -score[i - 1][j - 1]; };
+
+  for (size_t i = 1; i <= n; ++i) {
+    p[0] = static_cast<int>(i);
+    int j0 = 0;
+    std::vector<double> minv(n + 1, kInf);
+    std::vector<bool> used(n + 1, false);
+    do {
+      used[j0] = true;
+      const int i0 = p[j0];
+      double delta = kInf;
+      int j1 = -1;
+      for (size_t j = 1; j <= n; ++j) {
+        if (used[j]) continue;
+        const double cur = cost(i0, j) - u[i0] - v[j];
+        if (cur < minv[j]) {
+          minv[j] = cur;
+          way[j] = j0;
+        }
+        if (minv[j] < delta) {
+          delta = minv[j];
+          j1 = static_cast<int>(j);
+        }
+      }
+      for (size_t j = 0; j <= n; ++j) {
+        if (used[j]) {
+          u[p[j]] += delta;
+          v[j] -= delta;
+        } else {
+          minv[j] -= delta;
+        }
+      }
+      j0 = j1;
+    } while (p[j0] != 0);
+    do {
+      const int j1 = way[j0];
+      p[j0] = p[j1];
+      j0 = j1;
+    } while (j0 != 0);
+  }
+
+  std::vector<int> result(n, -1);
+  double total = 0.0;
+  for (size_t j = 1; j <= n; ++j) {
+    if (p[j] > 0) {
+      result[p[j] - 1] = static_cast<int>(j) - 1;
+      total += score[p[j] - 1][j - 1];
+    }
+  }
+  if (matching != nullptr) *matching = std::move(result);
+  return total;
+}
+
+double MaxSumAssignmentBruteForce(
+    const std::vector<std::vector<double>>& score,
+    std::vector<int>* matching) {
+  const size_t n = score.size();
+  LAMO_CHECK_LE(n, 10u);
+  std::vector<int> perm(n);
+  std::iota(perm.begin(), perm.end(), 0);
+  double best = -std::numeric_limits<double>::infinity();
+  std::vector<int> best_perm = perm;
+  if (n == 0) best = 0.0;
+  do {
+    double total = 0.0;
+    for (size_t i = 0; i < n; ++i) total += score[i][perm[i]];
+    if (total > best) {
+      best = total;
+      best_perm = perm;
+    }
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  if (matching != nullptr) *matching = best_perm;
+  return best;
+}
+
+}  // namespace lamo

@@ -1,0 +1,28 @@
+#ifndef LAMO_CORE_ASSIGNMENT_H_
+#define LAMO_CORE_ASSIGNMENT_H_
+
+#include <vector>
+
+namespace lamo {
+
+/// Solves the square maximum-sum assignment problem: given an n x n score
+/// matrix, finds a permutation `matching` (matching[row] = column) that
+/// maximizes the total score, returning that total.
+///
+/// Used to pick the best pairing of symmetric vertices between two motif
+/// occurrences (the max over pair(Ia, Ib) in Eq. 3 of the paper). The paper
+/// enumerates all pairings, which is factorial in the orbit size; the
+/// Hungarian algorithm gives the same optimum in O(n^3), which matters for
+/// meso-scale motifs whose orbits can hold 10+ interchangeable vertices.
+double MaxSumAssignment(const std::vector<std::vector<double>>& score,
+                        std::vector<int>* matching);
+
+/// Brute-force reference implementation (exhaustive over permutations), used
+/// by tests to validate MaxSumAssignment and by the ablation bench to show
+/// the paper's enumeration cost. Requires n <= 10.
+double MaxSumAssignmentBruteForce(
+    const std::vector<std::vector<double>>& score, std::vector<int>* matching);
+
+}  // namespace lamo
+
+#endif  // LAMO_CORE_ASSIGNMENT_H_

@@ -1,0 +1,169 @@
+#include "core/kmedoids_baseline.h"
+
+#include <algorithm>
+
+#include "core/occurrence_similarity.h"
+#include "util/logging.h"
+
+namespace lamo {
+namespace {
+
+// Builds the annotation profile of one occurrence.
+LabelProfile OccurrenceProfile(const AnnotationTable& annotations,
+                               const MotifOccurrence& occ) {
+  LabelProfile profile(occ.proteins.size());
+  for (size_t pos = 0; pos < occ.proteins.size(); ++pos) {
+    const auto terms = annotations.TermsOf(occ.proteins[pos]);
+    profile[pos].assign(terms.begin(), terms.end());
+  }
+  return profile;
+}
+
+}  // namespace
+
+std::vector<LabeledMotif> LabelMotifKMedoids(
+    const Ontology& ontology, const TermWeights& weights,
+    const InformativeClasses& informative, const AnnotationTable& annotations,
+    const Motif& motif, const KMedoidsConfig& config) {
+  std::vector<LabeledMotif> results;
+  const size_t num_vertices = motif.pattern.num_vertices();
+  if (num_vertices == 0 || motif.occurrences.empty()) return results;
+
+  std::vector<const MotifOccurrence*> sample;
+  if (config.max_occurrences != 0 &&
+      motif.occurrences.size() > config.max_occurrences) {
+    const double stride = static_cast<double>(motif.occurrences.size()) /
+                          static_cast<double>(config.max_occurrences);
+    for (size_t i = 0; i < config.max_occurrences; ++i) {
+      sample.push_back(&motif.occurrences[static_cast<size_t>(i * stride)]);
+    }
+  } else {
+    for (const auto& occ : motif.occurrences) sample.push_back(&occ);
+  }
+  const size_t n = sample.size();
+  const size_t k =
+      config.k != 0 ? config.k : std::max<size_t>(1, n / config.sigma);
+
+  TermSimilarity st(ontology, weights);
+  OccurrenceSimilarity so(st, motif.pattern);
+  std::vector<LabelProfile> profiles;
+  profiles.reserve(n);
+  for (const MotifOccurrence* occ : sample) {
+    profiles.push_back(OccurrenceProfile(annotations, *occ));
+  }
+
+  // Initialize medoids with distinct random occurrences.
+  Rng rng(config.seed);
+  std::vector<size_t> medoids = rng.SampleWithoutReplacement(n, std::min(k, n));
+  std::vector<size_t> assignment(n, 0);
+
+  for (size_t iter = 0; iter < config.max_iterations; ++iter) {
+    // Assign each occurrence to its most similar medoid.
+    bool changed = false;
+    for (size_t i = 0; i < n; ++i) {
+      size_t best = assignment[i];
+      double best_sim = -1.0;
+      for (size_t c = 0; c < medoids.size(); ++c) {
+        const double s = so.Score(profiles[i], profiles[medoids[c]]);
+        if (s > best_sim) {
+          best_sim = s;
+          best = c;
+        }
+      }
+      if (best != assignment[i]) {
+        assignment[i] = best;
+        changed = true;
+      }
+    }
+    // Recompute medoids: the member maximizing total similarity to its
+    // cluster.
+    for (size_t c = 0; c < medoids.size(); ++c) {
+      std::vector<size_t> members;
+      for (size_t i = 0; i < n; ++i) {
+        if (assignment[i] == c) members.push_back(i);
+      }
+      if (members.empty()) continue;
+      size_t best_medoid = medoids[c];
+      double best_total = -1.0;
+      for (size_t candidate : members) {
+        double total = 0.0;
+        for (size_t other : members) {
+          total += so.Score(profiles[candidate], profiles[other]);
+        }
+        if (total > best_total) {
+          best_total = total;
+          best_medoid = candidate;
+        }
+      }
+      medoids[c] = best_medoid;
+    }
+    if (!changed) break;
+  }
+
+  // Derive one labeling scheme per cluster of >= sigma occurrences.
+  std::vector<bool> candidate_filter(ontology.num_terms());
+  for (TermId t = 0; t < ontology.num_terms(); ++t) {
+    candidate_filter[t] = informative.IsLabelCandidate(t);
+  }
+  for (size_t c = 0; c < medoids.size(); ++c) {
+    std::vector<size_t> members;
+    for (size_t i = 0; i < n; ++i) {
+      if (assignment[i] == c) members.push_back(i);
+    }
+    if (members.size() < config.sigma) continue;
+
+    // Fold members into the medoid's profile pairwise (same least-general
+    // rule as LaMoFinder, but over a fixed disjoint cluster).
+    LabelProfile scheme = profiles[medoids[c]];
+    std::vector<MotifOccurrence> occurrences;
+    for (size_t i : members) {
+      std::vector<uint32_t> pairing;
+      so.Score(scheme, profiles[i], &pairing);
+      for (size_t pos = 0; pos < num_vertices; ++pos) {
+        scheme[pos] = LeastGeneralLabels(st, scheme[pos],
+                                         profiles[i][pairing[pos]],
+                                         &candidate_filter);
+        if (config.max_labels_per_vertex != 0 &&
+            scheme[pos].size() > config.max_labels_per_vertex) {
+          std::sort(scheme[pos].begin(), scheme[pos].end(),
+                    [&](TermId a, TermId b) {
+                      return weights.Weight(a) < weights.Weight(b);
+                    });
+          scheme[pos].resize(config.max_labels_per_vertex);
+          std::sort(scheme[pos].begin(), scheme[pos].end());
+        }
+      }
+      MotifOccurrence realigned;
+      realigned.proteins.resize(num_vertices);
+      for (size_t pos = 0; pos < num_vertices; ++pos) {
+        realigned.proteins[pos] = sample[i]->proteins[pairing[pos]];
+      }
+      occurrences.push_back(std::move(realigned));
+    }
+    // Same emission rule as LaMoFinder: labels restricted to candidates,
+    // at least half of the vertices labeled.
+    LabelProfile filtered(num_vertices);
+    size_t labeled_vertices = 0;
+    for (size_t pos = 0; pos < num_vertices; ++pos) {
+      for (TermId t : scheme[pos]) {
+        if (candidate_filter[t]) filtered[pos].push_back(t);
+      }
+      if (!filtered[pos].empty()) ++labeled_vertices;
+    }
+    if (2 * labeled_vertices < num_vertices || labeled_vertices == 0) {
+      continue;
+    }
+
+    LabeledMotif labeled;
+    labeled.pattern = motif.pattern;
+    labeled.code = motif.code;
+    labeled.scheme = std::move(filtered);
+    labeled.occurrences = std::move(occurrences);
+    labeled.frequency = labeled.occurrences.size();
+    labeled.uniqueness = motif.uniqueness >= 0.0 ? motif.uniqueness : 1.0;
+    results.push_back(std::move(labeled));
+  }
+  return results;
+}
+
+}  // namespace lamo

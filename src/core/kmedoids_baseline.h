@@ -1,0 +1,45 @@
+#ifndef LAMO_CORE_KMEDOIDS_BASELINE_H_
+#define LAMO_CORE_KMEDOIDS_BASELINE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/lamofinder.h"
+#include "util/random.h"
+
+namespace lamo {
+
+/// Configuration of the k-means-style baseline clusterer.
+struct KMedoidsConfig {
+  /// Number of clusters; 0 derives k = max(1, |D| / sigma).
+  size_t k = 0;
+  /// sigma: minimum cluster size for a scheme to be emitted.
+  size_t sigma = 10;
+  /// Lloyd-style iterations.
+  size_t max_iterations = 20;
+  /// Seed for medoid initialization.
+  uint64_t seed = 7;
+  /// Same occurrence cap as LaMoFinderConfig.
+  size_t max_occurrences = 600;
+  /// Same per-vertex label cap as LaMoFinderConfig.
+  size_t max_labels_per_vertex = 6;
+};
+
+/// The non-overlapping clustering baseline the paper argues against
+/// (Figure 5): k-medoids over the occurrence similarity SO (k-means proper
+/// is undefined for this non-Euclidean similarity; medoids are its standard
+/// stand-in). Occurrences are partitioned into disjoint clusters, each
+/// cluster derives its least general labeling scheme, and clusters of at
+/// least sigma occurrences are emitted.
+///
+/// Because the partition is disjoint, overlapping labeling schemes cannot be
+/// found — the ablation bench (bench_fig5) quantifies the schemes this
+/// misses relative to LaMoFinder's hierarchical clustering.
+std::vector<LabeledMotif> LabelMotifKMedoids(
+    const Ontology& ontology, const TermWeights& weights,
+    const InformativeClasses& informative, const AnnotationTable& annotations,
+    const Motif& motif, const KMedoidsConfig& config);
+
+}  // namespace lamo
+
+#endif  // LAMO_CORE_KMEDOIDS_BASELINE_H_

@@ -1,0 +1,31 @@
+#include "core/labeled_motif.h"
+
+#include <map>
+
+namespace lamo {
+
+std::string LabeledMotif::SchemeToString(const Ontology& ontology) const {
+  std::string out = "[";
+  for (size_t i = 0; i < scheme.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += LabelSetToString(ontology, scheme[i]);
+  }
+  out += "]";
+  return out;
+}
+
+void ComputeMotifStrengths(std::vector<LabeledMotif>* motifs) {
+  std::map<size_t, double> max_per_size;
+  for (const LabeledMotif& m : *motifs) {
+    const double raw = m.uniqueness * static_cast<double>(m.frequency);
+    auto [it, inserted] = max_per_size.emplace(m.size(), raw);
+    if (!inserted && raw > it->second) it->second = raw;
+  }
+  for (LabeledMotif& m : *motifs) {
+    const double max_k = max_per_size[m.size()];
+    const double raw = m.uniqueness * static_cast<double>(m.frequency);
+    m.strength = max_k > 0.0 ? raw / max_k : 0.0;
+  }
+}
+
+}  // namespace lamo

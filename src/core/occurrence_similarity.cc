@@ -1,0 +1,63 @@
+#include "core/occurrence_similarity.h"
+
+#include <numeric>
+
+#include "core/assignment.h"
+#include "graph/automorphism.h"
+#include "util/logging.h"
+
+namespace lamo {
+
+OccurrenceSimilarity::OccurrenceSimilarity(const TermSimilarity& st,
+                                           const SmallGraph& motif,
+                                           SymmetryMode mode)
+    : st_(st),
+      num_vertices_(motif.num_vertices()),
+      orbits_(mode == SymmetryMode::kTwinSets ? TwinClasses(motif)
+                                              : VertexOrbits(motif)) {}
+
+OccurrenceSimilarity::OccurrenceSimilarity(
+    const TermSimilarity& st, size_t num_vertices,
+    std::vector<std::vector<uint32_t>> orbits)
+    : st_(st), num_vertices_(num_vertices), orbits_(std::move(orbits)) {
+  size_t covered = 0;
+  for (const auto& orbit : orbits_) covered += orbit.size();
+  LAMO_CHECK_EQ(covered, num_vertices_);
+}
+
+double OccurrenceSimilarity::Score(const LabelProfile& a,
+                                   const LabelProfile& b,
+                                   std::vector<uint32_t>* best_pairing) const {
+  LAMO_CHECK_EQ(a.size(), num_vertices_);
+  LAMO_CHECK_EQ(b.size(), num_vertices_);
+  if (best_pairing != nullptr) {
+    best_pairing->resize(num_vertices_);
+    std::iota(best_pairing->begin(), best_pairing->end(), 0);
+  }
+  if (num_vertices_ == 0) return 0.0;
+
+  double total = 0.0;
+  for (const auto& orbit : orbits_) {
+    if (orbit.size() == 1) {
+      total += VertexSimilarity(st_, a[orbit[0]], b[orbit[0]]);
+      continue;
+    }
+    std::vector<std::vector<double>> score(
+        orbit.size(), std::vector<double>(orbit.size()));
+    for (size_t i = 0; i < orbit.size(); ++i) {
+      for (size_t j = 0; j < orbit.size(); ++j) {
+        score[i][j] = VertexSimilarity(st_, a[orbit[i]], b[orbit[j]]);
+      }
+    }
+    std::vector<int> matching;
+    total += MaxSumAssignment(score, &matching);
+    if (best_pairing != nullptr) {
+      for (size_t i = 0; i < orbit.size(); ++i) {
+        (*best_pairing)[orbit[i]] = orbit[matching[i]];
+      }
+    }
+  }
+  return total / static_cast<double>(num_vertices_);
+}
+
+}  // namespace lamo

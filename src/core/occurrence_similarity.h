@@ -1,0 +1,72 @@
+#ifndef LAMO_CORE_OCCURRENCE_SIMILARITY_H_
+#define LAMO_CORE_OCCURRENCE_SIMILARITY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/label_profile.h"
+#include "graph/small_graph.h"
+#include "ontology/similarity.h"
+
+namespace lamo {
+
+/// Computes the occurrence similarity SO (Eq. 3 of the paper) for a fixed
+/// network motif:
+///
+///   SO(oi, oj) = (1/|V|) * sum over symmetric vertex sets I of
+///                max over pairings of I's vertices of sum SV(v_alpha, v_beta)
+///
+/// Symmetric vertex sets are the orbits of the motif's automorphism group
+/// (computed exactly; the paper used the PIGALE heuristic). Singleton orbits
+/// pair with themselves; within a larger orbit the best pairing is found
+/// with the Hungarian algorithm instead of the paper's factorial
+/// enumeration.
+class OccurrenceSimilarity {
+ public:
+  /// How the symmetric vertex sets are derived from the motif.
+  enum class SymmetryMode {
+    /// Twin classes (default): every independent within-set permutation is a
+    /// true automorphism, so Eq. 3's per-set maximization is sound. This is
+    /// the paper's semantics (its Figure-2 example sets are twin classes).
+    kTwinSets,
+    /// Full automorphism orbits: a looser relaxation (rotational symmetry
+    /// also pools vertices) that can overestimate SO; kept as an ablation.
+    kFullOrbits,
+  };
+
+  /// `st` must outlive this object; the motif's orbits are precomputed here.
+  OccurrenceSimilarity(const TermSimilarity& st, const SmallGraph& motif,
+                       SymmetryMode mode = SymmetryMode::kTwinSets);
+
+  /// Variant with explicitly supplied symmetric sets (must partition
+  /// 0..num_vertices-1). Used for directed motifs, whose symmetries are
+  /// computed on the digraph rather than the undirected pattern.
+  OccurrenceSimilarity(const TermSimilarity& st, size_t num_vertices,
+                       std::vector<std::vector<uint32_t>> orbits);
+
+  OccurrenceSimilarity(const OccurrenceSimilarity&) = delete;
+  OccurrenceSimilarity& operator=(const OccurrenceSimilarity&) = delete;
+
+  /// SO between two label profiles aligned to the motif's canonical vertex
+  /// order. If `best_pairing` is non-null it receives the permutation pi of
+  /// motif positions realizing the maximum: position p of profile `a`
+  /// corresponds to position pi[p] of profile `b` (identity outside
+  /// symmetric sets).
+  double Score(const LabelProfile& a, const LabelProfile& b,
+               std::vector<uint32_t>* best_pairing = nullptr) const;
+
+  /// All automorphism orbits of the motif (including singletons).
+  const std::vector<std::vector<uint32_t>>& orbits() const { return orbits_; }
+
+  /// Number of motif vertices.
+  size_t num_vertices() const { return num_vertices_; }
+
+ private:
+  const TermSimilarity& st_;
+  size_t num_vertices_;
+  std::vector<std::vector<uint32_t>> orbits_;
+};
+
+}  // namespace lamo
+
+#endif  // LAMO_CORE_OCCURRENCE_SIMILARITY_H_

@@ -1,0 +1,65 @@
+#ifndef LAMO_CORE_PAPER_EXAMPLE_H_
+#define LAMO_CORE_PAPER_EXAMPLE_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/small_graph.h"
+#include "ontology/annotation.h"
+#include "ontology/informative.h"
+#include "ontology/ontology.h"
+#include "ontology/weights.h"
+
+namespace lamo {
+
+/// The worked example of the paper (Figures 1-4, Tables 1-4), reconstructed
+/// as a reusable fixture for tests and the table-regeneration benches.
+///
+/// The ontology is the 11-term DAG G01..G11. The paper's Figure 1 and
+/// Table 1 are mutually inconsistent in one place (the text claims G05 is a
+/// common parent of G08 and G09 while Table 1's closure counts forbid it);
+/// we reconstruct the unique DAG consistent with *all* of Table 1's closure
+/// counts, and Table 1 is then reproduced exactly:
+///
+///   G01 -> {G02, G03};  G02 -> {G04, G05};  G03 -> {G05, G06, G08};
+///   G04 -> {G07, G08};  G05 -> {G09, G10, G11};  G06 -> {G09};
+///   G07 -> {G10};       G08 -> {G10, G11}
+///
+/// (with G06->G03 and G09->G05 as part-of, all other edges is-a, matching
+/// the figure's annotations).
+struct PaperExample {
+  /// The 11-term ontology.
+  Ontology ontology;
+  /// A genome of 585 single-term proteins realizing Table 1's direct counts.
+  AnnotationTable genome;
+  /// Lord weights over the genome (Table 1's w(t) column).
+  TermWeights weights;
+  /// Informative classes with the paper's threshold of 30: informative =
+  /// {G04, G05, G06, G09, G10}, border = {G04, G05, G06}.
+  InformativeClasses informative;
+  /// The small PPI network G of Figure 3 (22 proteins P1..P22, indices 0-21)
+  /// containing four occurrences of the motif.
+  Graph ppi;
+  /// GO annotations of P1..P16 per Table 2 (P17..P22 unannotated).
+  AnnotationTable protein_annotations;
+  /// The network motif g of Figure 2: the 4-cycle v1-v2-v3-v4 with symmetric
+  /// vertex sets {v1, v3} and {v2, v4}.
+  SmallGraph motif;
+  /// The four occurrences o1..o4 in motif vertex order [v1, v2, v3, v4]:
+  /// o1 = (P1, P2, P3, P4), o2 = (P12, P9, P10, P11),
+  /// o3 = (P5, P6, P7, P8), o4 = (P13, P14, P15, P16).
+  std::vector<std::vector<VertexId>> occurrences;
+
+  /// Term id of "G01".."G11".
+  TermId term(const std::string& name) const;
+  /// Protein id of the 1-based paper name: protein(1) == P1 == vertex 0.
+  ProteinId protein(int one_based) const;
+};
+
+/// Builds the fixture. Aborts on internal inconsistency (checked invariants).
+PaperExample MakePaperExample();
+
+}  // namespace lamo
+
+#endif  // LAMO_CORE_PAPER_EXAMPLE_H_

@@ -1,0 +1,122 @@
+#include "graph/algorithms.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace lamo {
+
+std::vector<uint32_t> ConnectedComponents(const Graph& g) {
+  const size_t n = g.num_vertices();
+  std::vector<uint32_t> component(n, kUnreachable);
+  uint32_t next_id = 0;
+  std::vector<VertexId> stack;
+  for (VertexId start = 0; start < n; ++start) {
+    if (component[start] != kUnreachable) continue;
+    component[start] = next_id;
+    stack.push_back(start);
+    while (!stack.empty()) {
+      const VertexId v = stack.back();
+      stack.pop_back();
+      for (VertexId u : g.Neighbors(v)) {
+        if (component[u] == kUnreachable) {
+          component[u] = next_id;
+          stack.push_back(u);
+        }
+      }
+    }
+    ++next_id;
+  }
+  return component;
+}
+
+size_t CountComponents(const Graph& g) {
+  const auto component = ConnectedComponents(g);
+  uint32_t max_id = 0;
+  for (uint32_t c : component) max_id = std::max(max_id, c);
+  return component.empty() ? 0 : max_id + 1;
+}
+
+std::vector<VertexId> LargestComponent(const Graph& g) {
+  const auto component = ConnectedComponents(g);
+  if (component.empty()) return {};
+  uint32_t max_id = *std::max_element(component.begin(), component.end());
+  std::vector<size_t> sizes(max_id + 1, 0);
+  for (uint32_t c : component) ++sizes[c];
+  const uint32_t largest = static_cast<uint32_t>(
+      std::max_element(sizes.begin(), sizes.end()) - sizes.begin());
+  std::vector<VertexId> vertices;
+  for (VertexId v = 0; v < component.size(); ++v) {
+    if (component[v] == largest) vertices.push_back(v);
+  }
+  return vertices;
+}
+
+std::vector<uint32_t> BfsDistances(const Graph& g, VertexId source) {
+  std::vector<uint32_t> dist(g.num_vertices(), kUnreachable);
+  std::queue<VertexId> queue;
+  dist[source] = 0;
+  queue.push(source);
+  while (!queue.empty()) {
+    const VertexId v = queue.front();
+    queue.pop();
+    for (VertexId u : g.Neighbors(v)) {
+      if (dist[u] == kUnreachable) {
+        dist[u] = dist[v] + 1;
+        queue.push(u);
+      }
+    }
+  }
+  return dist;
+}
+
+size_t CountTriangles(const Graph& g) {
+  // For each edge (v,u) with v < u, intersect sorted neighbor lists above u.
+  size_t triangles = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const auto nv = g.Neighbors(v);
+    for (VertexId u : nv) {
+      if (u <= v) continue;
+      const auto nu = g.Neighbors(u);
+      // Count common neighbors w > u to count each triangle once.
+      auto it_v = std::lower_bound(nv.begin(), nv.end(), u + 1);
+      auto it_u = std::lower_bound(nu.begin(), nu.end(), u + 1);
+      while (it_v != nv.end() && it_u != nu.end()) {
+        if (*it_v < *it_u) {
+          ++it_v;
+        } else if (*it_u < *it_v) {
+          ++it_u;
+        } else {
+          ++triangles;
+          ++it_v;
+          ++it_u;
+        }
+      }
+    }
+  }
+  return triangles;
+}
+
+double GlobalClusteringCoefficient(const Graph& g) {
+  size_t triples = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const size_t d = g.Degree(v);
+    triples += d * (d - 1) / 2;
+  }
+  if (triples == 0) return 0.0;
+  return 3.0 * static_cast<double>(CountTriangles(g)) /
+         static_cast<double>(triples);
+}
+
+std::vector<size_t> DegreeHistogram(const Graph& g) {
+  std::vector<size_t> hist(g.MaxDegree() + 1, 0);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) ++hist[g.Degree(v)];
+  return hist;
+}
+
+double MeanDegree(const Graph& g) {
+  if (g.num_vertices() == 0) return 0.0;
+  return 2.0 * static_cast<double>(g.num_edges()) /
+         static_cast<double>(g.num_vertices());
+}
+
+}  // namespace lamo

@@ -1,0 +1,40 @@
+#ifndef LAMO_GRAPH_ALGORITHMS_H_
+#define LAMO_GRAPH_ALGORITHMS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace lamo {
+
+/// Per-vertex connected-component ids (dense, 0-based, in order of discovery
+/// from vertex 0 upward).
+std::vector<uint32_t> ConnectedComponents(const Graph& g);
+
+/// Number of connected components.
+size_t CountComponents(const Graph& g);
+
+/// Vertices of the largest connected component, ascending.
+std::vector<VertexId> LargestComponent(const Graph& g);
+
+/// BFS distances from `source` (kUnreachable for unreachable vertices).
+inline constexpr uint32_t kUnreachable = static_cast<uint32_t>(-1);
+std::vector<uint32_t> BfsDistances(const Graph& g, VertexId source);
+
+/// Global clustering coefficient: 3 * #triangles / #connected-triples.
+/// Returns 0 for graphs with no connected triple.
+double GlobalClusteringCoefficient(const Graph& g);
+
+/// Number of triangles in the graph.
+size_t CountTriangles(const Graph& g);
+
+/// Degree histogram: entry d is the number of vertices with degree d.
+std::vector<size_t> DegreeHistogram(const Graph& g);
+
+/// Mean degree (2m/n); 0 for the empty graph.
+double MeanDegree(const Graph& g);
+
+}  // namespace lamo
+
+#endif  // LAMO_GRAPH_ALGORITHMS_H_

@@ -1,0 +1,213 @@
+#include "graph/automorphism.h"
+
+#include <algorithm>
+#include <bit>
+#include <numeric>
+
+#include "graph/refinement.h"
+#include "util/logging.h"
+
+namespace lamo {
+namespace {
+
+// Disjoint-set over vertex ids.
+class UnionFind {
+ public:
+  explicit UnionFind(size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+  uint32_t Find(uint32_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void Union(uint32_t a, uint32_t b) { parent_[Find(a)] = Find(b); }
+
+ private:
+  std::vector<uint32_t> parent_;
+};
+
+// Backtracking search for a color-preserving automorphism with optional
+// initial constraint map[from] = to. Vertices are assigned in descending
+// degree order (ties by id) to fail fast.
+class AutomorphismSearch {
+ public:
+  AutomorphismSearch(const SmallGraph& g, const std::vector<uint32_t>& colors)
+      : g_(g), colors_(colors), n_(g.num_vertices()) {
+    order_.resize(n_);
+    std::iota(order_.begin(), order_.end(), 0);
+    std::stable_sort(order_.begin(), order_.end(),
+                     [&](uint32_t a, uint32_t b) {
+                       return g_.Degree(a) > g_.Degree(b);
+                     });
+    map_.assign(n_, kUnset);
+    used_ = 0;
+  }
+
+  std::optional<std::vector<uint32_t>> Find(uint32_t from, uint32_t to) {
+    if (colors_[from] != colors_[to]) return std::nullopt;
+    map_[from] = to;
+    used_ |= 1ULL << to;
+    mapped_mask_ = 1ULL << from;
+    if (Extend(0)) return map_;
+    return std::nullopt;
+  }
+
+ private:
+  static constexpr uint32_t kUnset = static_cast<uint32_t>(-1);
+
+  bool Extend(size_t pos) {
+    while (pos < n_ && map_[order_[pos]] != kUnset) ++pos;
+    if (pos == n_) return true;
+    const uint32_t u = order_[pos];
+    for (uint32_t w = 0; w < n_; ++w) {
+      if ((used_ >> w) & 1ULL) continue;
+      if (colors_[w] != colors_[u]) continue;
+      if (!Consistent(u, w)) continue;
+      map_[u] = w;
+      used_ |= 1ULL << w;
+      mapped_mask_ |= 1ULL << u;
+      if (Extend(pos + 1)) return true;
+      map_[u] = kUnset;
+      used_ &= ~(1ULL << w);
+      mapped_mask_ &= ~(1ULL << u);
+    }
+    return false;
+  }
+
+  // Adjacency of u to every already-mapped vertex must equal adjacency of w
+  // to its image.
+  bool Consistent(uint32_t u, uint32_t w) const {
+    uint64_t mapped_neighbors = g_.NeighborMask(u) & mapped_mask_;
+    uint64_t image_of_neighbors = 0;
+    while (mapped_neighbors != 0) {
+      const uint32_t x =
+          static_cast<uint32_t>(std::countr_zero(mapped_neighbors));
+      image_of_neighbors |= 1ULL << map_[x];
+      mapped_neighbors &= mapped_neighbors - 1;
+    }
+    uint64_t mapped_images = 0;
+    uint64_t m = mapped_mask_;
+    while (m != 0) {
+      const uint32_t x = static_cast<uint32_t>(std::countr_zero(m));
+      mapped_images |= 1ULL << map_[x];
+      m &= m - 1;
+    }
+    return (g_.NeighborMask(w) & mapped_images) == image_of_neighbors;
+  }
+
+  const SmallGraph& g_;
+  const std::vector<uint32_t>& colors_;
+  size_t n_;
+  std::vector<uint32_t> order_;
+  std::vector<uint32_t> map_;
+  uint64_t used_ = 0;
+  uint64_t mapped_mask_ = 0;
+};
+
+// |Aut| via orbit-stabilizer: |G| = |orbit(u)| * |stab(u)|, where stab(u) is
+// the automorphism group with u individualized (given its own color).
+uint64_t GroupSizeRec(const SmallGraph& g, std::vector<uint32_t> colors) {
+  colors = RefineColors(g, std::move(colors));
+  auto cells = ColorCells(colors);
+  const std::vector<uint32_t>* target = nullptr;
+  for (const auto& cell : cells) {
+    if (cell.size() > 1) {
+      target = &cell;
+      break;
+    }
+  }
+  if (target == nullptr) return 1;  // discrete: only the identity remains
+
+  const uint32_t u = (*target)[0];
+  uint64_t orbit_size = 1;
+  for (size_t i = 1; i < target->size(); ++i) {
+    AutomorphismSearch search(g, colors);
+    if (search.Find(u, (*target)[i]).has_value()) ++orbit_size;
+  }
+  std::vector<uint32_t> individualized(colors.size());
+  for (uint32_t v = 0; v < colors.size(); ++v) {
+    individualized[v] = colors[v] * 2 + 1;
+  }
+  individualized[u] = colors[u] * 2;
+  return orbit_size * GroupSizeRec(g, std::move(individualized));
+}
+
+}  // namespace
+
+std::optional<std::vector<uint32_t>> FindAutomorphismMapping(
+    const SmallGraph& g, uint32_t from, uint32_t to) {
+  LAMO_CHECK_LT(from, g.num_vertices());
+  LAMO_CHECK_LT(to, g.num_vertices());
+  const std::vector<uint32_t> colors = RefineColors(g);
+  AutomorphismSearch search(g, colors);
+  return search.Find(from, to);
+}
+
+std::vector<std::vector<uint32_t>> VertexOrbits(const SmallGraph& g) {
+  const size_t n = g.num_vertices();
+  UnionFind uf(n);
+  const std::vector<uint32_t> colors = RefineColors(g);
+  for (uint32_t u = 0; u < n; ++u) {
+    for (uint32_t v = u + 1; v < n; ++v) {
+      if (colors[u] != colors[v]) continue;  // different WL classes: never
+      if (uf.Find(u) == uf.Find(v)) continue;
+      AutomorphismSearch search(g, colors);
+      auto mapping = search.Find(u, v);
+      if (!mapping.has_value()) continue;
+      for (uint32_t x = 0; x < n; ++x) uf.Union(x, (*mapping)[x]);
+    }
+  }
+  std::vector<std::vector<uint32_t>> orbits;
+  std::vector<int> orbit_of_root(n, -1);
+  for (uint32_t v = 0; v < n; ++v) {
+    const uint32_t root = uf.Find(v);
+    if (orbit_of_root[root] < 0) {
+      orbit_of_root[root] = static_cast<int>(orbits.size());
+      orbits.emplace_back();
+    }
+    orbits[orbit_of_root[root]].push_back(v);
+  }
+  return orbits;  // each orbit ascending; orbits ordered by min element
+}
+
+std::vector<std::vector<uint32_t>> TwinClasses(const SmallGraph& g) {
+  const size_t n = g.num_vertices();
+  UnionFind uf(n);
+  for (uint32_t u = 0; u < n; ++u) {
+    for (uint32_t v = u + 1; v < n; ++v) {
+      // (u v) is an automorphism iff N(u)\{v} == N(v)\{u}.
+      const uint64_t nu = g.NeighborMask(u) & ~(1ULL << v);
+      const uint64_t nv = g.NeighborMask(v) & ~(1ULL << u);
+      if (nu == nv) uf.Union(u, v);
+    }
+  }
+  std::vector<std::vector<uint32_t>> classes;
+  std::vector<int> class_of_root(n, -1);
+  for (uint32_t v = 0; v < n; ++v) {
+    const uint32_t root = uf.Find(v);
+    if (class_of_root[root] < 0) {
+      class_of_root[root] = static_cast<int>(classes.size());
+      classes.emplace_back();
+    }
+    classes[class_of_root[root]].push_back(v);
+  }
+  return classes;
+}
+
+std::vector<std::vector<uint32_t>> SymmetricVertexSets(const SmallGraph& g) {
+  std::vector<std::vector<uint32_t>> sets;
+  for (auto& cls : TwinClasses(g)) {
+    if (cls.size() >= 2) sets.push_back(std::move(cls));
+  }
+  return sets;
+}
+
+uint64_t AutomorphismGroupSize(const SmallGraph& g) {
+  if (g.num_vertices() == 0) return 1;
+  return GroupSizeRec(g, std::vector<uint32_t>(g.num_vertices(), 0));
+}
+
+}  // namespace lamo

@@ -1,0 +1,51 @@
+#ifndef LAMO_GRAPH_AUTOMORPHISM_H_
+#define LAMO_GRAPH_AUTOMORPHISM_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "graph/small_graph.h"
+
+namespace lamo {
+
+/// Searches for an automorphism of `g` that maps vertex `from` to vertex
+/// `to`. Returns the full permutation (perm[v] = image of v) if one exists.
+/// Backtracking with color-refinement pruning; exact.
+std::optional<std::vector<uint32_t>> FindAutomorphismMapping(
+    const SmallGraph& g, uint32_t from, uint32_t to);
+
+/// Computes the orbits of the automorphism group of `g`: vertices u, v are in
+/// the same orbit iff some automorphism maps u to v. Each orbit is sorted
+/// ascending; orbits are sorted by their minimum element.
+///
+/// Orbits of size >= 2 are exactly the paper's "sets of symmetric vertices"
+/// (Section 2, issue 2): vertices that can be interchanged without affecting
+/// the topology. The paper delegates this to the PIGALE library's heuristic;
+/// we compute orbits exactly, which is fast at motif scale.
+std::vector<std::vector<uint32_t>> VertexOrbits(const SmallGraph& g);
+
+/// Twin classes: u and v are twins iff the transposition (u v) alone is an
+/// automorphism, i.e. N(u)\{v} = N(v)\{u}. Twin-ness is an equivalence
+/// relation, and *any* permutation within a twin class is an automorphism —
+/// which is exactly the property Eq. 3 needs when it maximizes over
+/// independent pairings inside each symmetric set. Every class is returned
+/// (including singletons), ascending, ordered by minimum element.
+std::vector<std::vector<uint32_t>> TwinClasses(const SmallGraph& g);
+
+/// The paper's "sets of symmetric vertices" (Section 2, issue 2): vertices
+/// that can be interchanged without affecting the topology. These are the
+/// twin classes of size >= 2 — for the paper's Figure-2 motif (the 4-cycle)
+/// exactly {v1, v3} and {v2, v4}. Note this is deliberately narrower than
+/// VertexOrbits: full orbits also relate vertices whose exchange requires
+/// moving *other* vertices (e.g. rotations of a cycle), for which Eq. 3's
+/// independent per-set pairing would not be automorphism-sound.
+std::vector<std::vector<uint32_t>> SymmetricVertexSets(const SmallGraph& g);
+
+/// Number of automorphisms of `g` (exact, computed by orbit-stabilizer
+/// recursion). Useful for relating embedding counts to occurrence counts.
+uint64_t AutomorphismGroupSize(const SmallGraph& g);
+
+}  // namespace lamo
+
+#endif  // LAMO_GRAPH_AUTOMORPHISM_H_

@@ -1,0 +1,145 @@
+#include "graph/canonical.h"
+
+#include <algorithm>
+
+#include "graph/refinement.h"
+#include "util/logging.h"
+
+namespace lamo {
+namespace {
+
+// Ordered partition represented by per-vertex cell index (cells ordered by
+// index) plus the derived cells.
+struct SearchState {
+  const SmallGraph* g;
+  std::vector<uint8_t> best_code;            // current minimum
+  std::vector<uint32_t> best_labeling;       // canonical pos -> original
+  bool have_best = false;
+};
+
+// Returns cell mask (bitset of members) for each cell.
+uint64_t CellMask(const std::vector<uint32_t>& cell) {
+  uint64_t mask = 0;
+  for (uint32_t v : cell) mask |= 1ULL << v;
+  return mask;
+}
+
+// True if all vertices of `cell` are pairwise interchangeable "twins":
+// identical neighborhoods outside the cell, and the cell induces a complete
+// or empty subgraph. Any within-cell ordering then yields the same adjacency
+// code, so the search may order the cell arbitrarily without branching.
+bool IsTwinCell(const SmallGraph& g, const std::vector<uint32_t>& cell) {
+  if (cell.size() < 2) return true;
+  const uint64_t mask = CellMask(cell);
+  const uint64_t outside0 = g.NeighborMask(cell[0]) & ~mask;
+  const uint64_t inside0 = g.NeighborMask(cell[0]) & mask;
+  const bool complete = inside0 == (mask & ~(1ULL << cell[0]));
+  const bool empty = inside0 == 0;
+  if (!complete && !empty) return false;
+  for (size_t i = 1; i < cell.size(); ++i) {
+    const uint64_t row = g.NeighborMask(cell[i]);
+    if ((row & ~mask) != outside0) return false;
+    const uint64_t inside = row & mask;
+    if (complete && inside != (mask & ~(1ULL << cell[i]))) return false;
+    if (empty && inside != 0) return false;
+  }
+  return true;
+}
+
+// Recursive canonical search over ordered partitions encoded as colors.
+void Search(SearchState& state, std::vector<uint32_t> colors) {
+  const SmallGraph& g = *state.g;
+  const size_t n = g.num_vertices();
+
+  // Split twin cells greedily (ascending vertex order) until none remain or
+  // we must branch.
+  while (true) {
+    auto cells = ColorCells(colors);
+    // Find first non-singleton cell.
+    int target = -1;
+    for (size_t c = 0; c < cells.size(); ++c) {
+      if (cells[c].size() > 1) {
+        target = static_cast<int>(c);
+        break;
+      }
+    }
+    if (target < 0) {
+      // Discrete partition: colors are a bijection onto 0..n-1.
+      std::vector<uint32_t> labeling(n);
+      for (uint32_t v = 0; v < n; ++v) labeling[colors[v]] = v;
+      SmallGraph candidate = g.Permuted(labeling);
+      std::vector<uint8_t> code = candidate.AdjacencyCode();
+      if (!state.have_best || code < state.best_code) {
+        state.best_code = std::move(code);
+        state.best_labeling = std::move(labeling);
+        state.have_best = true;
+      }
+      return;
+    }
+
+    const std::vector<uint32_t>& cell = cells[target];
+    if (IsTwinCell(g, cell)) {
+      // Order the twins ascending, then renumber colors densely and continue
+      // (no refinement needed: twins have identical signatures forever).
+      std::vector<uint32_t> updated(n);
+      for (uint32_t v = 0; v < n; ++v) {
+        uint32_t base = 0;
+        for (size_t c = 0; c < static_cast<size_t>(colors[v]); ++c) {
+          base += static_cast<uint32_t>(cells[c].size());
+        }
+        if (colors[v] == static_cast<uint32_t>(target)) {
+          // Position within the (sorted) twin cell.
+          uint32_t rank = 0;
+          while (cell[rank] != v) ++rank;
+          updated[v] = base + rank;
+        } else {
+          updated[v] = base;  // cell start; cells stay grouped
+        }
+      }
+      // Re-normalize to dense colors preserving order: vertices in the same
+      // untouched cell share `base`, twins got distinct values.
+      colors = RefineColors(g, std::move(updated));
+      continue;
+    }
+
+    // Branch: individualize each vertex of the target cell in turn.
+    for (uint32_t v : cell) {
+      std::vector<uint32_t> branched(n);
+      for (uint32_t u = 0; u < n; ++u) branched[u] = colors[u] * 2 + 1;
+      branched[v] = colors[v] * 2;  // v precedes the rest of its cell
+      Search(state, RefineColors(g, std::move(branched)));
+    }
+    return;
+  }
+}
+
+}  // namespace
+
+CanonicalResult Canonicalize(const SmallGraph& g) {
+  CanonicalResult result;
+  if (g.num_vertices() == 0) {
+    result.graph = g;
+    result.code = g.AdjacencyCode();
+    return result;
+  }
+  SearchState state;
+  state.g = &g;
+  Search(state, RefineColors(g));
+  LAMO_CHECK(state.have_best);
+  result.canonical_to_original = state.best_labeling;
+  result.graph = g.Permuted(state.best_labeling);
+  result.code = std::move(state.best_code);
+  return result;
+}
+
+std::vector<uint8_t> CanonicalCode(const SmallGraph& g) {
+  return Canonicalize(g).code;
+}
+
+bool AreIsomorphic(const SmallGraph& a, const SmallGraph& b) {
+  if (a.num_vertices() != b.num_vertices()) return false;
+  if (a.num_edges() != b.num_edges()) return false;
+  return CanonicalCode(a) == CanonicalCode(b);
+}
+
+}  // namespace lamo

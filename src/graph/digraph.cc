@@ -1,0 +1,77 @@
+#include "graph/digraph.h"
+
+#include <algorithm>
+
+namespace lamo {
+
+bool DiGraph::HasArc(VertexId a, VertexId b) const {
+  if (a >= num_vertices() || b >= num_vertices()) return false;
+  const auto out = OutNeighbors(a);
+  return std::binary_search(out.begin(), out.end(), b);
+}
+
+std::vector<std::pair<VertexId, VertexId>> DiGraph::Arcs() const {
+  std::vector<std::pair<VertexId, VertexId>> arcs;
+  arcs.reserve(num_arcs());
+  for (VertexId v = 0; v < num_vertices(); ++v) {
+    for (VertexId u : OutNeighbors(v)) arcs.emplace_back(v, u);
+  }
+  return arcs;
+}
+
+Graph DiGraph::Underlying() const {
+  GraphBuilder builder(num_vertices());
+  for (const auto& [a, b] : Arcs()) {
+    (void)builder.AddEdge(a, b);  // dedup handled by the builder
+  }
+  return builder.Build();
+}
+
+std::string DiGraph::ToString() const {
+  return "DiGraph(" + std::to_string(num_vertices()) + " vertices, " +
+         std::to_string(num_arcs()) + " arcs)";
+}
+
+Status DiGraphBuilder::AddArc(VertexId a, VertexId b) {
+  if (a >= num_vertices_ || b >= num_vertices_) {
+    return Status::InvalidArgument("arc endpoint out of range");
+  }
+  if (a == b) return Status::OK();  // self-regulation dropped, as for edges
+  arcs_.emplace_back(a, b);
+  return Status::OK();
+}
+
+DiGraph DiGraphBuilder::Build() const {
+  std::vector<std::pair<VertexId, VertexId>> arcs = arcs_;
+  std::sort(arcs.begin(), arcs.end());
+  arcs.erase(std::unique(arcs.begin(), arcs.end()), arcs.end());
+
+  DiGraph g;
+  g.out_offsets_.assign(num_vertices_ + 1, 0);
+  g.in_offsets_.assign(num_vertices_ + 1, 0);
+  for (const auto& [a, b] : arcs) {
+    ++g.out_offsets_[a + 1];
+    ++g.in_offsets_[b + 1];
+  }
+  for (size_t v = 1; v <= num_vertices_; ++v) {
+    g.out_offsets_[v] += g.out_offsets_[v - 1];
+    g.in_offsets_[v] += g.in_offsets_[v - 1];
+  }
+  g.out_flat_.resize(arcs.size());
+  g.in_flat_.resize(arcs.size());
+  std::vector<size_t> out_cursor(g.out_offsets_.begin(),
+                                 g.out_offsets_.end() - 1);
+  std::vector<size_t> in_cursor(g.in_offsets_.begin(),
+                                g.in_offsets_.end() - 1);
+  for (const auto& [a, b] : arcs) {
+    g.out_flat_[out_cursor[a]++] = b;
+    g.in_flat_[in_cursor[b]++] = a;
+  }
+  for (size_t v = 0; v < num_vertices_; ++v) {
+    std::sort(g.in_flat_.begin() + g.in_offsets_[v],
+              g.in_flat_.begin() + g.in_offsets_[v + 1]);
+  }
+  return g;
+}
+
+}  // namespace lamo

@@ -1,0 +1,93 @@
+#ifndef LAMO_GRAPH_DIGRAPH_H_
+#define LAMO_GRAPH_DIGRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace lamo {
+
+/// An immutable simple directed graph in dual-CSR form (out- and
+/// in-adjacency, both sorted). The substrate for the paper's future-work
+/// direction of labeled *directed* network motifs — gene regulatory
+/// networks are the canonical instance.
+class DiGraph {
+ public:
+  DiGraph() = default;
+
+  /// Number of vertices.
+  size_t num_vertices() const {
+    return out_offsets_.empty() ? 0 : out_offsets_.size() - 1;
+  }
+
+  /// Number of arcs.
+  size_t num_arcs() const { return out_flat_.size(); }
+
+  /// Sorted out-neighbors of `v` (targets of arcs v -> u).
+  std::span<const VertexId> OutNeighbors(VertexId v) const {
+    return {out_flat_.data() + out_offsets_[v],
+            out_flat_.data() + out_offsets_[v + 1]};
+  }
+
+  /// Sorted in-neighbors of `v` (sources of arcs u -> v).
+  std::span<const VertexId> InNeighbors(VertexId v) const {
+    return {in_flat_.data() + in_offsets_[v],
+            in_flat_.data() + in_offsets_[v + 1]};
+  }
+
+  size_t OutDegree(VertexId v) const {
+    return out_offsets_[v + 1] - out_offsets_[v];
+  }
+  size_t InDegree(VertexId v) const {
+    return in_offsets_[v + 1] - in_offsets_[v];
+  }
+
+  /// True iff the arc a -> b exists. O(log out-degree).
+  bool HasArc(VertexId a, VertexId b) const;
+
+  /// All arcs (source, target), lexicographic.
+  std::vector<std::pair<VertexId, VertexId>> Arcs() const;
+
+  /// The underlying undirected graph (arc direction dropped, antiparallel
+  /// pairs merged). Used for weak-connectivity enumeration.
+  Graph Underlying() const;
+
+  /// "DiGraph(50 vertices, 120 arcs)".
+  std::string ToString() const;
+
+ private:
+  friend class DiGraphBuilder;
+
+  std::vector<size_t> out_offsets_, in_offsets_;
+  std::vector<VertexId> out_flat_, in_flat_;
+};
+
+/// Accumulates arcs and produces a DiGraph. Self-loops are dropped and
+/// duplicate arcs deduplicated; antiparallel pairs (a->b and b->a) are kept,
+/// as in real regulatory networks.
+class DiGraphBuilder {
+ public:
+  explicit DiGraphBuilder(size_t num_vertices)
+      : num_vertices_(num_vertices) {}
+
+  /// Adds the arc a -> b. InvalidArgument on out-of-range endpoints.
+  Status AddArc(VertexId a, VertexId b);
+
+  size_t num_vertices() const { return num_vertices_; }
+
+  /// Finalizes into an immutable DiGraph (builder reusable afterwards).
+  DiGraph Build() const;
+
+ private:
+  size_t num_vertices_;
+  std::vector<std::pair<VertexId, VertexId>> arcs_;
+};
+
+}  // namespace lamo
+
+#endif  // LAMO_GRAPH_DIGRAPH_H_

@@ -1,0 +1,48 @@
+#ifndef LAMO_GRAPH_DIRECTED_ISOMORPHISM_H_
+#define LAMO_GRAPH_DIRECTED_ISOMORPHISM_H_
+
+#include <functional>
+#include <vector>
+
+#include "graph/digraph.h"
+#include "graph/small_digraph.h"
+
+namespace lamo {
+
+/// Options for directed embedding enumeration.
+struct DirectedEmbeddingOptions {
+  /// Demand arc-induced embeddings: pattern non-arcs must be target
+  /// non-arcs (in both directions, per ordered pair).
+  bool induced = true;
+  /// Stop after this many embeddings (0 = unlimited).
+  size_t max_embeddings = 0;
+};
+
+/// VF2-style enumeration of embeddings of a directed pattern into a
+/// directed target. `callback` receives mapping[i] = target vertex playing
+/// pattern vertex i; return false to stop. Matching order follows the
+/// pattern's *underlying* connectivity; candidates are drawn from the in-
+/// and out-neighborhoods of already-matched images.
+void ForEachDirectedEmbedding(
+    const SmallDigraph& pattern, const DiGraph& target,
+    const DirectedEmbeddingOptions& options,
+    const std::function<bool(const std::vector<VertexId>&)>& callback);
+
+/// Collects embeddings into a vector.
+std::vector<std::vector<VertexId>> FindDirectedEmbeddings(
+    const SmallDigraph& pattern, const DiGraph& target,
+    const DirectedEmbeddingOptions& options = {});
+
+/// Distinct vertex sets inducing a sub-digraph isomorphic to `pattern`
+/// (each set reported once, sorted). 0 = unlimited.
+std::vector<std::vector<VertexId>> FindDirectedOccurrences(
+    const SmallDigraph& pattern, const DiGraph& target,
+    size_t max_occurrences = 0);
+
+/// Counts directed occurrences, stopping at `cap` if nonzero.
+size_t CountDirectedOccurrences(const SmallDigraph& pattern,
+                                const DiGraph& target, size_t cap = 0);
+
+}  // namespace lamo
+
+#endif  // LAMO_GRAPH_DIRECTED_ISOMORPHISM_H_

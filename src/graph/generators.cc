@@ -1,0 +1,150 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace lamo {
+
+Graph ErdosRenyi(size_t n, size_t m, Rng& rng) {
+  LAMO_CHECK_GE(n, 2u);
+  const size_t max_edges = n * (n - 1) / 2;
+  LAMO_CHECK_LE(m, max_edges);
+  GraphBuilder builder(n);
+  std::set<std::pair<VertexId, VertexId>> chosen;
+  while (chosen.size() < m) {
+    VertexId a = static_cast<VertexId>(rng.Uniform(n));
+    VertexId b = static_cast<VertexId>(rng.Uniform(n));
+    if (a == b) continue;
+    if (a > b) std::swap(a, b);
+    if (chosen.emplace(a, b).second) {
+      LAMO_CHECK(builder.AddEdge(a, b).ok());
+    }
+  }
+  return builder.Build();
+}
+
+Graph BarabasiAlbert(size_t n, size_t edges_per_vertex, Rng& rng) {
+  LAMO_CHECK_GE(edges_per_vertex, 1u);
+  LAMO_CHECK_GT(n, edges_per_vertex);
+  GraphBuilder builder(n);
+  // Repeated-endpoint list: sampling uniformly from it is sampling
+  // proportionally to degree.
+  std::vector<VertexId> endpoints;
+  const size_t seed_size = edges_per_vertex + 1;
+  for (VertexId a = 0; a < seed_size; ++a) {
+    for (VertexId b = a + 1; b < seed_size; ++b) {
+      LAMO_CHECK(builder.AddEdge(a, b).ok());
+      endpoints.push_back(a);
+      endpoints.push_back(b);
+    }
+  }
+  for (VertexId v = static_cast<VertexId>(seed_size); v < n; ++v) {
+    std::set<VertexId> targets;
+    while (targets.size() < edges_per_vertex) {
+      targets.insert(rng.Choice(endpoints));
+    }
+    for (VertexId t : targets) {
+      LAMO_CHECK(builder.AddEdge(v, t).ok());
+      endpoints.push_back(v);
+      endpoints.push_back(t);
+    }
+  }
+  return builder.Build();
+}
+
+Graph DuplicationDivergence(size_t n, double retention, double parent_link,
+                            Rng& rng) {
+  LAMO_CHECK_GE(n, 3u);
+  // Adjacency sets during growth; converted to Graph at the end.
+  std::vector<std::set<VertexId>> adj(n);
+  auto add = [&](VertexId a, VertexId b) {
+    if (a == b) return;
+    adj[a].insert(b);
+    adj[b].insert(a);
+  };
+  // Seed triangle.
+  add(0, 1);
+  add(1, 2);
+  add(0, 2);
+  for (VertexId v = 3; v < n; ++v) {
+    const VertexId parent = static_cast<VertexId>(rng.Uniform(v));
+    bool linked = false;
+    // Copy first: `adj[parent]` may grow as we insert edges of v.
+    const std::vector<VertexId> parent_neighbors(adj[parent].begin(),
+                                                 adj[parent].end());
+    for (VertexId u : parent_neighbors) {
+      if (rng.Bernoulli(retention)) {
+        add(v, u);
+        linked = true;
+      }
+    }
+    if (rng.Bernoulli(parent_link)) {
+      add(v, parent);
+      linked = true;
+    }
+    if (!linked) {
+      add(v, static_cast<VertexId>(rng.Uniform(v)));
+    }
+  }
+  GraphBuilder builder(n);
+  for (VertexId v = 0; v < n; ++v) {
+    for (VertexId u : adj[v]) {
+      if (v < u) LAMO_CHECK(builder.AddEdge(v, u).ok());
+    }
+  }
+  return builder.Build();
+}
+
+Graph DegreePreservingRewire(const Graph& g, double swaps_per_edge, Rng& rng) {
+  auto edges = g.Edges();
+  const size_t m = edges.size();
+  if (m < 2) return g;
+
+  // Mutable edge membership for O(1)-ish conflict checks.
+  std::set<std::pair<VertexId, VertexId>> edge_set(edges.begin(), edges.end());
+  auto has = [&](VertexId a, VertexId b) {
+    if (a > b) std::swap(a, b);
+    return edge_set.count({a, b}) != 0;
+  };
+
+  const size_t target_swaps =
+      static_cast<size_t>(swaps_per_edge * static_cast<double>(m));
+  size_t done = 0;
+  size_t attempts = 0;
+  const size_t max_attempts = target_swaps * 50 + 100;
+  while (done < target_swaps && attempts < max_attempts) {
+    ++attempts;
+    const size_t i = static_cast<size_t>(rng.Uniform(m));
+    const size_t j = static_cast<size_t>(rng.Uniform(m));
+    if (i == j) continue;
+    auto [a, b] = edges[i];
+    auto [c, d] = edges[j];
+    // Randomize orientation of the second edge.
+    if (rng.Bernoulli(0.5)) std::swap(c, d);
+    // Proposed: (a,d) and (c,b).
+    if (a == d || c == b) continue;
+    if (has(a, d) || has(c, b)) continue;
+    auto norm = [](VertexId x, VertexId y) {
+      return x < y ? std::make_pair(x, y) : std::make_pair(y, x);
+    };
+    edge_set.erase(norm(a, b));
+    edge_set.erase(norm(c, d));
+    edge_set.insert(norm(a, d));
+    edge_set.insert(norm(c, b));
+    edges[i] = norm(a, d);
+    edges[j] = norm(c, b);
+    ++done;
+  }
+
+  GraphBuilder builder(g.num_vertices());
+  for (const auto& [a, b] : edge_set) {
+    LAMO_CHECK(builder.AddEdge(a, b).ok());
+  }
+  return builder.Build();
+}
+
+}  // namespace lamo

@@ -1,0 +1,54 @@
+#include "graph/refinement.h"
+
+#include <algorithm>
+#include <map>
+
+namespace lamo {
+
+std::vector<uint32_t> RefineColors(const SmallGraph& g,
+                                   std::vector<uint32_t> initial) {
+  const size_t n = g.num_vertices();
+  std::vector<uint32_t> colors = std::move(initial);
+  if (colors.size() != n) colors.assign(n, 0);
+
+  while (true) {
+    // Signature of v: (old color, sorted neighbor colors).
+    std::vector<std::vector<uint32_t>> signatures(n);
+    for (uint32_t v = 0; v < n; ++v) {
+      auto& sig = signatures[v];
+      sig.push_back(colors[v]);
+      for (uint32_t u : g.Neighbors(v)) sig.push_back(colors[u]);
+      std::sort(sig.begin() + 1, sig.end());
+    }
+    // Normalize signatures to dense ids ordered by signature value. Ordering
+    // by signature (not first appearance) keeps the result invariant under
+    // vertex relabeling of isomorphic graphs.
+    std::map<std::vector<uint32_t>, uint32_t> ids;
+    for (uint32_t v = 0; v < n; ++v) ids.emplace(signatures[v], 0);
+    uint32_t next = 0;
+    for (auto& [sig, id] : ids) id = next++;
+
+    std::vector<uint32_t> refined(n);
+    bool changed = false;
+    for (uint32_t v = 0; v < n; ++v) {
+      refined[v] = ids[signatures[v]];
+      if (refined[v] != colors[v]) changed = true;
+    }
+    colors = std::move(refined);
+    if (!changed) break;
+  }
+  return colors;
+}
+
+std::vector<std::vector<uint32_t>> ColorCells(
+    const std::vector<uint32_t>& colors) {
+  uint32_t max_color = 0;
+  for (uint32_t c : colors) max_color = std::max(max_color, c);
+  std::vector<std::vector<uint32_t>> cells(colors.empty() ? 0 : max_color + 1);
+  for (uint32_t v = 0; v < colors.size(); ++v) {
+    cells[colors[v]].push_back(v);
+  }
+  return cells;
+}
+
+}  // namespace lamo

@@ -1,0 +1,32 @@
+#ifndef LAMO_GRAPH_REFINEMENT_H_
+#define LAMO_GRAPH_REFINEMENT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/small_graph.h"
+
+namespace lamo {
+
+/// Iterative color refinement (1-dimensional Weisfeiler-Leman) on a
+/// SmallGraph. Starting from `initial` colors (empty => all vertices share
+/// color 0), repeatedly re-colors each vertex by (current color, multiset of
+/// neighbor colors) until a fixed point. The returned coloring is normalized:
+/// colors are dense 0..k-1, assigned in order of (first occurrence of the
+/// refined class signature sorted by class signature), so that isomorphic
+/// graphs receive identical color histograms.
+///
+/// Refinement is the pruning invariant behind canonical labeling and
+/// automorphism/orbit computation: vertices in different classes can never be
+/// mapped to each other by any automorphism.
+std::vector<uint32_t> RefineColors(const SmallGraph& g,
+                                   std::vector<uint32_t> initial = {});
+
+/// Groups vertices by color; cells ordered by color id, vertices ascending
+/// within each cell.
+std::vector<std::vector<uint32_t>> ColorCells(
+    const std::vector<uint32_t>& colors);
+
+}  // namespace lamo
+
+#endif  // LAMO_GRAPH_REFINEMENT_H_

@@ -1,0 +1,341 @@
+#include "graph/small_digraph.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+#include <functional>
+#include <map>
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace lamo {
+
+SmallDigraph::SmallDigraph(size_t n) : n_(n) {
+  LAMO_CHECK_LE(n, kMaxVertices);
+  std::memset(out_, 0, sizeof(out_));
+}
+
+StatusOr<SmallDigraph> SmallDigraph::FromArcs(
+    size_t n, const std::vector<std::pair<uint32_t, uint32_t>>& arcs) {
+  if (n > kMaxVertices) {
+    return Status::InvalidArgument("SmallDigraph supports at most 64 vertices");
+  }
+  SmallDigraph g(n);
+  for (const auto& [a, b] : arcs) {
+    if (a >= n || b >= n) {
+      return Status::InvalidArgument("arc endpoint out of range");
+    }
+    if (a == b) return Status::InvalidArgument("self-loop not allowed");
+    g.AddArc(a, b);
+  }
+  return g;
+}
+
+SmallDigraph SmallDigraph::InducedSubgraph(
+    const DiGraph& g, const std::vector<VertexId>& vertices) {
+  LAMO_CHECK_LE(vertices.size(), kMaxVertices);
+  SmallDigraph sub(vertices.size());
+  for (size_t i = 0; i < vertices.size(); ++i) {
+    for (size_t j = 0; j < vertices.size(); ++j) {
+      if (i == j) continue;
+      if (g.HasArc(vertices[i], vertices[j])) {
+        sub.AddArc(static_cast<uint32_t>(i), static_cast<uint32_t>(j));
+      }
+    }
+  }
+  return sub;
+}
+
+size_t SmallDigraph::num_arcs() const {
+  size_t total = 0;
+  for (size_t v = 0; v < n_; ++v) total += OutDegree(static_cast<uint32_t>(v));
+  return total;
+}
+
+void SmallDigraph::AddArc(uint32_t a, uint32_t b) {
+  if (a == b) return;
+  out_[a] |= 1ULL << b;
+}
+
+void SmallDigraph::RemoveArc(uint32_t a, uint32_t b) {
+  out_[a] &= ~(1ULL << b);
+}
+
+uint64_t SmallDigraph::InMask(uint32_t v) const {
+  uint64_t mask = 0;
+  for (uint32_t u = 0; u < n_; ++u) {
+    if (HasArc(u, v)) mask |= 1ULL << u;
+  }
+  return mask;
+}
+
+size_t SmallDigraph::OutDegree(uint32_t v) const {
+  return static_cast<size_t>(std::popcount(out_[v]));
+}
+
+size_t SmallDigraph::InDegree(uint32_t v) const {
+  return static_cast<size_t>(std::popcount(InMask(v)));
+}
+
+std::vector<std::pair<uint32_t, uint32_t>> SmallDigraph::Arcs() const {
+  std::vector<std::pair<uint32_t, uint32_t>> arcs;
+  for (uint32_t v = 0; v < n_; ++v) {
+    uint64_t mask = out_[v];
+    while (mask != 0) {
+      arcs.emplace_back(v, static_cast<uint32_t>(std::countr_zero(mask)));
+      mask &= mask - 1;
+    }
+  }
+  return arcs;
+}
+
+bool SmallDigraph::IsWeaklyConnected() const {
+  return Underlying().IsConnected();
+}
+
+SmallGraph SmallDigraph::Underlying() const {
+  SmallGraph g(n_);
+  for (const auto& [a, b] : Arcs()) g.AddEdge(a, b);
+  return g;
+}
+
+SmallDigraph SmallDigraph::Permuted(const std::vector<uint32_t>& perm) const {
+  LAMO_CHECK_EQ(perm.size(), n_);
+  SmallDigraph out(n_);
+  for (uint32_t i = 0; i < n_; ++i) {
+    for (uint32_t j = 0; j < n_; ++j) {
+      if (i != j && HasArc(perm[i], perm[j])) out.AddArc(i, j);
+    }
+  }
+  return out;
+}
+
+std::vector<uint8_t> SmallDigraph::AdjacencyCode() const {
+  std::vector<uint8_t> code;
+  code.push_back(static_cast<uint8_t>(n_));
+  uint8_t current = 0;
+  int bits = 0;
+  for (uint32_t i = 0; i < n_; ++i) {
+    for (uint32_t j = 0; j < n_; ++j) {
+      if (i == j) continue;
+      current = static_cast<uint8_t>((current << 1) | (HasArc(i, j) ? 1 : 0));
+      if (++bits == 8) {
+        code.push_back(current);
+        current = 0;
+        bits = 0;
+      }
+    }
+  }
+  if (bits > 0) code.push_back(static_cast<uint8_t>(current << (8 - bits)));
+  return code;
+}
+
+std::string SmallDigraph::ToString() const {
+  std::string out = "SmallDigraph(n=" + std::to_string(n_) + ", arcs={";
+  bool first = true;
+  for (const auto& [a, b] : Arcs()) {
+    if (!first) out += ", ";
+    first = false;
+    out += std::to_string(a) + "->" + std::to_string(b);
+  }
+  out += "})";
+  return out;
+}
+
+namespace {
+
+// Directed color refinement: signature = (color, sorted out-neighbor
+// colors, sorted in-neighbor colors).
+std::vector<uint32_t> RefineDirected(const SmallDigraph& g,
+                                     std::vector<uint32_t> colors) {
+  const size_t n = g.num_vertices();
+  if (colors.size() != n) colors.assign(n, 0);
+  while (true) {
+    std::vector<std::vector<uint32_t>> signatures(n);
+    for (uint32_t v = 0; v < n; ++v) {
+      auto& sig = signatures[v];
+      sig.push_back(colors[v]);
+      std::vector<uint32_t> outs, ins;
+      uint64_t mask = g.OutMask(v);
+      while (mask != 0) {
+        outs.push_back(colors[std::countr_zero(mask)]);
+        mask &= mask - 1;
+      }
+      mask = g.InMask(v);
+      while (mask != 0) {
+        ins.push_back(colors[std::countr_zero(mask)]);
+        mask &= mask - 1;
+      }
+      std::sort(outs.begin(), outs.end());
+      std::sort(ins.begin(), ins.end());
+      sig.push_back(static_cast<uint32_t>(outs.size()));
+      sig.insert(sig.end(), outs.begin(), outs.end());
+      sig.push_back(static_cast<uint32_t>(-1));  // separator
+      sig.insert(sig.end(), ins.begin(), ins.end());
+    }
+    std::map<std::vector<uint32_t>, uint32_t> ids;
+    for (uint32_t v = 0; v < n; ++v) ids.emplace(signatures[v], 0);
+    uint32_t next = 0;
+    for (auto& [sig, id] : ids) id = next++;
+    std::vector<uint32_t> refined(n);
+    bool changed = false;
+    for (uint32_t v = 0; v < n; ++v) {
+      refined[v] = ids[signatures[v]];
+      if (refined[v] != colors[v]) changed = true;
+    }
+    colors = std::move(refined);
+    if (!changed) break;
+  }
+  return colors;
+}
+
+std::vector<std::vector<uint32_t>> Cells(const std::vector<uint32_t>& colors) {
+  uint32_t max_color = 0;
+  for (uint32_t c : colors) max_color = std::max(max_color, c);
+  std::vector<std::vector<uint32_t>> cells(colors.empty() ? 0 : max_color + 1);
+  for (uint32_t v = 0; v < colors.size(); ++v) cells[colors[v]].push_back(v);
+  return cells;
+}
+
+// True iff u and v are directed twins (their transposition is an
+// automorphism).
+bool AreDirectedTwins(const SmallDigraph& g, uint32_t u, uint32_t v) {
+  const uint64_t exclude = (1ULL << u) | (1ULL << v);
+  if ((g.OutMask(u) & ~exclude) != (g.OutMask(v) & ~exclude)) return false;
+  if ((g.InMask(u) & ~exclude) != (g.InMask(v) & ~exclude)) return false;
+  // Arcs between u and v must be symmetric under the swap: u->v maps to
+  // v->u, so both or neither must exist (in each direction independently,
+  // the swap exchanges them).
+  return g.HasArc(u, v) == g.HasArc(v, u);
+}
+
+bool IsDirectedTwinCell(const SmallDigraph& g,
+                        const std::vector<uint32_t>& cell) {
+  for (size_t i = 0; i < cell.size(); ++i) {
+    for (size_t j = i + 1; j < cell.size(); ++j) {
+      if (!AreDirectedTwins(g, cell[i], cell[j])) return false;
+    }
+  }
+  return true;
+}
+
+struct DirectedSearchState {
+  const SmallDigraph* g;
+  std::vector<uint8_t> best_code;
+  std::vector<uint32_t> best_labeling;
+  bool have_best = false;
+};
+
+void SearchDirected(DirectedSearchState& state, std::vector<uint32_t> colors) {
+  const SmallDigraph& g = *state.g;
+  const size_t n = g.num_vertices();
+  while (true) {
+    auto cells = Cells(colors);
+    int target = -1;
+    for (size_t c = 0; c < cells.size(); ++c) {
+      if (cells[c].size() > 1) {
+        target = static_cast<int>(c);
+        break;
+      }
+    }
+    if (target < 0) {
+      std::vector<uint32_t> labeling(n);
+      for (uint32_t v = 0; v < n; ++v) labeling[colors[v]] = v;
+      SmallDigraph candidate = g.Permuted(labeling);
+      std::vector<uint8_t> code = candidate.AdjacencyCode();
+      if (!state.have_best || code < state.best_code) {
+        state.best_code = std::move(code);
+        state.best_labeling = std::move(labeling);
+        state.have_best = true;
+      }
+      return;
+    }
+    const std::vector<uint32_t>& cell = cells[target];
+    if (IsDirectedTwinCell(g, cell)) {
+      std::vector<uint32_t> updated(n);
+      for (uint32_t v = 0; v < n; ++v) {
+        uint32_t base = 0;
+        for (size_t c = 0; c < static_cast<size_t>(colors[v]); ++c) {
+          base += static_cast<uint32_t>(cells[c].size());
+        }
+        if (colors[v] == static_cast<uint32_t>(target)) {
+          uint32_t rank = 0;
+          while (cell[rank] != v) ++rank;
+          updated[v] = base + rank;
+        } else {
+          updated[v] = base;
+        }
+      }
+      colors = RefineDirected(g, std::move(updated));
+      continue;
+    }
+    for (uint32_t v : cell) {
+      std::vector<uint32_t> branched(n);
+      for (uint32_t u = 0; u < n; ++u) branched[u] = colors[u] * 2 + 1;
+      branched[v] = colors[v] * 2;
+      SearchDirected(state, RefineDirected(g, std::move(branched)));
+    }
+    return;
+  }
+}
+
+}  // namespace
+
+DirectedCanonicalResult CanonicalizeDirected(const SmallDigraph& g) {
+  DirectedCanonicalResult result;
+  if (g.num_vertices() == 0) {
+    result.graph = g;
+    result.code = g.AdjacencyCode();
+    return result;
+  }
+  DirectedSearchState state;
+  state.g = &g;
+  SearchDirected(state, RefineDirected(g, {}));
+  LAMO_CHECK(state.have_best);
+  result.canonical_to_original = state.best_labeling;
+  result.graph = g.Permuted(state.best_labeling);
+  result.code = std::move(state.best_code);
+  return result;
+}
+
+std::vector<uint8_t> DirectedCanonicalCode(const SmallDigraph& g) {
+  return CanonicalizeDirected(g).code;
+}
+
+bool AreIsomorphicDirected(const SmallDigraph& a, const SmallDigraph& b) {
+  if (a.num_vertices() != b.num_vertices()) return false;
+  if (a.num_arcs() != b.num_arcs()) return false;
+  return DirectedCanonicalCode(a) == DirectedCanonicalCode(b);
+}
+
+std::vector<std::vector<uint32_t>> DirectedTwinClasses(const SmallDigraph& g) {
+  const size_t n = g.num_vertices();
+  std::vector<uint32_t> parent(n);
+  std::iota(parent.begin(), parent.end(), 0);
+  std::function<uint32_t(uint32_t)> find = [&](uint32_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  for (uint32_t u = 0; u < n; ++u) {
+    for (uint32_t v = u + 1; v < n; ++v) {
+      if (AreDirectedTwins(g, u, v)) parent[find(u)] = find(v);
+    }
+  }
+  std::vector<std::vector<uint32_t>> classes;
+  std::vector<int> class_of_root(n, -1);
+  for (uint32_t v = 0; v < n; ++v) {
+    const uint32_t root = find(v);
+    if (class_of_root[root] < 0) {
+      class_of_root[root] = static_cast<int>(classes.size());
+      classes.emplace_back();
+    }
+    classes[class_of_root[root]].push_back(v);
+  }
+  return classes;
+}
+
+}  // namespace lamo

@@ -1,0 +1,100 @@
+#ifndef LAMO_GRAPH_SMALL_DIGRAPH_H_
+#define LAMO_GRAPH_SMALL_DIGRAPH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/digraph.h"
+#include "graph/small_graph.h"
+
+namespace lamo {
+
+/// A simple directed graph with at most 64 vertices, one out-adjacency
+/// bitmask per vertex. The motif-sized counterpart of DiGraph.
+class SmallDigraph {
+ public:
+  static constexpr size_t kMaxVertices = 64;
+
+  explicit SmallDigraph(size_t n = 0);
+
+  /// Builds from explicit arcs; rejects self-loops and out-of-range ids.
+  static StatusOr<SmallDigraph> FromArcs(
+      size_t n, const std::vector<std::pair<uint32_t, uint32_t>>& arcs);
+
+  /// Arc-induced subgraph of `g` on `vertices` (position i of the result is
+  /// vertices[i]).
+  static SmallDigraph InducedSubgraph(const DiGraph& g,
+                                      const std::vector<VertexId>& vertices);
+
+  size_t num_vertices() const { return n_; }
+  size_t num_arcs() const;
+
+  void AddArc(uint32_t a, uint32_t b);
+  void RemoveArc(uint32_t a, uint32_t b);
+  bool HasArc(uint32_t a, uint32_t b) const { return (out_[a] >> b) & 1ULL; }
+
+  /// Out-neighbor bitmask of `v`.
+  uint64_t OutMask(uint32_t v) const { return out_[v]; }
+  /// In-neighbor bitmask of `v` (computed by scan).
+  uint64_t InMask(uint32_t v) const;
+
+  size_t OutDegree(uint32_t v) const;
+  size_t InDegree(uint32_t v) const;
+
+  /// All arcs (source, target), lexicographic.
+  std::vector<std::pair<uint32_t, uint32_t>> Arcs() const;
+
+  /// True iff the underlying undirected graph is connected.
+  bool IsWeaklyConnected() const;
+
+  /// The underlying undirected SmallGraph.
+  SmallGraph Underlying() const;
+
+  /// Relabels vertices: vertex i of the result is vertex perm[i] of *this.
+  SmallDigraph Permuted(const std::vector<uint32_t>& perm) const;
+
+  /// Packs the full off-diagonal adjacency matrix row-major into bytes:
+  /// equal codes <=> identical digraphs.
+  std::vector<uint8_t> AdjacencyCode() const;
+
+  friend bool operator==(const SmallDigraph& a, const SmallDigraph& b) {
+    if (a.n_ != b.n_) return false;
+    for (size_t i = 0; i < a.n_; ++i) {
+      if (a.out_[i] != b.out_[i]) return false;
+    }
+    return true;
+  }
+
+  std::string ToString() const;
+
+ private:
+  size_t n_;
+  uint64_t out_[kMaxVertices];
+};
+
+/// Canonical form of a directed graph: refinement on (out, in) color
+/// multisets plus branch-and-min individualization (the directed analogue of
+/// Canonicalize()).
+struct DirectedCanonicalResult {
+  SmallDigraph graph;
+  std::vector<uint32_t> canonical_to_original;
+  std::vector<uint8_t> code;
+};
+DirectedCanonicalResult CanonicalizeDirected(const SmallDigraph& g);
+
+/// Shorthand for CanonicalizeDirected(g).code.
+std::vector<uint8_t> DirectedCanonicalCode(const SmallDigraph& g);
+
+/// True iff `a` and `b` are isomorphic as digraphs.
+bool AreIsomorphicDirected(const SmallDigraph& a, const SmallDigraph& b);
+
+/// Directed twin classes: u ~ v iff the transposition (u v) is a digraph
+/// automorphism, i.e. out(u)\{v} = out(v)\{u}, in(u)\{v} = in(v)\{u} and the
+/// arcs between u and v are mutually symmetric. The directed counterpart of
+/// the symmetric vertex sets used by Eq. 3.
+std::vector<std::vector<uint32_t>> DirectedTwinClasses(const SmallDigraph& g);
+
+}  // namespace lamo
+
+#endif  // LAMO_GRAPH_SMALL_DIGRAPH_H_

@@ -1,0 +1,95 @@
+#ifndef LAMO_GRAPH_SMALL_GRAPH_H_
+#define LAMO_GRAPH_SMALL_GRAPH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace lamo {
+
+/// A simple undirected graph with at most 64 vertices, stored as one 64-bit
+/// adjacency bitmask per vertex. Network motifs are meso-scale (the paper
+/// mines sizes 3..20), so this representation makes isomorphism, automorphism
+/// and canonical-form computation branch-light bit arithmetic.
+class SmallGraph {
+ public:
+  /// Maximum supported vertex count.
+  static constexpr size_t kMaxVertices = 64;
+
+  /// Creates an edgeless graph with `n` vertices (n <= 64).
+  explicit SmallGraph(size_t n = 0);
+
+  /// Builds a SmallGraph from explicit edges over `n` vertices. Self-loops
+  /// and out-of-range endpoints are rejected.
+  static StatusOr<SmallGraph> FromEdges(
+      size_t n, const std::vector<std::pair<uint32_t, uint32_t>>& edges);
+
+  /// Extracts the subgraph of `g` induced by `vertices` (motif occurrences
+  /// are vertex-induced subgraphs). Vertex i of the result corresponds to
+  /// vertices[i]. Requires vertices.size() <= 64 and distinct entries.
+  static SmallGraph InducedSubgraph(const Graph& g,
+                                    const std::vector<VertexId>& vertices);
+
+  /// Number of vertices.
+  size_t num_vertices() const { return n_; }
+
+  /// Number of undirected edges.
+  size_t num_edges() const;
+
+  /// Adds the undirected edge {a, b}; no-op for self-loops.
+  void AddEdge(uint32_t a, uint32_t b);
+
+  /// Removes the undirected edge {a, b} if present.
+  void RemoveEdge(uint32_t a, uint32_t b);
+
+  /// True iff {a, b} is an edge.
+  bool HasEdge(uint32_t a, uint32_t b) const {
+    return (rows_[a] >> b) & 1ULL;
+  }
+
+  /// Neighbor bitmask of vertex `v`.
+  uint64_t NeighborMask(uint32_t v) const { return rows_[v]; }
+
+  /// Degree of vertex `v`.
+  size_t Degree(uint32_t v) const;
+
+  /// All edges with first < second, lexicographic.
+  std::vector<std::pair<uint32_t, uint32_t>> Edges() const;
+
+  /// Neighbor list of `v` in increasing order.
+  std::vector<uint32_t> Neighbors(uint32_t v) const;
+
+  /// True iff the graph is connected (the empty graph is connected).
+  bool IsConnected() const;
+
+  /// Relabels vertices: vertex i of the result is vertex perm[i] of *this.
+  /// `perm` must be a permutation of 0..n-1.
+  SmallGraph Permuted(const std::vector<uint32_t>& perm) const;
+
+  /// Packs the upper triangle of the adjacency matrix row-major into bytes;
+  /// equal codes <=> identical (not just isomorphic) graphs. Used as a hash
+  /// key; combine with Canonicalize() for isomorphism classes.
+  std::vector<uint8_t> AdjacencyCode() const;
+
+  /// Structural equality (same n, same adjacency).
+  friend bool operator==(const SmallGraph& a, const SmallGraph& b) {
+    if (a.n_ != b.n_) return false;
+    for (size_t i = 0; i < a.n_; ++i) {
+      if (a.rows_[i] != b.rows_[i]) return false;
+    }
+    return true;
+  }
+
+  /// Multi-line ASCII adjacency dump for debugging.
+  std::string ToString() const;
+
+ private:
+  size_t n_;
+  uint64_t rows_[kMaxVertices];
+};
+
+}  // namespace lamo
+
+#endif  // LAMO_GRAPH_SMALL_GRAPH_H_

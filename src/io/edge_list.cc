@@ -1,0 +1,68 @@
+#include "io/edge_list.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace lamo {
+
+Status WriteEdgeList(const Graph& graph, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  out << "# lamo edge list\n";
+  out << "vertices " << graph.num_vertices() << "\n";
+  for (const auto& [a, b] : graph.Edges()) {
+    out << a << " " << b << "\n";
+  }
+  if (!out) return Status::IoError("write failed for " + path);
+  return Status::OK();
+}
+
+StatusOr<Graph> ReadEdgeList(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open " + path);
+  std::string line;
+  size_t num_vertices = 0;
+  bool have_header = false;
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    const std::string_view trimmed = Trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    if (!have_header) {
+      if (!StartsWith(trimmed, "vertices ")) {
+        return Status::Corruption(path + ":" + std::to_string(line_number) +
+                                  ": expected 'vertices <n>' header");
+      }
+      uint64_t n = 0;
+      if (!ParseUint64(Trim(trimmed.substr(9)), &n)) {
+        return Status::Corruption(path + ": bad vertex count");
+      }
+      num_vertices = static_cast<size_t>(n);
+      have_header = true;
+      continue;
+    }
+    std::istringstream fields{std::string(trimmed)};
+    uint64_t a = 0, b = 0;
+    if (!(fields >> a >> b)) {
+      return Status::Corruption(path + ":" + std::to_string(line_number) +
+                                ": expected '<a> <b>'");
+    }
+    if (a >= num_vertices || b >= num_vertices) {
+      return Status::Corruption(path + ":" + std::to_string(line_number) +
+                                ": endpoint out of range");
+    }
+    edges.emplace_back(static_cast<VertexId>(a), static_cast<VertexId>(b));
+  }
+  if (!have_header) return Status::Corruption(path + ": missing header");
+  GraphBuilder builder(num_vertices);
+  for (const auto& [a, b] : edges) {
+    LAMO_RETURN_IF_ERROR(builder.AddEdge(a, b));
+  }
+  return builder.Build();
+}
+
+}  // namespace lamo

@@ -1,0 +1,28 @@
+#ifndef LAMO_IO_EDGE_LIST_H_
+#define LAMO_IO_EDGE_LIST_H_
+
+#include <string>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace lamo {
+
+/// Writes a graph as a plain-text edge list:
+///
+///   # lamo edge list
+///   vertices <n>
+///   <a> <b>
+///   ...
+///
+/// One undirected edge per line with a < b. Lines starting with '#' are
+/// comments.
+Status WriteEdgeList(const Graph& graph, const std::string& path);
+
+/// Reads the format produced by WriteEdgeList. Duplicate edges and
+/// self-links are dropped (same preprocessing the paper applies to BIND).
+StatusOr<Graph> ReadEdgeList(const std::string& path);
+
+}  // namespace lamo
+
+#endif  // LAMO_IO_EDGE_LIST_H_

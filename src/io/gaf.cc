@@ -1,0 +1,85 @@
+#include "io/gaf.h"
+
+#include <fstream>
+#include <map>
+
+#include "util/string_util.h"
+
+namespace lamo {
+
+Status WriteAnnotations(const AnnotationTable& annotations,
+                        const Ontology& ontology, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  out << "# lamo annotations\n";
+  out << "proteins " << annotations.num_proteins() << "\n";
+  for (ProteinId p = 0; p < annotations.num_proteins(); ++p) {
+    for (TermId t : annotations.TermsOf(p)) {
+      out << p << "\t" << ontology.TermName(t) << "\n";
+    }
+  }
+  if (!out) return Status::IoError("write failed for " + path);
+  return Status::OK();
+}
+
+StatusOr<AnnotationTable> ReadAnnotations(const std::string& path,
+                                          const Ontology& ontology) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open " + path);
+
+  // Name -> id map built once (FindTerm is linear).
+  std::map<std::string, TermId> ids;
+  for (TermId t = 0; t < ontology.num_terms(); ++t) {
+    ids[ontology.TermName(t)] = t;
+  }
+
+  std::string line;
+  size_t line_number = 0;
+  bool have_header = false;
+  size_t num_proteins = 0;
+  std::vector<std::pair<ProteinId, TermId>> pairs;
+  while (std::getline(in, line)) {
+    ++line_number;
+    const std::string_view trimmed = Trim(line);
+    if (trimmed.empty() || trimmed[0] == '#' || trimmed[0] == '!') continue;
+    if (!have_header) {
+      if (!StartsWith(trimmed, "proteins ")) {
+        return Status::Corruption(path + ":" + std::to_string(line_number) +
+                                  ": expected 'proteins <n>' header");
+      }
+      uint64_t n = 0;
+      if (!ParseUint64(Trim(trimmed.substr(9)), &n)) {
+        return Status::Corruption(path + ": bad protein count");
+      }
+      num_proteins = static_cast<size_t>(n);
+      have_header = true;
+      continue;
+    }
+    const size_t tab = trimmed.find('\t');
+    if (tab == std::string_view::npos) {
+      return Status::Corruption(path + ":" + std::to_string(line_number) +
+                                ": expected '<protein>\\t<term>'");
+    }
+    uint64_t protein = 0;
+    if (!ParseUint64(Trim(trimmed.substr(0, tab)), &protein)) {
+      return Status::Corruption(path + ":" + std::to_string(line_number) +
+                                ": bad protein id");
+    }
+    const std::string term_name(Trim(trimmed.substr(tab + 1)));
+    auto it = ids.find(term_name);
+    if (it == ids.end()) {
+      return Status::Corruption(path + ":" + std::to_string(line_number) +
+                                ": unknown term " + term_name);
+    }
+    pairs.emplace_back(static_cast<ProteinId>(protein), it->second);
+  }
+  if (!have_header) return Status::Corruption(path + ": missing header");
+
+  AnnotationTable table(num_proteins);
+  for (const auto& [p, t] : pairs) {
+    LAMO_RETURN_IF_ERROR(table.Annotate(p, t));
+  }
+  return table;
+}
+
+}  // namespace lamo

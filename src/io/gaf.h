@@ -1,0 +1,27 @@
+#ifndef LAMO_IO_GAF_H_
+#define LAMO_IO_GAF_H_
+
+#include <string>
+
+#include "ontology/annotation.h"
+#include "ontology/ontology.h"
+#include "util/status.h"
+
+namespace lamo {
+
+/// Writes protein annotations as a GAF-flavoured TSV:
+///
+///   # lamo annotations
+///   proteins <n>
+///   <protein_id>\t<term_name>
+Status WriteAnnotations(const AnnotationTable& annotations,
+                        const Ontology& ontology, const std::string& path);
+
+/// Reads the format produced by WriteAnnotations, resolving term names
+/// against `ontology`. Unknown term names are a Corruption error.
+StatusOr<AnnotationTable> ReadAnnotations(const std::string& path,
+                                          const Ontology& ontology);
+
+}  // namespace lamo
+
+#endif  // LAMO_IO_GAF_H_

@@ -1,0 +1,46 @@
+#ifndef LAMO_IO_MOTIF_IO_H_
+#define LAMO_IO_MOTIF_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "core/labeled_motif.h"
+#include "motif/motif.h"
+#include "ontology/ontology.h"
+#include "util/status.h"
+
+namespace lamo {
+
+/// Writes mined motifs (pattern, frequency, uniqueness, occurrence list) as
+/// a line-oriented text file:
+///
+///   # lamo motifs
+///   motif <n> <frequency> <uniqueness>
+///   edges <a>-<b> <a>-<b> ...
+///   occ <p0> <p1> ...          (one line per occurrence, aligned order)
+///   end
+Status WriteMotifs(const std::vector<Motif>& motifs, const std::string& path);
+
+/// Reads the format produced by WriteMotifs.
+StatusOr<std::vector<Motif>> ReadMotifs(const std::string& path);
+
+/// Writes labeled motifs; labels are stored as term names resolved against
+/// the labeling ontology:
+///
+///   # lamo labeled motifs
+///   labeled <n> <frequency> <uniqueness> <strength>
+///   edges <a>-<b> ...
+///   labels <pos> <term,term,...>   (omitted for "unknown" vertices)
+///   occ <p0> <p1> ...
+///   end
+Status WriteLabeledMotifs(const std::vector<LabeledMotif>& motifs,
+                          const Ontology& ontology, const std::string& path);
+
+/// Reads the format produced by WriteLabeledMotifs, resolving term names
+/// against `ontology`.
+StatusOr<std::vector<LabeledMotif>> ReadLabeledMotifs(
+    const std::string& path, const Ontology& ontology);
+
+}  // namespace lamo
+
+#endif  // LAMO_IO_MOTIF_IO_H_

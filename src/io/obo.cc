@@ -1,0 +1,103 @@
+#include "io/obo.h"
+
+#include <fstream>
+#include <map>
+#include <vector>
+
+#include "util/string_util.h"
+
+namespace lamo {
+
+Status WriteObo(const Ontology& ontology, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  out << "format-version: 1.2\n";
+  for (TermId t = 0; t < ontology.num_terms(); ++t) {
+    out << "\n[Term]\n";
+    out << "id: " << ontology.TermName(t) << "\n";
+    const auto parents = ontology.Parents(t);
+    const auto relations = ontology.ParentRelations(t);
+    for (size_t i = 0; i < parents.size(); ++i) {
+      if (relations[i] == RelationType::kIsA) {
+        out << "is_a: " << ontology.TermName(parents[i]) << "\n";
+      } else {
+        out << "relationship: part_of " << ontology.TermName(parents[i])
+            << "\n";
+      }
+    }
+  }
+  if (!out) return Status::IoError("write failed for " + path);
+  return Status::OK();
+}
+
+StatusOr<Ontology> ReadObo(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open " + path);
+
+  struct RawTerm {
+    std::string id;
+    std::vector<std::pair<std::string, RelationType>> parents;
+  };
+  std::vector<RawTerm> raw_terms;
+  bool in_term = false;
+  std::string line;
+  size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    const std::string_view trimmed = Trim(line);
+    if (trimmed.empty()) continue;
+    if (trimmed == "[Term]") {
+      raw_terms.emplace_back();
+      in_term = true;
+      continue;
+    }
+    if (trimmed[0] == '[') {
+      in_term = false;  // [Typedef] etc.: skip
+      continue;
+    }
+    if (!in_term) continue;
+    RawTerm& term = raw_terms.back();
+    if (StartsWith(trimmed, "id: ")) {
+      term.id = std::string(Trim(trimmed.substr(4)));
+    } else if (StartsWith(trimmed, "is_a: ")) {
+      // Real GO appends "! name"; keep only the id token.
+      std::string target(Trim(trimmed.substr(6)));
+      const size_t bang = target.find(" !");
+      if (bang != std::string::npos) target = target.substr(0, bang);
+      term.parents.emplace_back(std::string(Trim(target)),
+                                RelationType::kIsA);
+    } else if (StartsWith(trimmed, "relationship: part_of ")) {
+      std::string target(Trim(trimmed.substr(22)));
+      const size_t bang = target.find(" !");
+      if (bang != std::string::npos) target = target.substr(0, bang);
+      term.parents.emplace_back(std::string(Trim(target)),
+                                RelationType::kPartOf);
+    }
+    // Other tags (name:, namespace:, def:, ...) are ignored.
+  }
+
+  OntologyBuilder builder;
+  std::map<std::string, TermId> ids;
+  for (const RawTerm& term : raw_terms) {
+    if (term.id.empty()) {
+      return Status::Corruption(path + ": [Term] stanza without id");
+    }
+    if (ids.count(term.id) != 0) {
+      return Status::Corruption(path + ": duplicate term id " + term.id);
+    }
+    ids[term.id] = builder.AddTerm(term.id);
+  }
+  for (const RawTerm& term : raw_terms) {
+    for (const auto& [parent_name, relation] : term.parents) {
+      auto it = ids.find(parent_name);
+      if (it == ids.end()) {
+        return Status::Corruption(path + ": unknown parent " + parent_name);
+      }
+      LAMO_RETURN_IF_ERROR(
+          builder.AddRelation(ids[term.id], it->second, relation));
+    }
+  }
+  return builder.Build();
+}
+
+}  // namespace lamo

@@ -1,0 +1,29 @@
+#ifndef LAMO_IO_OBO_H_
+#define LAMO_IO_OBO_H_
+
+#include <string>
+
+#include "ontology/ontology.h"
+#include "util/status.h"
+
+namespace lamo {
+
+/// Writes an ontology in a minimal OBO-flavoured format compatible with the
+/// stanzas the real GO flat files use:
+///
+///   format-version: 1.2
+///
+///   [Term]
+///   id: T0003
+///   is_a: T0001
+///   relationship: part_of T0002
+Status WriteObo(const Ontology& ontology, const std::string& path);
+
+/// Reads the subset of OBO produced by WriteObo (and the corresponding
+/// subset of real GO files: [Term] stanzas with id / is_a / relationship
+/// part_of tags; other tags are ignored). Terms are created in file order.
+StatusOr<Ontology> ReadObo(const std::string& path);
+
+}  // namespace lamo
+
+#endif  // LAMO_IO_OBO_H_

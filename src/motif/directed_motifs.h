@@ -1,0 +1,64 @@
+#ifndef LAMO_MOTIF_DIRECTED_MOTIFS_H_
+#define LAMO_MOTIF_DIRECTED_MOTIFS_H_
+
+#include <map>
+#include <vector>
+
+#include "graph/digraph.h"
+#include "graph/small_digraph.h"
+#include "motif/motif.h"
+#include "util/random.h"
+
+namespace lamo {
+
+/// Degree-preserving randomization of a digraph: arc swaps
+/// (a->b, c->d) -> (a->d, c->b) that preserve every vertex's in- and
+/// out-degree [Milo et al.'s null model for directed networks].
+DiGraph ArcSwapRewire(const DiGraph& g, double swaps_per_arc, Rng& rng);
+
+/// Counts weakly-connected induced size-k subgraphs per directed
+/// isomorphism class (key: directed canonical code). The directed analogue
+/// of CountSubgraphClasses; enumeration runs over the underlying undirected
+/// graph with ESU.
+std::map<std::vector<uint8_t>, size_t> CountDirectedSubgraphClasses(
+    const DiGraph& g, size_t k);
+
+/// Configuration for directed motif finding.
+struct DirectedMotifConfig {
+  /// Subgraph size (directed motif finding is per-size, following
+  /// mfinder/FANMOD practice; sizes 3-4 are standard for regulatory
+  /// networks).
+  size_t size = 3;
+  /// Minimum occurrences for a class to be reported.
+  size_t min_frequency = 5;
+  /// Randomized networks for the uniqueness test.
+  size_t num_random_networks = 10;
+  /// Arc swaps per arc when randomizing.
+  double swaps_per_arc = 3.0;
+  /// Classes below this uniqueness are dropped (the motif criterion).
+  double uniqueness_threshold = 0.95;
+  uint64_t seed = 42;
+};
+
+/// A directed network motif: the directed pattern plus its realization as a
+/// labelable Motif (occurrences aligned to the *directed* canonical vertex
+/// order; `as_motif.pattern` holds the underlying undirected pattern and
+/// `as_motif.symmetric_sets_override` carries the directed twin classes, so
+/// LaMoFinder can label directed motifs unchanged — the paper's future-work
+/// extension).
+struct DirectedMotif {
+  SmallDigraph pattern;
+  Motif as_motif;
+};
+
+/// Finds directed network motifs of the configured size: enumerates all
+/// weakly-connected induced subgraphs, groups them by directed canonical
+/// code, keeps frequent classes, and scores uniqueness against an ensemble
+/// of arc-swap-randomized networks (per-network class counting — one
+/// enumeration per random network covers every candidate class at once).
+std::vector<DirectedMotif> FindDirectedNetworkMotifs(
+    const DiGraph& g, const DirectedMotifConfig& config);
+
+}  // namespace lamo
+
+#endif  // LAMO_MOTIF_DIRECTED_MOTIFS_H_

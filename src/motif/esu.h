@@ -1,0 +1,51 @@
+#ifndef LAMO_MOTIF_ESU_H_
+#define LAMO_MOTIF_ESU_H_
+
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/small_graph.h"
+#include "util/random.h"
+
+namespace lamo {
+
+/// Exhaustive enumeration of all connected vertex sets of size k (FANMOD's
+/// ESU algorithm, Wernicke 2006). Each set is emitted exactly once, in
+/// ascending vertex order. Return false from the callback to stop early.
+///
+/// ESU is the exhaustive ground truth we cross-check the level-wise
+/// NeMoFinder-style miner against (practical for k <= ~6 on PPI-scale
+/// networks).
+void EnumerateConnectedSubgraphs(
+    const Graph& g, size_t k,
+    const std::function<bool(const std::vector<VertexId>&)>& callback);
+
+/// Counts connected size-k vertex sets per isomorphism class. The key is the
+/// canonical code of the induced subgraph.
+std::map<std::vector<uint8_t>, size_t> CountSubgraphClasses(const Graph& g,
+                                                            size_t k);
+
+/// RAND-ESU (Wernicke): each branch of the ESU tree is explored with the
+/// per-depth probability from `probabilities` (size k; product = sampling
+/// fraction). Unbiased estimates of subgraph-class *concentrations* are
+/// obtained by weighting each sample by 1/P(sampled). This is the
+/// mfinder-style sampling estimator of Kashtan et al. (2004) in its
+/// corrected ESU form.
+struct SampledSubgraphCounts {
+  /// Estimated total number of connected size-k sets.
+  double estimated_total = 0;
+  /// Estimated count per canonical class.
+  std::map<std::vector<uint8_t>, double> estimated_counts;
+  /// Number of sets actually sampled.
+  size_t samples = 0;
+};
+
+SampledSubgraphCounts SampleSubgraphClasses(
+    const Graph& g, size_t k, const std::vector<double>& probabilities,
+    Rng& rng);
+
+}  // namespace lamo
+
+#endif  // LAMO_MOTIF_ESU_H_

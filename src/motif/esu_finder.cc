@@ -1,0 +1,81 @@
+#include "motif/esu_finder.h"
+
+#include <map>
+
+#include "graph/canonical.h"
+#include "graph/generators.h"
+#include "motif/esu.h"
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace lamo {
+
+std::vector<Motif> FindNetworkMotifsEsu(const Graph& graph,
+                                        const EsuMotifConfig& config) {
+  struct ClassEntry {
+    SmallGraph pattern{0};
+    std::vector<MotifOccurrence> occurrences;
+  };
+  std::map<std::vector<uint8_t>, ClassEntry> classes;
+  EnumerateConnectedSubgraphs(
+      graph, config.size, [&](const std::vector<VertexId>& set) {
+        const SmallGraph sub = SmallGraph::InducedSubgraph(graph, set);
+        const CanonicalResult canon = Canonicalize(sub);
+        auto [it, inserted] = classes.try_emplace(canon.code);
+        if (inserted) it->second.pattern = canon.graph;
+        MotifOccurrence occ;
+        occ.proteins.resize(set.size());
+        for (size_t pos = 0; pos < set.size(); ++pos) {
+          occ.proteins[pos] = set[canon.canonical_to_original[pos]];
+        }
+        it->second.occurrences.push_back(std::move(occ));
+        return true;
+      });
+
+  for (auto it = classes.begin(); it != classes.end();) {
+    if (it->second.occurrences.size() < config.min_frequency) {
+      it = classes.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  LAMO_LOG(Debug) << classes.size() << " size-" << config.size
+                  << " classes pass frequency >= " << config.min_frequency;
+
+  std::map<std::vector<uint8_t>, size_t> wins;
+  Rng rng(config.seed);
+  for (size_t r = 0; r < config.num_random_networks; ++r) {
+    const Graph randomized =
+        DegreePreservingRewire(graph, config.swaps_per_edge, rng);
+    const auto random_counts = CountSubgraphClasses(randomized, config.size);
+    for (const auto& [code, entry] : classes) {
+      auto it = random_counts.find(code);
+      const size_t random_frequency =
+          it == random_counts.end() ? 0 : it->second;
+      if (entry.occurrences.size() >= random_frequency) ++wins[code];
+    }
+  }
+
+  std::vector<Motif> motifs;
+  for (auto& [code, entry] : classes) {
+    const double uniqueness =
+        config.num_random_networks == 0
+            ? -1.0
+            : static_cast<double>(wins[code]) /
+                  static_cast<double>(config.num_random_networks);
+    if (config.num_random_networks > 0 &&
+        uniqueness < config.uniqueness_threshold) {
+      continue;
+    }
+    Motif motif;
+    motif.pattern = entry.pattern;
+    motif.code = code;
+    motif.frequency = entry.occurrences.size();
+    motif.uniqueness = uniqueness;
+    motif.occurrences = std::move(entry.occurrences);
+    motifs.push_back(std::move(motif));
+  }
+  return motifs;
+}
+
+}  // namespace lamo

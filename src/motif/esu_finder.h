@@ -1,0 +1,43 @@
+#ifndef LAMO_MOTIF_ESU_FINDER_H_
+#define LAMO_MOTIF_ESU_FINDER_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "motif/motif.h"
+
+namespace lamo {
+
+/// Configuration of the FANMOD-style per-size motif finder.
+struct EsuMotifConfig {
+  /// Subgraph size (this pipeline is per-size, like FANMOD/mfinder).
+  size_t size = 4;
+  /// Minimum occurrences for a class to be considered repeated.
+  size_t min_frequency = 5;
+  /// Randomized networks for the uniqueness test.
+  size_t num_random_networks = 10;
+  /// Edge swaps per edge when randomizing.
+  double swaps_per_edge = 3.0;
+  /// Classes below this uniqueness are dropped. Negative keeps everything
+  /// (uniqueness still reported).
+  double uniqueness_threshold = 0.95;
+  uint64_t seed = 42;
+};
+
+/// The FANMOD/mfinder route to network motifs: exhaustively enumerate all
+/// connected size-k subgraphs with ESU, group them by canonical class, then
+/// score uniqueness by re-enumerating each randomized network once and
+/// comparing *all* class counts simultaneously. For small k this beats the
+/// level-wise miner + per-motif VF2 counting (one enumeration per network
+/// covers every candidate class); the level-wise miner wins when k is large
+/// or only high-frequency patterns matter. The two pipelines cross-validate
+/// each other in tests and are raced in bench_micro.
+///
+/// Occurrences are aligned to the canonical vertex order, so the result
+/// feeds LaMoFinder directly.
+std::vector<Motif> FindNetworkMotifsEsu(const Graph& graph,
+                                        const EsuMotifConfig& config);
+
+}  // namespace lamo
+
+#endif  // LAMO_MOTIF_ESU_FINDER_H_

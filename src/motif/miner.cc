@@ -1,0 +1,154 @@
+#include "motif/miner.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_set>
+
+#include "graph/canonical.h"
+#include "util/logging.h"
+
+namespace lamo {
+namespace {
+
+struct VertexSetHash {
+  size_t operator()(const std::vector<VertexId>& vs) const {
+    uint64_t h = 1469598103934665603ULL;
+    for (VertexId v : vs) {
+      h ^= v;
+      h *= 1099511628211ULL;
+    }
+    return static_cast<size_t>(h);
+  }
+};
+
+// In-progress pattern at one level.
+struct PatternEntry {
+  SmallGraph pattern;  // canonical form
+  std::vector<MotifOccurrence> occurrences;
+};
+
+// Builds the aligned embedding for vertex set `sorted_set`: canonical motif
+// vertex i is played by sorted_set[canonical_to_original[i]].
+MotifOccurrence AlignOccurrence(const std::vector<VertexId>& sorted_set,
+                                const CanonicalResult& canon) {
+  MotifOccurrence occ;
+  occ.proteins.resize(sorted_set.size());
+  for (size_t i = 0; i < sorted_set.size(); ++i) {
+    occ.proteins[i] = sorted_set[canon.canonical_to_original[i]];
+  }
+  return occ;
+}
+
+}  // namespace
+
+FrequentSubgraphMiner::FrequentSubgraphMiner(const Graph& graph,
+                                             MinerConfig config)
+    : graph_(graph), config_(config) {}
+
+std::vector<Motif> FrequentSubgraphMiner::Mine() {
+  LAMO_CHECK_GE(config_.min_size, 2u);
+  LAMO_CHECK_GE(config_.max_size, config_.min_size);
+  std::vector<Motif> results;
+
+  // Level 2: the single-edge pattern with every edge as an occurrence.
+  std::map<std::vector<uint8_t>, PatternEntry> level;
+  {
+    SmallGraph edge_pattern(2);
+    edge_pattern.AddEdge(0, 1);
+    PatternEntry entry;
+    entry.pattern = edge_pattern;
+    for (const auto& [a, b] : graph_.Edges()) {
+      entry.occurrences.push_back(MotifOccurrence{{a, b}});
+    }
+    if (entry.occurrences.size() >= config_.min_frequency) {
+      level.emplace(edge_pattern.AdjacencyCode(), std::move(entry));
+    }
+  }
+
+  auto harvest = [&](const std::map<std::vector<uint8_t>, PatternEntry>& lvl,
+                     size_t size) {
+    if (size < config_.min_size) return;
+    for (const auto& [code, entry] : lvl) {
+      Motif motif;
+      motif.pattern = entry.pattern;
+      motif.code = code;
+      motif.occurrences = entry.occurrences;
+      motif.frequency = entry.occurrences.size();
+      results.push_back(std::move(motif));
+    }
+  };
+  harvest(level, 2);
+
+  for (size_t size = 2; size < config_.max_size && !level.empty(); ++size) {
+    std::map<std::vector<uint8_t>, PatternEntry> next;
+    // A vertex set is processed at most once per level, no matter how many
+    // parent occurrences can reach it.
+    std::unordered_set<std::vector<VertexId>, VertexSetHash> seen_sets;
+
+    for (const auto& [code, entry] : level) {
+      (void)code;
+      for (const MotifOccurrence& occ : entry.occurrences) {
+        // Candidate extensions: neighbors of any occurrence vertex.
+        for (VertexId v : occ.proteins) {
+          for (VertexId w : graph_.Neighbors(v)) {
+            if (std::find(occ.proteins.begin(), occ.proteins.end(), w) !=
+                occ.proteins.end()) {
+              continue;
+            }
+            std::vector<VertexId> extended = occ.proteins;
+            extended.push_back(w);
+            std::sort(extended.begin(), extended.end());
+            if (!seen_sets.insert(extended).second) continue;
+
+            const SmallGraph induced =
+                SmallGraph::InducedSubgraph(graph_, extended);
+            const CanonicalResult canon = Canonicalize(induced);
+            auto [it, inserted] = next.try_emplace(canon.code);
+            PatternEntry& target = it->second;
+            if (inserted) target.pattern = canon.graph;
+            if (config_.max_occurrences_per_pattern != 0 &&
+                target.occurrences.size() >=
+                    config_.max_occurrences_per_pattern) {
+              continue;  // frequency becomes a lower bound at the cap
+            }
+            target.occurrences.push_back(AlignOccurrence(extended, canon));
+          }
+        }
+      }
+    }
+
+    // Frequency pruning.
+    for (auto it = next.begin(); it != next.end();) {
+      if (it->second.occurrences.size() < config_.min_frequency) {
+        it = next.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    // Optional beam.
+    if (config_.max_patterns_per_level != 0 &&
+        next.size() > config_.max_patterns_per_level) {
+      std::vector<std::pair<size_t, std::vector<uint8_t>>> ranked;
+      ranked.reserve(next.size());
+      for (const auto& [c, e] : next) {
+        ranked.emplace_back(e.occurrences.size(), c);
+      }
+      std::sort(ranked.begin(), ranked.end(),
+                [](const auto& a, const auto& b) { return a.first > b.first; });
+      std::map<std::vector<uint8_t>, PatternEntry> pruned;
+      for (size_t i = 0; i < config_.max_patterns_per_level; ++i) {
+        auto node = next.extract(ranked[i].second);
+        pruned.insert(std::move(node));
+      }
+      next = std::move(pruned);
+    }
+
+    harvest(next, size + 1);
+    level = std::move(next);
+    LAMO_LOG(Debug) << "miner level " << (size + 1) << ": " << level.size()
+                    << " frequent patterns";
+  }
+  return results;
+}
+
+}  // namespace lamo

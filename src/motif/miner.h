@@ -1,0 +1,62 @@
+#ifndef LAMO_MOTIF_MINER_H_
+#define LAMO_MOTIF_MINER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "motif/motif.h"
+#include "util/status.h"
+
+namespace lamo {
+
+/// Parameters of the frequent-subgraph miner.
+struct MinerConfig {
+  /// Smallest pattern size reported.
+  size_t min_size = 3;
+  /// Largest pattern size grown to. The paper mines up to meso-scale
+  /// (size 20).
+  size_t max_size = 10;
+  /// Minimum number of distinct occurrences (vertex sets) for a pattern to
+  /// be considered repeated. The paper uses 100 on the BIND yeast network.
+  size_t min_frequency = 100;
+  /// Memory-control cap: stop collecting occurrences of a single pattern
+  /// beyond this many (its frequency then records the cap as a lower bound).
+  /// 0 = unlimited.
+  size_t max_occurrences_per_pattern = 50000;
+  /// Optional beam: keep at most this many most-frequent patterns per level
+  /// before growing the next level. 0 = unlimited. NeMoFinder's repeated-tree
+  /// partitioning plays the same role of taming level growth; a frequency
+  /// beam is the equivalent lever for our occurrence-list grower.
+  size_t max_patterns_per_level = 0;
+};
+
+/// Level-wise frequent connected-subgraph miner over a single large graph,
+/// in the spirit of NeMoFinder [Chen et al., SIGKDD 2006]: patterns of size
+/// k+1 are grown from the occurrence lists of frequent size-k patterns by
+/// extending each occurrence with a neighboring vertex, deduplicating vertex
+/// sets, and grouping by canonical form. Frequency is the F1 measure
+/// (distinct vertex sets, overlaps allowed) used by NeMoFinder.
+///
+/// Growth from occurrence lists is exhaustive under downward closure (every
+/// frequent (k+1)-pattern has a size-k sub-occurrence inside a frequent
+/// size-k pattern); tests cross-check completeness against exhaustive ESU
+/// for small k.
+class FrequentSubgraphMiner {
+ public:
+  /// `graph` must outlive the miner.
+  FrequentSubgraphMiner(const Graph& graph, MinerConfig config);
+
+  /// Runs the level-wise mining and returns all frequent patterns with sizes
+  /// in [min_size, max_size], each with its occurrence list (D_g).
+  /// Uniqueness is left unevaluated (-1); see uniqueness.h.
+  std::vector<Motif> Mine();
+
+ private:
+  const Graph& graph_;
+  MinerConfig config_;
+};
+
+}  // namespace lamo
+
+#endif  // LAMO_MOTIF_MINER_H_

@@ -1,0 +1,16 @@
+#include "motif/motif.h"
+
+namespace lamo {
+
+std::string Motif::ToString() const {
+  std::string out = "Motif(size=" + std::to_string(size()) +
+                    ", edges=" + std::to_string(pattern.num_edges()) +
+                    ", freq=" + std::to_string(frequency);
+  if (uniqueness >= 0.0) {
+    out += ", uniq=" + std::to_string(uniqueness);
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace lamo

@@ -1,0 +1,65 @@
+#include "motif/uniqueness.h"
+
+#include <algorithm>
+
+#include "graph/generators.h"
+#include "graph/isomorphism.h"
+#include "motif/miner.h"
+#include "util/logging.h"
+
+namespace lamo {
+
+void EvaluateUniqueness(const Graph& graph, const UniquenessConfig& config,
+                        std::vector<Motif>* motifs) {
+  LAMO_CHECK(motifs != nullptr);
+  if (motifs->empty() || config.num_random_networks == 0) return;
+  Rng rng(config.seed);
+  std::vector<size_t> wins(motifs->size(), 0);
+  for (size_t r = 0; r < config.num_random_networks; ++r) {
+    const Graph randomized =
+        DegreePreservingRewire(graph, config.swaps_per_edge, rng);
+    for (size_t i = 0; i < motifs->size(); ++i) {
+      const Motif& motif = (*motifs)[i];
+      // We only need to know whether the randomized frequency exceeds the
+      // real one, so counting may stop at frequency+1 occurrences.
+      const size_t random_frequency =
+          CountOccurrences(motif.pattern, randomized, motif.frequency + 1);
+      if (motif.frequency >= random_frequency) ++wins[i];
+    }
+  }
+  for (size_t i = 0; i < motifs->size(); ++i) {
+    (*motifs)[i].uniqueness = static_cast<double>(wins[i]) /
+                              static_cast<double>(config.num_random_networks);
+  }
+}
+
+std::vector<Motif> FilterUnique(std::vector<Motif> motifs, double threshold) {
+  motifs.erase(std::remove_if(motifs.begin(), motifs.end(),
+                              [&](const Motif& m) {
+                                return m.uniqueness < threshold;
+                              }),
+               motifs.end());
+  return motifs;
+}
+
+std::vector<Motif> FindNetworkMotifs(const Graph& graph,
+                                     const MotifFindingConfig& config) {
+  MinerConfig miner_config;
+  miner_config.min_size = config.miner.min_size;
+  miner_config.max_size = config.miner.max_size;
+  miner_config.min_frequency = config.miner.min_frequency;
+  miner_config.max_occurrences_per_pattern =
+      config.miner.max_occurrences_per_pattern;
+  miner_config.max_patterns_per_level = config.miner.max_patterns_per_level;
+
+  FrequentSubgraphMiner miner(graph, miner_config);
+  std::vector<Motif> motifs = miner.Mine();
+  LAMO_LOG(Info) << "mined " << motifs.size() << " frequent patterns";
+  EvaluateUniqueness(graph, config.uniqueness, &motifs);
+  motifs = FilterUnique(std::move(motifs), config.uniqueness_threshold);
+  LAMO_LOG(Info) << motifs.size() << " patterns pass uniqueness >= "
+                 << config.uniqueness_threshold;
+  return motifs;
+}
+
+}  // namespace lamo

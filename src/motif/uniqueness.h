@@ -1,0 +1,61 @@
+#ifndef LAMO_MOTIF_UNIQUENESS_H_
+#define LAMO_MOTIF_UNIQUENESS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "motif/motif.h"
+#include "util/random.h"
+
+namespace lamo {
+
+/// Parameters of the motif uniqueness test (Task 2 of motif finding).
+struct UniquenessConfig {
+  /// Number of degree-preserving randomized networks to compare against.
+  size_t num_random_networks = 10;
+  /// Edge swaps per edge when randomizing.
+  double swaps_per_edge = 3.0;
+  /// Seed for the randomization ensemble.
+  uint64_t seed = 42;
+};
+
+/// Evaluates the uniqueness s(g) of each motif in place: the number of
+/// randomized networks in which g's real-network frequency is greater than
+/// or equal to its frequency in the randomized network, over the total
+/// number of randomized networks [Milo et al. 2002; Section 5.1 of the
+/// paper]. Counting in each randomized network stops as soon as the real
+/// frequency is exceeded, so rare patterns are cheap to test.
+void EvaluateUniqueness(const Graph& graph, const UniquenessConfig& config,
+                        std::vector<Motif>* motifs);
+
+/// Keeps only motifs with uniqueness >= `threshold` (the paper keeps
+/// > 0.95).
+std::vector<Motif> FilterUnique(std::vector<Motif> motifs, double threshold);
+
+/// One-call facade for Tasks 1+2: mines frequent patterns (miner.h) and
+/// filters them by uniqueness, returning the network motifs the labeling
+/// stage consumes.
+struct MotifFindingConfig;
+std::vector<Motif> FindNetworkMotifs(const Graph& graph,
+                                     const struct MotifFindingConfig& config);
+
+/// Combined configuration for FindNetworkMotifs.
+struct MotifFindingConfig {
+  /// Mining parameters (frequency threshold etc.).
+  struct MinerParams {
+    size_t min_size = 3;
+    size_t max_size = 10;
+    size_t min_frequency = 100;
+    size_t max_occurrences_per_pattern = 50000;
+    size_t max_patterns_per_level = 0;
+  } miner;
+  /// Uniqueness parameters.
+  UniquenessConfig uniqueness;
+  /// Motifs below this uniqueness are discarded (paper: > 0.95).
+  double uniqueness_threshold = 0.95;
+};
+
+}  // namespace lamo
+
+#endif  // LAMO_MOTIF_UNIQUENESS_H_

@@ -1,0 +1,61 @@
+#include "ontology/annotation.h"
+
+#include <algorithm>
+
+namespace lamo {
+
+Status AnnotationTable::Annotate(ProteinId p, TermId t) {
+  if (p >= annotations_.size()) {
+    return Status::InvalidArgument("protein id out of range");
+  }
+  auto& terms = annotations_[p];
+  auto it = std::lower_bound(terms.begin(), terms.end(), t);
+  if (it != terms.end() && *it == t) return Status::OK();
+  terms.insert(it, t);
+  return Status::OK();
+}
+
+size_t AnnotationTable::CountAnnotated() const {
+  size_t count = 0;
+  for (const auto& terms : annotations_) {
+    if (!terms.empty()) ++count;
+  }
+  return count;
+}
+
+size_t AnnotationTable::TotalOccurrences() const {
+  size_t total = 0;
+  for (const auto& terms : annotations_) total += terms.size();
+  return total;
+}
+
+double AnnotationTable::MeanTermsPerAnnotatedProtein() const {
+  const size_t annotated = CountAnnotated();
+  if (annotated == 0) return 0.0;
+  return static_cast<double>(TotalOccurrences()) /
+         static_cast<double>(annotated);
+}
+
+std::vector<size_t> AnnotationTable::DirectCounts(size_t num_terms) const {
+  std::vector<size_t> counts(num_terms, 0);
+  for (const auto& terms : annotations_) {
+    for (TermId t : terms) ++counts[t];
+  }
+  return counts;
+}
+
+std::vector<size_t> AnnotationTable::ClosureCounts(
+    const Ontology& ontology) const {
+  std::vector<size_t> counts(ontology.num_terms(), 0);
+  for (const auto& terms : annotations_) {
+    for (TermId t : terms) {
+      // One direct occurrence at t contributes to every ancestor of t
+      // (including t), once each — exact set semantics even when the DAG
+      // offers multiple upward paths.
+      for (TermId a : ontology.AncestorsOf(t)) ++counts[a];
+    }
+  }
+  return counts;
+}
+
+}  // namespace lamo

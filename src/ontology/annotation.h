@@ -1,0 +1,68 @@
+#ifndef LAMO_ONTOLOGY_ANNOTATION_H_
+#define LAMO_ONTOLOGY_ANNOTATION_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ontology/ontology.h"
+#include "util/status.h"
+
+namespace lamo {
+
+/// Identifier of a protein (matches the VertexId of the PPI graph).
+using ProteinId = uint32_t;
+
+/// Maps proteins to their *direct* GO annotations within one ontology
+/// branch. The PPI network is only partially labeled: proteins may have zero
+/// annotations (3554 of the paper's 4141 yeast proteins had at least one),
+/// and annotated proteins usually carry several terms (yeast average: 9.34).
+class AnnotationTable {
+ public:
+  /// Creates an empty table for `num_proteins` proteins.
+  explicit AnnotationTable(size_t num_proteins = 0)
+      : annotations_(num_proteins) {}
+
+  /// Number of proteins covered (annotated or not).
+  size_t num_proteins() const { return annotations_.size(); }
+
+  /// Adds a direct annotation (idempotent). Returns InvalidArgument for an
+  /// out-of-range protein.
+  Status Annotate(ProteinId p, TermId t);
+
+  /// Direct annotations of `p`, sorted ascending; empty if unannotated.
+  std::span<const TermId> TermsOf(ProteinId p) const {
+    return annotations_[p];
+  }
+
+  /// True iff `p` has at least one direct annotation.
+  bool IsAnnotated(ProteinId p) const { return !annotations_[p].empty(); }
+
+  /// Number of proteins with >= 1 annotation.
+  size_t CountAnnotated() const;
+
+  /// Total number of annotation occurrences (sum of per-protein direct term
+  /// counts) — the denominator of the Lord weight formula.
+  size_t TotalOccurrences() const;
+
+  /// Mean annotations per annotated protein.
+  double MeanTermsPerAnnotatedProtein() const;
+
+  /// Number of proteins *directly* annotated with each term (indexed by
+  /// TermId; caller supplies the term universe size). This is the count Zhou
+  /// et al.'s informative-FC rule thresholds on.
+  std::vector<size_t> DirectCounts(size_t num_terms) const;
+
+  /// True-path closure counts: occurrences[t] = number of annotation
+  /// occurrences at t *or any of its descendants* (each direct annotation
+  /// counted once per distinct ancestor, set semantics over the DAG). This is
+  /// the numerator of the Lord weight.
+  std::vector<size_t> ClosureCounts(const Ontology& ontology) const;
+
+ private:
+  std::vector<std::vector<TermId>> annotations_;
+};
+
+}  // namespace lamo
+
+#endif  // LAMO_ONTOLOGY_ANNOTATION_H_

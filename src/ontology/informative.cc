@@ -1,0 +1,49 @@
+#include "ontology/informative.h"
+
+namespace lamo {
+
+InformativeClasses InformativeClasses::Compute(
+    const Ontology& ontology, const AnnotationTable& annotations,
+    const InformativeConfig& config) {
+  InformativeClasses result;
+  const size_t n = ontology.num_terms();
+  const std::vector<size_t> direct = annotations.DirectCounts(n);
+
+  result.informative_.assign(n, false);
+  for (TermId t = 0; t < n; ++t) {
+    if (direct[t] >= config.min_direct_proteins) {
+      result.informative_[t] = true;
+      result.informative_terms_.push_back(t);
+    }
+  }
+
+  result.border_.assign(n, false);
+  for (TermId t : result.informative_terms_) {
+    bool has_informative_ancestor = false;
+    for (TermId a : ontology.AncestorsOf(t)) {
+      if (a != t && result.informative_[a]) {
+        has_informative_ancestor = true;
+        break;
+      }
+    }
+    if (!has_informative_ancestor) {
+      result.border_[t] = true;
+      result.border_terms_.push_back(t);
+    }
+  }
+
+  // A term is a label candidate iff some ancestor (self included) is border
+  // informative.
+  result.candidate_.assign(n, false);
+  for (TermId t = 0; t < n; ++t) {
+    for (TermId a : ontology.AncestorsOf(t)) {
+      if (result.border_[a]) {
+        result.candidate_[t] = true;
+        break;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace lamo

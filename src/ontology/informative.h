@@ -1,0 +1,62 @@
+#ifndef LAMO_ONTOLOGY_INFORMATIVE_H_
+#define LAMO_ONTOLOGY_INFORMATIVE_H_
+
+#include <vector>
+
+#include "ontology/annotation.h"
+#include "ontology/ontology.h"
+
+namespace lamo {
+
+/// Configuration for the informative-functional-class rule.
+struct InformativeConfig {
+  /// Zhou et al.'s rule: a term is an informative FC if at least this many
+  /// proteins are *directly* annotated with it. The paper uses 30.
+  size_t min_direct_proteins = 30;
+};
+
+/// Partitions GO terms per Section 2 of the paper:
+///  - *informative FC*: >= threshold directly-annotated proteins;
+///  - *border informative FC*: informative FC with no informative proper
+///    ancestor (used to stop label generalization before labels become "too
+///    general");
+///  - *label candidates*: border informative FCs and their descendants —
+///    the only terms LaMoFinder may assign to motif vertices.
+class InformativeClasses {
+ public:
+  InformativeClasses() = default;
+
+  /// Computes all three classes from the genome's direct annotations.
+  static InformativeClasses Compute(const Ontology& ontology,
+                                    const AnnotationTable& annotations,
+                                    const InformativeConfig& config = {});
+
+  /// True iff `t` is an informative FC.
+  bool IsInformative(TermId t) const { return informative_[t]; }
+
+  /// True iff `t` is a border informative FC.
+  bool IsBorderInformative(TermId t) const { return border_[t]; }
+
+  /// True iff `t` may be used as a motif vertex label (border informative FC
+  /// or descendant of one).
+  bool IsLabelCandidate(TermId t) const { return candidate_[t]; }
+
+  /// All border informative FCs, ascending.
+  const std::vector<TermId>& BorderInformative() const {
+    return border_terms_;
+  }
+
+  /// All informative FCs, ascending.
+  const std::vector<TermId>& Informative() const { return informative_terms_; }
+
+ private:
+  std::vector<bool> informative_;
+  std::vector<bool> border_;
+  std::vector<bool> candidate_;
+  std::vector<TermId> informative_terms_;
+  std::vector<TermId> border_terms_;
+};
+
+}  // namespace lamo
+
+#endif  // LAMO_ONTOLOGY_INFORMATIVE_H_

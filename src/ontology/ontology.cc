@@ -1,0 +1,182 @@
+#include "ontology/ontology.h"
+
+#include <algorithm>
+#include <set>
+#include <tuple>
+
+namespace lamo {
+
+const char* GoBranchName(GoBranch branch) {
+  switch (branch) {
+    case GoBranch::kMolecularFunction:
+      return "molecular_function";
+    case GoBranch::kBiologicalProcess:
+      return "biological_process";
+    case GoBranch::kCellularComponent:
+      return "cellular_component";
+  }
+  return "?";
+}
+
+TermId OntologyBuilder::AddTerm(std::string name) {
+  names_.push_back(std::move(name));
+  return static_cast<TermId>(names_.size() - 1);
+}
+
+Status OntologyBuilder::AddRelation(TermId child, TermId parent,
+                                    RelationType relation) {
+  if (child >= names_.size() || parent >= names_.size()) {
+    return Status::InvalidArgument("relation endpoint out of range");
+  }
+  if (child == parent) {
+    return Status::InvalidArgument("term cannot be its own parent");
+  }
+  relations_.emplace_back(child, parent, relation);
+  return Status::OK();
+}
+
+StatusOr<Ontology> OntologyBuilder::Build() const {
+  const size_t n = names_.size();
+  if (n == 0) return Status::InvalidArgument("ontology has no terms");
+
+  // Deduplicate relations (keeping the first relation type for a pair).
+  std::set<std::pair<TermId, TermId>> seen;
+  std::vector<std::tuple<TermId, TermId, RelationType>> relations;
+  for (const auto& rel : relations_) {
+    if (seen.emplace(std::get<0>(rel), std::get<1>(rel)).second) {
+      relations.push_back(rel);
+    }
+  }
+  std::sort(relations.begin(), relations.end(),
+            [](const auto& a, const auto& b) {
+              return std::tie(std::get<0>(a), std::get<1>(a)) <
+                     std::tie(std::get<0>(b), std::get<1>(b));
+            });
+
+  Ontology onto;
+  onto.names_ = names_;
+
+  // CSR for parents (relations sorted by child already).
+  onto.parent_offsets_.assign(n + 1, 0);
+  for (const auto& [child, parent, rel] : relations) {
+    (void)parent;
+    (void)rel;
+    ++onto.parent_offsets_[child + 1];
+  }
+  for (size_t t = 1; t <= n; ++t) {
+    onto.parent_offsets_[t] += onto.parent_offsets_[t - 1];
+  }
+  onto.parents_flat_.resize(relations.size());
+  onto.parent_relations_flat_.resize(relations.size());
+  {
+    std::vector<size_t> cursor(onto.parent_offsets_.begin(),
+                               onto.parent_offsets_.end() - 1);
+    for (const auto& [child, parent, rel] : relations) {
+      onto.parents_flat_[cursor[child]] = parent;
+      onto.parent_relations_flat_[cursor[child]] = rel;
+      ++cursor[child];
+    }
+  }
+
+  // CSR for children.
+  onto.child_offsets_.assign(n + 1, 0);
+  for (const auto& [child, parent, rel] : relations) {
+    (void)child;
+    (void)rel;
+    ++onto.child_offsets_[parent + 1];
+  }
+  for (size_t t = 1; t <= n; ++t) {
+    onto.child_offsets_[t] += onto.child_offsets_[t - 1];
+  }
+  onto.children_flat_.resize(relations.size());
+  {
+    std::vector<size_t> cursor(onto.child_offsets_.begin(),
+                               onto.child_offsets_.end() - 1);
+    std::vector<std::tuple<TermId, TermId, RelationType>> by_parent =
+        relations;
+    std::sort(by_parent.begin(), by_parent.end(),
+              [](const auto& a, const auto& b) {
+                return std::tie(std::get<1>(a), std::get<0>(a)) <
+                       std::tie(std::get<1>(b), std::get<0>(b));
+              });
+    for (const auto& [child, parent, rel] : by_parent) {
+      (void)rel;
+      onto.children_flat_[cursor[parent]++] = child;
+    }
+  }
+
+  // Kahn topological sort: parents before children.
+  std::vector<size_t> pending_parents(n);
+  std::vector<TermId> queue;
+  for (TermId t = 0; t < n; ++t) {
+    pending_parents[t] = onto.Parents(t).size();
+    if (pending_parents[t] == 0) {
+      queue.push_back(t);
+      onto.roots_.push_back(t);
+    }
+  }
+  if (onto.roots_.empty()) {
+    return Status::InvalidArgument("ontology DAG has no root (cycle)");
+  }
+  onto.depths_.assign(n, 0);
+  while (!queue.empty()) {
+    const TermId t = queue.back();
+    queue.pop_back();
+    onto.topo_order_.push_back(t);
+    for (TermId c : onto.Children(t)) {
+      onto.depths_[c] = std::max(onto.depths_[c], onto.depths_[t] + 1);
+      if (--pending_parents[c] == 0) queue.push_back(c);
+    }
+  }
+  if (onto.topo_order_.size() != n) {
+    return Status::InvalidArgument("ontology contains a cycle");
+  }
+
+  // Ancestor closures (including self), in topological order.
+  std::vector<std::vector<TermId>> ancestors(n);
+  for (TermId t : onto.topo_order_) {
+    std::set<TermId> closure;
+    closure.insert(t);
+    for (TermId p : onto.Parents(t)) {
+      closure.insert(ancestors[p].begin(), ancestors[p].end());
+    }
+    ancestors[t].assign(closure.begin(), closure.end());
+  }
+  onto.ancestor_offsets_.assign(n + 1, 0);
+  for (TermId t = 0; t < n; ++t) {
+    onto.ancestor_offsets_[t + 1] =
+        onto.ancestor_offsets_[t] + ancestors[t].size();
+  }
+  onto.ancestors_flat_.reserve(onto.ancestor_offsets_[n]);
+  for (TermId t = 0; t < n; ++t) {
+    onto.ancestors_flat_.insert(onto.ancestors_flat_.end(),
+                                ancestors[t].begin(), ancestors[t].end());
+  }
+  return onto;
+}
+
+TermId Ontology::FindTerm(const std::string& name) const {
+  for (TermId t = 0; t < names_.size(); ++t) {
+    if (names_[t] == name) return t;
+  }
+  return kInvalidTerm;
+}
+
+bool Ontology::IsAncestorOrEqual(TermId ancestor, TermId term) const {
+  const auto anc = AncestorsOf(term);
+  return std::binary_search(anc.begin(), anc.end(), ancestor);
+}
+
+std::vector<TermId> Ontology::DescendantsOf(TermId t) const {
+  std::set<TermId> closure;
+  std::vector<TermId> stack{t};
+  while (!stack.empty()) {
+    const TermId cur = stack.back();
+    stack.pop_back();
+    if (!closure.insert(cur).second) continue;
+    for (TermId c : Children(cur)) stack.push_back(c);
+  }
+  return {closure.begin(), closure.end()};
+}
+
+}  // namespace lamo

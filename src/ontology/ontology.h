@@ -1,0 +1,144 @@
+#ifndef LAMO_ONTOLOGY_ONTOLOGY_H_
+#define LAMO_ONTOLOGY_ONTOLOGY_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "util/status.h"
+
+namespace lamo {
+
+/// Identifier of a GO term within one Ontology. Dense 0..n-1.
+using TermId = uint32_t;
+
+/// Sentinel for "no term".
+inline constexpr TermId kInvalidTerm = static_cast<TermId>(-1);
+
+/// The two GO relationship kinds the paper models (Section 2): a child is an
+/// instance ("is-a") or a component ("part-of") of its parent. Both induce
+/// the same generalization semantics for labeling.
+enum class RelationType : uint8_t { kIsA = 0, kPartOf = 1 };
+
+/// The three GO branches ("domains"). The paper labels motifs once per
+/// branch (function, process, location).
+enum class GoBranch : uint8_t {
+  kMolecularFunction = 0,
+  kBiologicalProcess = 1,
+  kCellularComponent = 2,
+};
+
+/// Returns "molecular_function" etc.
+const char* GoBranchName(GoBranch branch);
+
+class Ontology;
+
+/// Incrementally constructs an Ontology. Terms are added first, then
+/// child->parent relations; Build() validates acyclicity and precomputes the
+/// transitive closures.
+class OntologyBuilder {
+ public:
+  OntologyBuilder() = default;
+
+  /// Adds a term and returns its id. Names need not be unique but usually
+  /// are ("GO:0005634" or the paper's "G04").
+  TermId AddTerm(std::string name);
+
+  /// Declares `child` to be a direct child of `parent` via `relation`.
+  /// Duplicate relations are deduplicated at Build.
+  Status AddRelation(TermId child, TermId parent, RelationType relation);
+
+  /// Number of terms added so far.
+  size_t num_terms() const { return names_.size(); }
+
+  /// Validates the DAG (no cycles, at least one root) and produces the
+  /// immutable Ontology.
+  StatusOr<Ontology> Build() const;
+
+ private:
+  std::vector<std::string> names_;
+  // (child, parent, relation)
+  std::vector<std::tuple<TermId, TermId, RelationType>> relations_;
+};
+
+/// An immutable GO-style ontology: a DAG of terms where edges point from
+/// child to parent and a term may have multiple parents (Figure 1 of the
+/// paper: G05 has both G02 and G03 as parents). Precomputes topological
+/// order and per-term ancestor closures so that generalization tests
+/// ("label is the same or more general than the annotation") are O(log n).
+class Ontology {
+ public:
+  Ontology() = default;
+
+  /// Number of terms.
+  size_t num_terms() const { return names_.size(); }
+
+  /// Display name of a term.
+  const std::string& TermName(TermId t) const { return names_[t]; }
+
+  /// Looks up a term by exact name; kInvalidTerm if absent (first match if
+  /// names are not unique).
+  TermId FindTerm(const std::string& name) const;
+
+  /// Direct parents of `t`, ascending.
+  std::span<const TermId> Parents(TermId t) const {
+    return {parents_flat_.data() + parent_offsets_[t],
+            parents_flat_.data() + parent_offsets_[t + 1]};
+  }
+
+  /// Relation to each direct parent, aligned with Parents(t).
+  std::span<const RelationType> ParentRelations(TermId t) const {
+    return {parent_relations_flat_.data() + parent_offsets_[t],
+            parent_relations_flat_.data() + parent_offsets_[t + 1]};
+  }
+
+  /// Direct children of `t`, ascending.
+  std::span<const TermId> Children(TermId t) const {
+    return {children_flat_.data() + child_offsets_[t],
+            children_flat_.data() + child_offsets_[t + 1]};
+  }
+
+  /// Terms with no parents (the branch roots).
+  const std::vector<TermId>& Roots() const { return roots_; }
+
+  /// Topological order with parents before children.
+  const std::vector<TermId>& TopologicalOrder() const { return topo_order_; }
+
+  /// Ancestor closure of `t`, *including t itself*, sorted ascending.
+  std::span<const TermId> AncestorsOf(TermId t) const {
+    return {ancestors_flat_.data() + ancestor_offsets_[t],
+            ancestors_flat_.data() + ancestor_offsets_[t + 1]};
+  }
+
+  /// True iff `ancestor` equals `term` or lies on some upward path from it;
+  /// i.e. `ancestor` is the same or more general than `term`.
+  bool IsAncestorOrEqual(TermId ancestor, TermId term) const;
+
+  /// Descendant closure of `t` including `t`, sorted ascending. Computed on
+  /// demand (O(reachable set)).
+  std::vector<TermId> DescendantsOf(TermId t) const;
+
+  /// Number of terms in the longest root-to-t path (root depth 0).
+  uint32_t Depth(TermId t) const { return depths_[t]; }
+
+ private:
+  friend class OntologyBuilder;
+
+  std::vector<std::string> names_;
+  std::vector<size_t> parent_offsets_;
+  std::vector<TermId> parents_flat_;
+  std::vector<RelationType> parent_relations_flat_;
+  std::vector<size_t> child_offsets_;
+  std::vector<TermId> children_flat_;
+  std::vector<TermId> roots_;
+  std::vector<TermId> topo_order_;
+  std::vector<size_t> ancestor_offsets_;
+  std::vector<TermId> ancestors_flat_;
+  std::vector<uint32_t> depths_;
+};
+
+}  // namespace lamo
+
+#endif  // LAMO_ONTOLOGY_ONTOLOGY_H_

@@ -1,0 +1,30 @@
+#include "ontology/weights.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace lamo {
+
+TermWeights TermWeights::Compute(const Ontology& ontology,
+                                 const AnnotationTable& annotations) {
+  TermWeights w;
+  const size_t n = ontology.num_terms();
+  w.weights_.resize(n);
+  w.log_weights_.resize(n);
+  const std::vector<size_t> closure = annotations.ClosureCounts(ontology);
+  const size_t total = annotations.TotalOccurrences();
+  LAMO_CHECK_GT(total, 0u);
+  const double floor = 0.5 / static_cast<double>(total);
+  for (TermId t = 0; t < n; ++t) {
+    double weight =
+        static_cast<double>(closure[t]) / static_cast<double>(total);
+    if (weight <= 0.0) weight = floor;
+    if (weight > 1.0) weight = 1.0;
+    w.weights_[t] = weight;
+    w.log_weights_[t] = std::log(weight);
+  }
+  return w;
+}
+
+}  // namespace lamo

@@ -1,0 +1,42 @@
+#ifndef LAMO_ONTOLOGY_WEIGHTS_H_
+#define LAMO_ONTOLOGY_WEIGHTS_H_
+
+#include <vector>
+
+#include "ontology/annotation.h"
+#include "ontology/ontology.h"
+
+namespace lamo {
+
+/// Genome-specific GO term weights per Lord et al. (Section 2 of the paper):
+/// w(t) = (#occurrences of t or any of its descendants in the genome's
+/// annotations) / (total #annotation occurrences). The root weighs 1; rare,
+/// specific terms weigh close to 0. These weights are the information
+/// content that drives the Lin term similarity.
+class TermWeights {
+ public:
+  TermWeights() = default;
+
+  /// Computes weights for every term from the genome's annotations. Terms
+  /// with zero occurrences receive a floor of 0.5/total so their
+  /// log-weight stays finite (they are maximally informative).
+  static TermWeights Compute(const Ontology& ontology,
+                             const AnnotationTable& annotations);
+
+  /// Weight w(t) in (0, 1].
+  double Weight(TermId t) const { return weights_[t]; }
+
+  /// ln w(t) in (-inf, 0].
+  double LogWeight(TermId t) const { return log_weights_[t]; }
+
+  /// Number of terms covered.
+  size_t num_terms() const { return weights_.size(); }
+
+ private:
+  std::vector<double> weights_;
+  std::vector<double> log_weights_;
+};
+
+}  // namespace lamo
+
+#endif  // LAMO_ONTOLOGY_WEIGHTS_H_

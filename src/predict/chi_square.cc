@@ -1,0 +1,43 @@
+#include "predict/chi_square.h"
+
+namespace lamo {
+
+ChiSquarePredictor::ChiSquarePredictor(const PredictionContext& context)
+    : context_(context) {
+  priors_.reserve(context_.categories.size());
+  for (TermId c : context_.categories) {
+    priors_.push_back(context_.CategoryPrior(c));
+  }
+}
+
+std::vector<Prediction> ChiSquarePredictor::Predict(ProteinId p) const {
+  // Count annotated neighbors once.
+  size_t annotated_neighbors = 0;
+  for (VertexId q : context_.ppi->Neighbors(p)) {
+    if (context_.IsAnnotated(q)) ++annotated_neighbors;
+  }
+  std::vector<Prediction> predictions;
+  predictions.reserve(context_.categories.size());
+  for (size_t i = 0; i < context_.categories.size(); ++i) {
+    const TermId c = context_.categories[i];
+    double observed = 0.0;
+    for (VertexId q : context_.ppi->Neighbors(p)) {
+      if (context_.HasCategory(q, c)) observed += 1.0;
+    }
+    const double expected =
+        priors_[i] * static_cast<double>(annotated_neighbors);
+    double score = 0.0;
+    if (expected > 0.0) {
+      const double deviation = observed - expected;
+      score = deviation * deviation / expected;
+      if (deviation < 0.0) score = -score;  // depletion must not rank first
+    } else if (observed > 0.0) {
+      score = observed;  // function unseen globally but present locally
+    }
+    predictions.push_back({c, score});
+  }
+  SortPredictions(&predictions);
+  return predictions;
+}
+
+}  // namespace lamo

@@ -1,0 +1,29 @@
+#ifndef LAMO_PREDICT_CHI_SQUARE_H_
+#define LAMO_PREDICT_CHI_SQUARE_H_
+
+#include "predict/predictor.h"
+
+namespace lamo {
+
+/// The chi-square method of Hishigaki et al.: for protein p and function x,
+/// score by the chi-square statistic (n_x - e_x)^2 / e_x comparing the
+/// observed number n_x of p's neighbors with function x against the number
+/// e_x expected from x's overall frequency in the dataset. Under-represented
+/// functions (n < e) receive a negated statistic so that enrichment, not
+/// mere deviation, ranks first.
+class ChiSquarePredictor : public FunctionPredictor {
+ public:
+  /// `context` must outlive the predictor. Priors are precomputed here.
+  explicit ChiSquarePredictor(const PredictionContext& context);
+
+  std::string name() const override { return "Chi2"; }
+  std::vector<Prediction> Predict(ProteinId p) const override;
+
+ private:
+  const PredictionContext& context_;
+  std::vector<double> priors_;  // aligned with context_.categories
+};
+
+}  // namespace lamo
+
+#endif  // LAMO_PREDICT_CHI_SQUARE_H_

@@ -1,0 +1,16 @@
+#include "predict/dataset_context.h"
+
+namespace lamo {
+
+PredictionContext BuildPredictionContext(const SyntheticDataset& dataset) {
+  PredictionContext context;
+  context.ppi = &dataset.ppi;
+  context.categories = dataset.categories;
+  context.protein_categories.resize(dataset.ppi.num_vertices());
+  for (ProteinId p = 0; p < dataset.ppi.num_vertices(); ++p) {
+    context.protein_categories[p] = dataset.CategoriesOf(p);
+  }
+  return context;
+}
+
+}  // namespace lamo

@@ -1,0 +1,17 @@
+#ifndef LAMO_PREDICT_DATASET_CONTEXT_H_
+#define LAMO_PREDICT_DATASET_CONTEXT_H_
+
+#include "predict/predictor.h"
+#include "synth/dataset.h"
+
+namespace lamo {
+
+/// Builds the prediction context from a synthetic dataset: every protein's
+/// direct annotations are generalized to the dataset's top-level categories
+/// (the paper's "top 13 key functions" protocol). The returned context
+/// keeps a pointer to `dataset.ppi`, so the dataset must outlive it.
+PredictionContext BuildPredictionContext(const SyntheticDataset& dataset);
+
+}  // namespace lamo
+
+#endif  // LAMO_PREDICT_DATASET_CONTEXT_H_

@@ -1,0 +1,126 @@
+#include "predict/evaluation.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace lamo {
+
+PrCurve EvaluateLeaveOneOut(const FunctionPredictor& predictor,
+                            const PredictionContext& context,
+                            const EvaluationConfig& config) {
+  PrCurve curve;
+  curve.method = predictor.name();
+
+  std::vector<ProteinId> proteins = config.evaluation_set;
+  if (proteins.empty()) {
+    for (ProteinId p = 0; p < context.protein_categories.size(); ++p) {
+      if (context.IsAnnotated(p)) proteins.push_back(p);
+    }
+  }
+  const size_t max_k =
+      config.max_k != 0 ? config.max_k : context.categories.size();
+
+  // Score once per protein, then sweep k.
+  std::vector<std::vector<Prediction>> all_predictions;
+  all_predictions.reserve(proteins.size());
+  size_t total_true = 0;
+  for (ProteinId p : proteins) {
+    all_predictions.push_back(predictor.Predict(p));
+    total_true += context.protein_categories[p].size();
+  }
+
+  for (size_t k = 1; k <= max_k; ++k) {
+    size_t correct = 0;
+    size_t predicted = 0;
+    for (size_t i = 0; i < proteins.size(); ++i) {
+      const ProteinId p = proteins[i];
+      const auto& predictions = all_predictions[i];
+      const size_t take = std::min(k, predictions.size());
+      predicted += take;
+      for (size_t j = 0; j < take; ++j) {
+        if (context.HasCategory(p, predictions[j].category)) ++correct;
+      }
+    }
+    PrPoint point;
+    point.k = k;
+    point.precision = predicted == 0 ? 0.0
+                                     : static_cast<double>(correct) /
+                                           static_cast<double>(predicted);
+    point.recall = total_true == 0 ? 0.0
+                                   : static_cast<double>(correct) /
+                                         static_cast<double>(total_true);
+    curve.points.push_back(point);
+  }
+  return curve;
+}
+
+PrCurve EvaluateLeaveOneOutMacro(const FunctionPredictor& predictor,
+                                 const PredictionContext& context,
+                                 const EvaluationConfig& config) {
+  PrCurve curve;
+  curve.method = predictor.name();
+
+  std::vector<ProteinId> proteins = config.evaluation_set;
+  if (proteins.empty()) {
+    for (ProteinId p = 0; p < context.protein_categories.size(); ++p) {
+      if (context.IsAnnotated(p)) proteins.push_back(p);
+    }
+  }
+  if (proteins.empty()) return curve;
+  const size_t max_k =
+      config.max_k != 0 ? config.max_k : context.categories.size();
+
+  std::vector<std::vector<Prediction>> all_predictions;
+  all_predictions.reserve(proteins.size());
+  for (ProteinId p : proteins) {
+    all_predictions.push_back(predictor.Predict(p));
+  }
+
+  for (size_t k = 1; k <= max_k; ++k) {
+    double precision_sum = 0.0;
+    double recall_sum = 0.0;
+    for (size_t i = 0; i < proteins.size(); ++i) {
+      const ProteinId p = proteins[i];
+      const auto& predictions = all_predictions[i];
+      const size_t take = std::min(k, predictions.size());
+      size_t correct = 0;
+      for (size_t j = 0; j < take; ++j) {
+        if (context.HasCategory(p, predictions[j].category)) ++correct;
+      }
+      if (take > 0) {
+        precision_sum += static_cast<double>(correct) /
+                         static_cast<double>(take);
+      }
+      const size_t truths = context.protein_categories[p].size();
+      if (truths > 0) {
+        recall_sum += static_cast<double>(correct) /
+                      static_cast<double>(truths);
+      }
+    }
+    PrPoint point;
+    point.k = k;
+    point.precision = precision_sum / static_cast<double>(proteins.size());
+    point.recall = recall_sum / static_cast<double>(proteins.size());
+    curve.points.push_back(point);
+  }
+  return curve;
+}
+
+double AreaUnderPrCurve(const PrCurve& curve) {
+  if (curve.points.empty()) return 0.0;
+  // Points ordered by k have nondecreasing recall; integrate precision over
+  // recall with the trapezoid rule, anchoring at (0, first precision).
+  double area = 0.0;
+  double prev_recall = 0.0;
+  double prev_precision = curve.points.front().precision;
+  for (const PrPoint& point : curve.points) {
+    area += (point.recall - prev_recall) *
+            0.5 * (point.precision + prev_precision);
+    prev_recall = point.recall;
+    prev_precision = point.precision;
+  }
+  return area;
+}
+
+}  // namespace lamo

@@ -1,0 +1,60 @@
+#ifndef LAMO_PREDICT_EVALUATION_H_
+#define LAMO_PREDICT_EVALUATION_H_
+
+#include <string>
+#include <vector>
+
+#include "predict/predictor.h"
+
+namespace lamo {
+
+/// One point of a precision/recall curve.
+struct PrPoint {
+  size_t k = 0;  // number of top predictions taken per protein
+  double precision = 0.0;
+  double recall = 0.0;
+};
+
+/// The full curve of one method.
+struct PrCurve {
+  std::string method;
+  std::vector<PrPoint> points;
+};
+
+/// Options of the leave-one-out evaluation.
+struct EvaluationConfig {
+  /// Evaluate only these proteins; empty = all annotated proteins. (Used to
+  /// restrict the Figure-9 comparison to motif-covered proteins, with the
+  /// restriction reported alongside.)
+  std::vector<ProteinId> evaluation_set;
+  /// Largest k of the curve; 0 = number of categories.
+  size_t max_k = 0;
+};
+
+/// Leave-one-out evaluation over the annotated proteins: for each protein p
+/// the predictor scores all categories with p's own annotations hidden; for
+/// each k the top-k predictions are compared against p's true categories,
+/// micro-averaged across proteins (the protocol of Deng et al., which the
+/// paper's Figure 9 follows):
+///
+///   precision(k) = sum_p |top_k(p) ∩ true(p)| / sum_p min(k, #scored(p))
+///   recall(k)    = sum_p |top_k(p) ∩ true(p)| / sum_p |true(p)|
+PrCurve EvaluateLeaveOneOut(const FunctionPredictor& predictor,
+                            const PredictionContext& context,
+                            const EvaluationConfig& config = {});
+
+/// Macro-averaged variant: precision/recall are computed per protein and
+/// averaged with equal weight, so hub proteins with many annotations do not
+/// dominate the curve. Reported alongside the micro average when per-protein
+/// fairness matters.
+PrCurve EvaluateLeaveOneOutMacro(const FunctionPredictor& predictor,
+                                 const PredictionContext& context,
+                                 const EvaluationConfig& config = {});
+
+/// Area under the (recall, precision) polyline — a scalar summary used by
+/// tests to compare methods ("LabeledMotif beats NC").
+double AreaUnderPrCurve(const PrCurve& curve);
+
+}  // namespace lamo
+
+#endif  // LAMO_PREDICT_EVALUATION_H_

@@ -1,0 +1,105 @@
+#include "predict/labeled_motif_predictor.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace lamo {
+
+LabeledMotifPredictor::LabeledMotifPredictor(
+    const PredictionContext& context, const Ontology& ontology,
+    const std::vector<LabeledMotif>& motifs, DeltaMode mode)
+    : context_(context), ontology_(ontology), motifs_(motifs), mode_(mode) {
+  priors_.reserve(context_.categories.size());
+  for (TermId c : context_.categories) {
+    priors_.push_back(context_.CategoryPrior(c));
+  }
+  index_.resize(context_.ppi->num_vertices());
+  for (uint32_t mi = 0; mi < motifs_.size(); ++mi) {
+    const LabeledMotif& motif = motifs_[mi];
+    for (const MotifOccurrence& occ : motif.occurrences) {
+      for (uint32_t pos = 0; pos < occ.proteins.size(); ++pos) {
+        const VertexId p = occ.proteins[pos];
+        auto& sites = index_[p];
+        const Site site{mi, pos};
+        const bool seen =
+            std::any_of(sites.begin(), sites.end(), [&](const Site& s) {
+              return s.motif == site.motif && s.vertex == site.vertex;
+            });
+        if (!seen) sites.push_back(site);
+      }
+    }
+  }
+}
+
+std::vector<Prediction> LabeledMotifPredictor::Predict(ProteinId p) const {
+  std::vector<double> scores(context_.categories.size(), 0.0);
+  for (const Site& site : index_[p]) {
+    const LabeledMotif& motif = motifs_[site.motif];
+    std::vector<double> delta(context_.categories.size(), 0.0);
+    if (mode_ == DeltaMode::kSchemeLabels) {
+      // delta_g(v, x): how many of v's scheme labels fall under category x.
+      // A label more general than every category contributes nothing.
+      for (TermId label : motif.scheme[site.vertex]) {
+        const auto ancestors = ontology_.AncestorsOf(label);
+        for (size_t ci = 0; ci < context_.categories.size(); ++ci) {
+          if (std::binary_search(ancestors.begin(), ancestors.end(),
+                                 context_.categories[ci])) {
+            delta[ci] += 1.0;
+          }
+        }
+      }
+    } else {
+      // Ablation: frequency of category x among the proteins at vertex v
+      // across g's occurrences, excluding p itself (leave-one-out).
+      for (const MotifOccurrence& occ : motif.occurrences) {
+        const VertexId q = occ.proteins[site.vertex];
+        if (q == p) continue;
+        for (size_t ci = 0; ci < context_.categories.size(); ++ci) {
+          if (context_.HasCategory(q, context_.categories[ci])) {
+            delta[ci] += 1.0;
+          }
+        }
+      }
+    }
+    for (size_t ci = 0; ci < context_.categories.size(); ++ci) {
+      scores[ci] += delta[ci] * motif.strength;
+    }
+  }
+  // z: normalize into [0, 1].
+  const double z = *std::max_element(scores.begin(), scores.end());
+  std::vector<Prediction> predictions;
+  predictions.reserve(scores.size());
+  std::vector<size_t> order(scores.size());
+  for (size_t ci = 0; ci < scores.size(); ++ci) order[ci] = ci;
+  // Rank by motif vote; categories the motifs say nothing about (equal
+  // scores, typically 0) fall back to the category prior. Eq. 5 only
+  // defines the ranking among voted categories — the prior fallback is the
+  // protocol choice for the tail of the precision/recall curve and is
+  // reported in EXPERIMENTS.md.
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    if (scores[a] != scores[b]) return scores[a] > scores[b];
+    if (priors_[a] != priors_[b]) return priors_[a] > priors_[b];
+    return context_.categories[a] < context_.categories[b];
+  });
+  for (size_t ci : order) {
+    predictions.push_back(
+        {context_.categories[ci], z > 0.0 ? scores[ci] / z : 0.0});
+  }
+  return predictions;
+}
+
+double LabeledMotifPredictor::CoverageOfAnnotated() const {
+  size_t annotated = 0;
+  size_t covered = 0;
+  for (ProteinId p = 0; p < index_.size(); ++p) {
+    if (!context_.IsAnnotated(p)) continue;
+    ++annotated;
+    if (Covers(p)) ++covered;
+  }
+  return annotated == 0
+             ? 0.0
+             : static_cast<double>(covered) / static_cast<double>(annotated);
+}
+
+}  // namespace lamo

@@ -1,0 +1,117 @@
+#include "predict/mrf.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace lamo {
+namespace {
+
+double Sigmoid(double x) {
+  if (x >= 0.0) {
+    return 1.0 / (1.0 + std::exp(-x));
+  }
+  const double e = std::exp(x);
+  return e / (1.0 + e);
+}
+
+}  // namespace
+
+MrfPredictor::MrfPredictor(const PredictionContext& context,
+                           const MrfConfig& config)
+    : context_(context), config_(config) {
+  const Graph& ppi = *context_.ppi;
+  const size_t num_proteins = ppi.num_vertices();
+  const size_t num_categories = context_.categories.size();
+  parameters_.resize(num_categories);
+  marginals_.assign(num_categories,
+                    std::vector<double>(num_proteins, 0.0));
+
+  for (size_t ci = 0; ci < num_categories; ++ci) {
+    const TermId c = context_.categories[ci];
+    const double prior = context_.CategoryPrior(c);
+
+    // --- Pseudo-likelihood fit on annotated proteins. ---
+    // Features per protein: M1 = annotated neighbors with c, M0 = annotated
+    // neighbors without c. Initialize near the independent model.
+    Parameters& params = parameters_[ci];
+    params.alpha = std::log(std::max(prior, 1e-6) /
+                            std::max(1.0 - prior, 1e-6));
+    params.beta = 0.0;
+    params.gamma = 0.0;
+
+    std::vector<ProteinId> train;
+    std::vector<double> m1(num_proteins, 0.0), m0(num_proteins, 0.0);
+    for (ProteinId p = 0; p < num_proteins; ++p) {
+      if (!context_.IsAnnotated(p)) continue;
+      train.push_back(p);
+      for (VertexId q : ppi.Neighbors(p)) {
+        if (!context_.IsAnnotated(q)) continue;
+        if (context_.HasCategory(q, c)) {
+          m1[p] += 1.0;
+        } else {
+          m0[p] += 1.0;
+        }
+      }
+    }
+    if (!train.empty()) {
+      const double scale = 1.0 / static_cast<double>(train.size());
+      for (size_t iter = 0; iter < config_.fit_iterations; ++iter) {
+        double ga = 0.0, gb = 0.0, gg = 0.0;
+        for (ProteinId p : train) {
+          const double y = context_.HasCategory(p, c) ? 1.0 : 0.0;
+          const double mu = Sigmoid(params.alpha + params.beta * m1[p] +
+                                    params.gamma * m0[p]);
+          const double err = y - mu;
+          ga += err;
+          gb += err * m1[p];
+          gg += err * m0[p];
+        }
+        params.alpha += config_.learning_rate * ga * scale;
+        params.beta += config_.learning_rate * gb * scale;
+        params.gamma += config_.learning_rate * gg * scale;
+      }
+    }
+
+    // --- Mean-field inference for latent (unannotated) proteins. ---
+    std::vector<double>& marginal = marginals_[ci];
+    for (ProteinId p = 0; p < num_proteins; ++p) {
+      marginal[p] = context_.IsAnnotated(p)
+                        ? (context_.HasCategory(p, c) ? 1.0 : 0.0)
+                        : prior;
+    }
+    for (size_t sweep = 0; sweep < config_.mean_field_iterations; ++sweep) {
+      for (ProteinId p = 0; p < num_proteins; ++p) {
+        if (context_.IsAnnotated(p)) continue;  // observed: clamped
+        const double updated = Conditional(ci, p, marginal);
+        marginal[p] = 0.5 * marginal[p] + 0.5 * updated;  // damped
+      }
+    }
+  }
+}
+
+double MrfPredictor::Conditional(size_t category_index, ProteinId p,
+                                 const std::vector<double>& marginals) const {
+  const Parameters& params = parameters_[category_index];
+  double m1 = 0.0, m0 = 0.0;
+  for (VertexId q : context_.ppi->Neighbors(p)) {
+    m1 += marginals[q];
+    m0 += 1.0 - marginals[q];
+  }
+  return Sigmoid(params.alpha + params.beta * m1 + params.gamma * m0);
+}
+
+std::vector<Prediction> MrfPredictor::Predict(ProteinId p) const {
+  std::vector<Prediction> predictions;
+  predictions.reserve(context_.categories.size());
+  for (size_t ci = 0; ci < context_.categories.size(); ++ci) {
+    // Leave-one-out: p's own observed label is not used — the score is its
+    // conditional given the (clamped or inferred) neighborhood only.
+    predictions.push_back(
+        {context_.categories[ci], Conditional(ci, p, marginals_[ci])});
+  }
+  SortPredictions(&predictions);
+  return predictions;
+}
+
+}  // namespace lamo

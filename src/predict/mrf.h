@@ -1,0 +1,62 @@
+#ifndef LAMO_PREDICT_MRF_H_
+#define LAMO_PREDICT_MRF_H_
+
+#include <vector>
+
+#include "predict/predictor.h"
+
+namespace lamo {
+
+/// Parameters of the MRF fit and inference.
+struct MrfConfig {
+  /// Gradient-ascent iterations for the pseudo-likelihood parameter fit.
+  size_t fit_iterations = 200;
+  /// Learning rate of the fit.
+  double learning_rate = 0.05;
+  /// Mean-field (belief-propagation-style) sweeps over latent proteins.
+  size_t mean_field_iterations = 20;
+};
+
+/// The Markov-Random-Field method of Deng et al.: for each function x, a
+/// binary MRF over the PPI network whose conditional for protein p given its
+/// neighbors is logistic in the number of neighbors with and without x,
+///
+///   P(x_p = 1 | rest) = sigmoid(alpha_x + beta_x * M1(p) + gamma_x * M0(p)),
+///
+/// with parameters fit by pseudo-likelihood on the annotated proteins and
+/// posteriors of unannotated proteins estimated by damped mean-field
+/// iteration (the deterministic analogue of the paper's belief-propagation/
+/// Gibbs inference). Predict(p) reports the converged conditional of p with
+/// its own label treated as unknown.
+class MrfPredictor : public FunctionPredictor {
+ public:
+  /// Fits all per-category models eagerly; `context` must outlive the
+  /// predictor.
+  MrfPredictor(const PredictionContext& context, const MrfConfig& config = {});
+
+  std::string name() const override { return "MRF"; }
+  std::vector<Prediction> Predict(ProteinId p) const override;
+
+  /// Fitted (alpha, beta, gamma) for one category index (tests).
+  struct Parameters {
+    double alpha = 0.0;
+    double beta = 0.0;
+    double gamma = 0.0;
+  };
+  const Parameters& parameters(size_t category_index) const {
+    return parameters_[category_index];
+  }
+
+ private:
+  double Conditional(size_t category_index, ProteinId p,
+                     const std::vector<double>& marginals) const;
+
+  const PredictionContext& context_;
+  MrfConfig config_;
+  std::vector<Parameters> parameters_;           // per category
+  std::vector<std::vector<double>> marginals_;   // per category, per protein
+};
+
+}  // namespace lamo
+
+#endif  // LAMO_PREDICT_MRF_H_

@@ -1,0 +1,20 @@
+#include "predict/neighbor_counting.h"
+
+namespace lamo {
+
+std::vector<Prediction> NeighborCountingPredictor::Predict(
+    ProteinId p) const {
+  std::vector<Prediction> predictions;
+  predictions.reserve(context_.categories.size());
+  for (TermId c : context_.categories) {
+    double count = 0.0;
+    for (VertexId q : context_.ppi->Neighbors(p)) {
+      if (context_.HasCategory(q, c)) count += 1.0;
+    }
+    predictions.push_back({c, count});
+  }
+  SortPredictions(&predictions);
+  return predictions;
+}
+
+}  // namespace lamo

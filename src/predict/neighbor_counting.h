@@ -1,0 +1,27 @@
+#ifndef LAMO_PREDICT_NEIGHBOR_COUNTING_H_
+#define LAMO_PREDICT_NEIGHBOR_COUNTING_H_
+
+#include "predict/predictor.h"
+
+namespace lamo {
+
+/// The neighbor-counting method of Schwikowski, Uetz & Fields: a protein is
+/// labeled with the functions occurring most frequently among its direct
+/// interaction partners; the k most frequent functions are its k most likely
+/// functions.
+class NeighborCountingPredictor : public FunctionPredictor {
+ public:
+  /// `context` must outlive the predictor.
+  explicit NeighborCountingPredictor(const PredictionContext& context)
+      : context_(context) {}
+
+  std::string name() const override { return "NC"; }
+  std::vector<Prediction> Predict(ProteinId p) const override;
+
+ private:
+  const PredictionContext& context_;
+};
+
+}  // namespace lamo
+
+#endif  // LAMO_PREDICT_NEIGHBOR_COUNTING_H_

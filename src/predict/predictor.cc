@@ -1,0 +1,32 @@
+#include "predict/predictor.h"
+
+#include <algorithm>
+
+namespace lamo {
+
+bool PredictionContext::HasCategory(ProteinId p, TermId c) const {
+  const auto& cats = protein_categories[p];
+  return std::binary_search(cats.begin(), cats.end(), c);
+}
+
+double PredictionContext::CategoryPrior(TermId c) const {
+  size_t annotated = 0;
+  size_t carrying = 0;
+  for (ProteinId p = 0; p < protein_categories.size(); ++p) {
+    if (protein_categories[p].empty()) continue;
+    ++annotated;
+    if (HasCategory(p, c)) ++carrying;
+  }
+  if (annotated == 0) return 0.0;
+  return static_cast<double>(carrying) / static_cast<double>(annotated);
+}
+
+void SortPredictions(std::vector<Prediction>* predictions) {
+  std::stable_sort(predictions->begin(), predictions->end(),
+                   [](const Prediction& a, const Prediction& b) {
+                     if (a.score != b.score) return a.score > b.score;
+                     return a.category < b.category;
+                   });
+}
+
+}  // namespace lamo

@@ -1,0 +1,62 @@
+#ifndef LAMO_PREDICT_PREDICTOR_H_
+#define LAMO_PREDICT_PREDICTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "ontology/annotation.h"
+#include "ontology/ontology.h"
+
+namespace lamo {
+
+/// One scored candidate function for a protein.
+struct Prediction {
+  TermId category = kInvalidTerm;
+  double score = 0.0;
+};
+
+/// Shared inputs of all function-prediction methods: the PPI network and
+/// each protein's known top-level functional categories (the paper
+/// generalizes all annotations to yeast's top 13 key functions before
+/// computing precision/recall).
+struct PredictionContext {
+  /// The PPI network; indices are protein ids.
+  const Graph* ppi = nullptr;
+  /// The candidate categories (ascending term ids).
+  std::vector<TermId> categories;
+  /// Known categories per protein (ascending), empty when unannotated.
+  std::vector<std::vector<TermId>> protein_categories;
+
+  /// True iff protein `p` has at least one known category.
+  bool IsAnnotated(ProteinId p) const {
+    return !protein_categories[p].empty();
+  }
+  /// True iff `p` is known to carry category `c`.
+  bool HasCategory(ProteinId p, TermId c) const;
+  /// Fraction of annotated proteins carrying category `c` (the prior).
+  double CategoryPrior(TermId c) const;
+};
+
+/// Interface of a function-prediction method under leave-one-out: Predict(p)
+/// must not use p's own annotations (they are the held-out ground truth),
+/// only the rest of the network.
+class FunctionPredictor {
+ public:
+  virtual ~FunctionPredictor() = default;
+
+  /// Display name ("NC", "Chi2", "PRODISTIN", "MRF", "LabeledMotif").
+  virtual std::string name() const = 0;
+
+  /// Scores every category for protein `p`, sorted by descending score
+  /// (ties by ascending category id). May return fewer entries when the
+  /// method has no signal for `p`.
+  virtual std::vector<Prediction> Predict(ProteinId p) const = 0;
+};
+
+/// Sorts predictions by descending score, ties by ascending category.
+void SortPredictions(std::vector<Prediction>* predictions);
+
+}  // namespace lamo
+
+#endif  // LAMO_PREDICT_PREDICTOR_H_

@@ -1,0 +1,256 @@
+#include "predict/prodistin.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace lamo {
+namespace {
+
+// A node of the (unrooted, stored rooted at the last join) BIONJ tree.
+struct TreeNode {
+  int parent = -1;
+  int left = -1;    // -1 for leaves
+  int right = -1;
+  int protein = -1;  // leaf payload
+  size_t subtree_annotated = 0;
+};
+
+}  // namespace
+
+struct ProdistinPredictor::Impl {
+  std::vector<int> leaf_of_protein;  // -1 if protein not in the tree
+  std::vector<TreeNode> nodes;
+};
+
+double ProdistinPredictor::CzekanowskiDice(const Graph& ppi, ProteinId a,
+                                           ProteinId b) {
+  // Interaction lists with the proteins themselves added (Brun et al.):
+  // A = N(a) ∪ {a}, B = N(b) ∪ {b}.
+  auto na = ppi.Neighbors(a);
+  auto nb = ppi.Neighbors(b);
+  auto in_b = [&](VertexId x) {
+    return x == b || std::binary_search(nb.begin(), nb.end(), x);
+  };
+  const size_t size_a = na.size() + 1;  // no self-loops, so a is not in na
+  const size_t size_b = nb.size() + 1;
+  size_t inter = 0;
+  for (VertexId x : na) {
+    if (in_b(x)) ++inter;
+  }
+  if (in_b(a)) ++inter;  // a itself may appear in B
+  const size_t uni = size_a + size_b - inter;
+  const size_t sym_diff = uni - inter;
+  return static_cast<double>(sym_diff) / static_cast<double>(uni + inter);
+}
+
+ProdistinPredictor::ProdistinPredictor(const PredictionContext& context,
+                                       const ProdistinConfig& config)
+    : context_(context), config_(config), impl_(new Impl) {
+  const Graph& ppi = *context_.ppi;
+  const size_t num_proteins = ppi.num_vertices();
+  impl_->leaf_of_protein.assign(num_proteins, -1);
+
+  // Select proteins for the tree: all with degree >= 1, highest degree
+  // first, capped.
+  std::vector<ProteinId> selected;
+  for (ProteinId p = 0; p < num_proteins; ++p) {
+    if (ppi.Degree(p) >= 1) selected.push_back(p);
+  }
+  if (config_.max_tree_proteins != 0 &&
+      selected.size() > config_.max_tree_proteins) {
+    std::stable_sort(selected.begin(), selected.end(),
+                     [&](ProteinId a, ProteinId b) {
+                       return ppi.Degree(a) > ppi.Degree(b);
+                     });
+    selected.resize(config_.max_tree_proteins);
+    std::sort(selected.begin(), selected.end());
+  }
+  const size_t n = selected.size();
+  if (n < 3) return;  // no meaningful tree; all predictions fall back
+
+  // Distance and variance matrices (BIONJ tracks both).
+  std::vector<std::vector<double>> d(n, std::vector<double>(n, 0.0));
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      d[i][j] = d[j][i] = CzekanowskiDice(ppi, selected[i], selected[j]);
+    }
+  }
+  std::vector<std::vector<double>> v = d;
+
+  // active[i] = node index in impl_->nodes for cluster i.
+  std::vector<int> active(n);
+  impl_->nodes.reserve(2 * n);
+  for (size_t i = 0; i < n; ++i) {
+    TreeNode leaf;
+    leaf.protein = static_cast<int>(selected[i]);
+    impl_->nodes.push_back(leaf);
+    active[i] = static_cast<int>(i);
+    impl_->leaf_of_protein[selected[i]] = static_cast<int>(i);
+  }
+
+  std::vector<size_t> alive(n);
+  std::iota(alive.begin(), alive.end(), 0);
+  std::vector<double> row_sum(n, 0.0);
+
+  while (alive.size() > 2) {
+    const size_t m = alive.size();
+    // Row sums over alive clusters.
+    for (size_t ii = 0; ii < m; ++ii) {
+      double sum = 0.0;
+      for (size_t jj = 0; jj < m; ++jj) {
+        if (ii != jj) sum += d[alive[ii]][alive[jj]];
+      }
+      row_sum[alive[ii]] = sum;
+    }
+    // Pick the pair minimizing the NJ criterion Q; Q-ties are broken toward
+    // the smaller raw distance (otherwise a far pair can tie with a
+    // coincident pair and chain distant clusters together).
+    constexpr double kEps = 1e-12;
+    double best_q = std::numeric_limits<double>::infinity();
+    double best_d = std::numeric_limits<double>::infinity();
+    size_t best_ii = 0, best_jj = 1;
+    for (size_t ii = 0; ii < m; ++ii) {
+      for (size_t jj = ii + 1; jj < m; ++jj) {
+        const double dist = d[alive[ii]][alive[jj]];
+        const double q = static_cast<double>(m - 2) * dist -
+                         row_sum[alive[ii]] - row_sum[alive[jj]];
+        if (q < best_q - kEps ||
+            (q < best_q + kEps && dist < best_d - kEps)) {
+          best_q = q;
+          best_d = dist;
+          best_ii = ii;
+          best_jj = jj;
+        }
+      }
+    }
+    const size_t i = alive[best_ii];
+    const size_t j = alive[best_jj];
+
+    // BIONJ's variance-optimal mixing weight.
+    double lambda = 0.5;
+    if (v[i][j] > 1e-12 && m > 2) {
+      double variance_drift = 0.0;
+      for (size_t kk = 0; kk < m; ++kk) {
+        const size_t k = alive[kk];
+        if (k == i || k == j) continue;
+        variance_drift += v[j][k] - v[i][k];
+      }
+      lambda = 0.5 + variance_drift /
+                         (2.0 * static_cast<double>(m - 2) * v[i][j]);
+      lambda = std::clamp(lambda, 0.0, 1.0);
+    }
+
+    // Branch length estimates (used only in the reduction formulas).
+    const double bi =
+        0.5 * d[i][j] +
+        (m > 2 ? (row_sum[i] - row_sum[j]) / (2.0 * static_cast<double>(m - 2))
+               : 0.0);
+    const double bj = d[i][j] - bi;
+
+    // Join i and j into a new node stored in slot i.
+    TreeNode internal;
+    internal.left = active[i];
+    internal.right = active[j];
+    const int internal_index = static_cast<int>(impl_->nodes.size());
+    impl_->nodes.push_back(internal);
+    impl_->nodes[active[i]].parent = internal_index;
+    impl_->nodes[active[j]].parent = internal_index;
+    active[i] = internal_index;
+
+    for (size_t kk = 0; kk < m; ++kk) {
+      const size_t k = alive[kk];
+      if (k == i || k == j) continue;
+      const double dist = lambda * (d[i][k] - bi) +
+                          (1.0 - lambda) * (d[j][k] - bj);
+      d[i][k] = d[k][i] = std::max(0.0, dist);
+      const double var = lambda * v[i][k] + (1.0 - lambda) * v[j][k] -
+                         lambda * (1.0 - lambda) * v[i][j];
+      v[i][k] = v[k][i] = std::max(0.0, var);
+    }
+    alive.erase(alive.begin() + static_cast<long>(best_jj));
+  }
+
+  // Join the last two clusters under a root.
+  if (alive.size() == 2) {
+    TreeNode root;
+    root.left = active[alive[0]];
+    root.right = active[alive[1]];
+    const int root_index = static_cast<int>(impl_->nodes.size());
+    impl_->nodes.push_back(root);
+    impl_->nodes[active[alive[0]]].parent = root_index;
+    impl_->nodes[active[alive[1]]].parent = root_index;
+  }
+
+  // Count annotated proteins per subtree (children precede parents in the
+  // construction order, so a forward pass accumulates correctly).
+  for (TreeNode& node : impl_->nodes) {
+    if (node.protein >= 0) {
+      node.subtree_annotated =
+          context_.IsAnnotated(static_cast<ProteinId>(node.protein)) ? 1 : 0;
+    }
+  }
+  for (size_t idx = 0; idx < impl_->nodes.size(); ++idx) {
+    const TreeNode& node = impl_->nodes[idx];
+    if (node.left >= 0) {
+      impl_->nodes[idx].subtree_annotated =
+          impl_->nodes[node.left].subtree_annotated +
+          impl_->nodes[node.right].subtree_annotated;
+    }
+  }
+}
+
+ProdistinPredictor::~ProdistinPredictor() = default;
+
+std::vector<Prediction> ProdistinPredictor::Predict(ProteinId p) const {
+  std::vector<Prediction> predictions;
+  const int leaf =
+      p < impl_->leaf_of_protein.size() ? impl_->leaf_of_protein[p] : -1;
+  if (leaf < 0) {
+    // Not in the tree: fall back to global priors.
+    for (TermId c : context_.categories) {
+      predictions.push_back({c, context_.CategoryPrior(c)});
+    }
+    SortPredictions(&predictions);
+    return predictions;
+  }
+
+  // Walk up to the smallest clade with enough annotated proteins besides p.
+  const size_t self_annotated = context_.IsAnnotated(p) ? 1 : 0;
+  int clade = leaf;
+  while (impl_->nodes[clade].parent >= 0 &&
+         impl_->nodes[clade].subtree_annotated - self_annotated <
+             config_.min_clade_annotated) {
+    clade = impl_->nodes[clade].parent;
+  }
+
+  // Majority vote of the clade's annotated proteins, excluding p.
+  std::vector<double> counts(context_.categories.size(), 0.0);
+  std::vector<int> stack{clade};
+  while (!stack.empty()) {
+    const TreeNode& node = impl_->nodes[static_cast<size_t>(stack.back())];
+    stack.pop_back();
+    if (node.protein >= 0) {
+      const ProteinId q = static_cast<ProteinId>(node.protein);
+      if (q == p) continue;
+      for (size_t i = 0; i < context_.categories.size(); ++i) {
+        if (context_.HasCategory(q, context_.categories[i])) {
+          counts[i] += 1.0;
+        }
+      }
+    } else {
+      stack.push_back(node.left);
+      stack.push_back(node.right);
+    }
+  }
+  for (size_t i = 0; i < context_.categories.size(); ++i) {
+    predictions.push_back({context_.categories[i], counts[i]});
+  }
+  SortPredictions(&predictions);
+  return predictions;
+}
+
+}  // namespace lamo

@@ -1,0 +1,54 @@
+#ifndef LAMO_PREDICT_PRODISTIN_H_
+#define LAMO_PREDICT_PRODISTIN_H_
+
+#include <memory>
+#include <vector>
+
+#include "predict/predictor.h"
+
+namespace lamo {
+
+/// Parameters of the PRODISTIN pipeline.
+struct ProdistinConfig {
+  /// Cap on the number of proteins entering the O(n^3) BIONJ stage
+  /// (highest-degree proteins are kept; the rest fall back to priors).
+  /// 0 = no cap.
+  size_t max_tree_proteins = 1000;
+  /// A leaf's functional clade is the smallest enclosing subtree with at
+  /// least this many annotated proteins besides itself.
+  size_t min_clade_annotated = 3;
+};
+
+/// PRODISTIN [Brun et al. 2003]: computes the Czekanowski-Dice distance
+/// between every pair of proteins from their interaction lists,
+///
+///   D(i,j) = |N(i) Δ N(j)| / (|N(i) ∪ N(j)| + |N(i) ∩ N(j)|),
+///
+/// with i and j added to both lists, builds a BIONJ neighbor-joining tree
+/// from the distance matrix, and classifies a protein by the functions of
+/// the annotated proteins sharing its smallest informative clade.
+class ProdistinPredictor : public FunctionPredictor {
+ public:
+  /// Builds the distance matrix and BIONJ tree eagerly (the expensive part);
+  /// `context` must outlive the predictor.
+  ProdistinPredictor(const PredictionContext& context,
+                     const ProdistinConfig& config = {});
+  ~ProdistinPredictor() override;
+
+  std::string name() const override { return "PRODISTIN"; }
+  std::vector<Prediction> Predict(ProteinId p) const override;
+
+  /// Czekanowski-Dice distance between two proteins of the context's PPI
+  /// (exposed for tests).
+  static double CzekanowskiDice(const Graph& ppi, ProteinId a, ProteinId b);
+
+ private:
+  struct Impl;
+  const PredictionContext& context_;
+  ProdistinConfig config_;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace lamo
+
+#endif  // LAMO_PREDICT_PRODISTIN_H_

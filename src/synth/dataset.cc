@@ -1,0 +1,256 @@
+#include "synth/dataset.h"
+
+#include <algorithm>
+#include <set>
+
+#include "graph/generators.h"
+#include "util/logging.h"
+
+namespace lamo {
+namespace {
+
+// Random connected pattern with `size` vertices: a random spanning tree plus
+// extra edges. Planted templates are deliberately denser than the sparse
+// background (extra edges ~ size), mirroring the protein complexes real
+// motifs correspond to — density is what makes them *unique* under
+// degree-preserving rewiring.
+SmallGraph RandomConnectedPattern(size_t size, Rng& rng) {
+  SmallGraph pattern(size);
+  for (uint32_t v = 1; v < size; ++v) {
+    pattern.AddEdge(v, static_cast<uint32_t>(rng.Uniform(v)));
+  }
+  const size_t extra = size;
+  for (size_t i = 0; i < extra; ++i) {
+    const uint32_t a = static_cast<uint32_t>(rng.Uniform(size));
+    const uint32_t b = static_cast<uint32_t>(rng.Uniform(size));
+    if (a != b) pattern.AddEdge(a, b);
+  }
+  LAMO_CHECK(pattern.IsConnected());
+  return pattern;
+}
+
+}  // namespace
+
+std::vector<TermId> SyntheticDataset::CategoriesOfTerm(TermId t) const {
+  std::vector<TermId> result;
+  const auto ancestors = ontology.AncestorsOf(t);
+  for (TermId c : categories) {
+    if (std::binary_search(ancestors.begin(), ancestors.end(), c)) {
+      result.push_back(c);
+    }
+  }
+  return result;
+}
+
+std::vector<TermId> SyntheticDataset::CategoriesOf(ProteinId p) const {
+  std::set<TermId> found;
+  for (TermId t : annotations.TermsOf(p)) {
+    for (TermId c : CategoriesOfTerm(t)) found.insert(c);
+  }
+  return {found.begin(), found.end()};
+}
+
+AnnotationTable SynthesizeAnnotations(
+    const Graph& ppi, const std::vector<PlantedTemplate>& templates,
+    const Ontology& ontology, const SyntheticDatasetConfig& config,
+    std::vector<std::vector<TermId>>* role_terms_out, Rng& rng) {
+  const size_t num_proteins = ppi.num_vertices();
+  const std::vector<TermId>& roots = ontology.Roots();
+  LAMO_CHECK_EQ(roots.size(), 1u);
+  const TermId root = roots[0];
+  const std::vector<TermId> categories(ontology.Children(root).begin(),
+                                       ontology.Children(root).end());
+  LAMO_CHECK(!categories.empty());
+
+  // Descendants of each category, for sampling category-coherent terms.
+  std::vector<std::vector<TermId>> category_terms;
+  category_terms.reserve(categories.size());
+  for (TermId c : categories) {
+    std::vector<TermId> desc = ontology.DescendantsOf(c);
+    // Avoid annotating directly with the category root: real annotations
+    // are specific.
+    if (desc.size() > 1) {
+      desc.erase(std::remove(desc.begin(), desc.end(), c), desc.end());
+    }
+    category_terms.push_back(std::move(desc));
+  }
+
+  // Fresh role terms per template: all roles of one template draw from one
+  // category (functional homogeneity of complexes).
+  std::vector<std::vector<TermId>> role_terms(templates.size());
+  for (size_t t = 0; t < templates.size(); ++t) {
+    const size_t size = templates[t].pattern.num_vertices();
+    const auto& pool = category_terms[rng.Uniform(categories.size())];
+    role_terms[t].resize(size);
+    if (rng.Bernoulli(config.complex_template_fraction)) {
+      // Complex-like template: one shared term across all roles.
+      const TermId shared = pool[rng.Uniform(pool.size())];
+      for (size_t r = 0; r < size; ++r) role_terms[t][r] = shared;
+    } else {
+      for (size_t r = 0; r < size; ++r) {
+        role_terms[t][r] = pool[rng.Uniform(pool.size())];
+      }
+    }
+  }
+
+  AnnotationTable annotations(num_proteins);
+  const std::vector<TermId> deep = DeepTerms(ontology, 2);
+  LAMO_CHECK(!deep.empty());
+
+  // Choose which proteins are annotated at all (the partial labeling).
+  std::vector<bool> annotated(num_proteins, false);
+  const size_t annotated_target = static_cast<size_t>(
+      config.annotated_fraction * static_cast<double>(num_proteins));
+  {
+    std::vector<VertexId> order(num_proteins);
+    for (VertexId v = 0; v < num_proteins; ++v) order[v] = v;
+    rng.Shuffle(order);
+    for (size_t i = 0; i < annotated_target; ++i) annotated[order[i]] = true;
+  }
+
+  // Role-correlated annotations.
+  for (size_t t = 0; t < templates.size(); ++t) {
+    for (const auto& instance : templates[t].instances) {
+      for (size_t r = 0; r < instance.size(); ++r) {
+        const VertexId p = instance[r];
+        if (!annotated[p]) continue;
+        if (!rng.Bernoulli(config.role_annotation_probability)) continue;
+        TermId term = role_terms[t][r];
+        if (rng.Bernoulli(config.role_specialization_probability)) {
+          const std::vector<TermId> desc = ontology.DescendantsOf(term);
+          term = desc[rng.Uniform(desc.size())];
+        }
+        LAMO_CHECK(annotations.Annotate(p, term).ok());
+      }
+    }
+  }
+
+  // Neighborhood homophily + background noise for everyone annotated.
+  for (VertexId p = 0; p < num_proteins; ++p) {
+    if (!annotated[p]) continue;
+    size_t want = 1 + rng.Poisson(std::max(
+                          0.0, config.mean_terms_per_protein - 1.0));
+    // Keep what roles already contributed.
+    const size_t have = annotations.TermsOf(p).size();
+    if (want <= have) continue;
+    want -= have;
+    for (size_t i = 0; i < want; ++i) {
+      // With probability 1/2 copy a category from an annotated neighbor and
+      // specialize inside it (interacting proteins share function);
+      // otherwise draw uniformly from the deep terms.
+      TermId term = kInvalidTerm;
+      const auto neighbors = ppi.Neighbors(p);
+      if (!neighbors.empty() && rng.Bernoulli(0.5)) {
+        const VertexId q = neighbors[rng.Uniform(neighbors.size())];
+        const auto q_terms = annotations.TermsOf(q);
+        if (!q_terms.empty()) {
+          term = q_terms[rng.Uniform(q_terms.size())];
+        }
+      }
+      if (term == kInvalidTerm) {
+        term = deep[rng.Uniform(deep.size())];
+      }
+      LAMO_CHECK(annotations.Annotate(p, term).ok());
+    }
+  }
+
+  if (role_terms_out != nullptr) *role_terms_out = std::move(role_terms);
+  return annotations;
+}
+
+SyntheticDataset BuildSyntheticDataset(const SyntheticDatasetConfig& config) {
+  Rng rng(config.seed);
+  SyntheticDataset ds;
+
+  // --- Ontology & category layer. ---
+  ds.ontology = GenerateGoBranch(config.go, rng);
+  const std::vector<TermId>& roots = ds.ontology.Roots();
+  LAMO_CHECK_EQ(roots.size(), 1u);
+  ds.categories.assign(ds.ontology.Children(roots[0]).begin(),
+                       ds.ontology.Children(roots[0]).end());
+  LAMO_CHECK(!ds.categories.empty());
+
+  // --- Background interactome. ---
+  const Graph background = DuplicationDivergence(
+      config.num_proteins, config.retention, config.parent_link, rng);
+
+  GraphBuilder builder(config.num_proteins);
+  for (const auto& [a, b] : background.Edges()) {
+    LAMO_CHECK(builder.AddEdge(a, b).ok());
+  }
+
+  // --- Plant motif templates. ---
+  for (size_t t = 0; t < config.num_templates; ++t) {
+    PlantedTemplate planted;
+    const size_t size =
+        config.template_min_size +
+        rng.Uniform(config.template_max_size - config.template_min_size + 1);
+    planted.pattern = RandomConnectedPattern(size, rng);
+    for (size_t copy = 0; copy < config.copies_per_template; ++copy) {
+      std::vector<VertexId> members;
+      const auto sampled =
+          rng.SampleWithoutReplacement(config.num_proteins, size);
+      members.assign(sampled.begin(), sampled.end());
+      for (const auto& [a, b] : planted.pattern.Edges()) {
+        LAMO_CHECK(builder.AddEdge(members[a], members[b]).ok());
+      }
+      planted.instances.push_back(std::move(members));
+    }
+    ds.templates.push_back(std::move(planted));
+  }
+  ds.ppi = builder.Build();
+
+  // --- Annotations (role terms recorded back into the templates). ---
+  std::vector<std::vector<TermId>> role_terms;
+  ds.annotations = SynthesizeAnnotations(ds.ppi, ds.templates, ds.ontology,
+                                         config, &role_terms, rng);
+  for (size_t t = 0; t < ds.templates.size(); ++t) {
+    ds.templates[t].role_terms = role_terms[t];
+  }
+
+  // --- Derived layers. ---
+  ds.weights = TermWeights::Compute(ds.ontology, ds.annotations);
+  InformativeConfig informative_config;
+  informative_config.min_direct_proteins = config.informative_threshold;
+  ds.informative = InformativeClasses::Compute(ds.ontology, ds.annotations,
+                                               informative_config);
+  return ds;
+}
+
+SyntheticDatasetConfig BindScaleConfig() {
+  SyntheticDatasetConfig config;
+  config.num_proteins = 4141;
+  config.retention = 0.24;
+  config.parent_link = 0.10;
+  config.go.num_terms = 150;
+  config.go.depth = 6;
+  config.num_templates = 6;
+  config.copies_per_template = 120;
+  config.template_min_size = 3;
+  config.template_max_size = 5;
+  config.annotated_fraction = 3554.0 / 4141.0;
+  config.mean_terms_per_protein = 3.0;
+  config.informative_threshold = 30;
+  config.seed = 2007;
+  return config;
+}
+
+SyntheticDatasetConfig MipsScaleConfig() {
+  SyntheticDatasetConfig config;
+  config.num_proteins = 1877;
+  config.retention = 0.20;
+  config.parent_link = 0.08;
+  config.go.num_terms = 120;
+  config.go.depth = 5;
+  config.num_templates = 5;
+  config.copies_per_template = 60;
+  config.template_min_size = 3;
+  config.template_max_size = 5;
+  config.annotated_fraction = 0.9;
+  config.mean_terms_per_protein = 3.0;
+  config.informative_threshold = 20;
+  config.seed = 1877;
+  return config;
+}
+
+}  // namespace lamo

@@ -1,0 +1,121 @@
+#ifndef LAMO_SYNTH_DATASET_H_
+#define LAMO_SYNTH_DATASET_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/small_graph.h"
+#include "ontology/annotation.h"
+#include "ontology/informative.h"
+#include "ontology/ontology.h"
+#include "ontology/weights.h"
+#include "synth/go_generator.h"
+#include "util/random.h"
+
+namespace lamo {
+
+/// Ground truth for one planted recurring subgraph template.
+struct PlantedTemplate {
+  /// The template pattern over role positions 0..k-1.
+  SmallGraph pattern;
+  /// Role term per pattern position: proteins playing role i tend to be
+  /// annotated with role_terms[i] or one of its descendants.
+  std::vector<TermId> role_terms;
+  /// The planted instances: instance[i] lists the proteins at each role.
+  std::vector<std::vector<VertexId>> instances;
+};
+
+/// Knobs of the synthetic interactome builder.
+struct SyntheticDatasetConfig {
+  /// Proteome size (the paper's BIND network: 4141; MIPS: 1877).
+  size_t num_proteins = 4141;
+  /// Duplication-divergence retention / parent-link probabilities for the
+  /// background interactome.
+  double retention = 0.30;
+  double parent_link = 0.15;
+
+  /// Ontology shape (one branch).
+  GoGeneratorConfig go;
+
+  /// Number of distinct motif templates to plant and copies of each. Copies
+  /// should clear the miner's frequency threshold.
+  size_t num_templates = 6;
+  size_t copies_per_template = 120;
+  size_t template_min_size = 3;
+  size_t template_max_size = 5;
+
+  /// Fraction of proteins with at least one GO annotation (paper: 3554/4141
+  /// ~ 0.86) and the mean number of terms per annotated protein (paper:
+  /// 9.34 across the three branches; ~3 per branch).
+  double annotated_fraction = 0.86;
+  double mean_terms_per_protein = 3.0;
+  /// Probability that a protein playing role i is annotated with the role
+  /// term (or a descendant); the correlation that makes motif labeling
+  /// meaningful, mirroring the functional homogeneity of real complexes
+  /// [Wuchty et al.].
+  double role_annotation_probability = 0.8;
+  /// Probability that a role annotation is a *descendant* of the role term
+  /// rather than the term itself (drives label generalization).
+  double role_specialization_probability = 0.5;
+  /// Fraction of templates that are "complex-like": all roles share one
+  /// term (real protein complexes are functionally homogeneous — the
+  /// uni-labeled motifs of Figure 7's g1). The rest get independent role
+  /// terms within one category (g2-style).
+  double complex_template_fraction = 0.5;
+
+  /// Informative-FC threshold used downstream (Zhou et al.: 30).
+  size_t informative_threshold = 30;
+
+  uint64_t seed = 2007;
+};
+
+/// A fully-materialized synthetic benchmark dataset: the stand-in for the
+/// paper's BIND/MIPS + GO downloads (see DESIGN.md section 2).
+struct SyntheticDataset {
+  Graph ppi;
+  Ontology ontology;
+  AnnotationTable annotations;
+  TermWeights weights;
+  InformativeClasses informative;
+  std::vector<PlantedTemplate> templates;
+
+  /// Top-level functional categories: the root's direct children, used as
+  /// the paper's "top 13 key functions" for prediction evaluation.
+  std::vector<TermId> categories;
+
+  /// Generalizes a protein's direct annotations to the top categories
+  /// (deduplicated, ascending). Empty if unannotated or nothing maps.
+  std::vector<TermId> CategoriesOf(ProteinId p) const;
+
+  /// Generalizes one term to the top categories it falls under.
+  std::vector<TermId> CategoriesOfTerm(TermId t) const;
+};
+
+/// Builds the dataset: duplication-divergence background + planted motif
+/// template instances (edges added among sampled proteins) + role-correlated,
+/// true-path-consistent annotations with a configurable unannotated
+/// fraction.
+SyntheticDataset BuildSyntheticDataset(const SyntheticDatasetConfig& config);
+
+/// Preset calibrated to the paper's BIND yeast network (4141 proteins,
+/// ~7095 edges after preprocessing) for the Figure 6 pipeline.
+SyntheticDatasetConfig BindScaleConfig();
+
+/// Preset calibrated to the paper's MIPS dataset (1877 proteins, ~2448
+/// interactions, 13 top functional categories) for the Figure 9 evaluation.
+SyntheticDatasetConfig MipsScaleConfig();
+
+/// (Advanced; used by the multi-branch builder.) Annotates an *existing*
+/// interactome against `ontology`: chooses fresh role terms for each planted
+/// template (one category per template, returned via `role_terms_out`,
+/// aligned with `templates`), then applies the same role-correlated +
+/// homophilous annotation process BuildSyntheticDataset uses.
+AnnotationTable SynthesizeAnnotations(
+    const Graph& ppi, const std::vector<PlantedTemplate>& templates,
+    const Ontology& ontology, const SyntheticDatasetConfig& config,
+    std::vector<std::vector<TermId>>* role_terms_out, Rng& rng);
+
+}  // namespace lamo
+
+#endif  // LAMO_SYNTH_DATASET_H_

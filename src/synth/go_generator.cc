@@ -1,0 +1,95 @@
+#include "synth/go_generator.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/logging.h"
+
+namespace lamo {
+
+Ontology GenerateGoBranch(const GoGeneratorConfig& config, Rng& rng) {
+  LAMO_CHECK_GE(config.num_terms, 2u);
+  LAMO_CHECK_GE(config.depth, 1u);
+  OntologyBuilder builder;
+
+  // Name terms T0000 (root), T0001, ...
+  std::vector<TermId> terms(config.num_terms);
+  for (size_t i = 0; i < config.num_terms; ++i) {
+    char name[32];
+    std::snprintf(name, sizeof(name), "T%04zu", i);
+    terms[i] = builder.AddTerm(name);
+  }
+
+  // Distribute non-root terms over levels 1..depth, widening with depth
+  // (real ontologies broaden downward).
+  std::vector<std::vector<TermId>> levels(config.depth + 1);
+  levels[0].push_back(terms[0]);
+  size_t next_term = 1;
+  // Level 1 gets exactly first_level_terms when requested (these become the
+  // top functional categories).
+  if (config.first_level_terms > 0) {
+    for (size_t i = 0;
+         i < config.first_level_terms && next_term < config.num_terms; ++i) {
+      levels[1].push_back(terms[next_term++]);
+    }
+  }
+  const size_t remaining_start = next_term;
+  double weight_sum = 0.0;
+  std::vector<double> level_weight(config.depth + 1, 0.0);
+  for (size_t d = 1; d <= config.depth; ++d) {
+    if (d == 1 && config.first_level_terms > 0) continue;
+    level_weight[d] = static_cast<double>(d);
+    weight_sum += level_weight[d];
+  }
+  for (size_t d = 1; d <= config.depth && next_term < config.num_terms; ++d) {
+    if (d == 1 && config.first_level_terms > 0) continue;
+    size_t quota = static_cast<size_t>(
+        (config.num_terms - remaining_start) * level_weight[d] / weight_sum);
+    if (d == config.depth) quota = config.num_terms - next_term;  // remainder
+    quota = std::min(quota, config.num_terms - next_term);
+    if (quota == 0 && next_term < config.num_terms) quota = 1;
+    for (size_t i = 0; i < quota && next_term < config.num_terms; ++i) {
+      levels[d].push_back(terms[next_term++]);
+    }
+  }
+
+  auto relation = [&]() {
+    return rng.Bernoulli(config.part_of_fraction) ? RelationType::kPartOf
+                                                  : RelationType::kIsA;
+  };
+
+  for (size_t d = 1; d <= config.depth; ++d) {
+    // Guard against empty intermediate levels (tiny configs).
+    size_t parent_level = d - 1;
+    while (levels[parent_level].empty() && parent_level > 0) --parent_level;
+    for (TermId t : levels[d]) {
+      const TermId parent = rng.Choice(levels[parent_level]);
+      LAMO_CHECK(builder.AddRelation(t, parent, relation()).ok());
+      if (d >= 2 && rng.Bernoulli(config.extra_parent_probability)) {
+        // Extra parent from any strictly shallower non-root level (extra
+        // edges to the root would inflate the category set).
+        const size_t extra_level = 1 + rng.Uniform(d - 1);
+        if (!levels[extra_level].empty()) {
+          const TermId extra = rng.Choice(levels[extra_level]);
+          if (extra != parent && extra != t) {
+            LAMO_CHECK(builder.AddRelation(t, extra, relation()).ok());
+          }
+        }
+      }
+    }
+  }
+
+  auto built = builder.Build();
+  LAMO_CHECK(built.ok()) << built.status().ToString();
+  return std::move(built).value();
+}
+
+std::vector<TermId> DeepTerms(const Ontology& ontology, uint32_t min_depth) {
+  std::vector<TermId> deep;
+  for (TermId t = 0; t < ontology.num_terms(); ++t) {
+    if (ontology.Depth(t) >= min_depth) deep.push_back(t);
+  }
+  return deep;
+}
+
+}  // namespace lamo

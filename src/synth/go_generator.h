@@ -1,0 +1,48 @@
+#ifndef LAMO_SYNTH_GO_GENERATOR_H_
+#define LAMO_SYNTH_GO_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ontology/ontology.h"
+#include "util/random.h"
+
+namespace lamo {
+
+/// Shape parameters of a synthetic GO branch.
+struct GoGeneratorConfig {
+  /// Total number of terms (root included).
+  size_t num_terms = 150;
+  /// Number of depth levels below the root. Real GO branches are 8-14 deep;
+  /// the labeling algorithm only needs "deep enough to generalize several
+  /// steps".
+  size_t depth = 6;
+  /// Probability that a non-root term gains one extra parent from the level
+  /// above (GO terms frequently have multiple parents).
+  double extra_parent_probability = 0.25;
+  /// Fraction of relations that are part-of rather than is-a.
+  double part_of_fraction = 0.2;
+  /// Exact number of level-1 terms (the root's children). These double as
+  /// the top functional categories for prediction (the paper evaluates on
+  /// yeast's 13 top functions). 0 = proportional allocation.
+  size_t first_level_terms = 13;
+};
+
+/// Generates a GO-like DAG: a single root, `depth` levels, each term with
+/// one uniformly-chosen parent in the previous level plus occasional extra
+/// parents (possibly skipping levels), mixing is-a and part-of relations.
+/// Term names are "T0001".. so datasets serialize cleanly.
+///
+/// This substitutes for the 2006 GO download (unavailable offline): the
+/// labeling pipeline consumes only DAG structure, annotation counts and the
+/// derived Lord weights, all of which this generator exercises, including
+/// the multi-parent paths that make lowest-common-parent search nontrivial.
+Ontology GenerateGoBranch(const GoGeneratorConfig& config, Rng& rng);
+
+/// Returns the terms at maximal depth (leaf-ish specific terms), handy for
+/// sampling realistic direct annotations.
+std::vector<TermId> DeepTerms(const Ontology& ontology, uint32_t min_depth);
+
+}  // namespace lamo
+
+#endif  // LAMO_SYNTH_GO_GENERATOR_H_

@@ -1,0 +1,85 @@
+#include "synth/grn_generator.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace lamo {
+
+GrnDataset BuildGrnDataset(const GrnConfig& config) {
+  Rng rng(config.seed);
+  GrnDataset ds;
+
+  // --- Ontology. ---
+  ds.ontology = GenerateGoBranch(config.go, rng);
+  const std::vector<TermId> deep = DeepTerms(ds.ontology, 2);
+  LAMO_CHECK_GE(deep.size(), 3u);
+
+  // --- Regulatory network. ---
+  const size_t num_tfs = std::max<size_t>(
+      3, static_cast<size_t>(config.tf_fraction *
+                             static_cast<double>(config.num_genes)));
+  DiGraphBuilder builder(config.num_genes);
+  for (size_t i = 0; i < config.background_arcs; ++i) {
+    const VertexId source = static_cast<VertexId>(rng.Uniform(num_tfs));
+    const VertexId target =
+        static_cast<VertexId>(rng.Uniform(config.num_genes));
+    LAMO_CHECK(builder.AddArc(source, target).ok());
+  }
+  // Planted feed-forward loops: a, b from the TF pool, c anywhere.
+  for (size_t i = 0; i < config.planted_ffls; ++i) {
+    VertexId a = static_cast<VertexId>(rng.Uniform(num_tfs));
+    VertexId b = static_cast<VertexId>(rng.Uniform(num_tfs));
+    while (b == a) b = static_cast<VertexId>(rng.Uniform(num_tfs));
+    VertexId c = static_cast<VertexId>(rng.Uniform(config.num_genes));
+    while (c == a || c == b) {
+      c = static_cast<VertexId>(rng.Uniform(config.num_genes));
+    }
+    LAMO_CHECK(builder.AddArc(a, b).ok());
+    LAMO_CHECK(builder.AddArc(a, c).ok());
+    LAMO_CHECK(builder.AddArc(b, c).ok());
+    ds.ffls.push_back({a, b, c});
+  }
+  ds.grn = builder.Build();
+
+  // --- Role-correlated annotations. ---
+  for (size_t r = 0; r < 3; ++r) {
+    ds.ffl_role_terms[r] = deep[rng.Uniform(deep.size())];
+  }
+  ds.annotations = AnnotationTable(config.num_genes);
+  std::vector<bool> annotated(config.num_genes, false);
+  {
+    std::vector<VertexId> order(config.num_genes);
+    for (VertexId v = 0; v < config.num_genes; ++v) order[v] = v;
+    rng.Shuffle(order);
+    const size_t target = static_cast<size_t>(
+        config.annotated_fraction * static_cast<double>(config.num_genes));
+    for (size_t i = 0; i < target; ++i) annotated[order[i]] = true;
+  }
+  for (const auto& ffl : ds.ffls) {
+    for (size_t r = 0; r < 3; ++r) {
+      if (!annotated[ffl[r]]) continue;
+      if (!rng.Bernoulli(config.role_annotation_probability)) continue;
+      LAMO_CHECK(ds.annotations.Annotate(ffl[r], ds.ffl_role_terms[r]).ok());
+    }
+  }
+  for (VertexId v = 0; v < config.num_genes; ++v) {
+    if (!annotated[v]) continue;
+    const size_t want =
+        1 + rng.Poisson(std::max(0.0, config.mean_terms_per_gene - 1.0));
+    while (ds.annotations.TermsOf(v).size() < want) {
+      LAMO_CHECK(
+          ds.annotations.Annotate(v, deep[rng.Uniform(deep.size())]).ok());
+    }
+  }
+
+  // --- Derived layers. ---
+  ds.weights = TermWeights::Compute(ds.ontology, ds.annotations);
+  InformativeConfig informative_config;
+  informative_config.min_direct_proteins = config.informative_threshold;
+  ds.informative = InformativeClasses::Compute(ds.ontology, ds.annotations,
+                                               informative_config);
+  return ds;
+}
+
+}  // namespace lamo

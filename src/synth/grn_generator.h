@@ -1,0 +1,63 @@
+#ifndef LAMO_SYNTH_GRN_GENERATOR_H_
+#define LAMO_SYNTH_GRN_GENERATOR_H_
+
+#include <array>
+#include <vector>
+
+#include "graph/digraph.h"
+#include "ontology/annotation.h"
+#include "ontology/informative.h"
+#include "ontology/ontology.h"
+#include "ontology/weights.h"
+#include "synth/go_generator.h"
+#include "util/random.h"
+
+namespace lamo {
+
+/// Shape of the synthetic gene regulatory network (GRN).
+struct GrnConfig {
+  /// Number of genes. A fraction of them act as transcription factors
+  /// (arc sources).
+  size_t num_genes = 500;
+  /// Fraction of genes in the TF pool (real GRNs: few regulators, many
+  /// targets).
+  double tf_fraction = 0.12;
+  /// Background arcs (TF -> random target).
+  size_t background_arcs = 900;
+  /// Planted feed-forward loops a -> b, a -> c, b -> c — the canonical
+  /// directed motif of regulatory networks [Milo et al. 2002].
+  size_t planted_ffls = 60;
+
+  /// Ontology shape and annotation behavior (as in the PPI generator).
+  GoGeneratorConfig go;
+  double annotated_fraction = 0.9;
+  double mean_terms_per_gene = 2.5;
+  double role_annotation_probability = 0.85;
+  size_t informative_threshold = 8;
+
+  uint64_t seed = 77;
+};
+
+/// A synthetic GRN with GO annotations whose roles correlate with the
+/// planted feed-forward loops: position 0 (the master regulator), 1 (the
+/// intermediate regulator) and 2 (the regulated target) each draw from a
+/// distinct role term. Substrate for labeled *directed* motif mining — the
+/// paper's future-work extension.
+struct GrnDataset {
+  DiGraph grn;
+  Ontology ontology;
+  AnnotationTable annotations;
+  TermWeights weights;
+  InformativeClasses informative;
+  /// Planted loops as (regulator, intermediate, target).
+  std::vector<std::array<VertexId, 3>> ffls;
+  /// Role terms of positions 0..2.
+  std::array<TermId, 3> ffl_role_terms = {0, 0, 0};
+};
+
+/// Builds the dataset; deterministic in `config.seed`.
+GrnDataset BuildGrnDataset(const GrnConfig& config);
+
+}  // namespace lamo
+
+#endif  // LAMO_SYNTH_GRN_GENERATOR_H_

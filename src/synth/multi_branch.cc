@@ -1,0 +1,63 @@
+#include "synth/multi_branch.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace lamo {
+
+MultiBranchDataset BuildMultiBranchDataset(const MultiBranchConfig& config) {
+  MultiBranchDataset ds;
+
+  // The shared interactome, planted templates and the molecular-function
+  // branch come from the single-branch builder.
+  SyntheticDataset base = BuildSyntheticDataset(config.base);
+  ds.ppi = std::move(base.ppi);
+  ds.templates = std::move(base.templates);
+
+  BranchData& function = ds.branches[0];
+  function.branch = GoBranch::kMolecularFunction;
+  function.ontology = std::move(base.ontology);
+  function.annotations = std::move(base.annotations);
+  function.weights = std::move(base.weights);
+  function.informative = std::move(base.informative);
+  function.template_role_terms.reserve(ds.templates.size());
+  for (const PlantedTemplate& t : ds.templates) {
+    function.template_role_terms.push_back(t.role_terms);
+  }
+
+  // The process and location branches annotate the same proteins and the
+  // same planted instances against branch-specific ontologies. Each branch
+  // gets an independent, deterministic RNG stream.
+  const GoBranch others[] = {GoBranch::kBiologicalProcess,
+                             GoBranch::kCellularComponent};
+  for (GoBranch branch : others) {
+    BranchData& data = ds.branches[static_cast<size_t>(branch)];
+    data.branch = branch;
+
+    SyntheticDatasetConfig branch_config = config.base;
+    if (branch == GoBranch::kCellularComponent) {
+      branch_config.go.num_terms = std::max<size_t>(
+          20, static_cast<size_t>(config.location_term_fraction *
+                                  static_cast<double>(
+                                      config.base.go.num_terms)));
+      branch_config.go.depth = config.location_depth;
+      // Localizations are broader: less specialization below the role term.
+      branch_config.role_specialization_probability = 0.3;
+    }
+    Rng rng(config.base.seed + 1000 * (static_cast<uint64_t>(branch) + 1));
+    data.ontology = GenerateGoBranch(branch_config.go, rng);
+    data.annotations =
+        SynthesizeAnnotations(ds.ppi, ds.templates, data.ontology,
+                              branch_config, &data.template_role_terms, rng);
+    data.weights = TermWeights::Compute(data.ontology, data.annotations);
+    InformativeConfig informative_config;
+    informative_config.min_direct_proteins =
+        branch_config.informative_threshold;
+    data.informative = InformativeClasses::Compute(
+        data.ontology, data.annotations, informative_config);
+  }
+  return ds;
+}
+
+}  // namespace lamo

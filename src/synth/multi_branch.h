@@ -1,0 +1,56 @@
+#ifndef LAMO_SYNTH_MULTI_BRANCH_H_
+#define LAMO_SYNTH_MULTI_BRANCH_H_
+
+#include <array>
+#include <vector>
+
+#include "synth/dataset.h"
+
+namespace lamo {
+
+/// One GO branch's worth of annotation layers over a shared interactome.
+struct BranchData {
+  GoBranch branch = GoBranch::kMolecularFunction;
+  Ontology ontology;
+  AnnotationTable annotations;
+  TermWeights weights;
+  InformativeClasses informative;
+  /// Per-branch role terms of each planted template (aligned with
+  /// MultiBranchDataset::templates instances).
+  std::vector<std::vector<TermId>> template_role_terms;
+};
+
+/// A synthetic interactome annotated in all three GO branches (function,
+/// process, location), sharing one PPI network and one set of planted
+/// templates. This is the substrate for the paper's Section-4 protocol of
+/// calling LaMoFinder once per branch, and for Figure 7's parallel-labeled
+/// motifs (functional labels alongside cellular-location labels).
+struct MultiBranchDataset {
+  Graph ppi;
+  std::vector<PlantedTemplate> templates;  // instances only; terms per branch
+  std::array<BranchData, 3> branches;
+
+  const BranchData& branch(GoBranch b) const {
+    return branches[static_cast<size_t>(b)];
+  }
+};
+
+/// Configuration: the single-branch config is reused per branch; the
+/// location branch is generated shallower and with fewer terms (cellular
+/// components are far fewer than functions, as in real GO).
+struct MultiBranchConfig {
+  SyntheticDatasetConfig base;
+  /// Shrink factors applied to the cellular-component branch.
+  double location_term_fraction = 0.4;
+  size_t location_depth = 4;
+};
+
+/// Builds the shared interactome once, then annotates it independently per
+/// branch with branch-specific ontologies and role terms (roles correlate
+/// across branches: one template's roles share a category within every
+/// branch, mirroring complexes that share function *and* localization).
+MultiBranchDataset BuildMultiBranchDataset(const MultiBranchConfig& config);
+
+}  // namespace lamo
+
+#endif  // LAMO_SYNTH_MULTI_BRANCH_H_

@@ -1,0 +1,78 @@
+#ifndef LAMO_UTIL_LOGGING_H_
+#define LAMO_UTIL_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace lamo {
+
+/// Log severities, ordered by importance.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Process-wide minimum level; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+/// Stream-style message collector; emits on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Fatal variant: aborts the process after emitting.
+class FatalLogMessage {
+ public:
+  FatalLogMessage(const char* file, int line, const char* condition);
+  [[noreturn]] ~FatalLogMessage();
+
+  template <typename T>
+  FatalLogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace lamo
+
+#define LAMO_LOG(level)                                             \
+  ::lamo::internal_logging::LogMessage(::lamo::LogLevel::k##level, \
+                                       __FILE__, __LINE__)
+
+/// Always-on invariant check (kept in release builds); logs and aborts on
+/// violation. Use for conditions whose failure means internal corruption.
+#define LAMO_CHECK(condition)                                        \
+  if (!(condition))                                                  \
+  ::lamo::internal_logging::FatalLogMessage(__FILE__, __LINE__,      \
+                                            #condition)
+
+#define LAMO_CHECK_EQ(a, b) LAMO_CHECK((a) == (b)) << " (" << (a) << " vs " << (b) << ") "
+#define LAMO_CHECK_NE(a, b) LAMO_CHECK((a) != (b))
+#define LAMO_CHECK_LT(a, b) LAMO_CHECK((a) < (b)) << " (" << (a) << " vs " << (b) << ") "
+#define LAMO_CHECK_LE(a, b) LAMO_CHECK((a) <= (b)) << " (" << (a) << " vs " << (b) << ") "
+#define LAMO_CHECK_GT(a, b) LAMO_CHECK((a) > (b)) << " (" << (a) << " vs " << (b) << ") "
+#define LAMO_CHECK_GE(a, b) LAMO_CHECK((a) >= (b)) << " (" << (a) << " vs " << (b) << ") "
+
+#endif  // LAMO_UTIL_LOGGING_H_

@@ -1,0 +1,142 @@
+#include "util/random.h"
+
+#include <cmath>
+
+namespace lamo {
+namespace {
+
+uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+void Rng::Seed(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& word : s_) word = SplitMix64(sm);
+  has_spare_gaussian_ = false;
+}
+
+uint64_t Rng::Next64() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::Uniform(uint64_t bound) {
+  assert(bound > 0);
+  // Lemire's nearly-divisionless unbiased bounded sampling.
+  uint64_t x = Next64();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  uint64_t l = static_cast<uint64_t>(m);
+  if (l < bound) {
+    uint64_t threshold = -bound % bound;
+    while (l < threshold) {
+      x = Next64();
+      m = static_cast<__uint128_t>(x) * bound;
+      l = static_cast<uint64_t>(m);
+    }
+  }
+  return static_cast<uint64_t>(m >> 64);
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  assert(lo <= hi);
+  uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  return lo + static_cast<int64_t>(Uniform(span));
+}
+
+double Rng::NextDouble() {
+  // 53 high bits -> double in [0,1).
+  return static_cast<double>(Next64() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextDouble() < p;
+}
+
+double Rng::NextGaussian() {
+  if (has_spare_gaussian_) {
+    has_spare_gaussian_ = false;
+    return spare_gaussian_;
+  }
+  double u, v, s;
+  do {
+    u = 2.0 * NextDouble() - 1.0;
+    v = 2.0 * NextDouble() - 1.0;
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double mul = std::sqrt(-2.0 * std::log(s) / s);
+  spare_gaussian_ = v * mul;
+  has_spare_gaussian_ = true;
+  return u * mul;
+}
+
+uint64_t Rng::PowerLaw(double alpha, uint64_t cap) {
+  assert(alpha > 1.0);
+  assert(cap >= 1);
+  // Inverse-transform of a continuous Pareto truncated to [1, cap+1).
+  const double u = NextDouble();
+  const double one_minus = 1.0 - alpha;
+  const double hi = std::pow(static_cast<double>(cap + 1), one_minus);
+  const double x = std::pow(u * (hi - 1.0) + 1.0, 1.0 / one_minus);
+  uint64_t value = static_cast<uint64_t>(x);
+  if (value < 1) value = 1;
+  if (value > cap) value = cap;
+  return value;
+}
+
+uint64_t Rng::Poisson(double mean) {
+  assert(mean >= 0.0);
+  if (mean == 0.0) return 0;
+  if (mean < 30.0) {
+    const double limit = std::exp(-mean);
+    uint64_t k = 0;
+    double p = 1.0;
+    do {
+      ++k;
+      p *= NextDouble();
+    } while (p > limit);
+    return k - 1;
+  }
+  // Normal approximation with continuity correction for large means.
+  double draw = mean + std::sqrt(mean) * NextGaussian() + 0.5;
+  if (draw < 0.0) draw = 0.0;
+  return static_cast<uint64_t>(draw);
+}
+
+std::vector<size_t> Rng::SampleWithoutReplacement(size_t n, size_t k) {
+  assert(k <= n);
+  // Floyd's algorithm: O(k) expected insertions.
+  std::vector<size_t> result;
+  result.reserve(k);
+  for (size_t j = n - k; j < n; ++j) {
+    size_t t = static_cast<size_t>(Uniform(j + 1));
+    bool seen = false;
+    for (size_t chosen : result) {
+      if (chosen == t) {
+        seen = true;
+        break;
+      }
+    }
+    result.push_back(seen ? j : t);
+  }
+  return result;
+}
+
+Rng Rng::Fork() { return Rng(Next64()); }
+
+}  // namespace lamo

@@ -1,0 +1,189 @@
+#ifndef LAMO_UTIL_STATUS_H_
+#define LAMO_UTIL_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace lamo {
+
+/// Error categories used across the library. Mirrors the usual
+/// database-systems convention (RocksDB/Arrow style) of returning a
+/// lightweight status object instead of throwing exceptions.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kFailedPrecondition,
+  kCorruption,
+  kIoError,
+  kUnimplemented,
+  kInternal,
+};
+
+/// Returns a human-readable name for a status code ("Ok", "InvalidArgument"...).
+const char* StatusCodeName(StatusCode code);
+
+/// A cheap, copyable result-of-operation descriptor. `Status::OK()` carries no
+/// allocation; error statuses carry a code and a message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  /// Factory for the OK status.
+  static Status OK() { return Status(); }
+
+  /// Factories for each error category.
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  /// True iff this status represents success.
+  bool ok() const { return code_ == StatusCode::kOk; }
+
+  /// The status category.
+  StatusCode code() const { return code_; }
+
+  /// The error message; empty for OK.
+  const std::string& message() const { return message_; }
+
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code_ == StatusCode::kAlreadyExists; }
+  bool IsOutOfRange() const { return code_ == StatusCode::kOutOfRange; }
+  bool IsFailedPrecondition() const {
+    return code_ == StatusCode::kFailedPrecondition;
+  }
+  bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+  bool IsIoError() const { return code_ == StatusCode::kIoError; }
+  bool IsUnimplemented() const { return code_ == StatusCode::kUnimplemented; }
+  bool IsInternal() const { return code_ == StatusCode::kInternal; }
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// Value-or-error wrapper, in the spirit of absl::StatusOr. Access to
+/// `value()` on an error result aborts in debug builds.
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit conversion from an error status. Must not be OK (an OK status
+  /// with no value is meaningless).
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "StatusOr constructed from OK status");
+  }
+
+  /// Implicit conversion from a value; yields an OK result.
+  StatusOr(T value)  // NOLINT
+      : status_(Status::OK()), value_(std::move(value)) {}
+
+  /// True iff a value is held.
+  bool ok() const { return status_.ok(); }
+
+  /// The status; OK when a value is held.
+  const Status& status() const { return status_; }
+
+  /// The held value; requires `ok()`.
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` if this holds an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace lamo
+
+/// Propagates a non-OK status from an expression to the caller.
+#define LAMO_RETURN_IF_ERROR(expr)              \
+  do {                                          \
+    ::lamo::Status _lamo_status = (expr);       \
+    if (!_lamo_status.ok()) return _lamo_status; \
+  } while (0)
+
+/// Evaluates `rexpr` (a StatusOr), propagating errors, else binds `lhs`.
+#define LAMO_ASSIGN_OR_RETURN(lhs, rexpr)             \
+  LAMO_ASSIGN_OR_RETURN_IMPL_(                        \
+      LAMO_STATUS_CONCAT_(_lamo_statusor, __LINE__), lhs, rexpr)
+
+#define LAMO_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                \
+  if (!tmp.ok()) return tmp.status();                \
+  lhs = std::move(tmp).value()
+
+#define LAMO_STATUS_CONCAT_(a, b) LAMO_STATUS_CONCAT_IMPL_(a, b)
+#define LAMO_STATUS_CONCAT_IMPL_(a, b) a##b
+
+#endif  // LAMO_UTIL_STATUS_H_

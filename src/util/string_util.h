@@ -1,0 +1,37 @@
+#ifndef LAMO_UTIL_STRING_UTIL_H_
+#define LAMO_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lamo {
+
+/// Splits `input` on `delim`, keeping empty fields.
+std::vector<std::string> Split(std::string_view input, char delim);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view input);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view sep);
+
+/// True iff `s` begins with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// True iff `s` ends with `suffix`.
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Parses a non-negative integer; returns false on any non-digit content.
+bool ParseUint64(std::string_view s, uint64_t* out);
+
+/// Parses a double; returns false on malformed content.
+bool ParseDouble(std::string_view s, double* out);
+
+/// Formats a double with `digits` digits after the decimal point.
+std::string FormatDouble(double value, int digits);
+
+}  // namespace lamo
+
+#endif  // LAMO_UTIL_STRING_UTIL_H_

@@ -1,0 +1,50 @@
+#ifndef LAMO_UTIL_TABLE_PRINTER_H_
+#define LAMO_UTIL_TABLE_PRINTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace lamo {
+
+/// Fixed-width ASCII table writer used by the table/figure-regeneration
+/// harnesses in bench/ to print paper-style rows.
+class TablePrinter {
+ public:
+  /// Creates a printer with the given column headers.
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Appends one row; the cell count must match the header count.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders the table (header, separator, rows) to `os`.
+  void Print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Writes rows as comma-separated values; convenient for re-plotting figures.
+class CsvWriter {
+ public:
+  /// Opens `path` for writing; check `ok()` before use.
+  explicit CsvWriter(const std::string& path);
+  ~CsvWriter();
+
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  /// True if the file opened successfully.
+  bool ok() const { return file_ != nullptr; }
+
+  /// Writes one CSV row. Cells containing commas or quotes are quoted.
+  void WriteRow(const std::vector<std::string>& cells);
+
+ private:
+  std::FILE* file_;
+};
+
+}  // namespace lamo
+
+#endif  // LAMO_UTIL_TABLE_PRINTER_H_

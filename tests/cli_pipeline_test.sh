@@ -1,0 +1,25 @@
+#!/bin/sh
+# End-to-end smoke test of the lamo CLI: generate -> stats -> mine -> label
+# -> predict over the on-disk formats. Fails on any non-zero exit or if the
+# outputs are missing the expected markers.
+set -e
+LAMO="$1"
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+"$LAMO" generate --proteins 400 --copies 30 --seed 5 --out "$WORK/ds" \
+  | grep -q "wrote"
+"$LAMO" stats --graph "$WORK/ds.graph.txt" | grep -q "Graph(400 vertices"
+"$LAMO" mine --graph "$WORK/ds.graph.txt" --min-size 3 --max-size 4 \
+  --min-freq 20 --networks 5 --uniqueness 0.8 --out "$WORK/motifs.txt" \
+  | grep -q "wrote"
+test -s "$WORK/motifs.txt"
+"$LAMO" label --graph "$WORK/ds.graph.txt" --obo "$WORK/ds.obo" \
+  --annotations "$WORK/ds.annotations.tsv" --motifs "$WORK/motifs.txt" \
+  --sigma 6 --out "$WORK/labeled.txt" | grep -q "labeled"
+test -s "$WORK/labeled.txt"
+"$LAMO" predict --graph "$WORK/ds.graph.txt" --obo "$WORK/ds.obo" \
+  --annotations "$WORK/ds.annotations.tsv" --labeled "$WORK/labeled.txt" \
+  --protein 3 --top-k 2 > "$WORK/prediction.txt"
+grep -Eq "top predictions|no prediction" "$WORK/prediction.txt"
+echo "CLI pipeline OK"

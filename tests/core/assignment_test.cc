@@ -1,0 +1,89 @@
+#include "core/assignment.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace lamo {
+namespace {
+
+TEST(AssignmentTest, EmptyMatrix) {
+  std::vector<int> matching{1, 2, 3};
+  EXPECT_DOUBLE_EQ(MaxSumAssignment({}, &matching), 0.0);
+  EXPECT_TRUE(matching.empty());
+}
+
+TEST(AssignmentTest, SingleCell) {
+  std::vector<int> matching;
+  EXPECT_DOUBLE_EQ(MaxSumAssignment({{0.7}}, &matching), 0.7);
+  EXPECT_EQ(matching, (std::vector<int>{0}));
+}
+
+TEST(AssignmentTest, TwoByTwoPrefersCross) {
+  // Diagonal gives 0.1 + 0.1; cross gives 0.9 + 0.8.
+  const std::vector<std::vector<double>> score = {{0.1, 0.9}, {0.8, 0.1}};
+  std::vector<int> matching;
+  EXPECT_NEAR(MaxSumAssignment(score, &matching), 1.7, 1e-12);
+  EXPECT_EQ(matching, (std::vector<int>{1, 0}));
+}
+
+TEST(AssignmentTest, IdentityOptimal) {
+  const std::vector<std::vector<double>> score = {
+      {1.0, 0.0, 0.0}, {0.0, 1.0, 0.0}, {0.0, 0.0, 1.0}};
+  std::vector<int> matching;
+  EXPECT_NEAR(MaxSumAssignment(score, &matching), 3.0, 1e-12);
+  EXPECT_EQ(matching, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(AssignmentTest, MatchingIsPermutation) {
+  Rng rng(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    const size_t n = 1 + rng.Uniform(8);
+    std::vector<std::vector<double>> score(n, std::vector<double>(n));
+    for (auto& row : score) {
+      for (double& cell : row) cell = rng.NextDouble();
+    }
+    std::vector<int> matching;
+    const double total = MaxSumAssignment(score, &matching);
+    std::vector<bool> used(n, false);
+    double check = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      ASSERT_GE(matching[i], 0);
+      ASSERT_LT(matching[i], static_cast<int>(n));
+      EXPECT_FALSE(used[matching[i]]);
+      used[matching[i]] = true;
+      check += score[i][matching[i]];
+    }
+    EXPECT_NEAR(total, check, 1e-9);
+  }
+}
+
+// Property: Hungarian result equals brute force on random instances.
+class AssignmentEquivalence : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(AssignmentEquivalence, MatchesBruteForce) {
+  const size_t n = GetParam();
+  Rng rng(100 + n);
+  for (int trial = 0; trial < 25; ++trial) {
+    std::vector<std::vector<double>> score(n, std::vector<double>(n));
+    for (auto& row : score) {
+      for (double& cell : row) cell = rng.NextDouble();
+    }
+    const double hungarian = MaxSumAssignment(score, nullptr);
+    const double brute = MaxSumAssignmentBruteForce(score, nullptr);
+    EXPECT_NEAR(hungarian, brute, 1e-9) << "n=" << n << " trial=" << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, AssignmentEquivalence,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7));
+
+TEST(AssignmentTest, TiesResolveToValidMatching) {
+  const std::vector<std::vector<double>> score = {{1.0, 1.0}, {1.0, 1.0}};
+  std::vector<int> matching;
+  EXPECT_NEAR(MaxSumAssignment(score, &matching), 2.0, 1e-12);
+  EXPECT_NE(matching[0], matching[1]);
+}
+
+}  // namespace
+}  // namespace lamo

@@ -1,0 +1,145 @@
+#include "core/label_profile.h"
+
+#include <gtest/gtest.h>
+
+#include "core/paper_example.h"
+
+namespace lamo {
+namespace {
+
+class LabelProfileTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    example_ = new PaperExample(MakePaperExample());
+    st_ = new TermSimilarity(example_->ontology, example_->weights);
+  }
+  static void TearDownTestSuite() {
+    delete st_;
+    delete example_;
+  }
+  static LabelSet Terms(std::initializer_list<const char*> names) {
+    LabelSet set;
+    for (const char* name : names) InsertLabel(&set, example_->term(name));
+    return set;
+  }
+  static PaperExample* example_;
+  static TermSimilarity* st_;
+};
+
+PaperExample* LabelProfileTest::example_ = nullptr;
+TermSimilarity* LabelProfileTest::st_ = nullptr;
+
+TEST_F(LabelProfileTest, InsertLabelSortedUnique) {
+  LabelSet set;
+  InsertLabel(&set, 5);
+  InsertLabel(&set, 2);
+  InsertLabel(&set, 5);
+  InsertLabel(&set, 9);
+  EXPECT_EQ(set, (LabelSet{2, 5, 9}));
+}
+
+TEST_F(LabelProfileTest, VertexSimilaritySelf) {
+  const LabelSet a = Terms({"G04", "G09"});
+  EXPECT_DOUBLE_EQ(VertexSimilarity(*st_, a, a), 1.0);
+}
+
+TEST_F(LabelProfileTest, VertexSimilarityUnknownConventions) {
+  const LabelSet a = Terms({"G04"});
+  const LabelSet empty;
+  EXPECT_DOUBLE_EQ(VertexSimilarity(*st_, empty, empty), 1.0);
+  EXPECT_DOUBLE_EQ(VertexSimilarity(*st_, a, empty), 0.5);
+  EXPECT_DOUBLE_EQ(VertexSimilarity(*st_, empty, a), 0.5);
+}
+
+TEST_F(LabelProfileTest, OneGoodMatchDominates) {
+  // Sharing G09 exactly should pull SV to 1 regardless of the other labels
+  // ("two vertices are considered similar if they share at least one
+  // biological feature").
+  const LabelSet a = Terms({"G04", "G09", "G10"});
+  const LabelSet b = Terms({"G09"});
+  EXPECT_DOUBLE_EQ(VertexSimilarity(*st_, a, b), 1.0);
+}
+
+TEST_F(LabelProfileTest, DissimilarLabelsScoreLow) {
+  // G07 vs G06 share history only through low-information ancestors.
+  const double sv = VertexSimilarity(*st_, Terms({"G07"}), Terms({"G06"}));
+  EXPECT_LT(sv, 0.6);
+  EXPECT_GE(sv, 0.0);
+}
+
+TEST_F(LabelProfileTest, SimilarityMonotoneInExtraLabels) {
+  // Adding labels can only increase SV (the product shrinks).
+  const LabelSet base = Terms({"G07"});
+  const LabelSet more = Terms({"G07", "G09"});
+  const LabelSet other = Terms({"G06"});
+  EXPECT_GE(VertexSimilarity(*st_, more, other),
+            VertexSimilarity(*st_, base, other));
+}
+
+TEST_F(LabelProfileTest, LeastGeneralLabelsTable4Row1) {
+  // o1 vertex {G04, G09, G10} vs o2 vertex {G09}: the pairwise lowest
+  // common parents under our (closure-consistent) DAG.
+  const LabelSet merged = LeastGeneralLabels(
+      *st_, Terms({"G04", "G09", "G10"}), Terms({"G09"}), nullptr);
+  // (G04,G09)->G02; (G09,G09)->G09; (G10,G09)->G05.
+  EXPECT_EQ(merged, Terms({"G02", "G05", "G09"}));
+}
+
+TEST_F(LabelProfileTest, LeastGeneralLabelsCandidateFilter) {
+  std::vector<bool> filter(example_->ontology.num_terms());
+  for (TermId t = 0; t < example_->ontology.num_terms(); ++t) {
+    filter[t] = example_->informative.IsLabelCandidate(t);
+  }
+  const LabelSet merged = LeastGeneralLabels(
+      *st_, Terms({"G04", "G09", "G10"}), Terms({"G09"}), &filter);
+  // G02 is not a label candidate and is dropped, as in Figure 4's
+  // v1 = (G09, G05).
+  EXPECT_EQ(merged, Terms({"G05", "G09"}));
+}
+
+TEST_F(LabelProfileTest, LeastGeneralLabelsUnknownPassThrough) {
+  const LabelSet a = Terms({"G04"});
+  EXPECT_EQ(LeastGeneralLabels(*st_, a, {}, nullptr), a);
+  EXPECT_EQ(LeastGeneralLabels(*st_, {}, a, nullptr), a);
+  EXPECT_TRUE(LeastGeneralLabels(*st_, {}, {}, nullptr).empty());
+}
+
+TEST_F(LabelProfileTest, FilterFallsBackWhenEmpty) {
+  // If no common parent is a candidate, the unfiltered set is returned.
+  std::vector<bool> nothing(example_->ontology.num_terms(), false);
+  const LabelSet merged =
+      LeastGeneralLabels(*st_, Terms({"G04"}), Terms({"G06"}), &nothing);
+  EXPECT_FALSE(merged.empty());
+}
+
+TEST_F(LabelProfileTest, ConformanceFromSection2) {
+  // "assigning G08 to v2 is appropriate since it is more general than the
+  // annotation of p2 (G10)".
+  EXPECT_TRUE(LabelsConform(example_->ontology, Terms({"G08"}),
+                            Terms({"G03", "G10"})));
+  // G04 conforms to p1 = {G04, G09, G10}.
+  EXPECT_TRUE(LabelsConform(example_->ontology, Terms({"G04"}),
+                            Terms({"G04", "G09", "G10"})));
+  // G07 generalizes only {G07, G10}, so it does not conform to {G04, G09}.
+  EXPECT_FALSE(LabelsConform(example_->ontology, Terms({"G07"}),
+                             Terms({"G04", "G09"})));
+  // Multi-label scheme: every label must generalize something.
+  EXPECT_TRUE(LabelsConform(example_->ontology, Terms({"G05", "G09"}),
+                            Terms({"G04", "G09", "G10"})));
+  EXPECT_FALSE(LabelsConform(example_->ontology, Terms({"G05", "G06"}),
+                             Terms({"G04", "G10"})));
+}
+
+TEST_F(LabelProfileTest, ConformanceUnknownConventions) {
+  EXPECT_TRUE(LabelsConform(example_->ontology, {}, Terms({"G04"})));
+  EXPECT_TRUE(LabelsConform(example_->ontology, Terms({"G04"}), {}));
+}
+
+TEST_F(LabelProfileTest, ToStringRendersNames) {
+  EXPECT_EQ(LabelSetToString(example_->ontology, Terms({"G04", "G09"})),
+            "{G04, G09}");
+  EXPECT_EQ(LabelSetToString(example_->ontology, {}), "{unknown}");
+}
+
+}  // namespace
+}  // namespace lamo

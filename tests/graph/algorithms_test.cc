@@ -1,0 +1,101 @@
+#include "graph/algorithms.h"
+
+#include <gtest/gtest.h>
+
+namespace lamo {
+namespace {
+
+Graph TwoComponents() {
+  // Triangle {0,1,2} and path {3,4}.
+  GraphBuilder b(5);
+  EXPECT_TRUE(b.AddEdge(0, 1).ok());
+  EXPECT_TRUE(b.AddEdge(1, 2).ok());
+  EXPECT_TRUE(b.AddEdge(0, 2).ok());
+  EXPECT_TRUE(b.AddEdge(3, 4).ok());
+  return b.Build();
+}
+
+TEST(ComponentsTest, CountsAndIds) {
+  const Graph g = TwoComponents();
+  EXPECT_EQ(CountComponents(g), 2u);
+  const auto comp = ConnectedComponents(g);
+  EXPECT_EQ(comp[0], comp[1]);
+  EXPECT_EQ(comp[1], comp[2]);
+  EXPECT_EQ(comp[3], comp[4]);
+  EXPECT_NE(comp[0], comp[3]);
+}
+
+TEST(ComponentsTest, LargestComponent) {
+  const Graph g = TwoComponents();
+  EXPECT_EQ(LargestComponent(g), (std::vector<VertexId>{0, 1, 2}));
+}
+
+TEST(ComponentsTest, IsolatedVertices) {
+  GraphBuilder b(3);
+  ASSERT_TRUE(b.AddEdge(0, 1).ok());
+  const Graph g = b.Build();
+  EXPECT_EQ(CountComponents(g), 2u);
+}
+
+TEST(BfsTest, Distances) {
+  // Path 0-1-2-3.
+  GraphBuilder b(5);
+  ASSERT_TRUE(b.AddEdge(0, 1).ok());
+  ASSERT_TRUE(b.AddEdge(1, 2).ok());
+  ASSERT_TRUE(b.AddEdge(2, 3).ok());
+  const Graph g = b.Build();
+  const auto dist = BfsDistances(g, 0);
+  EXPECT_EQ(dist[0], 0u);
+  EXPECT_EQ(dist[1], 1u);
+  EXPECT_EQ(dist[2], 2u);
+  EXPECT_EQ(dist[3], 3u);
+  EXPECT_EQ(dist[4], kUnreachable);
+}
+
+TEST(TrianglesTest, Counts) {
+  const Graph g = TwoComponents();
+  EXPECT_EQ(CountTriangles(g), 1u);
+
+  GraphBuilder k4(4);
+  for (VertexId i = 0; i < 4; ++i) {
+    for (VertexId j = i + 1; j < 4; ++j) {
+      ASSERT_TRUE(k4.AddEdge(i, j).ok());
+    }
+  }
+  EXPECT_EQ(CountTriangles(k4.Build()), 4u);
+}
+
+TEST(ClusteringTest, TriangleIsOne) {
+  GraphBuilder b(3);
+  ASSERT_TRUE(b.AddEdge(0, 1).ok());
+  ASSERT_TRUE(b.AddEdge(1, 2).ok());
+  ASSERT_TRUE(b.AddEdge(0, 2).ok());
+  EXPECT_DOUBLE_EQ(GlobalClusteringCoefficient(b.Build()), 1.0);
+}
+
+TEST(ClusteringTest, TreeIsZero) {
+  GraphBuilder b(4);
+  ASSERT_TRUE(b.AddEdge(0, 1).ok());
+  ASSERT_TRUE(b.AddEdge(0, 2).ok());
+  ASSERT_TRUE(b.AddEdge(0, 3).ok());
+  EXPECT_DOUBLE_EQ(GlobalClusteringCoefficient(b.Build()), 0.0);
+}
+
+TEST(DegreeStatsTest, HistogramAndMean) {
+  const Graph g = TwoComponents();
+  const auto hist = DegreeHistogram(g);
+  ASSERT_EQ(hist.size(), 3u);  // max degree 2
+  EXPECT_EQ(hist[0], 0u);
+  EXPECT_EQ(hist[1], 2u);  // vertices 3, 4
+  EXPECT_EQ(hist[2], 3u);  // triangle vertices
+  EXPECT_DOUBLE_EQ(MeanDegree(g), 2.0 * 4 / 5);
+}
+
+TEST(DegreeStatsTest, EmptyGraph) {
+  Graph g;
+  EXPECT_DOUBLE_EQ(MeanDegree(g), 0.0);
+  EXPECT_EQ(CountComponents(g), 0u);
+}
+
+}  // namespace
+}  // namespace lamo

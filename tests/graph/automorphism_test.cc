@@ -1,0 +1,188 @@
+#include "graph/automorphism.h"
+
+#include <gtest/gtest.h>
+
+namespace lamo {
+namespace {
+
+SmallGraph Cycle(size_t n) {
+  SmallGraph g(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    g.AddEdge(i, static_cast<uint32_t>((i + 1) % n));
+  }
+  return g;
+}
+
+SmallGraph Clique(size_t n) {
+  SmallGraph g(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    for (uint32_t j = i + 1; j < n; ++j) g.AddEdge(i, j);
+  }
+  return g;
+}
+
+TEST(OrbitsTest, PaperMotifFourCycle) {
+  // The paper's Figure 2 motif: the 4-cycle v1-v2-v3-v4 has symmetric
+  // vertex sets {v1, v3} and {v2, v4}.
+  SmallGraph g(4);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 3);
+  g.AddEdge(3, 0);
+  const auto sets = SymmetricVertexSets(g);
+  ASSERT_EQ(sets.size(), 2u);
+  EXPECT_EQ(sets[0], (std::vector<uint32_t>{0, 2}));
+  EXPECT_EQ(sets[1], (std::vector<uint32_t>{1, 3}));
+}
+
+TEST(OrbitsTest, CycleSingleOrbit) {
+  const auto orbits = VertexOrbits(Cycle(6));
+  ASSERT_EQ(orbits.size(), 1u);
+  EXPECT_EQ(orbits[0].size(), 6u);
+}
+
+TEST(OrbitsTest, FourCycleFullOrbitIsTransitive) {
+  // Rotations make C4 vertex-transitive: the *full* automorphism orbit is
+  // one set of 4, while the paper's symmetric sets (twin classes) split it
+  // into {v1,v3} / {v2,v4} — the pair of tests pins the distinction.
+  const auto orbits = VertexOrbits(Cycle(4));
+  ASSERT_EQ(orbits.size(), 1u);
+  EXPECT_EQ(orbits[0].size(), 4u);
+}
+
+TEST(TwinClassesTest, PathHasNoTwins) {
+  // Path endpoints are exchanged only by the mirror (which also moves the
+  // middle vertices), so no transposition alone is an automorphism.
+  SmallGraph path(5);
+  path.AddEdge(0, 1);
+  path.AddEdge(1, 2);
+  path.AddEdge(2, 3);
+  path.AddEdge(3, 4);
+  EXPECT_TRUE(SymmetricVertexSets(path).empty());
+  EXPECT_EQ(TwinClasses(path).size(), 5u);
+}
+
+TEST(TwinClassesTest, CliqueIsOneClass) {
+  const auto classes = TwinClasses(Clique(5));
+  ASSERT_EQ(classes.size(), 1u);
+  EXPECT_EQ(classes[0].size(), 5u);
+}
+
+TEST(TwinClassesTest, StarLeavesAreTwins) {
+  SmallGraph star(5);
+  for (uint32_t i = 1; i < 5; ++i) star.AddEdge(0, i);
+  const auto sets = SymmetricVertexSets(star);
+  ASSERT_EQ(sets.size(), 1u);
+  EXPECT_EQ(sets[0], (std::vector<uint32_t>{1, 2, 3, 4}));
+}
+
+TEST(TwinClassesTest, EverySwapWithinClassIsAutomorphism) {
+  // Property check on a mixed graph: for any twins u, v the transposition
+  // preserves all adjacency.
+  SmallGraph g(6);
+  g.AddEdge(0, 1);
+  g.AddEdge(0, 2);
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 3);
+  g.AddEdge(2, 4);
+  g.AddEdge(3, 5);
+  g.AddEdge(4, 5);
+  for (const auto& cls : TwinClasses(g)) {
+    for (size_t i = 0; i < cls.size(); ++i) {
+      for (size_t j = i + 1; j < cls.size(); ++j) {
+        std::vector<uint32_t> perm(6);
+        for (uint32_t v = 0; v < 6; ++v) perm[v] = v;
+        std::swap(perm[cls[i]], perm[cls[j]]);
+        EXPECT_TRUE(g.Permuted(perm) == g);
+      }
+    }
+  }
+}
+
+TEST(OrbitsTest, PathHasMirrorOrbits) {
+  // Path 0-1-2-3-4: orbits {0,4}, {1,3}, {2}.
+  SmallGraph path(5);
+  path.AddEdge(0, 1);
+  path.AddEdge(1, 2);
+  path.AddEdge(2, 3);
+  path.AddEdge(3, 4);
+  const auto orbits = VertexOrbits(path);
+  ASSERT_EQ(orbits.size(), 3u);
+  EXPECT_EQ(orbits[0], (std::vector<uint32_t>{0, 4}));
+  EXPECT_EQ(orbits[1], (std::vector<uint32_t>{1, 3}));
+  EXPECT_EQ(orbits[2], (std::vector<uint32_t>{2}));
+}
+
+TEST(OrbitsTest, AsymmetricGraphAllSingletons) {
+  // The smallest asymmetric graph has 6 vertices; this is one of them.
+  SmallGraph g(6);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 3);
+  g.AddEdge(3, 4);
+  g.AddEdge(4, 5);
+  g.AddEdge(1, 3);
+  g.AddEdge(1, 4);
+  const auto orbits = VertexOrbits(g);
+  EXPECT_EQ(orbits.size(), 6u);
+  EXPECT_TRUE(SymmetricVertexSets(g).empty());
+}
+
+TEST(FindAutomorphismTest, CycleRotation) {
+  const SmallGraph c5 = Cycle(5);
+  const auto mapping = FindAutomorphismMapping(c5, 0, 2);
+  ASSERT_TRUE(mapping.has_value());
+  EXPECT_EQ((*mapping)[0], 2u);
+  // The mapping must preserve adjacency.
+  for (uint32_t a = 0; a < 5; ++a) {
+    for (uint32_t b = 0; b < 5; ++b) {
+      EXPECT_EQ(c5.HasEdge(a, b), c5.HasEdge((*mapping)[a], (*mapping)[b]));
+    }
+  }
+}
+
+TEST(FindAutomorphismTest, ImpossibleMapping) {
+  // Path 0-1-2: endpoint cannot map to the center (degrees differ).
+  SmallGraph path(3);
+  path.AddEdge(0, 1);
+  path.AddEdge(1, 2);
+  EXPECT_FALSE(FindAutomorphismMapping(path, 0, 1).has_value());
+  EXPECT_TRUE(FindAutomorphismMapping(path, 0, 2).has_value());
+}
+
+TEST(GroupSizeTest, KnownGroups) {
+  EXPECT_EQ(AutomorphismGroupSize(Cycle(5)), 10u);   // dihedral D5
+  EXPECT_EQ(AutomorphismGroupSize(Cycle(6)), 12u);   // dihedral D6
+  EXPECT_EQ(AutomorphismGroupSize(Clique(4)), 24u);  // S4
+  EXPECT_EQ(AutomorphismGroupSize(Clique(5)), 120u);
+
+  SmallGraph path(4);
+  path.AddEdge(0, 1);
+  path.AddEdge(1, 2);
+  path.AddEdge(2, 3);
+  EXPECT_EQ(AutomorphismGroupSize(path), 2u);  // mirror only
+
+  SmallGraph star(5);
+  for (uint32_t i = 1; i < 5; ++i) star.AddEdge(0, i);
+  EXPECT_EQ(AutomorphismGroupSize(star), 24u);  // S4 on the leaves
+}
+
+TEST(GroupSizeTest, LargeCliqueViaOrbitStabilizer) {
+  // 12! = 479001600 — enumeration would be hopeless; orbit-stabilizer isn't.
+  EXPECT_EQ(AutomorphismGroupSize(Clique(12)), 479001600u);
+}
+
+TEST(OrbitsTest, CompleteBipartiteOrbits) {
+  // K_{2,3}: two orbits (the sides).
+  SmallGraph g(5);
+  for (uint32_t a = 0; a < 2; ++a) {
+    for (uint32_t b = 2; b < 5; ++b) g.AddEdge(a, b);
+  }
+  const auto orbits = VertexOrbits(g);
+  ASSERT_EQ(orbits.size(), 2u);
+  EXPECT_EQ(orbits[0], (std::vector<uint32_t>{0, 1}));
+  EXPECT_EQ(orbits[1], (std::vector<uint32_t>{2, 3, 4}));
+}
+
+}  // namespace
+}  // namespace lamo

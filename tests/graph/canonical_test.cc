@@ -1,0 +1,158 @@
+#include "graph/canonical.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/automorphism.h"
+#include "util/random.h"
+
+namespace lamo {
+namespace {
+
+SmallGraph Cycle(size_t n) {
+  SmallGraph g(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    g.AddEdge(i, static_cast<uint32_t>((i + 1) % n));
+  }
+  return g;
+}
+
+SmallGraph Clique(size_t n) {
+  SmallGraph g(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    for (uint32_t j = i + 1; j < n; ++j) g.AddEdge(i, j);
+  }
+  return g;
+}
+
+SmallGraph Star(size_t leaves) {
+  SmallGraph g(leaves + 1);
+  for (uint32_t i = 1; i <= leaves; ++i) g.AddEdge(0, i);
+  return g;
+}
+
+std::vector<uint32_t> RandomPermutation(size_t n, Rng& rng) {
+  std::vector<uint32_t> perm(n);
+  for (uint32_t i = 0; i < n; ++i) perm[i] = i;
+  rng.Shuffle(perm);
+  return perm;
+}
+
+TEST(CanonicalTest, IsomorphicGraphsShareCode) {
+  Rng rng(5);
+  const SmallGraph c5 = Cycle(5);
+  const auto code = CanonicalCode(c5);
+  for (int trial = 0; trial < 20; ++trial) {
+    const SmallGraph permuted = c5.Permuted(RandomPermutation(5, rng));
+    EXPECT_EQ(CanonicalCode(permuted), code);
+  }
+}
+
+TEST(CanonicalTest, NonIsomorphicGraphsDiffer) {
+  SmallGraph path(4);
+  path.AddEdge(0, 1);
+  path.AddEdge(1, 2);
+  path.AddEdge(2, 3);
+  SmallGraph star = Star(3);
+  EXPECT_NE(CanonicalCode(path), CanonicalCode(star));
+  EXPECT_NE(CanonicalCode(Cycle(4)), CanonicalCode(path));
+}
+
+TEST(CanonicalTest, CanonicalGraphIsIsomorphicToInput) {
+  Rng rng(11);
+  for (int trial = 0; trial < 30; ++trial) {
+    const size_t n = 6;
+    SmallGraph g(n);
+    for (uint32_t i = 0; i < n; ++i) {
+      for (uint32_t j = i + 1; j < n; ++j) {
+        if (rng.Bernoulli(0.4)) g.AddEdge(i, j);
+      }
+    }
+    const CanonicalResult result = Canonicalize(g);
+    EXPECT_EQ(result.graph.num_edges(), g.num_edges());
+    // The labeling must be a permutation mapping canonical back to input.
+    const SmallGraph reconstructed = g.Permuted(result.canonical_to_original);
+    EXPECT_TRUE(reconstructed == result.graph);
+    EXPECT_EQ(result.code, result.graph.AdjacencyCode());
+  }
+}
+
+TEST(CanonicalTest, HighlySymmetricGraphsFast) {
+  // Cliques and stars have factorial automorphism groups; the twin-cell
+  // shortcut must keep canonicalization instantaneous.
+  const SmallGraph k16 = Clique(16);
+  const auto code = CanonicalCode(k16);
+  Rng rng(13);
+  const SmallGraph permuted = k16.Permuted(RandomPermutation(16, rng));
+  EXPECT_EQ(CanonicalCode(permuted), code);
+
+  const SmallGraph star = Star(20);
+  const SmallGraph star_permuted = star.Permuted(RandomPermutation(21, rng));
+  EXPECT_EQ(CanonicalCode(star), CanonicalCode(star_permuted));
+}
+
+TEST(CanonicalTest, CompleteBipartite) {
+  // K_{3,4}: another twin-heavy shape common in Y2H data.
+  SmallGraph g(7);
+  for (uint32_t a = 0; a < 3; ++a) {
+    for (uint32_t b = 3; b < 7; ++b) g.AddEdge(a, b);
+  }
+  Rng rng(17);
+  for (int trial = 0; trial < 10; ++trial) {
+    const SmallGraph permuted = g.Permuted(RandomPermutation(7, rng));
+    EXPECT_EQ(CanonicalCode(permuted), CanonicalCode(g));
+  }
+}
+
+TEST(CanonicalTest, MesoScaleCycle) {
+  // C_20: refinement alone cannot split a cycle, exercising the branching
+  // path of the search at the paper's largest motif size.
+  Rng rng(19);
+  const SmallGraph c20 = Cycle(20);
+  const SmallGraph permuted = c20.Permuted(RandomPermutation(20, rng));
+  EXPECT_EQ(CanonicalCode(c20), CanonicalCode(permuted));
+}
+
+TEST(CanonicalTest, EmptyAndSingleton) {
+  EXPECT_EQ(Canonicalize(SmallGraph(0)).graph.num_vertices(), 0u);
+  EXPECT_EQ(Canonicalize(SmallGraph(1)).graph.num_vertices(), 1u);
+}
+
+TEST(AreIsomorphicTest, Basic) {
+  EXPECT_TRUE(AreIsomorphic(Cycle(6), Cycle(6).Permuted({3, 1, 5, 0, 4, 2})));
+  EXPECT_FALSE(AreIsomorphic(Cycle(6), Cycle(5)));
+  SmallGraph two_triangles(6);
+  two_triangles.AddEdge(0, 1);
+  two_triangles.AddEdge(1, 2);
+  two_triangles.AddEdge(0, 2);
+  two_triangles.AddEdge(3, 4);
+  two_triangles.AddEdge(4, 5);
+  two_triangles.AddEdge(3, 5);
+  EXPECT_FALSE(AreIsomorphic(Cycle(6), two_triangles));  // same n, same m
+}
+
+// Property sweep: for random graphs of several sizes, canonical codes are
+// invariant under relabeling and differ across edge-count classes.
+class CanonicalSweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(CanonicalSweep, InvariantUnderRelabeling) {
+  const size_t n = GetParam();
+  Rng rng(100 + n);
+  for (int trial = 0; trial < 15; ++trial) {
+    SmallGraph g(n);
+    for (uint32_t i = 0; i < n; ++i) {
+      for (uint32_t j = i + 1; j < n; ++j) {
+        if (rng.Bernoulli(0.3)) g.AddEdge(i, j);
+      }
+    }
+    const auto code = CanonicalCode(g);
+    const SmallGraph permuted = g.Permuted(RandomPermutation(n, rng));
+    EXPECT_EQ(CanonicalCode(permuted), code)
+        << "n=" << n << " trial=" << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CanonicalSweep,
+                         ::testing::Values(3, 4, 5, 6, 7, 8, 10, 12));
+
+}  // namespace
+}  // namespace lamo

@@ -1,0 +1,91 @@
+#include "graph/digraph.h"
+
+#include <gtest/gtest.h>
+
+namespace lamo {
+namespace {
+
+DiGraph MakeFflPlusTail() {
+  // FFL 0->1, 0->2, 1->2 and a tail 2->3.
+  DiGraphBuilder b(4);
+  EXPECT_TRUE(b.AddArc(0, 1).ok());
+  EXPECT_TRUE(b.AddArc(0, 2).ok());
+  EXPECT_TRUE(b.AddArc(1, 2).ok());
+  EXPECT_TRUE(b.AddArc(2, 3).ok());
+  return b.Build();
+}
+
+TEST(DiGraphTest, BasicCounts) {
+  const DiGraph g = MakeFflPlusTail();
+  EXPECT_EQ(g.num_vertices(), 4u);
+  EXPECT_EQ(g.num_arcs(), 4u);
+  EXPECT_EQ(g.OutDegree(0), 2u);
+  EXPECT_EQ(g.InDegree(0), 0u);
+  EXPECT_EQ(g.OutDegree(2), 1u);
+  EXPECT_EQ(g.InDegree(2), 2u);
+}
+
+TEST(DiGraphTest, HasArcIsDirected) {
+  const DiGraph g = MakeFflPlusTail();
+  EXPECT_TRUE(g.HasArc(0, 1));
+  EXPECT_FALSE(g.HasArc(1, 0));
+  EXPECT_TRUE(g.HasArc(2, 3));
+  EXPECT_FALSE(g.HasArc(3, 2));
+}
+
+TEST(DiGraphTest, NeighborsSortedAndConsistent) {
+  const DiGraph g = MakeFflPlusTail();
+  const auto out0 = g.OutNeighbors(0);
+  ASSERT_EQ(out0.size(), 2u);
+  EXPECT_EQ(out0[0], 1u);
+  EXPECT_EQ(out0[1], 2u);
+  const auto in2 = g.InNeighbors(2);
+  ASSERT_EQ(in2.size(), 2u);
+  EXPECT_EQ(in2[0], 0u);
+  EXPECT_EQ(in2[1], 1u);
+}
+
+TEST(DiGraphTest, ArcsLexicographic) {
+  const DiGraph g = MakeFflPlusTail();
+  const auto arcs = g.Arcs();
+  ASSERT_EQ(arcs.size(), 4u);
+  EXPECT_EQ(arcs[0], std::make_pair(VertexId{0}, VertexId{1}));
+  EXPECT_EQ(arcs[3], std::make_pair(VertexId{2}, VertexId{3}));
+}
+
+TEST(DiGraphTest, AntiparallelArcsAllowed) {
+  DiGraphBuilder b(2);
+  ASSERT_TRUE(b.AddArc(0, 1).ok());
+  ASSERT_TRUE(b.AddArc(1, 0).ok());
+  const DiGraph g = b.Build();
+  EXPECT_EQ(g.num_arcs(), 2u);
+  EXPECT_TRUE(g.HasArc(0, 1));
+  EXPECT_TRUE(g.HasArc(1, 0));
+}
+
+TEST(DiGraphBuilderTest, DropsSelfLoopsAndDuplicates) {
+  DiGraphBuilder b(3);
+  ASSERT_TRUE(b.AddArc(1, 1).ok());
+  ASSERT_TRUE(b.AddArc(0, 1).ok());
+  ASSERT_TRUE(b.AddArc(0, 1).ok());
+  EXPECT_EQ(b.Build().num_arcs(), 1u);
+}
+
+TEST(DiGraphBuilderTest, RejectsOutOfRange) {
+  DiGraphBuilder b(2);
+  EXPECT_TRUE(b.AddArc(0, 5).IsInvalidArgument());
+}
+
+TEST(DiGraphTest, UnderlyingMergesAntiparallel) {
+  DiGraphBuilder b(3);
+  ASSERT_TRUE(b.AddArc(0, 1).ok());
+  ASSERT_TRUE(b.AddArc(1, 0).ok());
+  ASSERT_TRUE(b.AddArc(1, 2).ok());
+  const Graph underlying = b.Build().Underlying();
+  EXPECT_EQ(underlying.num_edges(), 2u);
+  EXPECT_TRUE(underlying.HasEdge(0, 1));
+  EXPECT_TRUE(underlying.HasEdge(1, 2));
+}
+
+}  // namespace
+}  // namespace lamo

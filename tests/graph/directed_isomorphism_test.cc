@@ -1,0 +1,107 @@
+#include "graph/directed_isomorphism.h"
+
+#include <gtest/gtest.h>
+
+#include "motif/directed_motifs.h"
+#include "synth/grn_generator.h"
+
+namespace lamo {
+namespace {
+
+SmallDigraph Ffl() {
+  SmallDigraph g(3);
+  g.AddArc(0, 1);
+  g.AddArc(0, 2);
+  g.AddArc(1, 2);
+  return g;
+}
+
+DiGraph OneFflPlusNoise() {
+  // FFL on {0,1,2}; extra arcs that do not form another FFL.
+  DiGraphBuilder b(6);
+  EXPECT_TRUE(b.AddArc(0, 1).ok());
+  EXPECT_TRUE(b.AddArc(0, 2).ok());
+  EXPECT_TRUE(b.AddArc(1, 2).ok());
+  EXPECT_TRUE(b.AddArc(3, 4).ok());
+  EXPECT_TRUE(b.AddArc(4, 5).ok());
+  return b.Build();
+}
+
+TEST(DirectedIsomorphismTest, FindsTheFfl) {
+  const DiGraph g = OneFflPlusNoise();
+  const auto occurrences = FindDirectedOccurrences(Ffl(), g);
+  ASSERT_EQ(occurrences.size(), 1u);
+  EXPECT_EQ(occurrences[0], (std::vector<VertexId>{0, 1, 2}));
+}
+
+TEST(DirectedIsomorphismTest, EmbeddingRespectsRoles) {
+  const DiGraph g = OneFflPlusNoise();
+  const auto embeddings = FindDirectedEmbeddings(Ffl(), g);
+  // The FFL is asymmetric: exactly one embedding per occurrence.
+  ASSERT_EQ(embeddings.size(), 1u);
+  EXPECT_EQ(embeddings[0], (std::vector<VertexId>{0, 1, 2}));
+}
+
+TEST(DirectedIsomorphismTest, DirectedCycleNotMatchedAsFfl) {
+  DiGraphBuilder b(3);
+  ASSERT_TRUE(b.AddArc(0, 1).ok());
+  ASSERT_TRUE(b.AddArc(1, 2).ok());
+  ASSERT_TRUE(b.AddArc(2, 0).ok());
+  EXPECT_EQ(CountDirectedOccurrences(Ffl(), b.Build()), 0u);
+}
+
+TEST(DirectedIsomorphismTest, InducedVsNonInduced) {
+  // FFL plus the back-arc 2->0: the plain FFL is no longer induced but is
+  // still present as a (non-induced) sub-digraph.
+  DiGraphBuilder b(3);
+  ASSERT_TRUE(b.AddArc(0, 1).ok());
+  ASSERT_TRUE(b.AddArc(0, 2).ok());
+  ASSERT_TRUE(b.AddArc(1, 2).ok());
+  ASSERT_TRUE(b.AddArc(2, 0).ok());
+  const DiGraph g = b.Build();
+  EXPECT_EQ(CountDirectedOccurrences(Ffl(), g), 0u);
+  DirectedEmbeddingOptions options;
+  options.induced = false;
+  EXPECT_EQ(FindDirectedEmbeddings(Ffl(), g, options).size(), 1u);
+}
+
+TEST(DirectedIsomorphismTest, SymmetricPatternMultipleEmbeddings) {
+  // Fan-out 0 -> {1,2}: two embeddings (targets interchangeable), one
+  // occurrence.
+  SmallDigraph fan(3);
+  fan.AddArc(0, 1);
+  fan.AddArc(0, 2);
+  DiGraphBuilder b(3);
+  ASSERT_TRUE(b.AddArc(0, 1).ok());
+  ASSERT_TRUE(b.AddArc(0, 2).ok());
+  const DiGraph g = b.Build();
+  EXPECT_EQ(FindDirectedEmbeddings(fan, g).size(), 2u);
+  EXPECT_EQ(CountDirectedOccurrences(fan, g), 1u);
+}
+
+TEST(DirectedIsomorphismTest, CountsAgreeWithClassEnumeration) {
+  // Cross-check against CountDirectedSubgraphClasses on a synthetic GRN.
+  GrnConfig config;
+  config.num_genes = 120;
+  config.background_arcs = 220;
+  config.planted_ffls = 12;
+  const GrnDataset dataset = BuildGrnDataset(config);
+  const auto classes = CountDirectedSubgraphClasses(dataset.grn, 3);
+  const auto ffl_code = DirectedCanonicalCode(Ffl());
+  const auto it = classes.find(ffl_code);
+  const size_t expected = it == classes.end() ? 0 : it->second;
+  EXPECT_EQ(CountDirectedOccurrences(Ffl(), dataset.grn), expected);
+}
+
+TEST(DirectedIsomorphismTest, MaxCaps) {
+  GrnConfig config;
+  config.num_genes = 100;
+  config.background_arcs = 200;
+  config.planted_ffls = 10;
+  const GrnDataset dataset = BuildGrnDataset(config);
+  EXPECT_LE(FindDirectedOccurrences(Ffl(), dataset.grn, 3).size(), 3u);
+  EXPECT_EQ(CountDirectedOccurrences(Ffl(), dataset.grn, 2), 2u);
+}
+
+}  // namespace
+}  // namespace lamo

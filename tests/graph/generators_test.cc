@@ -1,0 +1,106 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.h"
+
+namespace lamo {
+namespace {
+
+TEST(ErdosRenyiTest, ExactEdgeCount) {
+  Rng rng(1);
+  const Graph g = ErdosRenyi(50, 120, rng);
+  EXPECT_EQ(g.num_vertices(), 50u);
+  EXPECT_EQ(g.num_edges(), 120u);
+}
+
+TEST(ErdosRenyiTest, NoSelfLoops) {
+  Rng rng(2);
+  const Graph g = ErdosRenyi(20, 50, rng);
+  for (VertexId v = 0; v < 20; ++v) {
+    EXPECT_FALSE(g.HasEdge(v, v));
+  }
+}
+
+TEST(BarabasiAlbertTest, SizeAndEdgeBudget) {
+  Rng rng(3);
+  const Graph g = BarabasiAlbert(200, 3, rng);
+  EXPECT_EQ(g.num_vertices(), 200u);
+  // Seed clique C(4,2)=6 edges + 196*3 new edges.
+  EXPECT_EQ(g.num_edges(), 6u + 196u * 3u);
+}
+
+TEST(BarabasiAlbertTest, HeavyTail) {
+  Rng rng(4);
+  const Graph g = BarabasiAlbert(500, 2, rng);
+  // Preferential attachment produces hubs far above the mean degree.
+  EXPECT_GT(g.MaxDegree(), 4 * static_cast<size_t>(MeanDegree(g)));
+}
+
+TEST(DuplicationDivergenceTest, ScaleMatchesPaperCalibration) {
+  Rng rng(5);
+  // Retention tuned near the yeast interactome's sparsity: the paper's BIND
+  // network has mean degree ~3.4 (7095 edges / 4141 proteins).
+  const Graph g = DuplicationDivergence(1000, 0.38, 0.25, rng);
+  EXPECT_EQ(g.num_vertices(), 1000u);
+  const double mean_degree = MeanDegree(g);
+  EXPECT_GT(mean_degree, 1.5);
+  EXPECT_LT(mean_degree, 8.0);
+}
+
+TEST(DuplicationDivergenceTest, EveryVertexConnectedAtBirth) {
+  Rng rng(6);
+  const Graph g = DuplicationDivergence(300, 0.3, 0.1, rng);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_GE(g.Degree(v), 1u) << "vertex " << v;
+  }
+}
+
+TEST(RewireTest, PreservesDegreeSequence) {
+  Rng rng(7);
+  const Graph g = BarabasiAlbert(150, 2, rng);
+  const Graph rewired = DegreePreservingRewire(g, 3.0, rng);
+  EXPECT_EQ(rewired.num_vertices(), g.num_vertices());
+  EXPECT_EQ(rewired.num_edges(), g.num_edges());
+  EXPECT_EQ(rewired.Degrees(), g.Degrees());
+}
+
+TEST(RewireTest, ActuallyChangesEdges) {
+  Rng rng(8);
+  const Graph g = ErdosRenyi(100, 300, rng);
+  const Graph rewired = DegreePreservingRewire(g, 3.0, rng);
+  const auto e1 = g.Edges();
+  const auto e2 = rewired.Edges();
+  EXPECT_NE(e1, e2);
+}
+
+TEST(RewireTest, DestroysClustering) {
+  Rng rng(9);
+  // Duplication-divergence graphs are strongly clustered; rewiring should
+  // push clustering toward the random-graph baseline.
+  const Graph g = DuplicationDivergence(800, 0.45, 0.3, rng);
+  const Graph rewired = DegreePreservingRewire(g, 5.0, rng);
+  EXPECT_LT(GlobalClusteringCoefficient(rewired),
+            GlobalClusteringCoefficient(g));
+}
+
+TEST(RewireTest, TinyGraphUnchanged) {
+  GraphBuilder b(2);
+  ASSERT_TRUE(b.AddEdge(0, 1).ok());
+  const Graph g = b.Build();
+  Rng rng(10);
+  const Graph rewired = DegreePreservingRewire(g, 3.0, rng);
+  EXPECT_EQ(rewired.num_edges(), 1u);
+}
+
+TEST(GeneratorsTest, Reproducibility) {
+  Rng rng1(42), rng2(42);
+  const Graph a = DuplicationDivergence(200, 0.4, 0.2, rng1);
+  const Graph b = DuplicationDivergence(200, 0.4, 0.2, rng2);
+  EXPECT_EQ(a.Edges(), b.Edges());
+}
+
+}  // namespace
+}  // namespace lamo

@@ -1,0 +1,109 @@
+#include "graph/graph.h"
+
+#include <gtest/gtest.h>
+
+namespace lamo {
+namespace {
+
+Graph MakeTriangleWithTail() {
+  // 0-1, 1-2, 0-2 triangle; 2-3 tail.
+  GraphBuilder b(4);
+  EXPECT_TRUE(b.AddEdge(0, 1).ok());
+  EXPECT_TRUE(b.AddEdge(1, 2).ok());
+  EXPECT_TRUE(b.AddEdge(0, 2).ok());
+  EXPECT_TRUE(b.AddEdge(2, 3).ok());
+  return b.Build();
+}
+
+TEST(GraphTest, EmptyGraph) {
+  Graph g;
+  EXPECT_EQ(g.num_vertices(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_EQ(g.MaxDegree(), 0u);
+}
+
+TEST(GraphTest, BasicCounts) {
+  const Graph g = MakeTriangleWithTail();
+  EXPECT_EQ(g.num_vertices(), 4u);
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_EQ(g.Degree(0), 2u);
+  EXPECT_EQ(g.Degree(2), 3u);
+  EXPECT_EQ(g.Degree(3), 1u);
+  EXPECT_EQ(g.MaxDegree(), 3u);
+}
+
+TEST(GraphTest, HasEdgeSymmetric) {
+  const Graph g = MakeTriangleWithTail();
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(1, 0));
+  EXPECT_TRUE(g.HasEdge(2, 3));
+  EXPECT_FALSE(g.HasEdge(0, 3));
+  EXPECT_FALSE(g.HasEdge(1, 3));
+  EXPECT_FALSE(g.HasEdge(0, 0));
+}
+
+TEST(GraphTest, HasEdgeOutOfRange) {
+  const Graph g = MakeTriangleWithTail();
+  EXPECT_FALSE(g.HasEdge(0, 99));
+  EXPECT_FALSE(g.HasEdge(99, 0));
+}
+
+TEST(GraphTest, NeighborsSorted) {
+  const Graph g = MakeTriangleWithTail();
+  const auto n2 = g.Neighbors(2);
+  ASSERT_EQ(n2.size(), 3u);
+  EXPECT_EQ(n2[0], 0u);
+  EXPECT_EQ(n2[1], 1u);
+  EXPECT_EQ(n2[2], 3u);
+}
+
+TEST(GraphTest, EdgesListedOnceOrdered) {
+  const Graph g = MakeTriangleWithTail();
+  const auto edges = g.Edges();
+  ASSERT_EQ(edges.size(), 4u);
+  EXPECT_EQ(edges[0], std::make_pair(VertexId{0}, VertexId{1}));
+  EXPECT_EQ(edges[1], std::make_pair(VertexId{0}, VertexId{2}));
+  EXPECT_EQ(edges[2], std::make_pair(VertexId{1}, VertexId{2}));
+  EXPECT_EQ(edges[3], std::make_pair(VertexId{2}, VertexId{3}));
+}
+
+TEST(GraphBuilderTest, RemovesSelfLinksAndDuplicates) {
+  GraphBuilder b(3);
+  EXPECT_TRUE(b.AddEdge(0, 0).ok());  // self-link: silently dropped
+  EXPECT_TRUE(b.AddEdge(0, 1).ok());
+  EXPECT_TRUE(b.AddEdge(1, 0).ok());  // duplicate in reverse orientation
+  EXPECT_TRUE(b.AddEdge(0, 1).ok());  // exact duplicate
+  const Graph g = b.Build();
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.Degree(0), 1u);
+  EXPECT_EQ(g.Degree(2), 0u);
+}
+
+TEST(GraphBuilderTest, RejectsOutOfRange) {
+  GraphBuilder b(3);
+  EXPECT_TRUE(b.AddEdge(0, 3).IsInvalidArgument());
+  EXPECT_TRUE(b.AddEdge(5, 1).IsInvalidArgument());
+}
+
+TEST(GraphBuilderTest, ReusableAfterBuild) {
+  GraphBuilder b(3);
+  EXPECT_TRUE(b.AddEdge(0, 1).ok());
+  const Graph g1 = b.Build();
+  EXPECT_TRUE(b.AddEdge(1, 2).ok());
+  const Graph g2 = b.Build();
+  EXPECT_EQ(g1.num_edges(), 1u);
+  EXPECT_EQ(g2.num_edges(), 2u);
+}
+
+TEST(GraphTest, DegreesVector) {
+  const Graph g = MakeTriangleWithTail();
+  EXPECT_EQ(g.Degrees(), (std::vector<size_t>{2, 2, 3, 1}));
+}
+
+TEST(GraphTest, ToStringMentionsCounts) {
+  const Graph g = MakeTriangleWithTail();
+  EXPECT_EQ(g.ToString(), "Graph(4 vertices, 4 edges)");
+}
+
+}  // namespace
+}  // namespace lamo

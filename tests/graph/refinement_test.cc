@@ -1,0 +1,71 @@
+#include "graph/refinement.h"
+
+#include <gtest/gtest.h>
+
+namespace lamo {
+namespace {
+
+SmallGraph Path(size_t n) {
+  SmallGraph g(n);
+  for (uint32_t v = 0; v + 1 < n; ++v) g.AddEdge(v, v + 1);
+  return g;
+}
+
+TEST(RefinementTest, RegularGraphStaysMonochromatic) {
+  // Cycles are regular: 1-WL cannot split them.
+  SmallGraph c5(5);
+  for (uint32_t i = 0; i < 5; ++i) c5.AddEdge(i, (i + 1) % 5);
+  const auto colors = RefineColors(c5);
+  for (uint32_t v = 0; v < 5; ++v) EXPECT_EQ(colors[v], colors[0]);
+}
+
+TEST(RefinementTest, PathSplitsByDistanceToEnds) {
+  const auto colors = RefineColors(Path(5));
+  // Ends share a color, their neighbors share a color, the center is alone.
+  EXPECT_EQ(colors[0], colors[4]);
+  EXPECT_EQ(colors[1], colors[3]);
+  EXPECT_NE(colors[0], colors[1]);
+  EXPECT_NE(colors[1], colors[2]);
+  EXPECT_NE(colors[0], colors[2]);
+}
+
+TEST(RefinementTest, RespectsInitialColoring) {
+  // Individualizing one end of a path breaks the mirror symmetry.
+  std::vector<uint32_t> initial(5, 1);
+  initial[0] = 0;
+  const auto colors = RefineColors(Path(5), initial);
+  EXPECT_NE(colors[0], colors[4]);
+  EXPECT_NE(colors[1], colors[3]);
+}
+
+TEST(RefinementTest, ColorsInvariantUnderIsomorphism) {
+  // The color *histogram* must be identical for relabeled graphs.
+  const SmallGraph g = Path(6);
+  const auto colors_a = RefineColors(g);
+  const SmallGraph permuted = g.Permuted({5, 3, 1, 0, 2, 4});
+  const auto colors_b = RefineColors(permuted);
+  std::vector<uint32_t> hist_a(6, 0), hist_b(6, 0);
+  for (uint32_t c : colors_a) ++hist_a[c];
+  for (uint32_t c : colors_b) ++hist_b[c];
+  EXPECT_EQ(hist_a, hist_b);
+}
+
+TEST(RefinementTest, ColorCellsGroupsVertices) {
+  const auto colors = RefineColors(Path(5));
+  const auto cells = ColorCells(colors);
+  size_t total = 0;
+  for (const auto& cell : cells) {
+    total += cell.size();
+    EXPECT_TRUE(std::is_sorted(cell.begin(), cell.end()));
+  }
+  EXPECT_EQ(total, 5u);
+  EXPECT_EQ(cells.size(), 3u);
+}
+
+TEST(RefinementTest, EmptyGraph) {
+  EXPECT_TRUE(RefineColors(SmallGraph(0)).empty());
+  EXPECT_TRUE(ColorCells({}).empty());
+}
+
+}  // namespace
+}  // namespace lamo

@@ -1,0 +1,177 @@
+#include "graph/small_digraph.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace lamo {
+namespace {
+
+SmallDigraph Ffl() {
+  SmallDigraph g(3);
+  g.AddArc(0, 1);
+  g.AddArc(0, 2);
+  g.AddArc(1, 2);
+  return g;
+}
+
+SmallDigraph DirectedCycle(size_t n) {
+  SmallDigraph g(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    g.AddArc(i, static_cast<uint32_t>((i + 1) % n));
+  }
+  return g;
+}
+
+std::vector<uint32_t> RandomPermutation(size_t n, Rng& rng) {
+  std::vector<uint32_t> perm(n);
+  for (uint32_t i = 0; i < n; ++i) perm[i] = i;
+  rng.Shuffle(perm);
+  return perm;
+}
+
+TEST(SmallDigraphTest, ArcsAndDegrees) {
+  const SmallDigraph g = Ffl();
+  EXPECT_EQ(g.num_arcs(), 3u);
+  EXPECT_TRUE(g.HasArc(0, 1));
+  EXPECT_FALSE(g.HasArc(1, 0));
+  EXPECT_EQ(g.OutDegree(0), 2u);
+  EXPECT_EQ(g.InDegree(0), 0u);
+  EXPECT_EQ(g.InDegree(2), 2u);
+  EXPECT_EQ(g.OutDegree(2), 0u);
+}
+
+TEST(SmallDigraphTest, FromArcsValidation) {
+  EXPECT_TRUE(SmallDigraph::FromArcs(3, {{0, 1}, {1, 2}}).ok());
+  EXPECT_FALSE(SmallDigraph::FromArcs(3, {{0, 3}}).ok());
+  EXPECT_FALSE(SmallDigraph::FromArcs(3, {{1, 1}}).ok());
+  EXPECT_FALSE(SmallDigraph::FromArcs(65, {}).ok());
+}
+
+TEST(SmallDigraphTest, InducedSubgraphKeepsDirections) {
+  DiGraphBuilder b(5);
+  ASSERT_TRUE(b.AddArc(0, 1).ok());
+  ASSERT_TRUE(b.AddArc(1, 2).ok());
+  ASSERT_TRUE(b.AddArc(2, 0).ok());
+  ASSERT_TRUE(b.AddArc(3, 4).ok());
+  const DiGraph g = b.Build();
+  const SmallDigraph sub = SmallDigraph::InducedSubgraph(g, {0, 1, 2});
+  EXPECT_TRUE(sub.HasArc(0, 1));
+  EXPECT_TRUE(sub.HasArc(1, 2));
+  EXPECT_TRUE(sub.HasArc(2, 0));
+  EXPECT_FALSE(sub.HasArc(1, 0));
+}
+
+TEST(SmallDigraphTest, WeakConnectivity) {
+  EXPECT_TRUE(Ffl().IsWeaklyConnected());
+  SmallDigraph disconnected(4);
+  disconnected.AddArc(0, 1);
+  disconnected.AddArc(2, 3);
+  EXPECT_FALSE(disconnected.IsWeaklyConnected());
+}
+
+TEST(SmallDigraphTest, UnderlyingGraph) {
+  const SmallGraph u = Ffl().Underlying();
+  EXPECT_EQ(u.num_edges(), 3u);  // triangle
+  EXPECT_TRUE(u.HasEdge(0, 1));
+  EXPECT_TRUE(u.HasEdge(1, 2));
+  EXPECT_TRUE(u.HasEdge(0, 2));
+}
+
+TEST(DirectedCanonicalTest, InvariantUnderRelabeling) {
+  Rng rng(61);
+  const SmallDigraph ffl = Ffl();
+  const auto code = DirectedCanonicalCode(ffl);
+  for (int trial = 0; trial < 10; ++trial) {
+    const SmallDigraph permuted = ffl.Permuted(RandomPermutation(3, rng));
+    EXPECT_EQ(DirectedCanonicalCode(permuted), code);
+  }
+}
+
+TEST(DirectedCanonicalTest, DirectionMatters) {
+  // FFL vs directed triangle (cycle): same underlying graph, different
+  // digraphs.
+  EXPECT_FALSE(AreIsomorphicDirected(Ffl(), DirectedCycle(3)));
+  EXPECT_EQ(Ffl().Underlying().AdjacencyCode(),
+            DirectedCycle(3).Underlying().AdjacencyCode());
+}
+
+TEST(DirectedCanonicalTest, CycleOrientationsAreIsomorphic) {
+  // A directed 3-cycle reversed is still a directed 3-cycle.
+  SmallDigraph reversed(3);
+  reversed.AddArc(1, 0);
+  reversed.AddArc(2, 1);
+  reversed.AddArc(0, 2);
+  EXPECT_TRUE(AreIsomorphicDirected(DirectedCycle(3), reversed));
+}
+
+TEST(DirectedCanonicalTest, RandomSweep) {
+  Rng rng(62);
+  for (int trial = 0; trial < 20; ++trial) {
+    const size_t n = 5;
+    SmallDigraph g(n);
+    for (uint32_t i = 0; i < n; ++i) {
+      for (uint32_t j = 0; j < n; ++j) {
+        if (i != j && rng.Bernoulli(0.3)) g.AddArc(i, j);
+      }
+    }
+    const auto code = DirectedCanonicalCode(g);
+    const SmallDigraph permuted = g.Permuted(RandomPermutation(n, rng));
+    EXPECT_EQ(DirectedCanonicalCode(permuted), code) << "trial " << trial;
+  }
+}
+
+TEST(DirectedCanonicalTest, CanonicalGraphIsPermutationOfInput) {
+  Rng rng(63);
+  SmallDigraph g(5);
+  for (uint32_t i = 0; i < 5; ++i) {
+    for (uint32_t j = 0; j < 5; ++j) {
+      if (i != j && rng.Bernoulli(0.4)) g.AddArc(i, j);
+    }
+  }
+  const DirectedCanonicalResult result = CanonicalizeDirected(g);
+  EXPECT_TRUE(g.Permuted(result.canonical_to_original) == result.graph);
+  EXPECT_EQ(result.code, result.graph.AdjacencyCode());
+}
+
+TEST(DirectedTwinsTest, FflHasNoTwins) {
+  const auto classes = DirectedTwinClasses(Ffl());
+  EXPECT_EQ(classes.size(), 3u);  // all singletons: roles are distinct
+}
+
+TEST(DirectedTwinsTest, FanOutTargetsAreTwins) {
+  // 0 -> 1, 0 -> 2, 0 -> 3: the targets are interchangeable.
+  SmallDigraph fan(4);
+  fan.AddArc(0, 1);
+  fan.AddArc(0, 2);
+  fan.AddArc(0, 3);
+  const auto classes = DirectedTwinClasses(fan);
+  ASSERT_EQ(classes.size(), 2u);
+  EXPECT_EQ(classes[0], (std::vector<uint32_t>{0}));
+  EXPECT_EQ(classes[1], (std::vector<uint32_t>{1, 2, 3}));
+}
+
+TEST(DirectedTwinsTest, DirectionBreaksTwinhood) {
+  // 0 -> 1, 2 -> 0: vertices 1 and 2 have the same underlying neighborhood
+  // {0} but opposite arc directions — not directed twins.
+  SmallDigraph g(3);
+  g.AddArc(0, 1);
+  g.AddArc(2, 0);
+  const auto classes = DirectedTwinClasses(g);
+  EXPECT_EQ(classes.size(), 3u);
+}
+
+TEST(DirectedTwinsTest, MutualPairIsTwin) {
+  // 0 <-> 1 both feeding 2: swapping 0 and 1 is an automorphism.
+  SmallDigraph g(3);
+  g.AddArc(0, 1);
+  g.AddArc(1, 0);
+  g.AddArc(0, 2);
+  g.AddArc(1, 2);
+  const auto classes = DirectedTwinClasses(g);
+  ASSERT_EQ(classes.size(), 2u);
+  EXPECT_EQ(classes[0], (std::vector<uint32_t>{0, 1}));
+}
+
+}  // namespace
+}  // namespace lamo

@@ -1,0 +1,175 @@
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "io/edge_list.h"
+#include "io/gaf.h"
+#include "io/obo.h"
+#include "synth/dataset.h"
+#include "synth/go_generator.h"
+
+namespace lamo {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(EdgeListTest, RoundTrip) {
+  GraphBuilder builder(5);
+  ASSERT_TRUE(builder.AddEdge(0, 1).ok());
+  ASSERT_TRUE(builder.AddEdge(1, 2).ok());
+  ASSERT_TRUE(builder.AddEdge(3, 4).ok());
+  const Graph original = builder.Build();
+
+  const std::string path = TempPath("graph.txt");
+  ASSERT_TRUE(WriteEdgeList(original, path).ok());
+  auto loaded = ReadEdgeList(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->num_vertices(), 5u);
+  EXPECT_EQ(loaded->Edges(), original.Edges());
+}
+
+TEST(EdgeListTest, MissingFile) {
+  EXPECT_TRUE(ReadEdgeList("/nonexistent/nope.txt").status().IsIoError());
+}
+
+TEST(EdgeListTest, MissingHeader) {
+  const std::string path = TempPath("bad_graph.txt");
+  std::ofstream(path) << "0 1\n";
+  EXPECT_TRUE(ReadEdgeList(path).status().IsCorruption());
+}
+
+TEST(EdgeListTest, OutOfRangeEndpoint) {
+  const std::string path = TempPath("bad_graph2.txt");
+  std::ofstream(path) << "vertices 2\n0 5\n";
+  EXPECT_TRUE(ReadEdgeList(path).status().IsCorruption());
+}
+
+TEST(EdgeListTest, CommentsAndBlanksIgnored) {
+  const std::string path = TempPath("commented_graph.txt");
+  std::ofstream(path) << "# header comment\n\nvertices 3\n# edge\n0 1\n";
+  auto loaded = ReadEdgeList(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->num_edges(), 1u);
+}
+
+TEST(OboTest, RoundTripGeneratedOntology) {
+  GoGeneratorConfig config;
+  config.num_terms = 60;
+  Rng rng(71);
+  const Ontology original = GenerateGoBranch(config, rng);
+
+  const std::string path = TempPath("branch.obo");
+  ASSERT_TRUE(WriteObo(original, path).ok());
+  auto loaded = ReadObo(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  ASSERT_EQ(loaded->num_terms(), original.num_terms());
+  for (TermId t = 0; t < original.num_terms(); ++t) {
+    EXPECT_EQ(loaded->TermName(t), original.TermName(t));
+    const auto orig_parents = original.Parents(t);
+    const auto load_parents = loaded->Parents(t);
+    ASSERT_EQ(load_parents.size(), orig_parents.size());
+    for (size_t i = 0; i < orig_parents.size(); ++i) {
+      EXPECT_EQ(original.TermName(orig_parents[i]),
+                loaded->TermName(load_parents[i]));
+      EXPECT_EQ(original.ParentRelations(t)[i], loaded->ParentRelations(t)[i]);
+    }
+  }
+}
+
+TEST(OboTest, ToleratesRealGoNoise) {
+  const std::string path = TempPath("noisy.obo");
+  std::ofstream(path) << "format-version: 1.2\n"
+                      << "ontology: go\n\n"
+                      << "[Term]\n"
+                      << "id: GO:0001\n"
+                      << "name: root thing\n"
+                      << "namespace: molecular_function\n\n"
+                      << "[Term]\n"
+                      << "id: GO:0002\n"
+                      << "is_a: GO:0001 ! root thing\n"
+                      << "def: \"something\"\n\n"
+                      << "[Typedef]\n"
+                      << "id: part_of\n";
+  auto loaded = ReadObo(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->num_terms(), 2u);
+  EXPECT_EQ(loaded->Parents(1).size(), 1u);
+}
+
+TEST(OboTest, UnknownParentIsCorruption) {
+  const std::string path = TempPath("dangling.obo");
+  std::ofstream(path) << "[Term]\nid: A\nis_a: MISSING\n";
+  EXPECT_TRUE(ReadObo(path).status().IsCorruption());
+}
+
+TEST(GafTest, RoundTrip) {
+  GoGeneratorConfig config;
+  config.num_terms = 40;
+  Rng rng(72);
+  const Ontology onto = GenerateGoBranch(config, rng);
+
+  AnnotationTable table(5);
+  ASSERT_TRUE(table.Annotate(0, 3).ok());
+  ASSERT_TRUE(table.Annotate(0, 7).ok());
+  ASSERT_TRUE(table.Annotate(4, 1).ok());
+
+  const std::string path = TempPath("annotations.tsv");
+  ASSERT_TRUE(WriteAnnotations(table, onto, path).ok());
+  auto loaded = ReadAnnotations(path, onto);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->num_proteins(), 5u);
+  EXPECT_EQ(loaded->TermsOf(0).size(), 2u);
+  EXPECT_EQ(loaded->TermsOf(0)[0], 3u);
+  EXPECT_EQ(loaded->TermsOf(4).size(), 1u);
+  EXPECT_FALSE(loaded->IsAnnotated(2));
+}
+
+TEST(GafTest, UnknownTermIsCorruption) {
+  GoGeneratorConfig config;
+  config.num_terms = 10;
+  Rng rng(73);
+  const Ontology onto = GenerateGoBranch(config, rng);
+  const std::string path = TempPath("bad_annotations.tsv");
+  std::ofstream(path) << "proteins 2\n0\tNOPE\n";
+  EXPECT_TRUE(ReadAnnotations(path, onto).status().IsCorruption());
+}
+
+TEST(DatasetIoTest, FullDatasetRoundTrip) {
+  SyntheticDatasetConfig config;
+  config.num_proteins = 200;
+  config.go.num_terms = 50;
+  config.num_templates = 2;
+  config.copies_per_template = 10;
+  config.seed = 77;
+  const SyntheticDataset dataset = BuildSyntheticDataset(config);
+
+  const std::string graph_path = TempPath("ds_graph.txt");
+  const std::string obo_path = TempPath("ds.obo");
+  const std::string gaf_path = TempPath("ds.tsv");
+  ASSERT_TRUE(WriteEdgeList(dataset.ppi, graph_path).ok());
+  ASSERT_TRUE(WriteObo(dataset.ontology, obo_path).ok());
+  ASSERT_TRUE(WriteAnnotations(dataset.annotations, dataset.ontology,
+                               gaf_path).ok());
+
+  auto graph = ReadEdgeList(graph_path);
+  auto onto = ReadObo(obo_path);
+  ASSERT_TRUE(graph.ok());
+  ASSERT_TRUE(onto.ok());
+  auto annotations = ReadAnnotations(gaf_path, *onto);
+  ASSERT_TRUE(annotations.ok());
+
+  EXPECT_EQ(graph->Edges(), dataset.ppi.Edges());
+  EXPECT_EQ(annotations->TotalOccurrences(),
+            dataset.annotations.TotalOccurrences());
+  // Weights recomputed from the reloaded pieces agree.
+  const TermWeights weights = TermWeights::Compute(*onto, *annotations);
+  for (TermId t = 0; t < onto->num_terms(); ++t) {
+    EXPECT_NEAR(weights.Weight(t), dataset.weights.Weight(t), 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace lamo

@@ -1,0 +1,160 @@
+#include "motif/miner.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/canonical.h"
+#include "graph/generators.h"
+#include "motif/esu.h"
+
+namespace lamo {
+namespace {
+
+TEST(MinerTest, MatchesEsuWhenUnpruned) {
+  // With min_frequency 1 and no caps, the level-wise grower must find
+  // exactly the classes and counts that exhaustive ESU finds.
+  Rng rng(31);
+  const Graph g = ErdosRenyi(20, 40, rng);
+  MinerConfig config;
+  config.min_size = 3;
+  config.max_size = 4;
+  config.min_frequency = 1;
+  config.max_occurrences_per_pattern = 0;
+  FrequentSubgraphMiner miner(g, config);
+  const auto motifs = miner.Mine();
+
+  for (size_t k = 3; k <= 4; ++k) {
+    const auto exact = CountSubgraphClasses(g, k);
+    std::map<std::vector<uint8_t>, size_t> mined;
+    for (const Motif& m : motifs) {
+      if (m.size() == k) mined[m.code] = m.frequency;
+    }
+    EXPECT_EQ(mined, exact) << "size " << k;
+  }
+}
+
+TEST(MinerTest, FrequencyThresholdPrunes) {
+  Rng rng(32);
+  const Graph g = ErdosRenyi(30, 60, rng);
+  MinerConfig config;
+  config.min_size = 3;
+  config.max_size = 3;
+  config.min_frequency = 5;
+  FrequentSubgraphMiner miner(g, config);
+  for (const Motif& m : miner.Mine()) {
+    EXPECT_GE(m.frequency, 5u);
+  }
+}
+
+TEST(MinerTest, OccurrencesAreAlignedEmbeddings) {
+  Rng rng(33);
+  const Graph g = ErdosRenyi(25, 55, rng);
+  MinerConfig config;
+  config.min_size = 3;
+  config.max_size = 4;
+  config.min_frequency = 2;
+  FrequentSubgraphMiner miner(g, config);
+  for (const Motif& m : miner.Mine()) {
+    for (const MotifOccurrence& occ : m.occurrences) {
+      ASSERT_EQ(occ.proteins.size(), m.size());
+      // The embedding maps motif edges to graph edges and non-edges to
+      // non-edges (vertex-induced occurrence).
+      for (uint32_t a = 0; a < m.size(); ++a) {
+        for (uint32_t b = a + 1; b < m.size(); ++b) {
+          EXPECT_EQ(m.pattern.HasEdge(a, b),
+                    g.HasEdge(occ.proteins[a], occ.proteins[b]));
+        }
+      }
+    }
+  }
+}
+
+TEST(MinerTest, OccurrenceSetsDistinct) {
+  Rng rng(34);
+  const Graph g = ErdosRenyi(25, 55, rng);
+  MinerConfig config;
+  config.min_size = 3;
+  config.max_size = 4;
+  config.min_frequency = 1;
+  FrequentSubgraphMiner miner(g, config);
+  for (const Motif& m : miner.Mine()) {
+    std::set<std::vector<VertexId>> sets;
+    for (const MotifOccurrence& occ : m.occurrences) {
+      std::vector<VertexId> sorted = occ.proteins;
+      std::sort(sorted.begin(), sorted.end());
+      EXPECT_TRUE(sets.insert(sorted).second);
+    }
+  }
+}
+
+TEST(MinerTest, PlantedCliquePatternFound) {
+  // Plant 12 disjoint triangles on top of a sparse random background.
+  Rng rng(35);
+  GraphBuilder builder(100);
+  for (int t = 0; t < 12; ++t) {
+    const VertexId base = static_cast<VertexId>(3 * t);
+    ASSERT_TRUE(builder.AddEdge(base, base + 1).ok());
+    ASSERT_TRUE(builder.AddEdge(base + 1, base + 2).ok());
+    ASSERT_TRUE(builder.AddEdge(base, base + 2).ok());
+  }
+  // Background tail so the graph is bigger than the plants.
+  for (VertexId v = 36; v + 1 < 100; ++v) {
+    ASSERT_TRUE(builder.AddEdge(v, v + 1).ok());
+  }
+  const Graph g = builder.Build();
+
+  MinerConfig config;
+  config.min_size = 3;
+  config.max_size = 3;
+  config.min_frequency = 10;
+  FrequentSubgraphMiner miner(g, config);
+  const auto motifs = miner.Mine();
+
+  SmallGraph triangle(3);
+  triangle.AddEdge(0, 1);
+  triangle.AddEdge(1, 2);
+  triangle.AddEdge(0, 2);
+  const auto triangle_code = CanonicalCode(triangle);
+  bool found = false;
+  for (const Motif& m : motifs) {
+    if (m.code == triangle_code) {
+      found = true;
+      EXPECT_EQ(m.frequency, 12u);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(MinerTest, OccurrenceCapBoundsMemory) {
+  Rng rng(36);
+  const Graph g = BarabasiAlbert(120, 3, rng);
+  MinerConfig config;
+  config.min_size = 3;
+  config.max_size = 3;
+  config.min_frequency = 1;
+  config.max_occurrences_per_pattern = 10;
+  FrequentSubgraphMiner miner(g, config);
+  for (const Motif& m : miner.Mine()) {
+    EXPECT_LE(m.occurrences.size(), 10u);
+  }
+}
+
+TEST(MinerTest, BeamKeepsMostFrequent) {
+  Rng rng(37);
+  const Graph g = ErdosRenyi(40, 120, rng);
+  MinerConfig unlimited;
+  unlimited.min_size = 3;
+  unlimited.max_size = 3;
+  unlimited.min_frequency = 1;
+  const auto all = FrequentSubgraphMiner(g, unlimited).Mine();
+
+  MinerConfig beamed = unlimited;
+  beamed.max_patterns_per_level = 1;
+  const auto top = FrequentSubgraphMiner(g, beamed).Mine();
+  ASSERT_EQ(top.size(), 1u);
+  size_t max_freq = 0;
+  for (const Motif& m : all) max_freq = std::max(max_freq, m.frequency);
+  EXPECT_EQ(top[0].frequency, max_freq);
+}
+
+}  // namespace
+}  // namespace lamo

@@ -1,0 +1,130 @@
+#include "motif/uniqueness.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/canonical.h"
+#include "graph/generators.h"
+#include "motif/miner.h"
+
+namespace lamo {
+namespace {
+
+// Sparse background + many planted 4-cycles: the 4-cycle should be unique
+// (rewiring destroys most of them), while the single-edge-ish patterns are
+// not distinctive.
+Graph PlantedSquares(size_t num_squares, size_t background, Rng& rng) {
+  GraphBuilder builder(4 * num_squares + background);
+  for (size_t s = 0; s < num_squares; ++s) {
+    const VertexId base = static_cast<VertexId>(4 * s);
+    EXPECT_TRUE(builder.AddEdge(base, base + 1).ok());
+    EXPECT_TRUE(builder.AddEdge(base + 1, base + 2).ok());
+    EXPECT_TRUE(builder.AddEdge(base + 2, base + 3).ok());
+    EXPECT_TRUE(builder.AddEdge(base + 3, base).ok());
+  }
+  const VertexId offset = static_cast<VertexId>(4 * num_squares);
+  for (VertexId v = 0; v + 1 < background; ++v) {
+    EXPECT_TRUE(builder.AddEdge(offset + v, offset + v + 1).ok());
+  }
+  // A few cross links so rewiring has room to scramble.
+  for (size_t i = 0; i < num_squares; ++i) {
+    const VertexId a = static_cast<VertexId>(rng.Uniform(4 * num_squares));
+    const VertexId b =
+        offset + static_cast<VertexId>(rng.Uniform(background));
+    EXPECT_TRUE(builder.AddEdge(a, b).ok());
+  }
+  return builder.Build();
+}
+
+TEST(UniquenessTest, PlantedPatternScoresHigh) {
+  Rng rng(41);
+  const Graph g = PlantedSquares(15, 40, rng);
+
+  MinerConfig miner_config;
+  miner_config.min_size = 4;
+  miner_config.max_size = 4;
+  miner_config.min_frequency = 10;
+  auto motifs = FrequentSubgraphMiner(g, miner_config).Mine();
+
+  SmallGraph square(4);
+  square.AddEdge(0, 1);
+  square.AddEdge(1, 2);
+  square.AddEdge(2, 3);
+  square.AddEdge(3, 0);
+  const auto square_code = CanonicalCode(square);
+
+  UniquenessConfig config;
+  config.num_random_networks = 10;
+  config.swaps_per_edge = 3.0;
+  config.seed = 7;
+  EvaluateUniqueness(g, config, &motifs);
+
+  bool square_found = false;
+  for (const Motif& m : motifs) {
+    EXPECT_GE(m.uniqueness, 0.0);
+    EXPECT_LE(m.uniqueness, 1.0);
+    if (m.code == square_code) {
+      square_found = true;
+      EXPECT_GE(m.uniqueness, 0.9)
+          << "15 planted chordless squares should not survive rewiring";
+    }
+  }
+  EXPECT_TRUE(square_found);
+}
+
+TEST(UniquenessTest, FilterUnique) {
+  std::vector<Motif> motifs(3);
+  motifs[0].uniqueness = 1.0;
+  motifs[1].uniqueness = 0.5;
+  motifs[2].uniqueness = 0.96;
+  const auto kept = FilterUnique(std::move(motifs), 0.95);
+  ASSERT_EQ(kept.size(), 2u);
+  EXPECT_DOUBLE_EQ(kept[0].uniqueness, 1.0);
+  EXPECT_DOUBLE_EQ(kept[1].uniqueness, 0.96);
+}
+
+TEST(UniquenessTest, NoRandomNetworksLeavesUnevaluated) {
+  Rng rng(42);
+  const Graph g = ErdosRenyi(20, 40, rng);
+  std::vector<Motif> motifs(1);
+  motifs[0].pattern = SmallGraph(3);
+  motifs[0].pattern.AddEdge(0, 1);
+  motifs[0].pattern.AddEdge(1, 2);
+  motifs[0].frequency = 5;
+  UniquenessConfig config;
+  config.num_random_networks = 0;
+  EvaluateUniqueness(g, config, &motifs);
+  EXPECT_DOUBLE_EQ(motifs[0].uniqueness, -1.0);
+}
+
+TEST(UniquenessTest, FindNetworkMotifsFacade) {
+  Rng rng(43);
+  const Graph g = PlantedSquares(15, 40, rng);
+  MotifFindingConfig config;
+  config.miner.min_size = 3;
+  config.miner.max_size = 4;
+  config.miner.min_frequency = 10;
+  config.uniqueness.num_random_networks = 8;
+  config.uniqueness.seed = 11;
+  config.uniqueness_threshold = 0.9;
+  const auto motifs = FindNetworkMotifs(g, config);
+  for (const Motif& m : motifs) {
+    EXPECT_GE(m.uniqueness, 0.9);
+    EXPECT_GE(m.frequency, 10u);
+    EXPECT_GE(m.size(), 3u);
+    EXPECT_LE(m.size(), 4u);
+  }
+  EXPECT_FALSE(motifs.empty());
+}
+
+TEST(MotifStructTest, ToString) {
+  Motif m;
+  m.pattern = SmallGraph(3);
+  m.pattern.AddEdge(0, 1);
+  m.frequency = 7;
+  EXPECT_EQ(m.ToString(), "Motif(size=3, edges=1, freq=7)");
+  m.uniqueness = 0.5;
+  EXPECT_NE(m.ToString().find("uniq=0.5"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lamo

@@ -1,0 +1,106 @@
+#include "ontology/annotation.h"
+
+#include <gtest/gtest.h>
+
+namespace lamo {
+namespace {
+
+Ontology MakeChain() {
+  // root -> mid -> leaf.
+  OntologyBuilder builder;
+  const TermId root = builder.AddTerm("root");
+  const TermId mid = builder.AddTerm("mid");
+  const TermId leaf = builder.AddTerm("leaf");
+  EXPECT_TRUE(builder.AddRelation(mid, root, RelationType::kIsA).ok());
+  EXPECT_TRUE(builder.AddRelation(leaf, mid, RelationType::kIsA).ok());
+  auto built = builder.Build();
+  EXPECT_TRUE(built.ok());
+  return std::move(built).value();
+}
+
+TEST(AnnotationTest, BasicAnnotate) {
+  AnnotationTable table(3);
+  EXPECT_TRUE(table.Annotate(0, 5).ok());
+  EXPECT_TRUE(table.Annotate(0, 2).ok());
+  EXPECT_TRUE(table.Annotate(0, 5).ok());  // idempotent
+  EXPECT_EQ(table.TermsOf(0).size(), 2u);
+  EXPECT_EQ(table.TermsOf(0)[0], 2u);  // sorted
+  EXPECT_EQ(table.TermsOf(0)[1], 5u);
+  EXPECT_TRUE(table.IsAnnotated(0));
+  EXPECT_FALSE(table.IsAnnotated(1));
+}
+
+TEST(AnnotationTest, OutOfRange) {
+  AnnotationTable table(2);
+  EXPECT_TRUE(table.Annotate(5, 0).IsInvalidArgument());
+}
+
+TEST(AnnotationTest, Counts) {
+  AnnotationTable table(4);
+  ASSERT_TRUE(table.Annotate(0, 1).ok());
+  ASSERT_TRUE(table.Annotate(0, 2).ok());
+  ASSERT_TRUE(table.Annotate(2, 1).ok());
+  EXPECT_EQ(table.CountAnnotated(), 2u);
+  EXPECT_EQ(table.TotalOccurrences(), 3u);
+  EXPECT_DOUBLE_EQ(table.MeanTermsPerAnnotatedProtein(), 1.5);
+}
+
+TEST(AnnotationTest, DirectCounts) {
+  AnnotationTable table(3);
+  ASSERT_TRUE(table.Annotate(0, 1).ok());
+  ASSERT_TRUE(table.Annotate(1, 1).ok());
+  ASSERT_TRUE(table.Annotate(2, 0).ok());
+  const auto counts = table.DirectCounts(3);
+  EXPECT_EQ(counts, (std::vector<size_t>{1, 2, 0}));
+}
+
+TEST(AnnotationTest, ClosureCountsChain) {
+  const Ontology onto = MakeChain();
+  const TermId root = onto.FindTerm("root");
+  const TermId mid = onto.FindTerm("mid");
+  const TermId leaf = onto.FindTerm("leaf");
+
+  AnnotationTable table(3);
+  ASSERT_TRUE(table.Annotate(0, leaf).ok());
+  ASSERT_TRUE(table.Annotate(1, mid).ok());
+  ASSERT_TRUE(table.Annotate(2, leaf).ok());
+
+  const auto closure = table.ClosureCounts(onto);
+  EXPECT_EQ(closure[leaf], 2u);
+  EXPECT_EQ(closure[mid], 3u);
+  EXPECT_EQ(closure[root], 3u);
+}
+
+TEST(AnnotationTest, ClosureCountsNoDoubleCountingMultiPath) {
+  // Diamond: annotation at the multi-parent leaf must count once at root.
+  OntologyBuilder builder;
+  const TermId root = builder.AddTerm("root");
+  const TermId a = builder.AddTerm("a");
+  const TermId b = builder.AddTerm("b");
+  const TermId leaf = builder.AddTerm("leaf");
+  ASSERT_TRUE(builder.AddRelation(a, root, RelationType::kIsA).ok());
+  ASSERT_TRUE(builder.AddRelation(b, root, RelationType::kIsA).ok());
+  ASSERT_TRUE(builder.AddRelation(leaf, a, RelationType::kIsA).ok());
+  ASSERT_TRUE(builder.AddRelation(leaf, b, RelationType::kIsA).ok());
+  auto built = builder.Build();
+  ASSERT_TRUE(built.ok());
+
+  AnnotationTable table(1);
+  ASSERT_TRUE(table.Annotate(0, leaf).ok());
+  const auto closure = table.ClosureCounts(*built);
+  EXPECT_EQ(closure[root], 1u) << "multi-path ancestor counted once";
+  EXPECT_EQ(closure[a], 1u);
+  EXPECT_EQ(closure[b], 1u);
+  EXPECT_EQ(closure[leaf], 1u);
+}
+
+TEST(AnnotationTest, EmptyTable) {
+  AnnotationTable table;
+  EXPECT_EQ(table.num_proteins(), 0u);
+  EXPECT_EQ(table.CountAnnotated(), 0u);
+  EXPECT_EQ(table.TotalOccurrences(), 0u);
+  EXPECT_DOUBLE_EQ(table.MeanTermsPerAnnotatedProtein(), 0.0);
+}
+
+}  // namespace
+}  // namespace lamo

@@ -1,0 +1,167 @@
+#include "ontology/ontology.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+namespace lamo {
+namespace {
+
+// Diamond: root -> a, b; a -> leaf; b -> leaf (multi-parent leaf).
+Ontology MakeDiamond() {
+  OntologyBuilder builder;
+  const TermId root = builder.AddTerm("root");
+  const TermId a = builder.AddTerm("a");
+  const TermId b = builder.AddTerm("b");
+  const TermId leaf = builder.AddTerm("leaf");
+  EXPECT_TRUE(builder.AddRelation(a, root, RelationType::kIsA).ok());
+  EXPECT_TRUE(builder.AddRelation(b, root, RelationType::kIsA).ok());
+  EXPECT_TRUE(builder.AddRelation(leaf, a, RelationType::kIsA).ok());
+  EXPECT_TRUE(builder.AddRelation(leaf, b, RelationType::kPartOf).ok());
+  auto built = builder.Build();
+  EXPECT_TRUE(built.ok());
+  return std::move(built).value();
+}
+
+TEST(OntologyBuilderTest, RejectsSelfParent) {
+  OntologyBuilder builder;
+  const TermId t = builder.AddTerm("t");
+  EXPECT_TRUE(
+      builder.AddRelation(t, t, RelationType::kIsA).IsInvalidArgument());
+}
+
+TEST(OntologyBuilderTest, RejectsOutOfRange) {
+  OntologyBuilder builder;
+  builder.AddTerm("t");
+  EXPECT_TRUE(
+      builder.AddRelation(0, 5, RelationType::kIsA).IsInvalidArgument());
+}
+
+TEST(OntologyBuilderTest, RejectsCycle) {
+  OntologyBuilder builder;
+  const TermId a = builder.AddTerm("a");
+  const TermId b = builder.AddTerm("b");
+  const TermId c = builder.AddTerm("c");
+  ASSERT_TRUE(builder.AddRelation(a, b, RelationType::kIsA).ok());
+  ASSERT_TRUE(builder.AddRelation(b, c, RelationType::kIsA).ok());
+  ASSERT_TRUE(builder.AddRelation(c, a, RelationType::kIsA).ok());
+  EXPECT_FALSE(builder.Build().ok());
+}
+
+TEST(OntologyBuilderTest, RejectsEmpty) {
+  OntologyBuilder builder;
+  EXPECT_FALSE(builder.Build().ok());
+}
+
+TEST(OntologyBuilderTest, DeduplicatesRelations) {
+  OntologyBuilder builder;
+  const TermId a = builder.AddTerm("a");
+  const TermId b = builder.AddTerm("b");
+  ASSERT_TRUE(builder.AddRelation(a, b, RelationType::kIsA).ok());
+  ASSERT_TRUE(builder.AddRelation(a, b, RelationType::kIsA).ok());
+  auto built = builder.Build();
+  ASSERT_TRUE(built.ok());
+  EXPECT_EQ(built->Parents(a).size(), 1u);
+}
+
+TEST(OntologyTest, ParentsChildrenRoots) {
+  const Ontology onto = MakeDiamond();
+  const TermId root = onto.FindTerm("root");
+  const TermId a = onto.FindTerm("a");
+  const TermId b = onto.FindTerm("b");
+  const TermId leaf = onto.FindTerm("leaf");
+
+  EXPECT_EQ(onto.Roots(), (std::vector<TermId>{root}));
+  EXPECT_EQ(onto.Parents(root).size(), 0u);
+  ASSERT_EQ(onto.Parents(leaf).size(), 2u);
+  EXPECT_EQ(onto.Parents(leaf)[0], a);
+  EXPECT_EQ(onto.Parents(leaf)[1], b);
+  ASSERT_EQ(onto.Children(root).size(), 2u);
+  EXPECT_EQ(onto.Children(a).size(), 1u);
+}
+
+TEST(OntologyTest, ParentRelationsAligned) {
+  const Ontology onto = MakeDiamond();
+  const TermId leaf = onto.FindTerm("leaf");
+  const auto relations = onto.ParentRelations(leaf);
+  ASSERT_EQ(relations.size(), 2u);
+  EXPECT_EQ(relations[0], RelationType::kIsA);      // parent a
+  EXPECT_EQ(relations[1], RelationType::kPartOf);   // parent b
+}
+
+TEST(OntologyTest, TopologicalOrderParentsFirst) {
+  const Ontology onto = MakeDiamond();
+  const auto& topo = onto.TopologicalOrder();
+  ASSERT_EQ(topo.size(), 4u);
+  auto position = [&](TermId t) {
+    return std::find(topo.begin(), topo.end(), t) - topo.begin();
+  };
+  for (TermId t = 0; t < onto.num_terms(); ++t) {
+    for (TermId p : onto.Parents(t)) {
+      EXPECT_LT(position(p), position(t));
+    }
+  }
+}
+
+TEST(OntologyTest, AncestorClosureIncludesSelf) {
+  const Ontology onto = MakeDiamond();
+  const TermId root = onto.FindTerm("root");
+  const TermId leaf = onto.FindTerm("leaf");
+  const auto anc = onto.AncestorsOf(leaf);
+  EXPECT_EQ(anc.size(), 4u);  // leaf, a, b, root
+  EXPECT_TRUE(onto.IsAncestorOrEqual(leaf, leaf));
+  EXPECT_TRUE(onto.IsAncestorOrEqual(root, leaf));
+  EXPECT_FALSE(onto.IsAncestorOrEqual(leaf, root));
+}
+
+TEST(OntologyTest, MultiParentAncestry) {
+  const Ontology onto = MakeDiamond();
+  const TermId a = onto.FindTerm("a");
+  const TermId b = onto.FindTerm("b");
+  const TermId leaf = onto.FindTerm("leaf");
+  EXPECT_TRUE(onto.IsAncestorOrEqual(a, leaf));
+  EXPECT_TRUE(onto.IsAncestorOrEqual(b, leaf));
+  EXPECT_FALSE(onto.IsAncestorOrEqual(a, b));
+}
+
+TEST(OntologyTest, DescendantsIncludeSelf) {
+  const Ontology onto = MakeDiamond();
+  const TermId root = onto.FindTerm("root");
+  const TermId a = onto.FindTerm("a");
+  EXPECT_EQ(onto.DescendantsOf(root).size(), 4u);
+  const auto desc_a = onto.DescendantsOf(a);
+  EXPECT_EQ(desc_a.size(), 2u);  // a and leaf
+}
+
+TEST(OntologyTest, Depths) {
+  const Ontology onto = MakeDiamond();
+  EXPECT_EQ(onto.Depth(onto.FindTerm("root")), 0u);
+  EXPECT_EQ(onto.Depth(onto.FindTerm("a")), 1u);
+  EXPECT_EQ(onto.Depth(onto.FindTerm("leaf")), 2u);
+}
+
+TEST(OntologyTest, FindTermMissing) {
+  const Ontology onto = MakeDiamond();
+  EXPECT_EQ(onto.FindTerm("nope"), kInvalidTerm);
+}
+
+TEST(OntologyTest, MultipleRootsAllowed) {
+  OntologyBuilder builder;
+  builder.AddTerm("r1");
+  builder.AddTerm("r2");
+  auto built = builder.Build();
+  ASSERT_TRUE(built.ok());
+  EXPECT_EQ(built->Roots().size(), 2u);
+}
+
+TEST(GoBranchTest, Names) {
+  EXPECT_STREQ(GoBranchName(GoBranch::kMolecularFunction),
+               "molecular_function");
+  EXPECT_STREQ(GoBranchName(GoBranch::kBiologicalProcess),
+               "biological_process");
+  EXPECT_STREQ(GoBranchName(GoBranch::kCellularComponent),
+               "cellular_component");
+}
+
+}  // namespace
+}  // namespace lamo

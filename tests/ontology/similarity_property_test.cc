@@ -1,0 +1,101 @@
+// Property sweep: Lin term similarity over randomly generated GO branches
+// and annotation sets must satisfy its structural invariants for every
+// seed.
+#include <gtest/gtest.h>
+
+#include "ontology/similarity.h"
+#include "synth/go_generator.h"
+
+namespace lamo {
+namespace {
+
+struct Fixture {
+  Ontology onto;
+  AnnotationTable annotations{0};
+  TermWeights weights;
+};
+
+Fixture MakeFixture(uint64_t seed) {
+  Fixture f;
+  GoGeneratorConfig config;
+  config.num_terms = 80;
+  config.depth = 5;
+  Rng rng(seed);
+  f.onto = GenerateGoBranch(config, rng);
+  // Random annotations over all terms.
+  f.annotations = AnnotationTable(400);
+  for (ProteinId p = 0; p < 400; ++p) {
+    const size_t count = 1 + rng.Uniform(3);
+    for (size_t i = 0; i < count; ++i) {
+      EXPECT_TRUE(
+          f.annotations
+              .Annotate(p, static_cast<TermId>(rng.Uniform(80)))
+              .ok());
+    }
+  }
+  f.weights = TermWeights::Compute(f.onto, f.annotations);
+  return f;
+}
+
+class SimilarityProperties : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SimilarityProperties, RangeSymmetryIdentity) {
+  const Fixture f = MakeFixture(GetParam());
+  TermSimilarity st(f.onto, f.weights);
+  Rng rng(GetParam() * 31);
+  for (int trial = 0; trial < 200; ++trial) {
+    const TermId a = static_cast<TermId>(rng.Uniform(f.onto.num_terms()));
+    const TermId b = static_cast<TermId>(rng.Uniform(f.onto.num_terms()));
+    const double sim = st.Similarity(a, b);
+    EXPECT_GE(sim, 0.0);
+    EXPECT_LE(sim, 1.0);
+    EXPECT_DOUBLE_EQ(sim, st.Similarity(b, a));
+    EXPECT_DOUBLE_EQ(st.Similarity(a, a), 1.0);
+  }
+}
+
+TEST_P(SimilarityProperties, LowestCommonParentIsCommonAncestor) {
+  const Fixture f = MakeFixture(GetParam());
+  TermSimilarity st(f.onto, f.weights);
+  Rng rng(GetParam() * 37);
+  for (int trial = 0; trial < 200; ++trial) {
+    const TermId a = static_cast<TermId>(rng.Uniform(f.onto.num_terms()));
+    const TermId b = static_cast<TermId>(rng.Uniform(f.onto.num_terms()));
+    const TermId lcp = st.LowestCommonParent(a, b);
+    ASSERT_NE(lcp, kInvalidTerm);  // single root: always some ancestor
+    EXPECT_TRUE(f.onto.IsAncestorOrEqual(lcp, a));
+    EXPECT_TRUE(f.onto.IsAncestorOrEqual(lcp, b));
+    // Minimality: no common ancestor has a smaller weight.
+    for (TermId c : f.onto.AncestorsOf(a)) {
+      if (f.onto.IsAncestorOrEqual(c, b)) {
+        EXPECT_GE(f.weights.Weight(c) + 1e-15, f.weights.Weight(lcp));
+      }
+    }
+  }
+}
+
+TEST_P(SimilarityProperties, AncestorSimilarityBeatsRootPath) {
+  const Fixture f = MakeFixture(GetParam());
+  TermSimilarity st(f.onto, f.weights);
+  const TermId root = f.onto.Roots()[0];
+  Rng rng(GetParam() * 41);
+  for (int trial = 0; trial < 100; ++trial) {
+    const TermId a = static_cast<TermId>(rng.Uniform(f.onto.num_terms()));
+    if (a == root) continue;
+    // Similarity to a parent is at least the similarity implied by meeting
+    // only at the root (which is 0).
+    for (TermId p : f.onto.Parents(a)) {
+      EXPECT_GE(st.Similarity(a, p), 0.0);
+      if (f.weights.Weight(p) < 1.0) {
+        EXPECT_GT(st.Similarity(a, p), 0.0)
+            << "informative parent must share information";
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimilarityProperties,
+                         ::testing::Values(3, 77, 2024));
+
+}  // namespace
+}  // namespace lamo

@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include "predict/chi_square.h"
+#include "predict/mrf.h"
+#include "predict/neighbor_counting.h"
+#include "predict/predictor.h"
+
+namespace lamo {
+namespace {
+
+// Star: protein 0 in the middle; neighbors 1-3 carry category 100,
+// neighbor 4 carries category 200. Proteins 5-6 are an isolated annotated
+// pair carrying 200 (they shape the priors).
+struct StarFixture {
+  Graph ppi;
+  PredictionContext context;
+
+  StarFixture() {
+    GraphBuilder builder(7);
+    EXPECT_TRUE(builder.AddEdge(0, 1).ok());
+    EXPECT_TRUE(builder.AddEdge(0, 2).ok());
+    EXPECT_TRUE(builder.AddEdge(0, 3).ok());
+    EXPECT_TRUE(builder.AddEdge(0, 4).ok());
+    EXPECT_TRUE(builder.AddEdge(5, 6).ok());
+    ppi = builder.Build();
+    context.ppi = &ppi;
+    context.categories = {100, 200};
+    context.protein_categories = {
+        {100},       // p0 (its own truth; must not be used)
+        {100}, {100}, {100},
+        {200},
+        {200}, {200},
+    };
+  }
+};
+
+TEST(PredictionContextTest, HasCategoryAndPrior) {
+  StarFixture f;
+  EXPECT_TRUE(f.context.HasCategory(1, 100));
+  EXPECT_FALSE(f.context.HasCategory(1, 200));
+  EXPECT_TRUE(f.context.IsAnnotated(0));
+  // 4 of 7 annotated proteins carry 100.
+  EXPECT_NEAR(f.context.CategoryPrior(100), 4.0 / 7.0, 1e-12);
+  EXPECT_NEAR(f.context.CategoryPrior(200), 3.0 / 7.0, 1e-12);
+}
+
+TEST(NeighborCountingTest, MajorityNeighborsWin) {
+  StarFixture f;
+  NeighborCountingPredictor nc(f.context);
+  const auto predictions = nc.Predict(0);
+  ASSERT_EQ(predictions.size(), 2u);
+  EXPECT_EQ(predictions[0].category, 100u);
+  EXPECT_DOUBLE_EQ(predictions[0].score, 3.0);
+  EXPECT_EQ(predictions[1].category, 200u);
+  EXPECT_DOUBLE_EQ(predictions[1].score, 1.0);
+}
+
+TEST(NeighborCountingTest, IsolatedProteinScoresZero) {
+  GraphBuilder builder(3);
+  ASSERT_TRUE(builder.AddEdge(1, 2).ok());
+  const Graph ppi = builder.Build();
+  PredictionContext context;
+  context.ppi = &ppi;
+  context.categories = {7};
+  context.protein_categories = {{7}, {7}, {7}};
+  NeighborCountingPredictor nc(context);
+  const auto predictions = nc.Predict(0);
+  ASSERT_EQ(predictions.size(), 1u);
+  EXPECT_DOUBLE_EQ(predictions[0].score, 0.0);
+}
+
+TEST(ChiSquareTest, EnrichmentOutranksDepletion) {
+  StarFixture f;
+  ChiSquarePredictor chi2(f.context);
+  const auto predictions = chi2.Predict(0);
+  ASSERT_EQ(predictions.size(), 2u);
+  // Observed 3 of 4 for category 100 vs expected 4*4/7 ~ 2.3: enriched.
+  EXPECT_EQ(predictions[0].category, 100u);
+  EXPECT_GT(predictions[0].score, 0.0);
+  // Category 200: observed 1 vs expected ~1.7: depleted, negative score.
+  EXPECT_LT(predictions[1].score, 0.0);
+}
+
+TEST(ChiSquareTest, StatisticValue) {
+  StarFixture f;
+  ChiSquarePredictor chi2(f.context);
+  const auto predictions = chi2.Predict(0);
+  const double expected_100 = (4.0 / 7.0) * 4.0;
+  const double chi_100 = (3.0 - expected_100) * (3.0 - expected_100) /
+                         expected_100;
+  EXPECT_NEAR(predictions[0].score, chi_100, 1e-9);
+}
+
+TEST(MrfTest, LearnsHomophily) {
+  // Two annotated cliques with opposite labels: the coupling to same-label
+  // neighbors (beta) should exceed the coupling to other-label ones (gamma).
+  GraphBuilder builder(10);
+  for (VertexId i = 0; i < 5; ++i) {
+    for (VertexId j = i + 1; j < 5; ++j) {
+      ASSERT_TRUE(builder.AddEdge(i, j).ok());
+      ASSERT_TRUE(builder.AddEdge(i + 5, j + 5).ok());
+    }
+  }
+  const Graph ppi = builder.Build();
+  PredictionContext context;
+  context.ppi = &ppi;
+  context.categories = {1};
+  context.protein_categories.assign(10, {});
+  for (VertexId v = 0; v < 5; ++v) context.protein_categories[v] = {1};
+  for (VertexId v = 5; v < 10; ++v) context.protein_categories[v] = {0};
+  // Category "0" is a dummy marker: proteins 5..9 are annotated but do not
+  // carry category 1.
+  for (VertexId v = 5; v < 10; ++v) context.protein_categories[v] = {2};
+  context.categories = {1, 2};
+
+  MrfPredictor mrf(context);
+  EXPECT_GT(mrf.parameters(0).beta, mrf.parameters(0).gamma);
+
+  const auto predictions = mrf.Predict(0);
+  ASSERT_EQ(predictions.size(), 2u);
+  EXPECT_EQ(predictions[0].category, 1u)
+      << "a clique member's own category must rank first";
+}
+
+TEST(MrfTest, PredictionsAreProbabilities) {
+  StarFixture f;
+  MrfPredictor mrf(f.context);
+  for (ProteinId p = 0; p < 7; ++p) {
+    for (const Prediction& pred : mrf.Predict(p)) {
+      EXPECT_GE(pred.score, 0.0);
+      EXPECT_LE(pred.score, 1.0);
+    }
+  }
+}
+
+TEST(SortPredictionsTest, TieBreakByCategory) {
+  std::vector<Prediction> predictions = {{5, 1.0}, {2, 1.0}, {9, 2.0}};
+  SortPredictions(&predictions);
+  EXPECT_EQ(predictions[0].category, 9u);
+  EXPECT_EQ(predictions[1].category, 2u);
+  EXPECT_EQ(predictions[2].category, 5u);
+}
+
+}  // namespace
+}  // namespace lamo

@@ -1,0 +1,152 @@
+#include "predict/evaluation.h"
+
+#include <gtest/gtest.h>
+
+namespace lamo {
+namespace {
+
+// Oracle: always scores the true categories 1.0 and others 0.
+class OraclePredictor : public FunctionPredictor {
+ public:
+  explicit OraclePredictor(const PredictionContext& context)
+      : context_(context) {}
+  std::string name() const override { return "Oracle"; }
+  std::vector<Prediction> Predict(ProteinId p) const override {
+    std::vector<Prediction> predictions;
+    for (TermId c : context_.categories) {
+      predictions.push_back({c, context_.HasCategory(p, c) ? 1.0 : 0.0});
+    }
+    SortPredictions(&predictions);
+    return predictions;
+  }
+
+ private:
+  const PredictionContext& context_;
+};
+
+// Anti-oracle: inverts the oracle's scores.
+class WrongPredictor : public FunctionPredictor {
+ public:
+  explicit WrongPredictor(const PredictionContext& context)
+      : context_(context) {}
+  std::string name() const override { return "Wrong"; }
+  std::vector<Prediction> Predict(ProteinId p) const override {
+    std::vector<Prediction> predictions;
+    for (TermId c : context_.categories) {
+      predictions.push_back({c, context_.HasCategory(p, c) ? 0.0 : 1.0});
+    }
+    SortPredictions(&predictions);
+    return predictions;
+  }
+
+ private:
+  const PredictionContext& context_;
+};
+
+PredictionContext MakeContext(Graph* storage) {
+  GraphBuilder builder(4);
+  EXPECT_TRUE(builder.AddEdge(0, 1).ok());
+  *storage = builder.Build();
+  PredictionContext context;
+  context.ppi = storage;
+  context.categories = {10, 20, 30};
+  context.protein_categories = {{10}, {20, 30}, {10}, {}};
+  return context;
+}
+
+TEST(EvaluationTest, OraclePerfectAtKOne) {
+  Graph g;
+  const PredictionContext context = MakeContext(&g);
+  OraclePredictor oracle(context);
+  const PrCurve curve = EvaluateLeaveOneOut(oracle, context);
+  ASSERT_EQ(curve.points.size(), 3u);
+  EXPECT_DOUBLE_EQ(curve.points[0].precision, 1.0);
+  // 3 correct at k=1 over 4 true annotations.
+  EXPECT_DOUBLE_EQ(curve.points[0].recall, 3.0 / 4.0);
+  // At k = 3 all truths are found: recall 1.
+  EXPECT_DOUBLE_EQ(curve.points[2].recall, 1.0);
+  // Precision at k=3: 4 correct over 9 predictions.
+  EXPECT_DOUBLE_EQ(curve.points[2].precision, 4.0 / 9.0);
+}
+
+TEST(EvaluationTest, WrongPredictorZeroAtKOne) {
+  Graph g;
+  const PredictionContext context = MakeContext(&g);
+  WrongPredictor wrong(context);
+  const PrCurve curve = EvaluateLeaveOneOut(wrong, context);
+  EXPECT_DOUBLE_EQ(curve.points[0].precision, 0.0);
+  EXPECT_DOUBLE_EQ(curve.points[0].recall, 0.0);
+  // At k = |categories| everything is eventually predicted.
+  EXPECT_DOUBLE_EQ(curve.points[2].recall, 1.0);
+}
+
+TEST(EvaluationTest, RestrictedEvaluationSet) {
+  Graph g;
+  const PredictionContext context = MakeContext(&g);
+  OraclePredictor oracle(context);
+  EvaluationConfig config;
+  config.evaluation_set = {1};
+  const PrCurve curve = EvaluateLeaveOneOut(oracle, context, config);
+  // Protein 1 has two categories; k=2 finds both.
+  EXPECT_DOUBLE_EQ(curve.points[1].precision, 1.0);
+  EXPECT_DOUBLE_EQ(curve.points[1].recall, 1.0);
+}
+
+TEST(EvaluationTest, MaxKTruncatesCurve) {
+  Graph g;
+  const PredictionContext context = MakeContext(&g);
+  OraclePredictor oracle(context);
+  EvaluationConfig config;
+  config.max_k = 2;
+  EXPECT_EQ(EvaluateLeaveOneOut(oracle, context, config).points.size(), 2u);
+}
+
+TEST(EvaluationTest, AucOrdersOracleAboveWrong) {
+  Graph g;
+  const PredictionContext context = MakeContext(&g);
+  OraclePredictor oracle(context);
+  WrongPredictor wrong(context);
+  const double auc_oracle = AreaUnderPrCurve(EvaluateLeaveOneOut(oracle, context));
+  const double auc_wrong = AreaUnderPrCurve(EvaluateLeaveOneOut(wrong, context));
+  EXPECT_GT(auc_oracle, auc_wrong);
+}
+
+TEST(EvaluationTest, EmptyCurveAucZero) {
+  EXPECT_DOUBLE_EQ(AreaUnderPrCurve(PrCurve{}), 0.0);
+}
+
+TEST(EvaluationMacroTest, OraclePerfectAtKOne) {
+  Graph g;
+  const PredictionContext context = MakeContext(&g);
+  OraclePredictor oracle(context);
+  const PrCurve curve = EvaluateLeaveOneOutMacro(oracle, context);
+  ASSERT_EQ(curve.points.size(), 3u);
+  EXPECT_DOUBLE_EQ(curve.points[0].precision, 1.0);
+  // Per-protein recalls at k=1: 1, 1/2, 1 -> mean 5/6.
+  EXPECT_DOUBLE_EQ(curve.points[0].recall, 5.0 / 6.0);
+}
+
+TEST(EvaluationMacroTest, MacroDiffersFromMicroOnSkewedTruths) {
+  Graph g;
+  const PredictionContext context = MakeContext(&g);
+  OraclePredictor oracle(context);
+  const PrCurve micro = EvaluateLeaveOneOut(oracle, context);
+  const PrCurve macro = EvaluateLeaveOneOutMacro(oracle, context);
+  // Micro recall at k=1 is 3/4 (protein 1 holds two of four truths), macro
+  // is 5/6: the multi-annotation protein weighs less under macro.
+  EXPECT_GT(macro.points[0].recall, micro.points[0].recall);
+}
+
+TEST(EvaluationMacroTest, MacroPrecisionAveragesPerProtein) {
+  Graph g;
+  const PredictionContext context = MakeContext(&g);
+  WrongPredictor wrong(context);
+  const PrCurve curve = EvaluateLeaveOneOutMacro(wrong, context);
+  EXPECT_DOUBLE_EQ(curve.points[0].precision, 0.0);
+  // At k=3 each protein's precision is (#truths)/3: (1 + 2 + 1)/3 proteins.
+  EXPECT_NEAR(curve.points[2].precision, (1.0 / 3 + 2.0 / 3 + 1.0 / 3) / 3,
+              1e-12);
+}
+
+}  // namespace
+}  // namespace lamo

@@ -1,0 +1,102 @@
+#include "predict/prodistin.h"
+
+#include <gtest/gtest.h>
+
+namespace lamo {
+namespace {
+
+TEST(CzekanowskiDiceTest, IdenticalAugmentedListsScoreZero) {
+  // Triangle: N(a) ∪ {a} is the same vertex set for all three.
+  GraphBuilder builder(3);
+  ASSERT_TRUE(builder.AddEdge(0, 1).ok());
+  ASSERT_TRUE(builder.AddEdge(1, 2).ok());
+  ASSERT_TRUE(builder.AddEdge(0, 2).ok());
+  const Graph ppi = builder.Build();
+  EXPECT_DOUBLE_EQ(ProdistinPredictor::CzekanowskiDice(ppi, 0, 1), 0.0);
+}
+
+TEST(CzekanowskiDiceTest, HandComputedValue) {
+  // Edges a-b, a-c. A = {a,b,c}, B = {a,b}: |A∪B|=3, |A∩B|=2, |AΔB|=1.
+  GraphBuilder builder(3);
+  ASSERT_TRUE(builder.AddEdge(0, 1).ok());
+  ASSERT_TRUE(builder.AddEdge(0, 2).ok());
+  const Graph ppi = builder.Build();
+  EXPECT_NEAR(ProdistinPredictor::CzekanowskiDice(ppi, 0, 1), 1.0 / 5.0,
+              1e-12);
+}
+
+TEST(CzekanowskiDiceTest, DisjointNeighborhoodsScoreHigh) {
+  // Two disjoint edges: A = {0,1}, B = {2,3}: inter 0, union 4, delta 4.
+  GraphBuilder builder(4);
+  ASSERT_TRUE(builder.AddEdge(0, 1).ok());
+  ASSERT_TRUE(builder.AddEdge(2, 3).ok());
+  const Graph ppi = builder.Build();
+  EXPECT_DOUBLE_EQ(ProdistinPredictor::CzekanowskiDice(ppi, 0, 2), 1.0);
+}
+
+TEST(ProdistinTest, ClassifiesByClade) {
+  // Two 5-cliques sharing no edges: the BIONJ tree separates them, so a
+  // clique member's clade votes for its clique's category.
+  GraphBuilder builder(10);
+  for (VertexId i = 0; i < 5; ++i) {
+    for (VertexId j = i + 1; j < 5; ++j) {
+      ASSERT_TRUE(builder.AddEdge(i, j).ok());
+      ASSERT_TRUE(builder.AddEdge(i + 5, j + 5).ok());
+    }
+  }
+  const Graph ppi = builder.Build();
+  PredictionContext context;
+  context.ppi = &ppi;
+  context.categories = {1, 2};
+  context.protein_categories.assign(10, {});
+  for (VertexId v = 0; v < 5; ++v) context.protein_categories[v] = {1};
+  for (VertexId v = 5; v < 10; ++v) context.protein_categories[v] = {2};
+
+  ProdistinPredictor prodistin(context);
+  for (ProteinId p = 0; p < 10; ++p) {
+    const auto predictions = prodistin.Predict(p);
+    ASSERT_FALSE(predictions.empty());
+    EXPECT_EQ(predictions[0].category, p < 5 ? 1u : 2u) << "protein " << p;
+  }
+}
+
+TEST(ProdistinTest, FallbackForIsolatedProteins) {
+  GraphBuilder builder(6);
+  ASSERT_TRUE(builder.AddEdge(0, 1).ok());
+  ASSERT_TRUE(builder.AddEdge(1, 2).ok());
+  ASSERT_TRUE(builder.AddEdge(2, 3).ok());
+  ASSERT_TRUE(builder.AddEdge(3, 0).ok());
+  // Proteins 4, 5 are isolated (degree 0): not in the tree.
+  const Graph ppi = builder.Build();
+  PredictionContext context;
+  context.ppi = &ppi;
+  context.categories = {1, 2};
+  context.protein_categories = {{1}, {1}, {1}, {2}, {2}, {}};
+  ProdistinPredictor prodistin(context);
+  const auto predictions = prodistin.Predict(4);
+  ASSERT_EQ(predictions.size(), 2u);
+  // Prior fallback: category 1 (3 of 5 annotated) outranks 2.
+  EXPECT_EQ(predictions[0].category, 1u);
+}
+
+TEST(ProdistinTest, TreeCapRespected) {
+  GraphBuilder builder(30);
+  for (VertexId v = 0; v + 1 < 30; ++v) {
+    ASSERT_TRUE(builder.AddEdge(v, v + 1).ok());
+  }
+  const Graph ppi = builder.Build();
+  PredictionContext context;
+  context.ppi = &ppi;
+  context.categories = {1};
+  context.protein_categories.assign(30, {1});
+  ProdistinConfig config;
+  config.max_tree_proteins = 10;
+  ProdistinPredictor prodistin(context, config);
+  // Predictions still produced for everyone (in-tree or fallback).
+  for (ProteinId p = 0; p < 30; ++p) {
+    EXPECT_FALSE(prodistin.Predict(p).empty());
+  }
+}
+
+}  // namespace
+}  // namespace lamo

@@ -1,0 +1,129 @@
+#include "synth/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.h"
+
+namespace lamo {
+namespace {
+
+SyntheticDatasetConfig SmallConfig() {
+  SyntheticDatasetConfig config;
+  config.num_proteins = 600;
+  config.go.num_terms = 80;
+  config.go.depth = 5;
+  config.go.first_level_terms = 13;
+  config.num_templates = 3;
+  config.copies_per_template = 25;
+  config.informative_threshold = 10;
+  config.seed = 99;
+  return config;
+}
+
+class DatasetTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dataset_ = new SyntheticDataset(BuildSyntheticDataset(SmallConfig()));
+  }
+  static void TearDownTestSuite() {
+    delete dataset_;
+    dataset_ = nullptr;
+  }
+  static SyntheticDataset* dataset_;
+};
+
+SyntheticDataset* DatasetTest::dataset_ = nullptr;
+
+TEST_F(DatasetTest, Sizes) {
+  EXPECT_EQ(dataset_->ppi.num_vertices(), 600u);
+  EXPECT_EQ(dataset_->ontology.num_terms(), 80u);
+  EXPECT_EQ(dataset_->categories.size(), 13u);
+  EXPECT_EQ(dataset_->templates.size(), 3u);
+}
+
+TEST_F(DatasetTest, AnnotatedFractionApproximate) {
+  const double fraction =
+      static_cast<double>(dataset_->annotations.CountAnnotated()) / 600.0;
+  EXPECT_NEAR(fraction, SmallConfig().annotated_fraction, 0.05);
+}
+
+TEST_F(DatasetTest, PlantedInstancesAreEdges) {
+  for (const PlantedTemplate& t : dataset_->templates) {
+    EXPECT_EQ(t.instances.size(), 25u);
+    for (const auto& instance : t.instances) {
+      ASSERT_EQ(instance.size(), t.pattern.num_vertices());
+      for (const auto& [a, b] : t.pattern.Edges()) {
+        EXPECT_TRUE(dataset_->ppi.HasEdge(instance[a], instance[b]));
+      }
+    }
+  }
+}
+
+TEST_F(DatasetTest, RoleAnnotationsCorrelate) {
+  // A large share of annotated role-players must carry the role term or a
+  // descendant of it.
+  size_t role_slots = 0;
+  size_t role_hits = 0;
+  for (const PlantedTemplate& t : dataset_->templates) {
+    for (const auto& instance : t.instances) {
+      for (size_t r = 0; r < instance.size(); ++r) {
+        const ProteinId p = instance[r];
+        if (!dataset_->annotations.IsAnnotated(p)) continue;
+        ++role_slots;
+        for (TermId term : dataset_->annotations.TermsOf(p)) {
+          if (dataset_->ontology.IsAncestorOrEqual(t.role_terms[r], term)) {
+            ++role_hits;
+            break;
+          }
+        }
+      }
+    }
+  }
+  ASSERT_GT(role_slots, 0u);
+  EXPECT_GT(static_cast<double>(role_hits) / static_cast<double>(role_slots),
+            0.6);
+}
+
+TEST_F(DatasetTest, CategoriesOfGeneralizes) {
+  for (ProteinId p = 0; p < 50; ++p) {
+    for (TermId c : dataset_->CategoriesOf(p)) {
+      // Every reported category must be an ancestor of some direct term.
+      bool supported = false;
+      for (TermId t : dataset_->annotations.TermsOf(p)) {
+        if (dataset_->ontology.IsAncestorOrEqual(c, t)) supported = true;
+      }
+      EXPECT_TRUE(supported);
+    }
+  }
+}
+
+TEST_F(DatasetTest, InformativeClassesExist) {
+  EXPECT_FALSE(dataset_->informative.Informative().empty());
+  EXPECT_FALSE(dataset_->informative.BorderInformative().empty());
+}
+
+TEST_F(DatasetTest, Reproducible) {
+  const SyntheticDataset again = BuildSyntheticDataset(SmallConfig());
+  EXPECT_EQ(again.ppi.Edges(), dataset_->ppi.Edges());
+  EXPECT_EQ(again.annotations.TotalOccurrences(),
+            dataset_->annotations.TotalOccurrences());
+}
+
+TEST_F(DatasetTest, GraphIsMostlyConnected) {
+  const auto largest = LargestComponent(dataset_->ppi);
+  EXPECT_GT(largest.size(), 400u);
+}
+
+TEST(DatasetPresetsTest, BindScaleShape) {
+  const SyntheticDatasetConfig config = BindScaleConfig();
+  EXPECT_EQ(config.num_proteins, 4141u);
+  EXPECT_NEAR(config.annotated_fraction, 3554.0 / 4141.0, 1e-9);
+}
+
+TEST(DatasetPresetsTest, MipsScaleShape) {
+  const SyntheticDatasetConfig config = MipsScaleConfig();
+  EXPECT_EQ(config.num_proteins, 1877u);
+}
+
+}  // namespace
+}  // namespace lamo

@@ -1,0 +1,104 @@
+#include "synth/go_generator.h"
+
+#include <gtest/gtest.h>
+
+namespace lamo {
+namespace {
+
+TEST(GoGeneratorTest, BasicShape) {
+  GoGeneratorConfig config;
+  config.num_terms = 100;
+  config.depth = 5;
+  config.first_level_terms = 13;
+  Rng rng(51);
+  const Ontology onto = GenerateGoBranch(config, rng);
+  EXPECT_EQ(onto.num_terms(), 100u);
+  ASSERT_EQ(onto.Roots().size(), 1u);
+  EXPECT_EQ(onto.Children(onto.Roots()[0]).size(), 13u);
+}
+
+TEST(GoGeneratorTest, EveryNonRootHasParent) {
+  GoGeneratorConfig config;
+  config.num_terms = 80;
+  Rng rng(52);
+  const Ontology onto = GenerateGoBranch(config, rng);
+  const TermId root = onto.Roots()[0];
+  for (TermId t = 0; t < onto.num_terms(); ++t) {
+    if (t == root) continue;
+    EXPECT_GE(onto.Parents(t).size(), 1u);
+    EXPECT_TRUE(onto.IsAncestorOrEqual(root, t));
+  }
+}
+
+TEST(GoGeneratorTest, SomeMultiParentTerms) {
+  GoGeneratorConfig config;
+  config.num_terms = 200;
+  config.extra_parent_probability = 0.4;
+  Rng rng(53);
+  const Ontology onto = GenerateGoBranch(config, rng);
+  size_t multi = 0;
+  for (TermId t = 0; t < onto.num_terms(); ++t) {
+    if (onto.Parents(t).size() >= 2) ++multi;
+  }
+  EXPECT_GT(multi, 10u) << "GO-like DAGs need multi-parent terms";
+}
+
+TEST(GoGeneratorTest, MixesRelationTypes) {
+  GoGeneratorConfig config;
+  config.num_terms = 200;
+  config.part_of_fraction = 0.3;
+  Rng rng(54);
+  const Ontology onto = GenerateGoBranch(config, rng);
+  size_t is_a = 0, part_of = 0;
+  for (TermId t = 0; t < onto.num_terms(); ++t) {
+    for (RelationType r : onto.ParentRelations(t)) {
+      (r == RelationType::kIsA ? is_a : part_of) += 1;
+    }
+  }
+  EXPECT_GT(is_a, 0u);
+  EXPECT_GT(part_of, 0u);
+}
+
+TEST(GoGeneratorTest, RespectsDepth) {
+  GoGeneratorConfig config;
+  config.num_terms = 150;
+  config.depth = 6;
+  Rng rng(55);
+  const Ontology onto = GenerateGoBranch(config, rng);
+  uint32_t max_depth = 0;
+  for (TermId t = 0; t < onto.num_terms(); ++t) {
+    max_depth = std::max(max_depth, onto.Depth(t));
+  }
+  EXPECT_LE(max_depth, 6u);
+  EXPECT_GE(max_depth, 4u);  // should actually use the depth budget
+}
+
+TEST(GoGeneratorTest, DeepTermsFilter) {
+  GoGeneratorConfig config;
+  config.num_terms = 120;
+  config.depth = 5;
+  Rng rng(56);
+  const Ontology onto = GenerateGoBranch(config, rng);
+  const auto deep = DeepTerms(onto, 3);
+  EXPECT_FALSE(deep.empty());
+  for (TermId t : deep) {
+    EXPECT_GE(onto.Depth(t), 3u);
+  }
+}
+
+TEST(GoGeneratorTest, Reproducible) {
+  GoGeneratorConfig config;
+  Rng rng1(57), rng2(57);
+  const Ontology a = GenerateGoBranch(config, rng1);
+  const Ontology b = GenerateGoBranch(config, rng2);
+  ASSERT_EQ(a.num_terms(), b.num_terms());
+  for (TermId t = 0; t < a.num_terms(); ++t) {
+    ASSERT_EQ(a.Parents(t).size(), b.Parents(t).size());
+    for (size_t i = 0; i < a.Parents(t).size(); ++i) {
+      EXPECT_EQ(a.Parents(t)[i], b.Parents(t)[i]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lamo

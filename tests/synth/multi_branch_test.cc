@@ -1,0 +1,117 @@
+#include "synth/multi_branch.h"
+
+#include <gtest/gtest.h>
+
+namespace lamo {
+namespace {
+
+MultiBranchConfig SmallConfig() {
+  MultiBranchConfig config;
+  config.base.num_proteins = 300;
+  config.base.go.num_terms = 60;
+  config.base.num_templates = 2;
+  config.base.copies_per_template = 15;
+  config.base.informative_threshold = 6;
+  config.base.seed = 55;
+  return config;
+}
+
+class MultiBranchTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dataset_ = new MultiBranchDataset(BuildMultiBranchDataset(SmallConfig()));
+  }
+  static void TearDownTestSuite() {
+    delete dataset_;
+    dataset_ = nullptr;
+  }
+  static MultiBranchDataset* dataset_;
+};
+
+MultiBranchDataset* MultiBranchTest::dataset_ = nullptr;
+
+TEST_F(MultiBranchTest, ThreeBranchesShareOneInteractome) {
+  EXPECT_EQ(dataset_->ppi.num_vertices(), 300u);
+  for (const BranchData& branch : dataset_->branches) {
+    EXPECT_EQ(branch.annotations.num_proteins(), 300u);
+    EXPECT_GT(branch.annotations.CountAnnotated(), 200u);
+  }
+}
+
+TEST_F(MultiBranchTest, BranchIdentitiesCorrect) {
+  EXPECT_EQ(dataset_->branches[0].branch, GoBranch::kMolecularFunction);
+  EXPECT_EQ(dataset_->branches[1].branch, GoBranch::kBiologicalProcess);
+  EXPECT_EQ(dataset_->branches[2].branch, GoBranch::kCellularComponent);
+  EXPECT_EQ(&dataset_->branch(GoBranch::kCellularComponent),
+            &dataset_->branches[2]);
+}
+
+TEST_F(MultiBranchTest, LocationBranchIsSmaller) {
+  EXPECT_LT(dataset_->branches[2].ontology.num_terms(),
+            dataset_->branches[0].ontology.num_terms());
+}
+
+TEST_F(MultiBranchTest, BranchesAnnotateIndependently) {
+  // The function and process branches have different ontologies, so the
+  // term-id streams must differ somewhere.
+  bool any_difference = false;
+  for (ProteinId p = 0; p < 300 && !any_difference; ++p) {
+    const auto f = dataset_->branches[0].annotations.TermsOf(p);
+    const auto pr = dataset_->branches[1].annotations.TermsOf(p);
+    if (std::vector<TermId>(f.begin(), f.end()) !=
+        std::vector<TermId>(pr.begin(), pr.end())) {
+      any_difference = true;
+    }
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST_F(MultiBranchTest, RoleTermsPerBranchAligned) {
+  for (const BranchData& branch : dataset_->branches) {
+    ASSERT_EQ(branch.template_role_terms.size(), dataset_->templates.size());
+    for (size_t t = 0; t < dataset_->templates.size(); ++t) {
+      EXPECT_EQ(branch.template_role_terms[t].size(),
+                dataset_->templates[t].pattern.num_vertices());
+      for (TermId term : branch.template_role_terms[t]) {
+        EXPECT_LT(term, branch.ontology.num_terms());
+      }
+    }
+  }
+}
+
+TEST_F(MultiBranchTest, EachBranchRoleCorrelated) {
+  for (const BranchData& branch : dataset_->branches) {
+    size_t slots = 0, hits = 0;
+    for (size_t t = 0; t < dataset_->templates.size(); ++t) {
+      for (const auto& instance : dataset_->templates[t].instances) {
+        for (size_t r = 0; r < instance.size(); ++r) {
+          const ProteinId p = instance[r];
+          if (!branch.annotations.IsAnnotated(p)) continue;
+          ++slots;
+          for (TermId term : branch.annotations.TermsOf(p)) {
+            if (branch.ontology.IsAncestorOrEqual(
+                    branch.template_role_terms[t][r], term)) {
+              ++hits;
+              break;
+            }
+          }
+        }
+      }
+    }
+    ASSERT_GT(slots, 0u);
+    EXPECT_GT(static_cast<double>(hits) / static_cast<double>(slots), 0.5)
+        << GoBranchName(branch.branch);
+  }
+}
+
+TEST_F(MultiBranchTest, Reproducible) {
+  const MultiBranchDataset again = BuildMultiBranchDataset(SmallConfig());
+  EXPECT_EQ(again.ppi.Edges(), dataset_->ppi.Edges());
+  for (size_t b = 0; b < 3; ++b) {
+    EXPECT_EQ(again.branches[b].annotations.TotalOccurrences(),
+              dataset_->branches[b].annotations.TotalOccurrences());
+  }
+}
+
+}  // namespace
+}  // namespace lamo

@@ -1,0 +1,93 @@
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+namespace lamo {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorFactoriesCarryCodeAndMessage) {
+  const Status s = Status::InvalidArgument("bad input");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_EQ(s.message(), "bad input");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad input");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "Ok");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kNotFound), "NotFound");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kCorruption), "Corruption");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kIoError), "IoError");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kUnimplemented), "Unimplemented");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kInternal), "Internal");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOutOfRange), "OutOfRange");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kAlreadyExists), "AlreadyExists");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kFailedPrecondition),
+               "FailedPrecondition");
+}
+
+TEST(StatusTest, Equality) {
+  EXPECT_EQ(Status::OK(), Status::OK());
+  EXPECT_EQ(Status::NotFound("x"), Status::NotFound("x"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::NotFound("y"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::Internal("x"));
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> result = 42;
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), 42);
+  EXPECT_EQ(*result, 42);
+  EXPECT_EQ(result.value_or(7), 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> result = Status::NotFound("missing");
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsNotFound());
+  EXPECT_EQ(result.value_or(7), 7);
+}
+
+TEST(StatusOrTest, MoveOutValue) {
+  StatusOr<std::string> result = std::string("hello");
+  std::string s = std::move(result).value();
+  EXPECT_EQ(s, "hello");
+}
+
+StatusOr<int> ParsePositive(int x) {
+  if (x <= 0) return Status::InvalidArgument("not positive");
+  return x;
+}
+
+Status UsesAssignOrReturn(int x, int* out) {
+  LAMO_ASSIGN_OR_RETURN(int value, ParsePositive(x));
+  *out = value * 2;
+  return Status::OK();
+}
+
+TEST(StatusMacrosTest, AssignOrReturnPropagates) {
+  int out = 0;
+  EXPECT_TRUE(UsesAssignOrReturn(21, &out).ok());
+  EXPECT_EQ(out, 42);
+  EXPECT_TRUE(UsesAssignOrReturn(-1, &out).IsInvalidArgument());
+}
+
+Status UsesReturnIfError(bool fail) {
+  LAMO_RETURN_IF_ERROR(fail ? Status::Internal("boom") : Status::OK());
+  return Status::OK();
+}
+
+TEST(StatusMacrosTest, ReturnIfError) {
+  EXPECT_TRUE(UsesReturnIfError(false).ok());
+  EXPECT_TRUE(UsesReturnIfError(true).IsInternal());
+}
+
+}  // namespace
+}  // namespace lamo

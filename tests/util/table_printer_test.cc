@@ -1,0 +1,62 @@
+#include "util/table_printer.h"
+
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace lamo {
+namespace {
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter table({"name", "value"});
+  table.AddRow({"x", "1"});
+  table.AddRow({"longer", "22"});
+  std::ostringstream out;
+  table.Print(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("| name   | value |"), std::string::npos);
+  EXPECT_NE(text.find("| longer | 22    |"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(text.find("|--------|-------|"), std::string::npos);
+}
+
+TEST(TablePrinterTest, ShortRowsPadded) {
+  TablePrinter table({"a", "b", "c"});
+  table.AddRow({"only"});
+  std::ostringstream out;
+  table.Print(out);
+  EXPECT_NE(out.str().find("| only |"), std::string::npos);
+}
+
+TEST(TablePrinterTest, EmptyTableJustHeader) {
+  TablePrinter table({"h"});
+  std::ostringstream out;
+  table.Print(out);
+  EXPECT_NE(out.str().find("| h |"), std::string::npos);
+}
+
+TEST(CsvWriterTest, WritesAndQuotes) {
+  const std::string path = ::testing::TempDir() + "/out.csv";
+  {
+    CsvWriter csv(path);
+    ASSERT_TRUE(csv.ok());
+    csv.WriteRow({"a", "b,c", "d\"e"});
+    csv.WriteRow({"1", "2", "3"});
+  }
+  std::ifstream in(path);
+  std::string line1, line2;
+  std::getline(in, line1);
+  std::getline(in, line2);
+  EXPECT_EQ(line1, "a,\"b,c\",\"d\"\"e\"");
+  EXPECT_EQ(line2, "1,2,3");
+}
+
+TEST(CsvWriterTest, BadPathNotOk) {
+  CsvWriter csv("/nonexistent/dir/file.csv");
+  EXPECT_FALSE(csv.ok());
+  csv.WriteRow({"ignored"});  // must not crash
+}
+
+}  // namespace
+}  // namespace lamo

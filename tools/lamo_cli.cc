@@ -1,0 +1,252 @@
+// lamo — command-line driver for the LaMoFinder pipeline.
+//
+//   lamo generate --proteins 1500 --seed 7 --out data/run1
+//   lamo stats    --graph data/run1.graph.txt
+//   lamo mine     --graph data/run1.graph.txt --min-size 3 --max-size 5
+//                 --min-freq 40 --out data/run1.motifs.txt
+//   lamo label    --graph data/run1.graph.txt --obo data/run1.obo
+//                 --annotations data/run1.annotations.tsv
+//                 --motifs data/run1.motifs.txt --sigma 10
+//                 --out data/run1.labeled.txt
+//   lamo predict  --graph data/run1.graph.txt --obo data/run1.obo
+//                 --annotations data/run1.annotations.tsv
+//                 --labeled data/run1.labeled.txt --protein 42
+//
+// Each stage reads and writes the plain-text formats of src/io, so stages
+// can be rerun, diffed and mixed with external tools.
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "core/lamofinder.h"
+#include "graph/algorithms.h"
+#include "io/edge_list.h"
+#include "io/gaf.h"
+#include "io/motif_io.h"
+#include "io/obo.h"
+#include "motif/uniqueness.h"
+#include "predict/labeled_motif_predictor.h"
+#include "synth/dataset.h"
+#include "util/string_util.h"
+
+namespace lamo {
+namespace {
+
+class Flags {
+ public:
+  Flags(int argc, char** argv, int first) {
+    for (int i = first; i + 1 < argc; i += 2) {
+      if (argv[i][0] == '-' && argv[i][1] == '-') {
+        values_[argv[i] + 2] = argv[i + 1];
+      }
+    }
+  }
+  std::string Get(const std::string& name, const std::string& fallback) const {
+    auto it = values_.find(name);
+    return it == values_.end() ? fallback : it->second;
+  }
+  size_t GetSize(const std::string& name, size_t fallback) const {
+    auto it = values_.find(name);
+    if (it == values_.end()) return fallback;
+    uint64_t value = 0;
+    return ParseUint64(it->second, &value) ? static_cast<size_t>(value)
+                                           : fallback;
+  }
+  double GetDouble(const std::string& name, double fallback) const {
+    auto it = values_.find(name);
+    if (it == values_.end()) return fallback;
+    double value = 0;
+    return ParseDouble(it->second, &value) ? value : fallback;
+  }
+  bool Has(const std::string& name) const { return values_.count(name) != 0; }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+int CmdGenerate(const Flags& flags) {
+  SyntheticDatasetConfig config = BindScaleConfig();
+  config.num_proteins = flags.GetSize("proteins", 1500);
+  config.seed = flags.GetSize("seed", 2007);
+  config.copies_per_template = flags.GetSize("copies", 60);
+  config.informative_threshold =
+      flags.GetSize("informative", std::max<size_t>(5, config.num_proteins / 140));
+  const std::string prefix = flags.Get("out", "lamo_dataset");
+
+  const SyntheticDataset dataset = BuildSyntheticDataset(config);
+  Status status = WriteEdgeList(dataset.ppi, prefix + ".graph.txt");
+  if (!status.ok()) return Fail(status);
+  status = WriteObo(dataset.ontology, prefix + ".obo");
+  if (!status.ok()) return Fail(status);
+  status = WriteAnnotations(dataset.annotations, dataset.ontology,
+                            prefix + ".annotations.tsv");
+  if (!status.ok()) return Fail(status);
+  std::printf("wrote %s.graph.txt (%s), %s.obo (%zu terms), "
+              "%s.annotations.tsv (%zu annotated proteins)\n",
+              prefix.c_str(), dataset.ppi.ToString().c_str(), prefix.c_str(),
+              dataset.ontology.num_terms(), prefix.c_str(),
+              dataset.annotations.CountAnnotated());
+  return 0;
+}
+
+int CmdStats(const Flags& flags) {
+  auto graph = ReadEdgeList(flags.Get("graph", ""));
+  if (!graph.ok()) return Fail(graph.status());
+  std::printf("%s\n", graph->ToString().c_str());
+  std::printf("components: %zu (largest %zu)\n", CountComponents(*graph),
+              LargestComponent(*graph).size());
+  std::printf("mean degree: %.2f, max degree: %zu\n", MeanDegree(*graph),
+              graph->MaxDegree());
+  std::printf("triangles: %zu, clustering coefficient: %.4f\n",
+              CountTriangles(*graph), GlobalClusteringCoefficient(*graph));
+  return 0;
+}
+
+int CmdMine(const Flags& flags) {
+  auto graph = ReadEdgeList(flags.Get("graph", ""));
+  if (!graph.ok()) return Fail(graph.status());
+
+  MotifFindingConfig config;
+  config.miner.min_size = flags.GetSize("min-size", 3);
+  config.miner.max_size = flags.GetSize("max-size", 5);
+  config.miner.min_frequency = flags.GetSize("min-freq", 40);
+  config.miner.max_patterns_per_level = flags.GetSize("beam", 60);
+  config.uniqueness.num_random_networks = flags.GetSize("networks", 10);
+  config.uniqueness_threshold = flags.GetDouble("uniqueness", 0.95);
+  const auto motifs = FindNetworkMotifs(*graph, config);
+  std::printf("found %zu network motifs\n", motifs.size());
+
+  const Status status = WriteMotifs(motifs, flags.Get("out", "motifs.txt"));
+  if (!status.ok()) return Fail(status);
+  std::printf("wrote %s\n", flags.Get("out", "motifs.txt").c_str());
+  return 0;
+}
+
+int CmdLabel(const Flags& flags) {
+  auto graph = ReadEdgeList(flags.Get("graph", ""));
+  if (!graph.ok()) return Fail(graph.status());
+  auto ontology = ReadObo(flags.Get("obo", ""));
+  if (!ontology.ok()) return Fail(ontology.status());
+  auto annotations = ReadAnnotations(flags.Get("annotations", ""), *ontology);
+  if (!annotations.ok()) return Fail(annotations.status());
+  auto motifs = ReadMotifs(flags.Get("motifs", ""));
+  if (!motifs.ok()) return Fail(motifs.status());
+
+  const TermWeights weights = TermWeights::Compute(*ontology, *annotations);
+  InformativeConfig informative_config;
+  informative_config.min_direct_proteins = flags.GetSize(
+      "informative", std::max<size_t>(5, graph->num_vertices() / 140));
+  const InformativeClasses informative =
+      InformativeClasses::Compute(*ontology, *annotations, informative_config);
+
+  LaMoFinder finder(*ontology, weights, informative, *annotations);
+  LaMoFinderConfig config;
+  config.sigma = flags.GetSize("sigma", 10);
+  config.max_occurrences = flags.GetSize("max-occurrences", 300);
+  const auto labeled = finder.LabelAll(*motifs, config);
+  std::printf("labeled %zu motifs -> %zu labeled motifs\n", motifs->size(),
+              labeled.size());
+
+  const Status status =
+      WriteLabeledMotifs(labeled, *ontology, flags.Get("out", "labeled.txt"));
+  if (!status.ok()) return Fail(status);
+  std::printf("wrote %s\n", flags.Get("out", "labeled.txt").c_str());
+  return 0;
+}
+
+int CmdPredict(const Flags& flags) {
+  auto graph = ReadEdgeList(flags.Get("graph", ""));
+  if (!graph.ok()) return Fail(graph.status());
+  auto ontology = ReadObo(flags.Get("obo", ""));
+  if (!ontology.ok()) return Fail(ontology.status());
+  auto annotations = ReadAnnotations(flags.Get("annotations", ""), *ontology);
+  if (!annotations.ok()) return Fail(annotations.status());
+  auto labeled = ReadLabeledMotifs(flags.Get("labeled", ""), *ontology);
+  if (!labeled.ok()) return Fail(labeled.status());
+
+  // Categories: the root's children; protein categories via the true-path.
+  PredictionContext context;
+  context.ppi = &*graph;
+  const TermId root = ontology->Roots()[0];
+  context.categories.assign(ontology->Children(root).begin(),
+                            ontology->Children(root).end());
+  context.protein_categories.resize(graph->num_vertices());
+  for (ProteinId p = 0; p < graph->num_vertices(); ++p) {
+    std::vector<TermId>& cats = context.protein_categories[p];
+    for (TermId t : annotations->TermsOf(p)) {
+      for (TermId c : context.categories) {
+        if (ontology->IsAncestorOrEqual(c, t)) {
+          if (!std::binary_search(cats.begin(), cats.end(), c)) {
+            cats.insert(std::lower_bound(cats.begin(), cats.end(), c), c);
+          }
+        }
+      }
+    }
+  }
+
+  LabeledMotifPredictor predictor(context, *ontology, *labeled);
+  const ProteinId protein =
+      static_cast<ProteinId>(flags.GetSize("protein", 0));
+  if (protein >= graph->num_vertices()) {
+    return Fail(Status::InvalidArgument("--protein out of range"));
+  }
+  if (!predictor.Covers(protein)) {
+    std::printf("protein %u occurs in no labeled motif; no prediction\n",
+                protein);
+    return 0;
+  }
+  const size_t top_k = flags.GetSize("top-k", 3);
+  std::printf("top predictions for protein %u:\n", protein);
+  const auto predictions = predictor.Predict(protein);
+  for (size_t i = 0; i < std::min(top_k, predictions.size()); ++i) {
+    std::printf("  %zu. %s (score %.3f)%s\n", i + 1,
+                ontology->TermName(predictions[i].category).c_str(),
+                predictions[i].score,
+                context.HasCategory(protein, predictions[i].category)
+                    ? "  [matches known annotation]"
+                    : "");
+  }
+  return 0;
+}
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: lamo <command> [--flag value ...]\n"
+      "commands:\n"
+      "  generate  --proteins N --seed S --copies C --out PREFIX\n"
+      "  stats     --graph FILE\n"
+      "  mine      --graph FILE --min-size K --max-size K --min-freq F\n"
+      "            --networks R --uniqueness U --beam B --out FILE\n"
+      "  label     --graph FILE --obo FILE --annotations FILE --motifs FILE\n"
+      "            --sigma S --max-occurrences M --informative T --out FILE\n"
+      "  predict   --graph FILE --obo FILE --annotations FILE\n"
+      "            --labeled FILE --protein ID --top-k K\n");
+  return 2;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const Flags flags(argc, argv, 2);
+  const std::string command = argv[1];
+  if (command == "generate") return CmdGenerate(flags);
+  if (command == "stats") return CmdStats(flags);
+  if (command == "mine") return CmdMine(flags);
+  if (command == "label") return CmdLabel(flags);
+  if (command == "predict") return CmdPredict(flags);
+  return Usage();
+}
+
+}  // namespace
+}  // namespace lamo
+
+int main(int argc, char** argv) { return lamo::Main(argc, argv); }
