@@ -6,6 +6,12 @@
 //    backtracking with refinement pruning);
 //  - per-orbit pairing is O(t^3) Hungarian versus the paper's O(t!)
 //    enumeration.
+//
+// The *Threads benchmarks sweep the worker count over the parallel hot
+// stages (ESU enumeration, occurrence similarity). Run with
+// --benchmark_out=<file>.json --benchmark_out_format=json to get
+// machine-readable speedup curves ("threads" is emitted as a counter on
+// every measurement); scripts/reproduce.sh does this for every bench.
 #include <benchmark/benchmark.h>
 
 #include "core/assignment.h"
@@ -13,6 +19,9 @@
 #include "core/paper_example.h"
 #include "graph/automorphism.h"
 #include "graph/canonical.h"
+#include "graph/generators.h"
+#include "motif/esu.h"
+#include "parallel/parallel_for.h"
 #include "util/random.h"
 
 namespace lamo {
@@ -107,6 +116,57 @@ void BM_HungarianAssignment(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_HungarianAssignment)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+// Sweeps the thread count over parallel ESU enumeration
+// (CountSubgraphClasses sharded by root vertex). Real time is the relevant
+// axis for speedup, hence UseRealTime.
+void BM_EsuEnumerationThreads(benchmark::State& state) {
+  const size_t threads = static_cast<size_t>(state.range(0));
+  Rng rng(2007);
+  static const Graph* graph =
+      new Graph(DuplicationDivergence(700, 0.4, 0.1, rng));
+  SetThreadCount(threads);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CountSubgraphClasses(*graph, 4));
+  }
+  SetThreadCount(0);
+  state.counters["threads"] = static_cast<double>(threads);
+}
+BENCHMARK(BM_EsuEnumerationThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+// Sweeps the thread count over the O(|D|^2) occurrence-similarity stage of
+// LabelMotif (sigma suppressed so clustering dominates, as in
+// BM_LaMoFinderVsOccurrenceCount).
+void BM_OccurrenceSimilarityThreads(benchmark::State& state) {
+  const PaperExample& ex = Example();
+  const size_t threads = static_cast<size_t>(state.range(0));
+  const Motif motif = MotifWithOccurrences(192);
+  LaMoFinder finder(ex.ontology, ex.weights, ex.informative,
+                    ex.protein_annotations);
+  LaMoFinderConfig config;
+  config.sigma = 193;
+  config.max_occurrences = 0;
+  config.min_similarity = 0.0;
+  SetThreadCount(threads);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(finder.LabelMotif(motif, config));
+  }
+  SetThreadCount(0);
+  state.counters["threads"] = static_cast<double>(threads);
+}
+BENCHMARK(BM_OccurrenceSimilarityThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
 
 void BM_BruteForceAssignment(benchmark::State& state) {
   // The paper's pairing enumeration: factorial — only tiny orbits are

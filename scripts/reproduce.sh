@@ -14,6 +14,25 @@ mkdir -p "$OUT"
 for bench in build/bench/*; do
   name="$(basename "$bench")"
   echo "== $name =="
-  "$bench" | tee "$OUT/$name.txt"
+  case "$name" in
+    bench_micro|bench_scaling)
+      # google-benchmark harnesses also emit machine-readable JSON (the
+      # thread-sweep benchmarks tag each measurement with a "threads"
+      # counter) so later PRs can track parallel speedup over time.
+      "$bench" --benchmark_out="$OUT/$name.json" \
+        --benchmark_out_format=json | tee "$OUT/$name.txt"
+      ;;
+    *)
+      "$bench" | tee "$OUT/$name.txt"
+      ;;
+  esac
 done
+
+# ThreadSanitizer smoke run of the parallel runtime: rebuilds just the
+# parallel tests under -fsanitize=thread and fails on any reported race.
+echo "== tsan smoke (parallel runtime) =="
+cmake -B build-tsan -G Ninja -DLAMO_SANITIZE=thread
+cmake --build build-tsan --target parallel_tests
+LAMO_THREADS=4 ./build-tsan/tests/parallel_tests
+
 echo "All outputs in $OUT/; compare against EXPERIMENTS.md."

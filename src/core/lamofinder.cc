@@ -8,6 +8,7 @@
 
 #include "core/assignment.h"
 #include "core/occurrence_similarity.h"
+#include "parallel/parallel_for.h"
 #include "util/logging.h"
 
 namespace lamo {
@@ -186,15 +187,20 @@ std::vector<LabeledMotif> LaMoFinder::LabelMotif(
   }
   const OccurrenceSimilarity& so = *so_storage;
 
-  // Pairwise similarity matrix over live clusters.
+  // Pairwise similarity matrix over live clusters: the O(|D|^2) stage of
+  // Eq. 3. Rows are distributed over the parallel runtime; every (i, j)
+  // entry is written exactly once (row i owns the cells (i, j) and (j, i)
+  // for j > i), and SO is a pure function of the two profiles, so the
+  // matrix is identical for any thread count. Row costs shrink with i,
+  // hence the small grain for dynamic balance.
   const size_t n = clusters.size();
   std::vector<std::vector<double>> sim(n, std::vector<double>(n, 0.0));
-  for (size_t i = 0; i < n; ++i) {
+  ParallelFor(0, n, 4, [&](size_t i) {
     for (size_t j = i + 1; j < n; ++j) {
       sim[i][j] = sim[j][i] =
           so.Score(clusters[i].profile, clusters[j].profile);
     }
-  }
+  });
 
   std::set<std::vector<TermId>> emitted;
   auto try_emit = [&](const Cluster& c) {
@@ -330,9 +336,16 @@ std::vector<LabeledMotif> LaMoFinder::LabelMotif(
 
 std::vector<LabeledMotif> LaMoFinder::LabelAll(
     const std::vector<Motif>& motifs, const LaMoFinderConfig& config) const {
+  // One task per motif, results concatenated in motif order — identical to
+  // the serial loop. The shared TermSimilarity memo is sharded-lock safe;
+  // everything else LabelMotif touches is per-call. When only one motif is
+  // in flight the inner similarity-matrix loop parallelizes instead (the
+  // runtime rejects nested fan-out, so the two levels never compete).
+  std::vector<std::vector<LabeledMotif>> per_motif = ParallelMap(
+      motifs.size(), 1,
+      [&](size_t i) { return LabelMotif(motifs[i], config); });
   std::vector<LabeledMotif> all;
-  for (const Motif& motif : motifs) {
-    std::vector<LabeledMotif> labeled = LabelMotif(motif, config);
+  for (auto& labeled : per_motif) {
     for (auto& lm : labeled) all.push_back(std::move(lm));
   }
   ComputeMotifStrengths(&all);

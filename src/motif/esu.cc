@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "graph/canonical.h"
+#include "parallel/parallel_for.h"
 #include "util/logging.h"
 
 namespace lamo {
@@ -18,11 +19,16 @@ class EsuEnumerator {
       : g_(g), k_(k), callback_(cb), probabilities_(depth_probability),
         rng_(rng) {}
 
-  void Run() {
+  void Run() { RunRoots(0, static_cast<VertexId>(g_.num_vertices())); }
+
+  // ESU roots every vertex set at its minimum vertex (extensions only grow
+  // upward), so restricting the root range partitions the enumeration.
+  void RunRoots(VertexId root_begin, VertexId root_end) {
     if (k_ == 0 || k_ > g_.num_vertices()) return;
+    root_end = std::min(root_end, static_cast<VertexId>(g_.num_vertices()));
     std::vector<VertexId> subgraph;
     std::vector<VertexId> extension;
-    for (VertexId v = 0; v < g_.num_vertices(); ++v) {
+    for (VertexId v = root_begin; v < root_end; ++v) {
       if (!Explore(0)) continue;  // depth-0 sampling decision per root
       subgraph.assign(1, v);
       extension.clear();
@@ -101,15 +107,41 @@ void EnumerateConnectedSubgraphs(
   enumerator.Run();
 }
 
+void EnumerateConnectedSubgraphsInRootRange(
+    const Graph& g, size_t k, VertexId root_begin, VertexId root_end,
+    const std::function<bool(const std::vector<VertexId>&)>& callback) {
+  EsuEnumerator enumerator(g, k, callback, nullptr, nullptr);
+  enumerator.RunRoots(root_begin, root_end);
+}
+
+size_t EsuRootGrain(size_t num_vertices) {
+  // Many small chunks: per-root costs are heavily skewed (hub roots dominate)
+  // and chunks are claimed dynamically, so fine grains balance the load. The
+  // divisor keeps per-chunk overhead negligible even for tiny graphs.
+  return std::max<size_t>(1, num_vertices / 256);
+}
+
 std::map<std::vector<uint8_t>, size_t> CountSubgraphClasses(const Graph& g,
                                                             size_t k) {
-  std::map<std::vector<uint8_t>, size_t> counts;
-  EnumerateConnectedSubgraphs(g, k, [&](const std::vector<VertexId>& set) {
-    const SmallGraph sub = SmallGraph::InducedSubgraph(g, set);
-    ++counts[CanonicalCode(sub)];
-    return true;
-  });
-  return counts;
+  using Counts = std::map<std::vector<uint8_t>, size_t>;
+  const size_t n = g.num_vertices();
+  return ParallelReduce<Counts>(
+      n, EsuRootGrain(n), Counts{},
+      [&](size_t lo, size_t hi) {
+        Counts local;
+        EnumerateConnectedSubgraphsInRootRange(
+            g, k, static_cast<VertexId>(lo), static_cast<VertexId>(hi),
+            [&](const std::vector<VertexId>& set) {
+              const SmallGraph sub = SmallGraph::InducedSubgraph(g, set);
+              ++local[CanonicalCode(sub)];
+              return true;
+            });
+        return local;
+      },
+      [](Counts acc, Counts part) {
+        for (auto& [code, count] : part) acc[code] += count;
+        return acc;
+      });
 }
 
 SampledSubgraphCounts SampleSubgraphClasses(

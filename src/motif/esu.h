@@ -22,8 +22,24 @@ void EnumerateConnectedSubgraphs(
     const Graph& g, size_t k,
     const std::function<bool(const std::vector<VertexId>&)>& callback);
 
+/// Enumerates only the connected size-k sets whose minimum vertex (ESU's
+/// "root") lies in [root_begin, root_end). Every set is rooted at exactly
+/// one vertex, so disjoint root ranges partition the full enumeration; this
+/// is the sharding axis of the parallel pipelines (parallel/parallel_for.h).
+/// Within a range, sets are emitted in the same order as the full-range
+/// call.
+void EnumerateConnectedSubgraphsInRootRange(
+    const Graph& g, size_t k, VertexId root_begin, VertexId root_end,
+    const std::function<bool(const std::vector<VertexId>&)>& callback);
+
+/// The root-range chunk size the parallel ESU pipelines use for a graph of
+/// `num_vertices` vertices (small, to balance hub-dominated root costs).
+size_t EsuRootGrain(size_t num_vertices);
+
 /// Counts connected size-k vertex sets per isomorphism class. The key is the
-/// canonical code of the induced subgraph.
+/// canonical code of the induced subgraph. Runs on the parallel runtime
+/// (serially when ThreadCount() == 1 or already inside a parallel region);
+/// results are identical for any thread count.
 std::map<std::vector<uint8_t>, size_t> CountSubgraphClasses(const Graph& g,
                                                             size_t k);
 

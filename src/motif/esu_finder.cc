@@ -5,6 +5,7 @@
 #include "graph/canonical.h"
 #include "graph/generators.h"
 #include "motif/esu.h"
+#include "parallel/parallel_for.h"
 #include "util/logging.h"
 #include "util/random.h"
 
@@ -16,20 +17,44 @@ std::vector<Motif> FindNetworkMotifsEsu(const Graph& graph,
     SmallGraph pattern{0};
     std::vector<MotifOccurrence> occurrences;
   };
-  std::map<std::vector<uint8_t>, ClassEntry> classes;
-  EnumerateConnectedSubgraphs(
-      graph, config.size, [&](const std::vector<VertexId>& set) {
-        const SmallGraph sub = SmallGraph::InducedSubgraph(graph, set);
-        const CanonicalResult canon = Canonicalize(sub);
-        auto [it, inserted] = classes.try_emplace(canon.code);
-        if (inserted) it->second.pattern = canon.graph;
-        MotifOccurrence occ;
-        occ.proteins.resize(set.size());
-        for (size_t pos = 0; pos < set.size(); ++pos) {
-          occ.proteins[pos] = set[canon.canonical_to_original[pos]];
+  using ClassMap = std::map<std::vector<uint8_t>, ClassEntry>;
+
+  // Enumeration is sharded by ESU root vertex; per-chunk class maps are
+  // merged in chunk order, which reproduces the serial occurrence order
+  // (roots ascending, DFS order within a root) for any thread count.
+  const size_t n = graph.num_vertices();
+  ClassMap classes = ParallelReduce<ClassMap>(
+      n, EsuRootGrain(n), ClassMap{},
+      [&](size_t lo, size_t hi) {
+        ClassMap local;
+        EnumerateConnectedSubgraphsInRootRange(
+            graph, config.size, static_cast<VertexId>(lo),
+            static_cast<VertexId>(hi), [&](const std::vector<VertexId>& set) {
+              const SmallGraph sub = SmallGraph::InducedSubgraph(graph, set);
+              const CanonicalResult canon = Canonicalize(sub);
+              auto [it, inserted] = local.try_emplace(canon.code);
+              if (inserted) it->second.pattern = canon.graph;
+              MotifOccurrence occ;
+              occ.proteins.resize(set.size());
+              for (size_t pos = 0; pos < set.size(); ++pos) {
+                occ.proteins[pos] = set[canon.canonical_to_original[pos]];
+              }
+              it->second.occurrences.push_back(std::move(occ));
+              return true;
+            });
+        return local;
+      },
+      [](ClassMap acc, ClassMap part) {
+        for (auto& [code, entry] : part) {
+          auto [it, inserted] = acc.try_emplace(code, std::move(entry));
+          if (!inserted) {
+            auto& dst = it->second.occurrences;
+            auto& src = entry.occurrences;
+            dst.insert(dst.end(), std::make_move_iterator(src.begin()),
+                       std::make_move_iterator(src.end()));
+          }
         }
-        it->second.occurrences.push_back(std::move(occ));
-        return true;
+        return acc;
       });
 
   for (auto it = classes.begin(); it != classes.end();) {
@@ -42,18 +67,35 @@ std::vector<Motif> FindNetworkMotifsEsu(const Graph& graph,
   LAMO_LOG(Debug) << classes.size() << " size-" << config.size
                   << " classes pass frequency >= " << config.min_frequency;
 
+  // Uniqueness ensemble: one randomized network per task, each on its own
+  // deterministic Rng substream so the ensemble is identical whether the
+  // replicates run serially or in parallel.
+  std::vector<const std::vector<uint8_t>*> codes;
+  std::vector<size_t> real_frequencies;
+  codes.reserve(classes.size());
+  for (const auto& [code, entry] : classes) {
+    codes.push_back(&code);
+    real_frequencies.push_back(entry.occurrences.size());
+  }
+  const auto replicate_wins = ParallelMap(
+      config.num_random_networks, 1, [&](size_t r) {
+        Rng rng = Rng::Stream(config.seed, r);
+        const Graph randomized =
+            DegreePreservingRewire(graph, config.swaps_per_edge, rng);
+        const auto random_counts =
+            CountSubgraphClasses(randomized, config.size);
+        std::vector<uint8_t> won(codes.size(), 0);
+        for (size_t c = 0; c < codes.size(); ++c) {
+          auto it = random_counts.find(*codes[c]);
+          const size_t random_frequency =
+              it == random_counts.end() ? 0 : it->second;
+          won[c] = real_frequencies[c] >= random_frequency ? 1 : 0;
+        }
+        return won;
+      });
   std::map<std::vector<uint8_t>, size_t> wins;
-  Rng rng(config.seed);
-  for (size_t r = 0; r < config.num_random_networks; ++r) {
-    const Graph randomized =
-        DegreePreservingRewire(graph, config.swaps_per_edge, rng);
-    const auto random_counts = CountSubgraphClasses(randomized, config.size);
-    for (const auto& [code, entry] : classes) {
-      auto it = random_counts.find(code);
-      const size_t random_frequency =
-          it == random_counts.end() ? 0 : it->second;
-      if (entry.occurrences.size() >= random_frequency) ++wins[code];
-    }
+  for (const auto& won : replicate_wins) {
+    for (size_t c = 0; c < codes.size(); ++c) wins[*codes[c]] += won[c];
   }
 
   std::vector<Motif> motifs;

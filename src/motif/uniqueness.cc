@@ -5,6 +5,7 @@
 #include "graph/generators.h"
 #include "graph/isomorphism.h"
 #include "motif/miner.h"
+#include "parallel/parallel_for.h"
 #include "util/logging.h"
 
 namespace lamo {
@@ -13,19 +14,28 @@ void EvaluateUniqueness(const Graph& graph, const UniquenessConfig& config,
                         std::vector<Motif>* motifs) {
   LAMO_CHECK(motifs != nullptr);
   if (motifs->empty() || config.num_random_networks == 0) return;
-  Rng rng(config.seed);
+  // One randomized network per task. Each replicate r draws from its own
+  // deterministic substream Rng::Stream(seed, r), so the ensemble — and the
+  // resulting uniqueness scores — is identical for any thread count.
+  const auto replicate_wins = ParallelMap(
+      config.num_random_networks, 1, [&](size_t r) {
+        Rng rng = Rng::Stream(config.seed, r);
+        const Graph randomized =
+            DegreePreservingRewire(graph, config.swaps_per_edge, rng);
+        std::vector<uint8_t> won(motifs->size(), 0);
+        for (size_t i = 0; i < motifs->size(); ++i) {
+          const Motif& motif = (*motifs)[i];
+          // We only need to know whether the randomized frequency exceeds
+          // the real one, so counting may stop at frequency+1 occurrences.
+          const size_t random_frequency =
+              CountOccurrences(motif.pattern, randomized, motif.frequency + 1);
+          won[i] = motif.frequency >= random_frequency ? 1 : 0;
+        }
+        return won;
+      });
   std::vector<size_t> wins(motifs->size(), 0);
-  for (size_t r = 0; r < config.num_random_networks; ++r) {
-    const Graph randomized =
-        DegreePreservingRewire(graph, config.swaps_per_edge, rng);
-    for (size_t i = 0; i < motifs->size(); ++i) {
-      const Motif& motif = (*motifs)[i];
-      // We only need to know whether the randomized frequency exceeds the
-      // real one, so counting may stop at frequency+1 occurrences.
-      const size_t random_frequency =
-          CountOccurrences(motif.pattern, randomized, motif.frequency + 1);
-      if (motif.frequency >= random_frequency) ++wins[i];
-    }
+  for (const auto& won : replicate_wins) {
+    for (size_t i = 0; i < motifs->size(); ++i) wins[i] += won[i];
   }
   for (size_t i = 0; i < motifs->size(); ++i) {
     (*motifs)[i].uniqueness = static_cast<double>(wins[i]) /

@@ -26,6 +26,11 @@ struct UniquenessConfig {
 /// number of randomized networks [Milo et al. 2002; Section 5.1 of the
 /// paper]. Counting in each randomized network stops as soon as the real
 /// frequency is exceeded, so rare patterns are cheap to test.
+///
+/// The ensemble runs on the parallel runtime, one randomized network per
+/// task; replicate r draws from the deterministic substream
+/// Rng::Stream(config.seed, r), so scores are reproducible and independent
+/// of the thread count.
 void EvaluateUniqueness(const Graph& graph, const UniquenessConfig& config,
                         std::vector<Motif>* motifs);
 

@@ -35,11 +35,29 @@ double TermSimilarity::Similarity(TermId ta, TermId tb) const {
   const uint64_t key = ta < tb
                            ? (static_cast<uint64_t>(ta) << 32) | tb
                            : (static_cast<uint64_t>(tb) << 32) | ta;
-  auto it = cache_.find(key);
-  if (it != cache_.end()) return it->second;
+  // Mix the low bits so consecutive term ids spread across shards.
+  CacheShard& shard =
+      cache_shards_[(key ^ (key >> 32)) * 0x9E3779B97F4A7C15ULL >> 60];
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(key);
+    if (it != shard.map.end()) return it->second;
+  }
+  // Computed outside the lock: ComputeSimilarity is pure, so a pair raced by
+  // two threads just produces the same value twice.
   const double sim = ComputeSimilarity(ta, tb);
-  cache_.emplace(key, sim);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  shard.map.emplace(key, sim);
   return sim;
+}
+
+size_t TermSimilarity::cache_size() const {
+  size_t total = 0;
+  for (const CacheShard& shard : cache_shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.map.size();
+  }
+  return total;
 }
 
 double TermSimilarity::ComputeSimilarity(TermId ta, TermId tb) const {

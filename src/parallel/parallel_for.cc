@@ -1,0 +1,148 @@
+#include "parallel/parallel_for.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "parallel/thread_pool.h"
+#include "util/string_util.h"
+
+namespace lamo {
+namespace {
+
+/// Explicit override from SetThreadCount (0 = unset).
+std::atomic<size_t> g_explicit_threads{0};
+
+/// True while this thread runs inside a parallel region it entered as the
+/// calling (non-pool) participant.
+thread_local bool tls_in_region = false;
+
+/// Serializes top-level parallel regions and guards the shared pool. Regions
+/// are short-lived and the pipeline drives them from one thread, so the
+/// serialization is contention-free in practice; it is what makes resizing
+/// the pool between regions trivially safe.
+std::mutex g_region_mu;
+ThreadPool* g_pool = nullptr;  // guarded by g_region_mu; leaked at exit
+
+/// Shared state of one parallel region.
+struct RegionState {
+  std::atomic<size_t> next_chunk{0};
+  std::atomic<bool> abort{false};
+  std::mutex mu;
+  std::condition_variable done;
+  size_t active_runners = 0;          // guarded by mu
+  std::exception_ptr first_error;     // guarded by mu
+};
+
+class ScopedRegionFlag {
+ public:
+  ScopedRegionFlag() : previous_(tls_in_region) { tls_in_region = true; }
+  ~ScopedRegionFlag() { tls_in_region = previous_; }
+
+ private:
+  bool previous_;
+};
+
+}  // namespace
+
+void SetThreadCount(size_t n) { g_explicit_threads.store(n); }
+
+size_t HardwareConcurrency() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<size_t>(n);
+}
+
+size_t ThreadCount() {
+  const size_t explicit_count = g_explicit_threads.load();
+  if (explicit_count > 0) return explicit_count;
+  if (const char* env = std::getenv("LAMO_THREADS")) {
+    uint64_t parsed = 0;
+    if (ParseUint64(env, &parsed) && parsed > 0) {
+      return static_cast<size_t>(parsed);
+    }
+  }
+  return HardwareConcurrency();
+}
+
+bool InParallelRegion() { return tls_in_region || ThreadPool::InWorker(); }
+
+void ParallelForChunks(
+    size_t begin, size_t end, size_t grain,
+    const std::function<void(size_t, size_t, size_t)>& fn) {
+  if (end <= begin) return;
+  if (grain == 0) grain = 1;
+  const size_t n = end - begin;
+  const size_t num_chunks = (n + grain - 1) / grain;
+  auto run_chunk = [&](size_t chunk) {
+    const size_t lo = begin + chunk * grain;
+    const size_t hi = std::min(end, lo + grain);
+    fn(chunk, lo, hi);
+  };
+
+  const size_t threads = std::min(ThreadCount(), num_chunks);
+  if (threads <= 1 || InParallelRegion()) {
+    // Serial path: one thread requested, a single chunk, or a nested call
+    // (fanning out from inside a region is rejected — it degrades to this
+    // inline loop rather than deadlocking on the shared pool). The region
+    // flag is deliberately left alone: a single-chunk outer loop must not
+    // suppress fan-out in the loops it contains.
+    for (size_t chunk = 0; chunk < num_chunks; ++chunk) run_chunk(chunk);
+    return;
+  }
+
+  std::lock_guard<std::mutex> region_lock(g_region_mu);
+  // The pool only ever grows; when a smaller count is requested the extra
+  // workers simply receive no runners. Replacing it here is safe because the
+  // region mutex guarantees no other region is in flight.
+  if (g_pool == nullptr || g_pool->num_threads() + 1 < threads) {
+    delete g_pool;
+    g_pool = new ThreadPool(threads - 1);
+  }
+
+  auto state = std::make_shared<RegionState>();
+  state->active_runners = threads;
+  auto runner = [state, run_chunk, num_chunks]() {
+    size_t chunk;
+    while (!state->abort.load(std::memory_order_relaxed) &&
+           (chunk = state->next_chunk.fetch_add(1)) < num_chunks) {
+      try {
+        run_chunk(chunk);
+      } catch (...) {
+        state->abort.store(true, std::memory_order_relaxed);
+        std::lock_guard<std::mutex> lock(state->mu);
+        if (state->first_error == nullptr) {
+          state->first_error = std::current_exception();
+        }
+      }
+    }
+    std::lock_guard<std::mutex> lock(state->mu);
+    if (--state->active_runners == 0) state->done.notify_all();
+  };
+
+  for (size_t i = 0; i + 1 < threads; ++i) g_pool->Submit(runner);
+  {
+    // The caller participates as the final runner instead of idling.
+    ScopedRegionFlag region;
+    runner();
+  }
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->done.wait(lock, [&] { return state->active_runners == 0; });
+  if (state->first_error != nullptr) {
+    std::rethrow_exception(state->first_error);
+  }
+}
+
+void ParallelFor(size_t begin, size_t end, size_t grain,
+                 const std::function<void(size_t)>& fn) {
+  ParallelForChunks(begin, end, grain,
+                    [&](size_t, size_t lo, size_t hi) {
+                      for (size_t i = lo; i < hi; ++i) fn(i);
+                    });
+}
+
+}  // namespace lamo

@@ -1,0 +1,93 @@
+#ifndef LAMO_PARALLEL_PARALLEL_FOR_H_
+#define LAMO_PARALLEL_PARALLEL_FOR_H_
+
+#include <cstddef>
+#include <functional>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace lamo {
+
+/// ---- Thread-count policy -------------------------------------------------
+///
+/// The effective thread count is resolved in priority order:
+///   1. an explicit SetThreadCount(n > 0) — the CLI's --threads flag;
+///   2. the LAMO_THREADS environment variable (positive integer);
+///   3. std::thread::hardware_concurrency().
+/// A resolved count of 1 makes every parallel primitive run inline, with no
+/// pool, locks, or thread startup at all.
+
+/// Sets the process-wide thread count; 0 restores automatic resolution.
+void SetThreadCount(size_t n);
+
+/// The resolved thread count (always >= 1).
+size_t ThreadCount();
+
+/// std::thread::hardware_concurrency(), never 0.
+size_t HardwareConcurrency();
+
+/// True while the calling thread is executing inside a parallel region
+/// (either as a pool worker or as the caller participating in its own
+/// region). Parallel primitives invoked here are *rejected*: they degrade to
+/// plain serial loops instead of deadlocking on the shared pool.
+bool InParallelRegion();
+
+/// ---- Parallel loops ------------------------------------------------------
+///
+/// Determinism contract: the index space [begin, end) is split into fixed
+/// chunks of `grain` indices (the last chunk may be short). Chunk boundaries
+/// depend only on (begin, end, grain) — never on the thread count — and
+/// every merge step below recombines per-chunk results in chunk-index
+/// order, so the output of any parallel primitive is byte-identical to a
+/// serial run. Workers claim chunks dynamically (an atomic cursor), which
+/// balances skewed per-index costs.
+
+/// Runs fn(chunk_index, lo, hi) for every chunk [lo, hi) of [begin, end).
+/// Blocks until all chunks finish. The first exception thrown by `fn` is
+/// rethrown here (remaining chunks may be skipped).
+void ParallelForChunks(
+    size_t begin, size_t end, size_t grain,
+    const std::function<void(size_t, size_t, size_t)>& fn);
+
+/// Runs fn(i) for every i in [begin, end), chunked by `grain`.
+void ParallelFor(size_t begin, size_t end, size_t grain,
+                 const std::function<void(size_t)>& fn);
+
+/// results[i] = fn(i) for i in [0, n): computed in parallel, stored by
+/// index, so the result vector is identical to a serial evaluation. The
+/// result type must be default-constructible and move-assignable.
+template <typename Fn>
+auto ParallelMap(size_t n, size_t grain, Fn&& fn)
+    -> std::vector<std::decay_t<decltype(fn(size_t{0}))>> {
+  using R = std::decay_t<decltype(fn(size_t{0}))>;
+  std::vector<R> results(n);
+  ParallelFor(0, n, grain, [&](size_t i) { results[i] = fn(i); });
+  return results;
+}
+
+/// Ordered reduction: chunk_fn(lo, hi) -> partial result per chunk;
+/// partials are folded left-to-right in chunk-index order via
+/// combine(accumulator, partial), starting from `identity`. Because the
+/// fold order is fixed, even non-commutative / floating-point combines give
+/// thread-count-independent results.
+template <typename T, typename ChunkFn, typename CombineFn>
+T ParallelReduce(size_t n, size_t grain, T identity, ChunkFn&& chunk_fn,
+                 CombineFn&& combine) {
+  if (n == 0) return identity;
+  if (grain == 0) grain = 1;
+  const size_t num_chunks = (n + grain - 1) / grain;
+  std::vector<T> partials(num_chunks);
+  ParallelForChunks(0, n, grain, [&](size_t chunk, size_t lo, size_t hi) {
+    partials[chunk] = chunk_fn(lo, hi);
+  });
+  T accumulator = std::move(identity);
+  for (T& partial : partials) {
+    accumulator = combine(std::move(accumulator), std::move(partial));
+  }
+  return accumulator;
+}
+
+}  // namespace lamo
+
+#endif  // LAMO_PARALLEL_PARALLEL_FOR_H_

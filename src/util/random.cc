@@ -139,4 +139,13 @@ std::vector<size_t> Rng::SampleWithoutReplacement(size_t n, size_t k) {
 
 Rng Rng::Fork() { return Rng(Next64()); }
 
+Rng Rng::Stream(uint64_t seed, uint64_t stream) {
+  // Hash seed and stream through independent SplitMix64 chains so that
+  // neighboring streams of one seed and equal streams of neighboring seeds
+  // are both decorrelated.
+  uint64_t seed_state = seed;
+  uint64_t stream_state = stream + 0x632BE59BD9B4E019ULL;
+  return Rng(SplitMix64(seed_state) ^ SplitMix64(stream_state));
+}
+
 }  // namespace lamo

@@ -86,6 +86,13 @@ class Rng {
   /// subcomponent its own stream without correlated draws.
   Rng Fork();
 
+  /// Builds the generator for substream `stream` of `seed`. Unlike Fork(),
+  /// the result depends only on (seed, stream) — not on how many draws any
+  /// other substream makes — so parallel tasks (e.g. the randomized networks
+  /// of a uniqueness ensemble) can each own a stream and produce the same
+  /// values whether they run serially or concurrently, in any order.
+  static Rng Stream(uint64_t seed, uint64_t stream);
+
  private:
   uint64_t s_[4];
   bool has_spare_gaussian_ = false;

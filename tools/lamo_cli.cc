@@ -29,6 +29,7 @@
 #include "io/motif_io.h"
 #include "io/obo.h"
 #include "motif/uniqueness.h"
+#include "parallel/parallel_for.h"
 #include "predict/labeled_motif_predictor.h"
 #include "synth/dataset.h"
 #include "util/string_util.h"
@@ -73,6 +74,12 @@ int Fail(const Status& status) {
   return 1;
 }
 
+// Applies --threads N (0 = auto: LAMO_THREADS env, then hardware
+// concurrency) for the stages that run on the parallel runtime.
+void ApplyThreadFlag(const Flags& flags) {
+  SetThreadCount(flags.GetSize("threads", 0));
+}
+
 int CmdGenerate(const Flags& flags) {
   SyntheticDatasetConfig config = BindScaleConfig();
   config.num_proteins = flags.GetSize("proteins", 1500);
@@ -112,6 +119,7 @@ int CmdStats(const Flags& flags) {
 }
 
 int CmdMine(const Flags& flags) {
+  ApplyThreadFlag(flags);
   auto graph = ReadEdgeList(flags.Get("graph", ""));
   if (!graph.ok()) return Fail(graph.status());
 
@@ -132,6 +140,7 @@ int CmdMine(const Flags& flags) {
 }
 
 int CmdLabel(const Flags& flags) {
+  ApplyThreadFlag(flags);
   auto graph = ReadEdgeList(flags.Get("graph", ""));
   if (!graph.ok()) return Fail(graph.status());
   auto ontology = ReadObo(flags.Get("obo", ""));
@@ -164,6 +173,7 @@ int CmdLabel(const Flags& flags) {
 }
 
 int CmdPredict(const Flags& flags) {
+  ApplyThreadFlag(flags);
   auto graph = ReadEdgeList(flags.Get("graph", ""));
   if (!graph.ok()) return Fail(graph.status());
   auto ontology = ReadObo(flags.Get("obo", ""));
@@ -226,11 +236,15 @@ int Usage() {
       "  generate  --proteins N --seed S --copies C --out PREFIX\n"
       "  stats     --graph FILE\n"
       "  mine      --graph FILE --min-size K --max-size K --min-freq F\n"
-      "            --networks R --uniqueness U --beam B --out FILE\n"
+      "            --networks R --uniqueness U --beam B --threads N --out FILE\n"
       "  label     --graph FILE --obo FILE --annotations FILE --motifs FILE\n"
-      "            --sigma S --max-occurrences M --informative T --out FILE\n"
+      "            --sigma S --max-occurrences M --informative T --threads N\n"
+      "            --out FILE\n"
       "  predict   --graph FILE --obo FILE --annotations FILE\n"
-      "            --labeled FILE --protein ID --top-k K\n");
+      "            --labeled FILE --protein ID --top-k K --threads N\n"
+      "mine/label/predict run on the parallel runtime: --threads 0 (default)\n"
+      "resolves via LAMO_THREADS, then hardware concurrency; --threads 1 is\n"
+      "fully serial. Output is identical for any thread count.\n");
   return 2;
 }
 
