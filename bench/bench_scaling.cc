@@ -21,11 +21,35 @@
 #include "graph/canonical.h"
 #include "graph/generators.h"
 #include "motif/esu.h"
+#include "obs/json.h"
+#include "obs/obs.h"
+#include "obs/run_report.h"
 #include "parallel/parallel_for.h"
 #include "util/random.h"
 
 namespace lamo {
 namespace {
+
+// The thread-sweep benchmarks pull their per-run counters out of the same
+// JSON run report the CLI writes under --report (serialize, parse, read
+// back), so the report schema is exercised on every bench run.
+double ReportCounter(const JsonValue& report, const std::string& name) {
+  const JsonValue* counters = report.Find("counters");
+  const JsonValue* value =
+      counters == nullptr ? nullptr : counters->Find(name);
+  return value == nullptr ? 0.0 : value->number_value;
+}
+
+// Serializes `sink` as a run report and parses it back; aborts the
+// benchmark on a parse failure (which would mean the emitter is broken).
+JsonValue ParsedReport(const ObsSink& sink, const std::string& command,
+                       size_t threads, benchmark::State& state) {
+  const std::string json = RunReportJson(sink, command, threads);
+  JsonValue report;
+  std::string error;
+  if (!ParseJson(json, &report, &error)) state.SkipWithError(error.c_str());
+  return report;
+}
 
 const PaperExample& Example() {
   static const PaperExample* example = new PaperExample(MakePaperExample());
@@ -126,11 +150,25 @@ void BM_EsuEnumerationThreads(benchmark::State& state) {
   static const Graph* graph =
       new Graph(DuplicationDivergence(700, 0.4, 0.1, rng));
   SetThreadCount(threads);
+  ObsSink sink;
+  SetObsSink(&sink);
   for (auto _ : state) {
     benchmark::DoNotOptimize(CountSubgraphClasses(*graph, 4));
   }
+  SetObsSink(nullptr);
   SetThreadCount(0);
+  const JsonValue report = ParsedReport(sink, "bench_esu", threads, state);
+  const double hits = ReportCounter(report, "esu.canon_cache_hits");
+  const double misses = ReportCounter(report, "esu.canon_cache_misses");
   state.counters["threads"] = static_cast<double>(threads);
+  state.counters["subgraphs"] =
+      benchmark::Counter(ReportCounter(report, "esu.subgraphs"),
+                         benchmark::Counter::kAvgIterations);
+  state.counters["canon_hit_rate"] =
+      hits + misses > 0.0 ? hits / (hits + misses) : 0.0;
+  state.counters["queue_wait_us"] =
+      benchmark::Counter(ReportCounter(report, "pool.queue_wait_us"),
+                         benchmark::Counter::kAvgIterations);
 }
 BENCHMARK(BM_EsuEnumerationThreads)
     ->Arg(1)
@@ -154,11 +192,25 @@ void BM_OccurrenceSimilarityThreads(benchmark::State& state) {
   config.max_occurrences = 0;
   config.min_similarity = 0.0;
   SetThreadCount(threads);
+  ObsSink sink;
+  SetObsSink(&sink);
   for (auto _ : state) {
     benchmark::DoNotOptimize(finder.LabelMotif(motif, config));
   }
+  SetObsSink(nullptr);
   SetThreadCount(0);
+  const JsonValue report = ParsedReport(sink, "bench_so", threads, state);
+  const double hits = ReportCounter(report, "similarity.memo_hits");
+  const double misses = ReportCounter(report, "similarity.memo_misses");
   state.counters["threads"] = static_cast<double>(threads);
+  state.counters["so_cells"] =
+      benchmark::Counter(ReportCounter(report, "lamofinder.so_cells"),
+                         benchmark::Counter::kAvgIterations);
+  state.counters["memo_hit_rate"] =
+      hits + misses > 0.0 ? hits / (hits + misses) : 0.0;
+  state.counters["lock_contention"] =
+      benchmark::Counter(ReportCounter(report, "similarity.lock_contention"),
+                         benchmark::Counter::kAvgIterations);
 }
 BENCHMARK(BM_OccurrenceSimilarityThreads)
     ->Arg(1)

@@ -28,11 +28,39 @@ for bench in build/bench/*; do
   esac
 done
 
+# Observability artifacts: run the ESU pipeline with --report/--stats over
+# a pinned synthetic dataset, validate the JSON against the documented
+# schema, and keep both documents with the other outputs so instrumentation
+# (phase times, counter totals, per-worker load) can be tracked across PRs.
+echo "== run reports (lamo mine/label --report) =="
+build/tools/lamo generate --proteins 500 --copies 40 --seed 11 \
+  --out "$OUT/obs_ds" > /dev/null
+build/tools/lamo mine --graph "$OUT/obs_ds.graph.txt" --algo esu \
+  --min-size 3 --max-size 4 --min-freq 20 --networks 5 --uniqueness 0.8 \
+  --report "$OUT/mine_report.json" --stats \
+  --out "$OUT/obs_motifs.txt" > /dev/null 2> "$OUT/mine_stats.txt"
+build/tools/lamo_report_check "$OUT/mine_report.json" \
+  esu.subgraphs parallel.chunks uniqueness.replicates
+build/tools/lamo label --graph "$OUT/obs_ds.graph.txt" \
+  --obo "$OUT/obs_ds.obo" --annotations "$OUT/obs_ds.annotations.tsv" \
+  --motifs "$OUT/obs_motifs.txt" --sigma 6 \
+  --report "$OUT/label_report.json" --stats \
+  --out "$OUT/obs_labeled.txt" > /dev/null 2> "$OUT/label_stats.txt"
+build/tools/lamo_report_check "$OUT/label_report.json"
+
 # ThreadSanitizer smoke run of the parallel runtime: rebuilds just the
 # parallel tests under -fsanitize=thread and fails on any reported race.
 echo "== tsan smoke (parallel runtime) =="
 cmake -B build-tsan -G Ninja -DLAMO_SANITIZE=thread
 cmake --build build-tsan --target parallel_tests
 LAMO_THREADS=4 ./build-tsan/tests/parallel_tests
+
+# AddressSanitizer smoke run alongside it: the motif + obs tests cover the
+# enumeration hot paths and the metrics layer's thread-local blocks.
+echo "== asan smoke (motif + obs) =="
+cmake -B build-asan -G Ninja -DLAMO_SANITIZE=address
+cmake --build build-asan --target motif_tests obs_tests
+LAMO_THREADS=4 ./build-asan/tests/motif_tests
+LAMO_THREADS=4 ./build-asan/tests/obs_tests
 
 echo "All outputs in $OUT/; compare against EXPERIMENTS.md."

@@ -8,11 +8,21 @@
 
 #include "core/assignment.h"
 #include "core/occurrence_similarity.h"
+#include "obs/obs.h"
 #include "parallel/parallel_for.h"
 #include "util/logging.h"
 
 namespace lamo {
 namespace {
+
+/// SO-matrix cells filled (initial pairwise stage plus row refreshes).
+const size_t kObsSoCells = ObsCounterId("lamofinder.so_cells");
+/// Agglomerative merges performed across all motifs.
+const size_t kObsClusterMerges = ObsCounterId("lamofinder.cluster_merges");
+/// Labeling schemes surviving dedup + conformance + subsumption.
+const size_t kObsSchemesEmitted = ObsCounterId("lamofinder.schemes_emitted");
+/// Motifs that produced at least one labeled variant.
+const size_t kObsMotifsLabeled = ObsCounterId("lamofinder.motifs_labeled");
 
 // One cluster of occurrences during agglomeration.
 struct Cluster {
@@ -196,6 +206,7 @@ std::vector<LabeledMotif> LaMoFinder::LabelMotif(
   const size_t n = clusters.size();
   std::vector<std::vector<double>> sim(n, std::vector<double>(n, 0.0));
   ParallelFor(0, n, 4, [&](size_t i) {
+    if (n > i + 1) ObsAdd(kObsSoCells, n - i - 1);
     for (size_t j = i + 1; j < n; ++j) {
       sim[i][j] = sim[j][i] =
           so.Score(clusters[i].profile, clusters[j].profile);
@@ -258,6 +269,7 @@ std::vector<LabeledMotif> LaMoFinder::LabelMotif(
     }
     if (best_i < 0 || best_sim < config.min_similarity) break;
 
+    ObsIncrement(kObsClusterMerges);
     Cluster& a = clusters[best_i];
     Cluster& b = clusters[best_j];
     std::vector<uint32_t> pairing;
@@ -292,6 +304,7 @@ std::vector<LabeledMotif> LaMoFinder::LabelMotif(
     // Refresh similarities of the merged cluster.
     for (size_t j = 0; j < n; ++j) {
       if (!clusters[j].alive || j == static_cast<size_t>(best_i)) continue;
+      ObsIncrement(kObsSoCells);
       sim[best_i][j] = sim[j][best_i] =
           so.Score(a.profile, clusters[j].profile);
     }
@@ -331,6 +344,8 @@ std::vector<LabeledMotif> LaMoFinder::LabelMotif(
   for (size_t i = 0; i < results.size(); ++i) {
     if (!dropped[i]) pruned.push_back(std::move(results[i]));
   }
+  ObsAdd(kObsSchemesEmitted, pruned.size());
+  if (!pruned.empty()) ObsIncrement(kObsMotifsLabeled);
   return pruned;
 }
 

@@ -1,13 +1,25 @@
 #include "motif/esu.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "graph/canonical.h"
+#include "obs/obs.h"
 #include "parallel/parallel_for.h"
 #include "util/logging.h"
 
 namespace lamo {
 namespace {
+
+/// Connected size-k sets emitted by the class-counting pipelines.
+const size_t kObsSubgraphs = ObsCounterId("esu.subgraphs");
+/// Canonical-form cache outcomes (see CanonicalCodeCache below).
+const size_t kObsCanonHits = ObsCounterId("esu.canon_cache_hits");
+const size_t kObsCanonMisses = ObsCounterId("esu.canon_cache_misses");
+/// Root-range chunks processed and their summed wall time: per-chunk cost
+/// distribution for the sharded enumeration.
+const size_t kObsChunks = ObsCounterId("esu.chunks");
+const size_t kObsChunkWallUs = ObsCounterId("esu.chunk_wall_us");
 
 // Shared recursion for exhaustive and sampled ESU. `depth_probability` is
 // empty for exhaustive enumeration.
@@ -98,6 +110,50 @@ class EsuEnumerator {
   Rng* rng_;
 };
 
+/// Memo from raw adjacency bits of an induced subgraph to its canonical
+/// code. Induced size-k subgraphs repeat the same few adjacency patterns
+/// millions of times, and a map probe on a ≤8-byte key is much cheaper than
+/// a refinement+backtracking canonicalization, so each enumeration chunk
+/// keeps one of these. Chunk-local by design: no sharing, no locks, and the
+/// result of CountSubgraphClasses is bit-identical with or without it.
+class CanonicalCodeCache {
+ public:
+  const std::vector<uint8_t>& CodeFor(const SmallGraph& sub) {
+    const std::vector<uint8_t> key = sub.AdjacencyCode();
+    auto it = memo_.find(key);
+    if (it != memo_.end()) {
+      ObsIncrement(kObsCanonHits);
+      return it->second;
+    }
+    ObsIncrement(kObsCanonMisses);
+    return memo_.emplace(key, CanonicalCode(sub)).first->second;
+  }
+
+ private:
+  std::map<std::vector<uint8_t>, std::vector<uint8_t>> memo_;
+};
+
+/// Wall-clock accounting for one enumeration chunk.
+class ScopedChunkClock {
+ public:
+  ScopedChunkClock() : enabled_(ObsEnabled()) {
+    if (enabled_) start_ = std::chrono::steady_clock::now();
+  }
+  ~ScopedChunkClock() {
+    if (!enabled_) return;
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    ObsIncrement(kObsChunks);
+    ObsAdd(kObsChunkWallUs,
+           static_cast<uint64_t>(
+               std::chrono::duration_cast<std::chrono::microseconds>(elapsed)
+                   .count()));
+  }
+
+ private:
+  bool enabled_;
+  std::chrono::steady_clock::time_point start_;
+};
+
 }  // namespace
 
 void EnumerateConnectedSubgraphs(
@@ -128,12 +184,15 @@ std::map<std::vector<uint8_t>, size_t> CountSubgraphClasses(const Graph& g,
   return ParallelReduce<Counts>(
       n, EsuRootGrain(n), Counts{},
       [&](size_t lo, size_t hi) {
+        const ScopedChunkClock clock;
         Counts local;
+        CanonicalCodeCache canon_cache;
         EnumerateConnectedSubgraphsInRootRange(
             g, k, static_cast<VertexId>(lo), static_cast<VertexId>(hi),
             [&](const std::vector<VertexId>& set) {
+              ObsIncrement(kObsSubgraphs);
               const SmallGraph sub = SmallGraph::InducedSubgraph(g, set);
-              ++local[CanonicalCode(sub)];
+              ++local[canon_cache.CodeFor(sub)];
               return true;
             });
         return local;

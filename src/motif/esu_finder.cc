@@ -5,11 +5,42 @@
 #include "graph/canonical.h"
 #include "graph/generators.h"
 #include "motif/esu.h"
+#include "obs/obs.h"
 #include "parallel/parallel_for.h"
 #include "util/logging.h"
 #include "util/random.h"
 
 namespace lamo {
+namespace {
+
+const size_t kObsSubgraphs = ObsCounterId("esu.subgraphs");
+const size_t kObsCanonHits = ObsCounterId("esu.canon_cache_hits");
+const size_t kObsCanonMisses = ObsCounterId("esu.canon_cache_misses");
+const size_t kObsReplicates = ObsCounterId("uniqueness.replicates");
+const size_t kObsPatternTests = ObsCounterId("uniqueness.pattern_tests");
+
+/// Chunk-local memo from raw adjacency bits to the full canonicalization
+/// result (code, canonical graph, permutation). Same determinism argument as
+/// the code-only cache in esu.cc: Canonicalize is a pure function of the
+/// induced subgraph, and the cache never crosses a chunk boundary.
+class CanonicalResultCache {
+ public:
+  const CanonicalResult& ResultFor(const SmallGraph& sub) {
+    const std::vector<uint8_t> key = sub.AdjacencyCode();
+    auto it = memo_.find(key);
+    if (it != memo_.end()) {
+      ObsIncrement(kObsCanonHits);
+      return it->second;
+    }
+    ObsIncrement(kObsCanonMisses);
+    return memo_.emplace(key, Canonicalize(sub)).first->second;
+  }
+
+ private:
+  std::map<std::vector<uint8_t>, CanonicalResult> memo_;
+};
+
+}  // namespace
 
 std::vector<Motif> FindNetworkMotifsEsu(const Graph& graph,
                                         const EsuMotifConfig& config) {
@@ -23,15 +54,20 @@ std::vector<Motif> FindNetworkMotifsEsu(const Graph& graph,
   // merged in chunk order, which reproduces the serial occurrence order
   // (roots ascending, DFS order within a root) for any thread count.
   const size_t n = graph.num_vertices();
-  ClassMap classes = ParallelReduce<ClassMap>(
+  ClassMap classes;
+  {
+    const ScopedTimer timer("esu_enumeration");
+    classes = ParallelReduce<ClassMap>(
       n, EsuRootGrain(n), ClassMap{},
       [&](size_t lo, size_t hi) {
         ClassMap local;
+        CanonicalResultCache canon_cache;
         EnumerateConnectedSubgraphsInRootRange(
             graph, config.size, static_cast<VertexId>(lo),
             static_cast<VertexId>(hi), [&](const std::vector<VertexId>& set) {
+              ObsIncrement(kObsSubgraphs);
               const SmallGraph sub = SmallGraph::InducedSubgraph(graph, set);
-              const CanonicalResult canon = Canonicalize(sub);
+              const CanonicalResult& canon = canon_cache.ResultFor(sub);
               auto [it, inserted] = local.try_emplace(canon.code);
               if (inserted) it->second.pattern = canon.graph;
               MotifOccurrence occ;
@@ -56,6 +92,7 @@ std::vector<Motif> FindNetworkMotifsEsu(const Graph& graph,
         }
         return acc;
       });
+  }
 
   for (auto it = classes.begin(); it != classes.end();) {
     if (it->second.occurrences.size() < config.min_frequency) {
@@ -70,32 +107,37 @@ std::vector<Motif> FindNetworkMotifsEsu(const Graph& graph,
   // Uniqueness ensemble: one randomized network per task, each on its own
   // deterministic Rng substream so the ensemble is identical whether the
   // replicates run serially or in parallel.
-  std::vector<const std::vector<uint8_t>*> codes;
-  std::vector<size_t> real_frequencies;
-  codes.reserve(classes.size());
-  for (const auto& [code, entry] : classes) {
-    codes.push_back(&code);
-    real_frequencies.push_back(entry.occurrences.size());
-  }
-  const auto replicate_wins = ParallelMap(
-      config.num_random_networks, 1, [&](size_t r) {
-        Rng rng = Rng::Stream(config.seed, r);
-        const Graph randomized =
-            DegreePreservingRewire(graph, config.swaps_per_edge, rng);
-        const auto random_counts =
-            CountSubgraphClasses(randomized, config.size);
-        std::vector<uint8_t> won(codes.size(), 0);
-        for (size_t c = 0; c < codes.size(); ++c) {
-          auto it = random_counts.find(*codes[c]);
-          const size_t random_frequency =
-              it == random_counts.end() ? 0 : it->second;
-          won[c] = real_frequencies[c] >= random_frequency ? 1 : 0;
-        }
-        return won;
-      });
   std::map<std::vector<uint8_t>, size_t> wins;
-  for (const auto& won : replicate_wins) {
-    for (size_t c = 0; c < codes.size(); ++c) wins[*codes[c]] += won[c];
+  {
+    const ScopedTimer timer("uniqueness");
+    std::vector<const std::vector<uint8_t>*> codes;
+    std::vector<size_t> real_frequencies;
+    codes.reserve(classes.size());
+    for (const auto& [code, entry] : classes) {
+      codes.push_back(&code);
+      real_frequencies.push_back(entry.occurrences.size());
+    }
+    const auto replicate_wins = ParallelMap(
+        config.num_random_networks, 1, [&](size_t r) {
+          ObsIncrement(kObsReplicates);
+          ObsAdd(kObsPatternTests, codes.size());
+          Rng rng = Rng::Stream(config.seed, r);
+          const Graph randomized =
+              DegreePreservingRewire(graph, config.swaps_per_edge, rng);
+          const auto random_counts =
+              CountSubgraphClasses(randomized, config.size);
+          std::vector<uint8_t> won(codes.size(), 0);
+          for (size_t c = 0; c < codes.size(); ++c) {
+            auto it = random_counts.find(*codes[c]);
+            const size_t random_frequency =
+                it == random_counts.end() ? 0 : it->second;
+            won[c] = real_frequencies[c] >= random_frequency ? 1 : 0;
+          }
+          return won;
+        });
+    for (const auto& won : replicate_wins) {
+      for (size_t c = 0; c < codes.size(); ++c) wins[*codes[c]] += won[c];
+    }
   }
 
   std::vector<Motif> motifs;

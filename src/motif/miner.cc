@@ -5,10 +5,18 @@
 #include <unordered_set>
 
 #include "graph/canonical.h"
+#include "obs/obs.h"
 #include "util/logging.h"
 
 namespace lamo {
 namespace {
+
+/// Candidate vertex sets canonicalized per level (after set-level dedup).
+const size_t kObsCandidateSets = ObsCounterId("miner.candidate_sets");
+/// Extensions dropped because the vertex set was already seen this level.
+const size_t kObsDedupHits = ObsCounterId("miner.dedup_hits");
+/// Frequent patterns harvested into the result across all levels.
+const size_t kObsPatternsEmitted = ObsCounterId("miner.patterns_emitted");
 
 struct VertexSetHash {
   size_t operator()(const std::vector<VertexId>& vs) const {
@@ -75,6 +83,7 @@ std::vector<Motif> FrequentSubgraphMiner::Mine() {
       motif.occurrences = entry.occurrences;
       motif.frequency = entry.occurrences.size();
       results.push_back(std::move(motif));
+      ObsIncrement(kObsPatternsEmitted);
     }
   };
   harvest(level, 2);
@@ -98,8 +107,12 @@ std::vector<Motif> FrequentSubgraphMiner::Mine() {
             std::vector<VertexId> extended = occ.proteins;
             extended.push_back(w);
             std::sort(extended.begin(), extended.end());
-            if (!seen_sets.insert(extended).second) continue;
+            if (!seen_sets.insert(extended).second) {
+              ObsIncrement(kObsDedupHits);
+              continue;
+            }
 
+            ObsIncrement(kObsCandidateSets);
             const SmallGraph induced =
                 SmallGraph::InducedSubgraph(graph_, extended);
             const CanonicalResult canon = Canonicalize(induced);

@@ -5,10 +5,18 @@
 #include "graph/generators.h"
 #include "graph/isomorphism.h"
 #include "motif/miner.h"
+#include "obs/obs.h"
 #include "parallel/parallel_for.h"
 #include "util/logging.h"
 
 namespace lamo {
+namespace {
+
+const size_t kObsReplicates = ObsCounterId("uniqueness.replicates");
+/// Pattern-vs-randomized-network frequency comparisons across all replicates.
+const size_t kObsPatternTests = ObsCounterId("uniqueness.pattern_tests");
+
+}  // namespace
 
 void EvaluateUniqueness(const Graph& graph, const UniquenessConfig& config,
                         std::vector<Motif>* motifs) {
@@ -19,6 +27,8 @@ void EvaluateUniqueness(const Graph& graph, const UniquenessConfig& config,
   // resulting uniqueness scores — is identical for any thread count.
   const auto replicate_wins = ParallelMap(
       config.num_random_networks, 1, [&](size_t r) {
+        ObsIncrement(kObsReplicates);
+        ObsAdd(kObsPatternTests, motifs->size());
         Rng rng = Rng::Stream(config.seed, r);
         const Graph randomized =
             DegreePreservingRewire(graph, config.swaps_per_edge, rng);
@@ -63,9 +73,16 @@ std::vector<Motif> FindNetworkMotifs(const Graph& graph,
   miner_config.max_patterns_per_level = config.miner.max_patterns_per_level;
 
   FrequentSubgraphMiner miner(graph, miner_config);
-  std::vector<Motif> motifs = miner.Mine();
+  std::vector<Motif> motifs;
+  {
+    const ScopedTimer timer("miner");
+    motifs = miner.Mine();
+  }
   LAMO_LOG(Info) << "mined " << motifs.size() << " frequent patterns";
-  EvaluateUniqueness(graph, config.uniqueness, &motifs);
+  {
+    const ScopedTimer timer("uniqueness");
+    EvaluateUniqueness(graph, config.uniqueness, &motifs);
+  }
   motifs = FilterUnique(std::move(motifs), config.uniqueness_threshold);
   LAMO_LOG(Info) << motifs.size() << " patterns pass uniqueness >= "
                  << config.uniqueness_threshold;

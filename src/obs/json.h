@@ -1,0 +1,78 @@
+#ifndef LAMO_OBS_JSON_H_
+#define LAMO_OBS_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace lamo {
+
+/// Minimal JSON emitter used by the run-report writer. Tracks nesting and
+/// commas so call sites read like the document; strings are escaped per RFC
+/// 8259. Numbers are emitted either as integers or as shortest-round-trip
+/// doubles via %.17g trimmed to %.6g when exact (reports are for humans and
+/// dashboards, not bit-archival).
+class JsonWriter {
+ public:
+  JsonWriter() = default;
+
+  void BeginObject();
+  void EndObject();
+  void BeginArray();
+  void EndArray();
+
+  /// Emits the key of the next object member.
+  void Key(const std::string& key);
+
+  void String(const std::string& value);
+  void Int(uint64_t value);
+  void Double(double value);
+  void Bool(bool value);
+  void Null();
+
+  /// The document so far. Valid once every container has been closed.
+  const std::string& str() const { return out_; }
+
+ private:
+  void Separate();
+
+  std::string out_;
+  // One entry per open container: true once a first element was written.
+  std::vector<bool> needs_comma_;
+  bool pending_key_ = false;
+};
+
+/// Escapes `s` as the contents of a JSON string literal (no quotes).
+std::string JsonEscape(const std::string& s);
+
+/// A parsed JSON document node. Object members preserve file order; lookup
+/// is linear (report documents are small).
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool bool_value = false;
+  double number_value = 0.0;
+  std::string string_value;
+  std::vector<JsonValue> items;                               // arrays
+  std::vector<std::pair<std::string, JsonValue>> members;     // objects
+
+  bool is_object() const { return type == Type::kObject; }
+  bool is_array() const { return type == Type::kArray; }
+  bool is_number() const { return type == Type::kNumber; }
+  bool is_string() const { return type == Type::kString; }
+
+  /// Member lookup on objects; nullptr when absent or not an object.
+  const JsonValue* Find(const std::string& key) const;
+};
+
+/// Parses `text` into `*value`. On failure returns false and, when `error`
+/// is non-null, stores a message with the failing byte offset. Supports the
+/// full JSON value grammar (objects, arrays, strings with escapes, numbers,
+/// true/false/null); \uXXXX escapes are decoded to UTF-8.
+bool ParseJson(const std::string& text, JsonValue* value, std::string* error);
+
+}  // namespace lamo
+
+#endif  // LAMO_OBS_JSON_H_

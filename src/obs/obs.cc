@@ -1,0 +1,192 @@
+#include "obs/obs.h"
+
+#include "util/logging.h"
+
+namespace lamo {
+namespace {
+
+/// Registry of counter names; lives behind a function-local static so
+/// namespace-scope ObsCounterId initializers in other translation units are
+/// safe during static initialization.
+struct CounterRegistry {
+  std::mutex mu;
+  std::vector<std::string> names;  // guarded by mu
+};
+
+CounterRegistry& Registry() {
+  static CounterRegistry* registry = new CounterRegistry();
+  return *registry;
+}
+
+std::atomic<ObsSink*> g_sink{nullptr};
+std::atomic<uint64_t> g_epoch_source{0};
+
+/// Per-thread cache of the block belonging to the installed sink. The epoch
+/// check invalidates the cached pointer whenever the sink changes, so a
+/// stale pointer from a destroyed sink is never dereferenced.
+struct TlsCache {
+  uint64_t epoch = 0;
+  ObsSink::CounterBlock* block = nullptr;
+};
+thread_local TlsCache tls_cache;
+thread_local std::string* tls_thread_name = nullptr;
+
+}  // namespace
+
+size_t ObsCounterId(const std::string& name) {
+  CounterRegistry& registry = Registry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  for (size_t id = 0; id < registry.names.size(); ++id) {
+    if (registry.names[id] == name) return id;
+  }
+  LAMO_CHECK_LT(registry.names.size(), kMaxObsCounters)
+      << "too many observability counters; raise kMaxObsCounters";
+  registry.names.push_back(name);
+  return registry.names.size() - 1;
+}
+
+std::vector<std::string> ObsCounterNames() {
+  CounterRegistry& registry = Registry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  return registry.names;
+}
+
+ObsSink* GetObsSink() { return g_sink.load(std::memory_order_acquire); }
+
+void SetObsSink(ObsSink* sink) {
+  g_sink.store(sink, std::memory_order_release);
+}
+
+bool ObsEnabled() {
+  return g_sink.load(std::memory_order_relaxed) != nullptr;
+}
+
+void ObsAdd(size_t counter_id, uint64_t delta) {
+  ObsSink* sink = g_sink.load(std::memory_order_acquire);
+  if (sink == nullptr) return;
+  TlsCache& cache = tls_cache;
+  if (cache.block == nullptr || cache.epoch != sink->epoch()) {
+    cache.block = sink->BlockForCurrentThread();
+    cache.epoch = sink->epoch();
+  }
+  cache.block->cells[counter_id].fetch_add(delta, std::memory_order_relaxed);
+}
+
+void ObsSetThreadName(const std::string& name) {
+  // Leaked on purpose: thread_local destructor order versus pool teardown is
+  // not worth reasoning about for one small string per thread.
+  if (tls_thread_name == nullptr) tls_thread_name = new std::string();
+  *tls_thread_name = name;
+  // A block created before the rename keeps working; relabel it.
+  ObsSink* sink = g_sink.load(std::memory_order_acquire);
+  if (sink != nullptr && tls_cache.block != nullptr &&
+      tls_cache.epoch == sink->epoch()) {
+    tls_cache.block->thread_name = name;
+  }
+}
+
+ObsSink::ObsSink()
+    : epoch_(g_epoch_source.fetch_add(1) + 1), start_(Clock::now()) {}
+
+ObsSink::~ObsSink() {
+  // Auto-uninstall so stale global pointers cannot outlive the sink.
+  ObsSink* expected = this;
+  g_sink.compare_exchange_strong(expected, nullptr);
+}
+
+ObsSink::CounterBlock* ObsSink::BlockForCurrentThread() {
+  std::lock_guard<std::mutex> lock(mu_);
+  blocks_.push_back(std::make_unique<CounterBlock>());
+  blocks_.back()->thread_name =
+      tls_thread_name != nullptr && !tls_thread_name->empty()
+          ? *tls_thread_name
+          : "main";
+  return blocks_.back().get();
+}
+
+void ObsSink::BeginPhase(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<PhaseNode>* container =
+      phase_stack_.empty() ? &root_phases_ : &phase_stack_.back()->children;
+  container->push_back(PhaseNode{name, 0.0, {}});
+  phase_stack_.push_back(&container->back());
+  phase_starts_.push_back(Clock::now());
+}
+
+void ObsSink::EndPhase() {
+  std::lock_guard<std::mutex> lock(mu_);
+  LAMO_CHECK(!phase_stack_.empty()) << "EndPhase without matching BeginPhase";
+  phase_stack_.back()->wall_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() -
+                                                phase_starts_.back())
+          .count();
+  phase_stack_.pop_back();
+  phase_starts_.pop_back();
+}
+
+void ObsSink::SetGauge(const std::string& name, double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  gauges_[name] = value;
+}
+
+std::map<std::string, uint64_t> ObsSink::CounterTotals() const {
+  const std::vector<std::string> names = ObsCounterNames();
+  std::map<std::string, uint64_t> totals;
+  for (const std::string& name : names) totals[name] = 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& block : blocks_) {
+    for (size_t id = 0; id < names.size(); ++id) {
+      totals[names[id]] += block->cells[id].load(std::memory_order_relaxed);
+    }
+  }
+  return totals;
+}
+
+std::vector<WorkerCounters> ObsSink::PerThreadCounters() const {
+  const std::vector<std::string> names = ObsCounterNames();
+  std::vector<WorkerCounters> result;
+  std::lock_guard<std::mutex> lock(mu_);
+  result.reserve(blocks_.size());
+  for (const auto& block : blocks_) {
+    WorkerCounters wc;
+    wc.thread_name = block->thread_name;
+    for (size_t id = 0; id < names.size(); ++id) {
+      wc.counters[names[id]] =
+          block->cells[id].load(std::memory_order_relaxed);
+    }
+    result.push_back(std::move(wc));
+  }
+  return result;
+}
+
+std::map<std::string, double> ObsSink::Gauges() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return gauges_;
+}
+
+std::vector<PhaseNode> ObsSink::Phases() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<PhaseNode> phases = root_phases_;
+  // Open phases have wall_ms 0 in the copy; patch in elapsed-so-far times by
+  // walking the open chain (the stack holds pointers into the originals, so
+  // the copy is patched positionally: each open phase is the last child at
+  // its depth).
+  const Clock::time_point now = Clock::now();
+  std::vector<PhaseNode>* level = &phases;
+  for (size_t depth = 0; depth < phase_stack_.size(); ++depth) {
+    if (level->empty()) break;
+    PhaseNode& open = level->back();
+    open.wall_ms = std::chrono::duration<double, std::milli>(
+                       now - phase_starts_[depth])
+                       .count();
+    level = &open.children;
+  }
+  return phases;
+}
+
+double ObsSink::ElapsedMs() const {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start_)
+      .count();
+}
+
+}  // namespace lamo

@@ -1,0 +1,189 @@
+#ifndef LAMO_OBS_OBS_H_
+#define LAMO_OBS_OBS_H_
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace lamo {
+
+/// ---- Observability layer -------------------------------------------------
+///
+/// A lightweight metrics/tracing facility for the pipeline:
+///
+///   * named counters, incremented lock-free from any thread (each thread
+///     owns a private cell block; blocks are merged at snapshot time);
+///   * gauges (named doubles, set rarely, e.g. derived rates);
+///   * hierarchical phase timers (`ScopedTimer`) over the monotonic clock;
+///   * a serializable run report (see run_report.h) that the CLI writes via
+///     `--report <path>` and summarizes on stderr via `--stats`.
+///
+/// The whole layer is *disabled by default*: no sink is installed, and every
+/// instrumentation call degrades to one relaxed atomic load plus a branch.
+/// Instrumented hot paths therefore cost nothing measurable when nobody is
+/// observing. The CLI (or a test) enables collection by installing an
+/// `ObsSink` with `SetObsSink`.
+///
+/// Counter naming convention (enforced by review, documented in DESIGN.md
+/// §6): `<component>.<metric>` in lower snake case, cumulative totals, with
+/// `_us` / `_ms` suffixes for duration sums, e.g. `esu.subgraphs`,
+/// `similarity.memo_hits`, `pool.queue_wait_us`.
+
+/// Hard cap on distinct counters; registration past the cap is a fatal
+/// error. A fixed capacity keeps per-thread cell blocks allocation-stable so
+/// snapshots never race block growth.
+constexpr size_t kMaxObsCounters = 128;
+
+/// Registers `name` (idempotent) and returns its dense id. Typically called
+/// once per instrumentation site via a namespace-scope `const size_t`
+/// initializer, so ids are resolved before any hot loop runs. Thread-safe.
+size_t ObsCounterId(const std::string& name);
+
+/// All names registered so far, indexed by counter id.
+std::vector<std::string> ObsCounterNames();
+
+class ObsSink;
+
+/// The installed sink, or nullptr when observability is disabled.
+ObsSink* GetObsSink();
+
+/// Installs `sink` process-wide (nullptr disables collection). The caller
+/// keeps ownership and must keep the sink alive until after uninstalling it;
+/// no instrumented code may be running concurrently with the switch.
+void SetObsSink(ObsSink* sink);
+
+/// True iff a sink is installed. One relaxed atomic load.
+bool ObsEnabled();
+
+/// Adds `delta` to the counter. A no-op (load + branch) when disabled.
+void ObsAdd(size_t counter_id, uint64_t delta);
+
+/// ObsAdd(counter_id, 1).
+inline void ObsIncrement(size_t counter_id) { ObsAdd(counter_id, 1); }
+
+/// Labels the calling thread in per-worker breakdowns ("worker0", ...).
+/// Threads that never call this are reported as "main".
+void ObsSetThreadName(const std::string& name);
+
+/// One timed phase of a run. Phases nest: `children` are the phases begun
+/// while this one was open.
+struct PhaseNode {
+  std::string name;
+  double wall_ms = 0.0;
+  std::vector<PhaseNode> children;
+};
+
+/// Counter values of one thread, keyed by counter name.
+struct WorkerCounters {
+  std::string thread_name;
+  std::map<std::string, uint64_t> counters;
+};
+
+/// Collects one run's metrics: per-thread counter blocks, gauges, and the
+/// phase tree. Construct, install with SetObsSink, run the pipeline, then
+/// snapshot (run_report.h turns snapshots into JSON). The destructor
+/// uninstalls the sink if it is still the installed one.
+///
+/// Thread-safety: counters may be bumped from any thread (lock-free);
+/// Begin/EndPhase and SetGauge take a mutex and are intended for
+/// orchestration-level code, not per-item hot loops. Snapshots are safe once
+/// the parallel regions that touched the sink have completed (the runtime's
+/// region join is the synchronization point).
+class ObsSink {
+ public:
+  ObsSink();
+  ~ObsSink();
+
+  ObsSink(const ObsSink&) = delete;
+  ObsSink& operator=(const ObsSink&) = delete;
+
+  /// Opens a phase nested under the currently open one (top-level if none).
+  void BeginPhase(const std::string& name);
+
+  /// Closes the innermost open phase, recording its wall time.
+  void EndPhase();
+
+  /// Sets gauge `name` to `value` (overwrites).
+  void SetGauge(const std::string& name, double value);
+
+  /// Merged counter totals over all threads. Every registered counter
+  /// appears, zero-valued ones included, so report schemas are stable.
+  std::map<std::string, uint64_t> CounterTotals() const;
+
+  /// Per-thread counter breakdown, in thread-registration order (the main
+  /// thread first in practice). Only counters registered at snapshot time
+  /// appear; zero cells are included.
+  std::vector<WorkerCounters> PerThreadCounters() const;
+
+  /// Gauge snapshot.
+  std::map<std::string, double> Gauges() const;
+
+  /// Completed top-level phases (with nested children), in begin order.
+  /// Phases still open are reported with their elapsed-so-far wall time.
+  std::vector<PhaseNode> Phases() const;
+
+  /// Wall time since this sink was constructed, in milliseconds.
+  double ElapsedMs() const;
+
+  /// ---- internal plumbing (used by ObsAdd) --------------------------------
+
+  /// One thread's private counter cells. Cells are atomics only so that
+  /// cross-thread snapshot reads are race-free; the owning thread is the
+  /// only writer, so the relaxed fetch_adds never contend.
+  struct CounterBlock {
+    std::string thread_name;
+    std::array<std::atomic<uint64_t>, kMaxObsCounters> cells{};
+  };
+
+  /// The calling thread's block, created and registered on first use.
+  CounterBlock* BlockForCurrentThread();
+
+  /// Process-unique id of this sink; lets threads detect a sink swap and
+  /// drop cached block pointers from a previous sink.
+  uint64_t epoch() const { return epoch_; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  const uint64_t epoch_;
+  const Clock::time_point start_;
+
+  mutable std::mutex mu_;
+  std::deque<std::unique_ptr<CounterBlock>> blocks_;  // guarded by mu_
+  std::map<std::string, double> gauges_;              // guarded by mu_
+  std::vector<PhaseNode> root_phases_;                // guarded by mu_
+  std::vector<PhaseNode*> phase_stack_;               // guarded by mu_
+  std::vector<Clock::time_point> phase_starts_;       // guarded by mu_
+};
+
+/// RAII phase timer: opens a phase on the installed sink at construction and
+/// closes it at destruction. Free (two null checks) when no sink is
+/// installed. Intended for orchestration scopes (a pipeline stage), not for
+/// per-item loops — it takes the sink's mutex.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(const std::string& name) : sink_(GetObsSink()) {
+    if (sink_ != nullptr) sink_->BeginPhase(name);
+  }
+  ~ScopedTimer() {
+    if (sink_ != nullptr) sink_->EndPhase();
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  ObsSink* sink_;
+};
+
+}  // namespace lamo
+
+#endif  // LAMO_OBS_OBS_H_

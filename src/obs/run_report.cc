@@ -1,0 +1,155 @@
+#include "obs/run_report.h"
+
+#include <cinttypes>
+
+#include "obs/json.h"
+
+namespace lamo {
+namespace {
+
+/// Must match the counter registered in parallel/parallel_for.cc.
+constexpr const char* kChunksCounter = "parallel.chunks";
+
+void WritePhase(JsonWriter* json, const PhaseNode& phase) {
+  json->BeginObject();
+  json->Key("name");
+  json->String(phase.name);
+  json->Key("wall_ms");
+  json->Double(phase.wall_ms);
+  json->Key("children");
+  json->BeginArray();
+  for (const PhaseNode& child : phase.children) WritePhase(json, child);
+  json->EndArray();
+  json->EndObject();
+}
+
+/// Gauges reported = explicitly set gauges + rates derivable from counters.
+std::map<std::string, double> DerivedGauges(
+    const ObsSink& sink, const std::map<std::string, uint64_t>& counters) {
+  std::map<std::string, double> gauges = sink.Gauges();
+  const auto hits = counters.find("similarity.memo_hits");
+  const auto misses = counters.find("similarity.memo_misses");
+  if (hits != counters.end() && misses != counters.end() &&
+      hits->second + misses->second > 0) {
+    gauges["similarity.memo_hit_rate"] =
+        static_cast<double>(hits->second) /
+        static_cast<double>(hits->second + misses->second);
+  }
+  return gauges;
+}
+
+void PrintPhase(std::FILE* out, const PhaseNode& phase, int depth) {
+  std::fprintf(out, "  %*s%-*s %10.2f ms\n", 2 * depth, "",
+               28 - 2 * depth, phase.name.c_str(), phase.wall_ms);
+  for (const PhaseNode& child : phase.children) {
+    PrintPhase(out, child, depth + 1);
+  }
+}
+
+}  // namespace
+
+std::string RunReportJson(const ObsSink& sink, const std::string& command,
+                          size_t threads) {
+  const std::map<std::string, uint64_t> counters = sink.CounterTotals();
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("lamo_report_version");
+  json.Int(1);
+  json.Key("command");
+  json.String(command);
+  json.Key("threads");
+  json.Int(threads);
+  json.Key("wall_ms");
+  json.Double(sink.ElapsedMs());
+
+  json.Key("phases");
+  json.BeginArray();
+  for (const PhaseNode& phase : sink.Phases()) WritePhase(&json, phase);
+  json.EndArray();
+
+  json.Key("counters");
+  json.BeginObject();
+  for (const auto& [name, value] : counters) {
+    json.Key(name);
+    json.Int(value);
+  }
+  json.EndObject();
+
+  json.Key("gauges");
+  json.BeginObject();
+  for (const auto& [name, value] : DerivedGauges(sink, counters)) {
+    json.Key(name);
+    json.Double(value);
+  }
+  json.EndObject();
+
+  json.Key("workers");
+  json.BeginArray();
+  for (const WorkerCounters& worker : sink.PerThreadCounters()) {
+    json.BeginObject();
+    json.Key("name");
+    json.String(worker.thread_name);
+    json.Key("tasks");
+    const auto tasks = worker.counters.find(kChunksCounter);
+    json.Int(tasks == worker.counters.end() ? 0 : tasks->second);
+    json.Key("counters");
+    json.BeginObject();
+    for (const auto& [name, value] : worker.counters) {
+      if (value == 0) continue;  // per-worker detail: nonzero cells only
+      json.Key(name);
+      json.Int(value);
+    }
+    json.EndObject();
+    json.EndObject();
+  }
+  json.EndArray();
+
+  json.EndObject();
+  return json.str();
+}
+
+Status WriteRunReport(const ObsSink& sink, const std::string& command,
+                      size_t threads, const std::string& path) {
+  const std::string document = RunReportJson(sink, command, threads);
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IoError("cannot open report file: " + path);
+  }
+  const size_t written = std::fwrite(document.data(), 1, document.size(), f);
+  const bool newline_ok = std::fputc('\n', f) != EOF;
+  const int close_rc = std::fclose(f);
+  if (written != document.size() || !newline_ok || close_rc != 0) {
+    return Status::IoError("short write to report file: " + path);
+  }
+  return Status::OK();
+}
+
+void PrintRunSummary(const ObsSink& sink, const std::string& command,
+                     size_t threads, std::FILE* out) {
+  const std::map<std::string, uint64_t> counters = sink.CounterTotals();
+  std::fprintf(out, "== lamo %s run stats ==\n", command.c_str());
+  std::fprintf(out, "wall time %.2f ms, %zu threads\n", sink.ElapsedMs(),
+               threads);
+  const std::vector<PhaseNode> phases = sink.Phases();
+  if (!phases.empty()) {
+    std::fprintf(out, "phases:\n");
+    for (const PhaseNode& phase : phases) PrintPhase(out, phase, 0);
+  }
+  std::fprintf(out, "counters (nonzero):\n");
+  for (const auto& [name, value] : counters) {
+    if (value == 0) continue;
+    std::fprintf(out, "  %-28s %12" PRIu64 "\n", name.c_str(), value);
+  }
+  for (const auto& [name, value] : DerivedGauges(sink, counters)) {
+    std::fprintf(out, "  %-28s %12.4f\n", name.c_str(), value);
+  }
+  std::fprintf(out, "workers:\n");
+  for (const WorkerCounters& worker : sink.PerThreadCounters()) {
+    const auto tasks = worker.counters.find(kChunksCounter);
+    std::fprintf(out, "  %-28s %12" PRIu64 " tasks\n",
+                 worker.thread_name.c_str(),
+                 tasks == worker.counters.end() ? 0 : tasks->second);
+  }
+}
+
+}  // namespace lamo

@@ -1,0 +1,45 @@
+#ifndef LAMO_OBS_RUN_REPORT_H_
+#define LAMO_OBS_RUN_REPORT_H_
+
+#include <cstdio>
+#include <string>
+
+#include "obs/obs.h"
+#include "util/status.h"
+
+namespace lamo {
+
+/// Serializes one run's metrics as a JSON document (schema documented in
+/// docs/FORMATS.md, "Run report"):
+///
+///   {
+///     "lamo_report_version": 1,
+///     "command": "mine",
+///     "threads": 4,                  // resolved worker count
+///     "wall_ms": 152.7,             // sink lifetime
+///     "phases":   [{"name": ..., "wall_ms": ..., "children": [...]}],
+///     "counters": {"esu.subgraphs": 123456, ...},   // merged totals
+///     "gauges":   {"similarity.memo_hit_rate": 0.97, ...},
+///     "workers":  [{"name": "main", "tasks": 37, "counters": {...}}, ...]
+///   }
+///
+/// Every registered counter appears in "counters" (zeros included) so the
+/// key set is stable across workloads. "tasks" is the worker's
+/// `parallel.chunks` value — the number of loop chunks it executed.
+/// `similarity.memo_hit_rate` is derived from the memo counters when they
+/// are nonzero.
+std::string RunReportJson(const ObsSink& sink, const std::string& command,
+                          size_t threads);
+
+/// Writes RunReportJson to `path` (trailing newline added).
+Status WriteRunReport(const ObsSink& sink, const std::string& command,
+                      size_t threads, const std::string& path);
+
+/// Prints a human-oriented summary (phases, nonzero counters, per-worker
+/// task counts) to `out`; the CLI sends this to stderr under `--stats`.
+void PrintRunSummary(const ObsSink& sink, const std::string& command,
+                     size_t threads, std::FILE* out);
+
+}  // namespace lamo
+
+#endif  // LAMO_OBS_RUN_REPORT_H_

@@ -2,7 +2,29 @@
 
 #include <algorithm>
 
+#include "obs/obs.h"
+
 namespace lamo {
+namespace {
+
+const size_t kObsMemoHits = ObsCounterId("similarity.memo_hits");
+const size_t kObsMemoMisses = ObsCounterId("similarity.memo_misses");
+/// Times a shard mutex was found held by another thread (try_lock failed).
+/// A contention *sample*, not a wait-time measure: it says how often the 16
+/// shards actually collide at the current thread count.
+const size_t kObsLockContention = ObsCounterId("similarity.lock_contention");
+
+/// Locks `mu`, counting a contention sample if it was already held.
+std::unique_lock<std::mutex> LockShard(std::mutex& mu) {
+  std::unique_lock<std::mutex> lock(mu, std::try_to_lock);
+  if (!lock.owns_lock()) {
+    ObsIncrement(kObsLockContention);
+    lock.lock();
+  }
+  return lock;
+}
+
+}  // namespace
 
 TermId TermSimilarity::LowestCommonParent(TermId ta, TermId tb) const {
   const auto anc_a = ontology_.AncestorsOf(ta);
@@ -39,14 +61,18 @@ double TermSimilarity::Similarity(TermId ta, TermId tb) const {
   CacheShard& shard =
       cache_shards_[(key ^ (key >> 32)) * 0x9E3779B97F4A7C15ULL >> 60];
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    const std::unique_lock<std::mutex> lock = LockShard(shard.mu);
     auto it = shard.map.find(key);
-    if (it != shard.map.end()) return it->second;
+    if (it != shard.map.end()) {
+      ObsIncrement(kObsMemoHits);
+      return it->second;
+    }
   }
+  ObsIncrement(kObsMemoMisses);
   // Computed outside the lock: ComputeSimilarity is pure, so a pair raced by
   // two threads just produces the same value twice.
   const double sim = ComputeSimilarity(ta, tb);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  const std::unique_lock<std::mutex> lock = LockShard(shard.mu);
   shard.map.emplace(key, sim);
   return sim;
 }

@@ -9,11 +9,16 @@
 #include <mutex>
 #include <thread>
 
+#include "obs/obs.h"
 #include "parallel/thread_pool.h"
 #include "util/string_util.h"
 
 namespace lamo {
 namespace {
+
+/// Chunks executed, per thread — the report's per-worker task counts
+/// ("tasks" in the workers array; see obs/run_report.h).
+const size_t kObsChunks = ObsCounterId("parallel.chunks");
 
 /// Explicit override from SetThreadCount (0 = unset).
 std::atomic<size_t> g_explicit_threads{0};
@@ -81,6 +86,7 @@ void ParallelForChunks(
   auto run_chunk = [&](size_t chunk) {
     const size_t lo = begin + chunk * grain;
     const size_t hi = std::min(end, lo + grain);
+    ObsIncrement(kObsChunks);
     fn(chunk, lo, hi);
   };
 

@@ -1,18 +1,39 @@
 #include "parallel/thread_pool.h"
 
+#include <string>
 #include <utility>
+
+#include "obs/obs.h"
 
 namespace lamo {
 namespace {
 
 thread_local bool tls_pool_worker = false;
 
+/// Tasks executed by pool workers (Submit-level granularity; the chunk-level
+/// breakdown is parallel.chunks).
+const size_t kObsPoolTasks = ObsCounterId("pool.tasks");
+/// Total time tasks spent queued before a worker picked them up, in
+/// microseconds. Only accumulated while a sink is installed.
+const size_t kObsQueueWaitUs = ObsCounterId("pool.queue_wait_us");
+
+/// Records queue-wait for a task that was stamped at Submit time.
+void RecordDequeue(const std::chrono::steady_clock::time_point& enqueued,
+                   bool stamped) {
+  if (!stamped || !ObsEnabled()) return;
+  const auto waited = std::chrono::steady_clock::now() - enqueued;
+  ObsAdd(kObsQueueWaitUs,
+         static_cast<uint64_t>(
+             std::chrono::duration_cast<std::chrono::microseconds>(waited)
+                 .count()));
+}
+
 }  // namespace
 
 ThreadPool::ThreadPool(size_t num_threads) {
   workers_.reserve(num_threads);
   for (size_t i = 0; i < num_threads; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
   }
 }
 
@@ -26,10 +47,10 @@ ThreadPool::~ThreadPool() {
   // With zero workers the queue may still hold tasks: honor the "drained
   // before shutdown" contract by running them inline.
   while (!queue_.empty()) {
-    std::function<void()> task = std::move(queue_.front());
+    QueuedTask task = std::move(queue_.front());
     queue_.pop_front();
     try {
-      task();
+      task.fn();
     } catch (...) {
       // Destruction cannot rethrow; the error is dropped with the pool.
     }
@@ -37,9 +58,15 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
+  QueuedTask queued;
+  queued.fn = std::move(task);
+  if (ObsEnabled()) {
+    queued.enqueued = std::chrono::steady_clock::now();
+    queued.stamped = true;
+  }
   {
     std::lock_guard<std::mutex> lock(mu_);
-    queue_.push_back(std::move(task));
+    queue_.push_back(std::move(queued));
   }
   work_cv_.notify_one();
 }
@@ -55,10 +82,11 @@ void ThreadPool::Wait() {
 
 bool ThreadPool::InWorker() { return tls_pool_worker; }
 
-void ThreadPool::WorkerLoop() {
+void ThreadPool::WorkerLoop(size_t worker_index) {
   tls_pool_worker = true;
+  ObsSetThreadName("worker" + std::to_string(worker_index));
   for (;;) {
-    std::function<void()> task;
+    QueuedTask task;
     {
       std::unique_lock<std::mutex> lock(mu_);
       work_cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
@@ -67,8 +95,10 @@ void ThreadPool::WorkerLoop() {
       queue_.pop_front();
       ++in_flight_;
     }
+    RecordDequeue(task.enqueued, task.stamped);
+    ObsIncrement(kObsPoolTasks);
     try {
-      task();
+      task.fn();
     } catch (...) {
       std::lock_guard<std::mutex> lock(mu_);
       if (first_error_ == nullptr) first_error_ = std::current_exception();

@@ -1,6 +1,7 @@
 #ifndef LAMO_PARALLEL_THREAD_POOL_H_
 #define LAMO_PARALLEL_THREAD_POOL_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -45,16 +46,25 @@ class ThreadPool {
   static bool InWorker();
 
  private:
-  void WorkerLoop();
+  /// A queued task plus its enqueue timestamp. The timestamp is only taken
+  /// when an observability sink is installed (obs/obs.h); `stamped` records
+  /// that, so queue-wait accounting costs nothing when disabled.
+  struct QueuedTask {
+    std::function<void()> fn;
+    std::chrono::steady_clock::time_point enqueued;
+    bool stamped = false;
+  };
+
+  void WorkerLoop(size_t worker_index);
 
   std::vector<std::thread> workers_;
   std::mutex mu_;
   std::condition_variable work_cv_;   // signals workers: task or stop
   std::condition_variable done_cv_;   // signals Wait(): queue drained
-  std::deque<std::function<void()>> queue_;  // guarded by mu_
-  size_t in_flight_ = 0;                     // guarded by mu_
-  bool stop_ = false;                        // guarded by mu_
-  std::exception_ptr first_error_;           // guarded by mu_
+  std::deque<QueuedTask> queue_;      // guarded by mu_
+  size_t in_flight_ = 0;              // guarded by mu_
+  bool stop_ = false;                 // guarded by mu_
+  std::exception_ptr first_error_;    // guarded by mu_
 };
 
 }  // namespace lamo

@@ -2,9 +2,17 @@
 
 #include <algorithm>
 
+#include "obs/obs.h"
 #include "util/logging.h"
 
 namespace lamo {
+namespace {
+
+/// One vote = one motif site contributing its weighted delta to a protein's
+/// category scores.
+const size_t kObsVotes = ObsCounterId("predict.votes");
+
+}  // namespace
 
 LabeledMotifPredictor::LabeledMotifPredictor(
     const PredictionContext& context, const Ontology& ontology,
@@ -35,6 +43,7 @@ LabeledMotifPredictor::LabeledMotifPredictor(
 std::vector<Prediction> LabeledMotifPredictor::Predict(ProteinId p) const {
   std::vector<double> scores(context_.categories.size(), 0.0);
   for (const Site& site : index_[p]) {
+    ObsIncrement(kObsVotes);
     const LabeledMotif& motif = motifs_[site.motif];
     std::vector<double> delta(context_.categories.size(), 0.0);
     if (mode_ == DeltaMode::kSchemeLabels) {

@@ -1,0 +1,36 @@
+#!/bin/sh
+# Golden-file regression test for `lamo label`: the full generate -> mine ->
+# label pipeline over a pinned synthetic dataset must reproduce the
+# committed labeled-motif output byte for byte. Catches accidental changes
+# to the labeling algorithm, iteration orders, or the on-disk format.
+#
+# To regenerate after an *intentional* output change:
+#   LAMO_UPDATE_GOLDEN=1 sh tests/golden_label_test.sh build/tools/lamo \
+#     tests/golden/labeled.golden.txt
+set -e
+LAMO="$1"
+GOLDEN="$2"
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+"$LAMO" generate --proteins 400 --copies 30 --seed 5 --out "$WORK/ds" \
+  > /dev/null
+"$LAMO" mine --graph "$WORK/ds.graph.txt" --min-size 3 --max-size 4 \
+  --min-freq 20 --networks 5 --uniqueness 0.8 --out "$WORK/motifs.txt" \
+  > /dev/null
+"$LAMO" label --graph "$WORK/ds.graph.txt" --obo "$WORK/ds.obo" \
+  --annotations "$WORK/ds.annotations.tsv" --motifs "$WORK/motifs.txt" \
+  --sigma 6 --out "$WORK/labeled.txt" > /dev/null
+
+if [ -n "$LAMO_UPDATE_GOLDEN" ]; then
+  cp "$WORK/labeled.txt" "$GOLDEN"
+  echo "updated $GOLDEN"
+  exit 0
+fi
+
+diff -u "$GOLDEN" "$WORK/labeled.txt" || {
+  echo "FAIL: lamo label output drifted from $GOLDEN" >&2
+  echo "(rerun with LAMO_UPDATE_GOLDEN=1 if the change is intentional)" >&2
+  exit 1
+}
+echo "golden label output OK"

@@ -4,6 +4,7 @@
 
 #include "graph/canonical.h"
 #include "graph/generators.h"
+#include "graph/isomorphism.h"
 #include "motif/miner.h"
 
 namespace lamo {
@@ -114,6 +115,47 @@ TEST(UniquenessTest, FindNetworkMotifsFacade) {
     EXPECT_LE(m.size(), 4u);
   }
   EXPECT_FALSE(motifs.empty());
+}
+
+TEST(UniquenessTest, ReplicateOrderDoesNotChangeVerdict) {
+  // The ensemble is a sum of per-replicate indicator vectors, each driven
+  // by its own Rng::Stream(seed, r) — so evaluating the replicates in any
+  // order (here: reversed, by hand) must reproduce EvaluateUniqueness's
+  // scores and verdicts exactly.
+  Rng rng(41);
+  const Graph g = PlantedSquares(12, 30, rng);
+
+  MinerConfig miner_config;
+  miner_config.min_size = 3;
+  miner_config.max_size = 4;
+  miner_config.min_frequency = 8;
+  auto motifs = FrequentSubgraphMiner(g, miner_config).Mine();
+  ASSERT_FALSE(motifs.empty());
+
+  UniquenessConfig config;
+  config.num_random_networks = 6;
+  config.swaps_per_edge = 3.0;
+  config.seed = 19;
+  EvaluateUniqueness(g, config, &motifs);
+
+  std::vector<size_t> wins(motifs.size(), 0);
+  for (size_t r = config.num_random_networks; r-- > 0;) {
+    Rng stream = Rng::Stream(config.seed, r);
+    const Graph randomized =
+        DegreePreservingRewire(g, config.swaps_per_edge, stream);
+    for (size_t i = 0; i < motifs.size(); ++i) {
+      const size_t random_frequency = CountOccurrences(
+          motifs[i].pattern, randomized, motifs[i].frequency + 1);
+      if (motifs[i].frequency >= random_frequency) ++wins[i];
+    }
+  }
+  for (size_t i = 0; i < motifs.size(); ++i) {
+    const double reversed_uniqueness =
+        static_cast<double>(wins[i]) /
+        static_cast<double>(config.num_random_networks);
+    EXPECT_DOUBLE_EQ(motifs[i].uniqueness, reversed_uniqueness)
+        << "motif " << i << " verdict depends on replicate order";
+  }
 }
 
 TEST(MotifStructTest, ToString) {

@@ -1,0 +1,106 @@
+#include "obs/json.h"
+
+#include <cmath>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace lamo {
+namespace {
+
+TEST(JsonWriterTest, ObjectsArraysAndCommas) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("a");
+  w.Int(1);
+  w.Key("b");
+  w.BeginArray();
+  w.String("x");
+  w.Bool(true);
+  w.Null();
+  w.EndArray();
+  w.Key("c");
+  w.BeginObject();
+  w.EndObject();
+  w.EndObject();
+  EXPECT_EQ(w.str(), R"({"a":1,"b":["x",true,null],"c":{}})");
+}
+
+TEST(JsonWriterTest, EscapesStrings) {
+  JsonWriter w;
+  w.String("a\"b\\c\n\t\x01");
+  EXPECT_EQ(w.str(), "\"a\\\"b\\\\c\\n\\t\\u0001\"");
+}
+
+TEST(JsonWriterTest, NonFiniteDoublesBecomeNull) {
+  JsonWriter w;
+  w.BeginArray();
+  w.Double(std::nan(""));
+  w.Double(HUGE_VAL);
+  w.Double(1.5);
+  w.EndArray();
+  EXPECT_EQ(w.str(), "[null,null,1.5]");
+}
+
+TEST(JsonParserTest, ParsesScalars) {
+  JsonValue v;
+  std::string error;
+  ASSERT_TRUE(ParseJson("42.5", &v, &error)) << error;
+  EXPECT_TRUE(v.is_number());
+  EXPECT_DOUBLE_EQ(v.number_value, 42.5);
+  ASSERT_TRUE(ParseJson("true", &v, &error));
+  EXPECT_TRUE(v.bool_value);
+  ASSERT_TRUE(ParseJson("null", &v, &error));
+  EXPECT_EQ(v.type, JsonValue::Type::kNull);
+  ASSERT_TRUE(ParseJson(R"("hi A\n")", &v, &error));
+  EXPECT_EQ(v.string_value, "hi A\n");
+  ASSERT_TRUE(ParseJson("\"\\u0041\\u00e9\"", &v, &error));
+  EXPECT_EQ(v.string_value, "A\xc3\xa9");  // \u escapes decode to UTF-8
+}
+
+TEST(JsonParserTest, ParsesNestedDocument) {
+  JsonValue v;
+  std::string error;
+  const std::string doc =
+      R"({"counters":{"esu.subgraphs":123},"phases":[{"name":"mine","wall_ms":1.5}]})";
+  ASSERT_TRUE(ParseJson(doc, &v, &error)) << error;
+  const JsonValue* counters = v.Find("counters");
+  ASSERT_NE(counters, nullptr);
+  const JsonValue* subgraphs = counters->Find("esu.subgraphs");
+  ASSERT_NE(subgraphs, nullptr);
+  EXPECT_DOUBLE_EQ(subgraphs->number_value, 123.0);
+  const JsonValue* phases = v.Find("phases");
+  ASSERT_NE(phases, nullptr);
+  ASSERT_EQ(phases->items.size(), 1u);
+  EXPECT_EQ(phases->items[0].Find("name")->string_value, "mine");
+}
+
+TEST(JsonParserTest, RejectsMalformedInput) {
+  JsonValue v;
+  std::string error;
+  for (const char* bad : {"", "{", "[1,]", "{\"a\":}", "tru", "1 2",
+                          "\"unterminated", "{\"a\" 1}"}) {
+    EXPECT_FALSE(ParseJson(bad, &v, &error)) << "accepted: " << bad;
+    EXPECT_FALSE(error.empty());
+  }
+}
+
+TEST(JsonParserTest, RoundTripsWriterOutput) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("wall_ms");
+  w.Double(152.625);
+  w.Key("name");
+  w.String("esu \"phase\" \n one");
+  w.Key("count");
+  w.Int(18446744073709551615ULL);
+  w.EndObject();
+  JsonValue v;
+  std::string error;
+  ASSERT_TRUE(ParseJson(w.str(), &v, &error)) << error;
+  EXPECT_DOUBLE_EQ(v.Find("wall_ms")->number_value, 152.625);
+  EXPECT_EQ(v.Find("name")->string_value, "esu \"phase\" \n one");
+}
+
+}  // namespace
+}  // namespace lamo

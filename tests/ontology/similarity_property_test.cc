@@ -3,6 +3,7 @@
 // seed.
 #include <gtest/gtest.h>
 
+#include "core/label_profile.h"
 #include "ontology/similarity.h"
 #include "synth/go_generator.h"
 
@@ -20,6 +21,9 @@ Fixture MakeFixture(uint64_t seed) {
   GoGeneratorConfig config;
   config.num_terms = 80;
   config.depth = 5;
+  // A proper DAG, not a tree: every non-root term gets an extra parent with
+  // probability 1/2, so multi-parent ancestor closures are exercised.
+  config.extra_parent_probability = 0.5;
   Rng rng(seed);
   f.onto = GenerateGoBranch(config, rng);
   // Random annotations over all terms.
@@ -92,6 +96,41 @@ TEST_P(SimilarityProperties, AncestorSimilarityBeatsRootPath) {
       }
     }
   }
+}
+
+TEST_P(SimilarityProperties, VertexSimilarityMonotoneInLabels) {
+  // SV = 1 - prod (1 - ST) over all label pairs: appending a label to
+  // either side only multiplies more factors <= 1 into the product, so SV
+  // must be monotone non-decreasing as label sets grow (and stay in
+  // [0, 1]).
+  const Fixture f = MakeFixture(GetParam());
+  TermSimilarity st(f.onto, f.weights);
+  Rng rng(GetParam() * 43);
+  for (int trial = 0; trial < 50; ++trial) {
+    LabelSet a{static_cast<TermId>(rng.Uniform(f.onto.num_terms()))};
+    LabelSet b{static_cast<TermId>(rng.Uniform(f.onto.num_terms()))};
+    double previous = VertexSimilarity(st, a, b);
+    for (int step = 0; step < 8; ++step) {
+      const TermId extra = static_cast<TermId>(rng.Uniform(f.onto.num_terms()));
+      (step % 2 == 0 ? a : b).push_back(extra);
+      const double current = VertexSimilarity(st, a, b);
+      EXPECT_GE(current, previous - 1e-12)
+          << "SV decreased after adding a label pair (step " << step << ")";
+      EXPECT_GE(current, 0.0);
+      EXPECT_LE(current, 1.0);
+      previous = current;
+    }
+  }
+}
+
+TEST_P(SimilarityProperties, VertexSimilarityUnknownConventions) {
+  const Fixture f = MakeFixture(GetParam());
+  TermSimilarity st(f.onto, f.weights);
+  const LabelSet unknown;
+  const LabelSet annotated{static_cast<TermId>(1)};
+  EXPECT_DOUBLE_EQ(VertexSimilarity(st, unknown, unknown), 1.0);
+  EXPECT_DOUBLE_EQ(VertexSimilarity(st, unknown, annotated), 0.5);
+  EXPECT_DOUBLE_EQ(VertexSimilarity(st, annotated, unknown), 0.5);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SimilarityProperties,

@@ -1,8 +1,10 @@
 #include "util/random.h"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <set>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -167,6 +169,43 @@ TEST(RngTest, ForkDoesNotReplayParentStream) {
     if (child.Next64() != fresh.Next64()) differ = true;
   }
   EXPECT_TRUE(differ);
+}
+
+TEST(RngTest, StreamPrefixesPairwiseIndependent) {
+  // 64 replicate substreams of one seed (the shape of a uniqueness
+  // ensemble): no two may share even a short prefix, and none may replay
+  // the base stream. A collision here would silently correlate replicates.
+  constexpr size_t kReplicates = 64;
+  constexpr size_t kPrefix = 8;
+  std::vector<std::array<uint64_t, kPrefix>> prefixes(kReplicates);
+  for (size_t r = 0; r < kReplicates; ++r) {
+    Rng stream = Rng::Stream(123, r);
+    for (size_t i = 0; i < kPrefix; ++i) prefixes[r][i] = stream.Next64();
+  }
+  Rng base(123);
+  std::array<uint64_t, kPrefix> base_prefix;
+  for (size_t i = 0; i < kPrefix; ++i) base_prefix[i] = base.Next64();
+  for (size_t a = 0; a < kReplicates; ++a) {
+    EXPECT_NE(prefixes[a], base_prefix) << "stream " << a;
+    for (size_t b = a + 1; b < kReplicates; ++b) {
+      EXPECT_NE(prefixes[a], prefixes[b])
+          << "streams " << a << " and " << b << " share a prefix";
+    }
+  }
+}
+
+TEST(RngTest, StreamDependsOnlyOnSeedAndIndex) {
+  // Stream(seed, r) must not depend on construction order or on how many
+  // draws other streams made — the property that lets replicates run in
+  // any order on any thread count.
+  Rng first = Rng::Stream(9, 5);
+  Rng burn = Rng::Stream(9, 4);
+  for (int i = 0; i < 100; ++i) burn.Next64();
+  Rng second = Rng::Stream(9, 5);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(first.Next64(), second.Next64());
+  }
+  EXPECT_NE(Rng::Stream(9, 5).Next64(), Rng::Stream(10, 5).Next64());
 }
 
 TEST(RngTest, SatisfiesUniformRandomBitGenerator) {

@@ -28,7 +28,10 @@
 #include "io/gaf.h"
 #include "io/motif_io.h"
 #include "io/obo.h"
+#include "motif/esu_finder.h"
 #include "motif/uniqueness.h"
+#include "obs/obs.h"
+#include "obs/run_report.h"
 #include "parallel/parallel_for.h"
 #include "predict/labeled_motif_predictor.h"
 #include "synth/dataset.h"
@@ -39,10 +42,22 @@ namespace {
 
 class Flags {
  public:
+  // `--name value` pairs; a `--name` followed by another flag (or nothing)
+  // is a boolean and stores "1" (e.g. --stats). Flag values never begin
+  // with "--" in this CLI.
   Flags(int argc, char** argv, int first) {
-    for (int i = first; i + 1 < argc; i += 2) {
-      if (argv[i][0] == '-' && argv[i][1] == '-') {
-        values_[argv[i] + 2] = argv[i + 1];
+    for (int i = first; i < argc;) {
+      if (std::strncmp(argv[i], "--", 2) != 0) {
+        ++i;
+        continue;
+      }
+      const char* name = argv[i] + 2;
+      if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+        values_[name] = argv[i + 1];
+        i += 2;
+      } else {
+        values_[name] = "1";
+        ++i;
       }
     }
   }
@@ -79,6 +94,40 @@ int Fail(const Status& status) {
 void ApplyThreadFlag(const Flags& flags) {
   SetThreadCount(flags.GetSize("threads", 0));
 }
+
+// Turns on metric collection for one command when --report/--stats ask for
+// it. Construct before the pipeline runs, call Finish() after it succeeds;
+// early error returns rely on ~ObsSink auto-uninstalling.
+class ObsScope {
+ public:
+  explicit ObsScope(const Flags& flags)
+      : report_path_(flags.Get("report", "")), stats_(flags.Has("stats")) {
+    if (stats_ || !report_path_.empty()) {
+      sink_.emplace();
+      SetObsSink(&*sink_);
+    }
+  }
+
+  // Uninstalls the sink, prints the --stats summary, writes the --report
+  // JSON. Returns the command's exit code (non-zero on report I/O failure).
+  int Finish(const std::string& command) {
+    if (!sink_.has_value()) return 0;
+    SetObsSink(nullptr);
+    const size_t threads = ThreadCount();
+    if (stats_) PrintRunSummary(*sink_, command, threads, stderr);
+    if (!report_path_.empty()) {
+      const Status status =
+          WriteRunReport(*sink_, command, threads, report_path_);
+      if (!status.ok()) return Fail(status);
+    }
+    return 0;
+  }
+
+ private:
+  std::string report_path_;
+  bool stats_;
+  std::optional<ObsSink> sink_;
+};
 
 int CmdGenerate(const Flags& flags) {
   SyntheticDatasetConfig config = BindScaleConfig();
@@ -120,27 +169,60 @@ int CmdStats(const Flags& flags) {
 
 int CmdMine(const Flags& flags) {
   ApplyThreadFlag(flags);
-  auto graph = ReadEdgeList(flags.Get("graph", ""));
+  ObsScope obs(flags);
+  const auto graph = [&] {
+    const ScopedTimer timer("load");
+    return ReadEdgeList(flags.Get("graph", ""));
+  }();
   if (!graph.ok()) return Fail(graph.status());
 
-  MotifFindingConfig config;
-  config.miner.min_size = flags.GetSize("min-size", 3);
-  config.miner.max_size = flags.GetSize("max-size", 5);
-  config.miner.min_frequency = flags.GetSize("min-freq", 40);
-  config.miner.max_patterns_per_level = flags.GetSize("beam", 60);
-  config.uniqueness.num_random_networks = flags.GetSize("networks", 10);
-  config.uniqueness_threshold = flags.GetDouble("uniqueness", 0.95);
-  const auto motifs = FindNetworkMotifs(*graph, config);
+  const std::string algo = flags.Get("algo", "levelwise");
+  std::vector<Motif> motifs;
+  if (algo == "esu") {
+    // FANMOD route: exhaustive per-size ESU enumeration + ensemble
+    // uniqueness, one pass per size in [min-size, max-size].
+    const ScopedTimer timer("mine");
+    EsuMotifConfig config;
+    config.min_frequency = flags.GetSize("min-freq", 40);
+    config.num_random_networks = flags.GetSize("networks", 10);
+    config.uniqueness_threshold = flags.GetDouble("uniqueness", 0.95);
+    config.seed = flags.GetSize("seed", 42);
+    const size_t min_size = flags.GetSize("min-size", 3);
+    const size_t max_size = flags.GetSize("max-size", 5);
+    for (size_t size = min_size; size <= max_size; ++size) {
+      config.size = size;
+      auto per_size = FindNetworkMotifsEsu(*graph, config);
+      for (auto& motif : per_size) motifs.push_back(std::move(motif));
+    }
+  } else if (algo == "levelwise") {
+    const ScopedTimer timer("mine");
+    MotifFindingConfig config;
+    config.miner.min_size = flags.GetSize("min-size", 3);
+    config.miner.max_size = flags.GetSize("max-size", 5);
+    config.miner.min_frequency = flags.GetSize("min-freq", 40);
+    config.miner.max_patterns_per_level = flags.GetSize("beam", 60);
+    config.uniqueness.num_random_networks = flags.GetSize("networks", 10);
+    config.uniqueness_threshold = flags.GetDouble("uniqueness", 0.95);
+    motifs = FindNetworkMotifs(*graph, config);
+  } else {
+    return Fail(Status::InvalidArgument("--algo must be levelwise or esu"));
+  }
   std::printf("found %zu network motifs\n", motifs.size());
 
-  const Status status = WriteMotifs(motifs, flags.Get("out", "motifs.txt"));
-  if (!status.ok()) return Fail(status);
+  {
+    const ScopedTimer timer("write");
+    const Status status = WriteMotifs(motifs, flags.Get("out", "motifs.txt"));
+    if (!status.ok()) return Fail(status);
+  }
   std::printf("wrote %s\n", flags.Get("out", "motifs.txt").c_str());
-  return 0;
+  return obs.Finish("mine");
 }
 
 int CmdLabel(const Flags& flags) {
   ApplyThreadFlag(flags);
+  ObsScope obs(flags);
+  std::optional<ScopedTimer> load_timer;
+  load_timer.emplace("load");
   auto graph = ReadEdgeList(flags.Get("graph", ""));
   if (!graph.ok()) return Fail(graph.status());
   auto ontology = ReadObo(flags.Get("obo", ""));
@@ -149,6 +231,7 @@ int CmdLabel(const Flags& flags) {
   if (!annotations.ok()) return Fail(annotations.status());
   auto motifs = ReadMotifs(flags.Get("motifs", ""));
   if (!motifs.ok()) return Fail(motifs.status());
+  load_timer.reset();
 
   const TermWeights weights = TermWeights::Compute(*ontology, *annotations);
   InformativeConfig informative_config;
@@ -161,19 +244,28 @@ int CmdLabel(const Flags& flags) {
   LaMoFinderConfig config;
   config.sigma = flags.GetSize("sigma", 10);
   config.max_occurrences = flags.GetSize("max-occurrences", 300);
-  const auto labeled = finder.LabelAll(*motifs, config);
+  const auto labeled = [&] {
+    const ScopedTimer timer("label");
+    return finder.LabelAll(*motifs, config);
+  }();
   std::printf("labeled %zu motifs -> %zu labeled motifs\n", motifs->size(),
               labeled.size());
 
-  const Status status =
-      WriteLabeledMotifs(labeled, *ontology, flags.Get("out", "labeled.txt"));
-  if (!status.ok()) return Fail(status);
+  {
+    const ScopedTimer timer("write");
+    const Status status = WriteLabeledMotifs(labeled, *ontology,
+                                             flags.Get("out", "labeled.txt"));
+    if (!status.ok()) return Fail(status);
+  }
   std::printf("wrote %s\n", flags.Get("out", "labeled.txt").c_str());
-  return 0;
+  return obs.Finish("label");
 }
 
 int CmdPredict(const Flags& flags) {
   ApplyThreadFlag(flags);
+  ObsScope obs(flags);
+  std::optional<ScopedTimer> load_timer;
+  load_timer.emplace("load");
   auto graph = ReadEdgeList(flags.Get("graph", ""));
   if (!graph.ok()) return Fail(graph.status());
   auto ontology = ReadObo(flags.Get("obo", ""));
@@ -182,7 +274,9 @@ int CmdPredict(const Flags& flags) {
   if (!annotations.ok()) return Fail(annotations.status());
   auto labeled = ReadLabeledMotifs(flags.Get("labeled", ""), *ontology);
   if (!labeled.ok()) return Fail(labeled.status());
+  load_timer.reset();
 
+  const ScopedTimer predict_timer("predict");
   // Categories: the root's children; protein categories via the true-path.
   PredictionContext context;
   context.ppi = &*graph;
@@ -212,7 +306,7 @@ int CmdPredict(const Flags& flags) {
   if (!predictor.Covers(protein)) {
     std::printf("protein %u occurs in no labeled motif; no prediction\n",
                 protein);
-    return 0;
+    return obs.Finish("predict");
   }
   const size_t top_k = flags.GetSize("top-k", 3);
   std::printf("top predictions for protein %u:\n", protein);
@@ -225,7 +319,7 @@ int CmdPredict(const Flags& flags) {
                     ? "  [matches known annotation]"
                     : "");
   }
-  return 0;
+  return obs.Finish("predict");
 }
 
 int Usage() {
@@ -235,8 +329,9 @@ int Usage() {
       "commands:\n"
       "  generate  --proteins N --seed S --copies C --out PREFIX\n"
       "  stats     --graph FILE\n"
-      "  mine      --graph FILE --min-size K --max-size K --min-freq F\n"
-      "            --networks R --uniqueness U --beam B --threads N --out FILE\n"
+      "  mine      --graph FILE --algo levelwise|esu --min-size K --max-size K\n"
+      "            --min-freq F --networks R --uniqueness U --beam B --seed S\n"
+      "            --threads N --out FILE\n"
       "  label     --graph FILE --obo FILE --annotations FILE --motifs FILE\n"
       "            --sigma S --max-occurrences M --informative T --threads N\n"
       "            --out FILE\n"
@@ -244,7 +339,10 @@ int Usage() {
       "            --labeled FILE --protein ID --top-k K --threads N\n"
       "mine/label/predict run on the parallel runtime: --threads 0 (default)\n"
       "resolves via LAMO_THREADS, then hardware concurrency; --threads 1 is\n"
-      "fully serial. Output is identical for any thread count.\n");
+      "fully serial. Output is identical for any thread count.\n"
+      "mine/label/predict also take --report FILE (write a JSON run report:\n"
+      "phase wall times, counters, per-worker breakdown; schema in\n"
+      "docs/FORMATS.md) and --stats (human summary of the same on stderr).\n");
   return 2;
 }
 

@@ -1,0 +1,129 @@
+// lamo_report_check — validates a JSON run report written by `lamo
+// --report` against the schema documented in docs/FORMATS.md. Exits 0 when
+// every required key is present with the right shape, 1 with a diagnostic
+// otherwise. Extra arguments name counters that must be present *and*
+// nonzero. Used by the report_schema ctest; handy interactively too:
+//
+//   lamo mine --graph g.txt --report r.json
+//   lamo_report_check r.json esu.subgraphs
+#include <cstdio>
+#include <string>
+
+#include "obs/json.h"
+
+namespace lamo {
+namespace {
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "report check failed: %s\n", message.c_str());
+  return 1;
+}
+
+const JsonValue* RequireMember(const JsonValue& object, const char* key,
+                               JsonValue::Type type, int* rc) {
+  const JsonValue* value = object.Find(key);
+  if (value == nullptr) {
+    *rc = Fail(std::string("missing key \"") + key + "\"");
+    return nullptr;
+  }
+  if (value->type != type) {
+    *rc = Fail(std::string("key \"") + key + "\" has the wrong type");
+    return nullptr;
+  }
+  return value;
+}
+
+// A phase node needs name/wall_ms/children, recursively.
+bool CheckPhase(const JsonValue& phase, int* rc) {
+  if (RequireMember(phase, "name", JsonValue::Type::kString, rc) == nullptr)
+    return false;
+  if (RequireMember(phase, "wall_ms", JsonValue::Type::kNumber, rc) == nullptr)
+    return false;
+  const JsonValue* children =
+      RequireMember(phase, "children", JsonValue::Type::kArray, rc);
+  if (children == nullptr) return false;
+  for (const JsonValue& child : children->items) {
+    if (!CheckPhase(child, rc)) return false;
+  }
+  return true;
+}
+
+int Check(const std::string& path, int num_required, char** required) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Fail("cannot open " + path);
+  std::string text;
+  char buffer[4096];
+  size_t n;
+  while ((n = std::fread(buffer, 1, sizeof buffer, f)) > 0) {
+    text.append(buffer, n);
+  }
+  std::fclose(f);
+
+  JsonValue report;
+  std::string error;
+  if (!ParseJson(text, &report, &error)) return Fail("bad JSON: " + error);
+  if (!report.is_object()) return Fail("top level is not an object");
+
+  int rc = 0;
+  const JsonValue* version = RequireMember(
+      report, "lamo_report_version", JsonValue::Type::kNumber, &rc);
+  if (version != nullptr && version->number_value != 1.0) {
+    return Fail("unsupported lamo_report_version");
+  }
+  RequireMember(report, "command", JsonValue::Type::kString, &rc);
+  RequireMember(report, "threads", JsonValue::Type::kNumber, &rc);
+  RequireMember(report, "wall_ms", JsonValue::Type::kNumber, &rc);
+  const JsonValue* phases =
+      RequireMember(report, "phases", JsonValue::Type::kArray, &rc);
+  const JsonValue* counters =
+      RequireMember(report, "counters", JsonValue::Type::kObject, &rc);
+  RequireMember(report, "gauges", JsonValue::Type::kObject, &rc);
+  const JsonValue* workers =
+      RequireMember(report, "workers", JsonValue::Type::kArray, &rc);
+  if (rc != 0) return rc;
+
+  for (const JsonValue& phase : phases->items) {
+    if (!CheckPhase(phase, &rc)) return rc;
+  }
+  for (const auto& [name, value] : counters->members) {
+    if (!value.is_number()) {
+      return Fail("counter \"" + name + "\" not a number");
+    }
+  }
+  for (const JsonValue& worker : workers->items) {
+    if (RequireMember(worker, "name", JsonValue::Type::kString, &rc) ==
+        nullptr)
+      return rc;
+    if (RequireMember(worker, "tasks", JsonValue::Type::kNumber, &rc) ==
+        nullptr)
+      return rc;
+    if (RequireMember(worker, "counters", JsonValue::Type::kObject, &rc) ==
+        nullptr)
+      return rc;
+  }
+
+  // Demanded counters prove the pipeline recorded real work, not just a
+  // well-shaped empty report.
+  for (int i = 0; i < num_required; ++i) {
+    const JsonValue* value = counters->Find(required[i]);
+    if (value == nullptr || !value->is_number() || value->number_value <= 0.0) {
+      return Fail(std::string("counter \"") + required[i] +
+                  "\" missing or zero");
+    }
+  }
+  std::printf("report OK: %s\n", path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace lamo
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: lamo_report_check <report.json> "
+                 "[required-nonzero-counter ...]\n");
+    return 2;
+  }
+  return lamo::Check(argv[1], argc - 2, argv + 2);
+}
