@@ -51,6 +51,15 @@ JsonValue ParsedReport(const ObsSink& sink, const std::string& command,
   return report;
 }
 
+// p99 of a named latency histogram, straight from the in-process snapshot
+// (histograms carry per-item tails the summed counters cannot express).
+double HistogramP99(const ObsSink& sink, const std::string& name) {
+  for (const HistogramSnapshot& hist : sink.Histograms()) {
+    if (hist.name == name && hist.count > 0) return hist.Percentile(0.99);
+  }
+  return 0.0;
+}
+
 const PaperExample& Example() {
   static const PaperExample* example = new PaperExample(MakePaperExample());
   return *example;
@@ -169,6 +178,7 @@ void BM_EsuEnumerationThreads(benchmark::State& state) {
   state.counters["queue_wait_us"] =
       benchmark::Counter(ReportCounter(report, "pool.queue_wait_us"),
                          benchmark::Counter::kAvgIterations);
+  state.counters["queue_wait_p99_us"] = HistogramP99(sink, "pool.queue_wait_us");
 }
 BENCHMARK(BM_EsuEnumerationThreads)
     ->Arg(1)
@@ -211,6 +221,7 @@ void BM_OccurrenceSimilarityThreads(benchmark::State& state) {
   state.counters["lock_contention"] =
       benchmark::Counter(ReportCounter(report, "similarity.lock_contention"),
                          benchmark::Counter::kAvgIterations);
+  state.counters["so_cell_p99_us"] = HistogramP99(sink, "lamofinder.so_cell_us");
 }
 BENCHMARK(BM_OccurrenceSimilarityThreads)
     ->Arg(1)

@@ -38,22 +38,37 @@ build/tools/lamo generate --proteins 500 --copies 40 --seed 11 \
 build/tools/lamo mine --graph "$OUT/obs_ds.graph.txt" --algo esu \
   --min-size 3 --max-size 4 --min-freq 20 --networks 5 --uniqueness 0.8 \
   --report "$OUT/mine_report.json" --stats \
+  --trace "$OUT/mine_trace.json" \
   --out "$OUT/obs_motifs.txt" > /dev/null 2> "$OUT/mine_stats.txt"
 build/tools/lamo_report_check "$OUT/mine_report.json" \
-  esu.subgraphs parallel.chunks uniqueness.replicates
+  esu.subgraphs parallel.chunks uniqueness.replicates \
+  hist:esu.chunk_us hist:uniqueness.replicate_us
 build/tools/lamo label --graph "$OUT/obs_ds.graph.txt" \
   --obo "$OUT/obs_ds.obo" --annotations "$OUT/obs_ds.annotations.tsv" \
   --motifs "$OUT/obs_motifs.txt" --sigma 6 \
   --report "$OUT/label_report.json" --stats \
+  --trace "$OUT/label_trace.json" \
   --out "$OUT/obs_labeled.txt" > /dev/null 2> "$OUT/label_stats.txt"
-build/tools/lamo_report_check "$OUT/label_report.json"
+build/tools/lamo_report_check "$OUT/label_report.json" \
+  hist:lamofinder.so_cell_us
 
-# ThreadSanitizer smoke run of the parallel runtime: rebuilds just the
-# parallel tests under -fsanitize=thread and fails on any reported race.
-echo "== tsan smoke (parallel runtime) =="
+# Span-trace artifacts: the Chrome traces archived above load directly in
+# chrome://tracing or ui.perfetto.dev; keep their terminal digests next to
+# them so span coverage can be compared across PRs without a browser.
+echo "== span traces (lamo mine/label --trace) =="
+build/tools/lamo_trace_summary "$OUT/mine_trace.json" \
+  | tee "$OUT/mine_trace_summary.txt"
+build/tools/lamo_trace_summary "$OUT/label_trace.json" \
+  | tee "$OUT/label_trace_summary.txt"
+
+# ThreadSanitizer smoke run of the parallel runtime and the tracer: rebuilds
+# the parallel + obs tests under -fsanitize=thread and fails on any reported
+# race (obs_tests includes the multi-thread tracer/histogram hammers).
+echo "== tsan smoke (parallel runtime + tracer) =="
 cmake -B build-tsan -G Ninja -DLAMO_SANITIZE=thread
-cmake --build build-tsan --target parallel_tests
+cmake --build build-tsan --target parallel_tests obs_tests
 LAMO_THREADS=4 ./build-tsan/tests/parallel_tests
+LAMO_THREADS=4 ./build-tsan/tests/obs_tests
 
 # AddressSanitizer smoke run alongside it: the motif + obs tests cover the
 # enumeration hot paths and the metrics layer's thread-local blocks.

@@ -1,6 +1,7 @@
 #include "core/lamofinder.h"
 
 #include <algorithm>
+#include <chrono>
 #include <map>
 #include <numeric>
 #include <optional>
@@ -9,6 +10,7 @@
 #include "core/assignment.h"
 #include "core/occurrence_similarity.h"
 #include "obs/obs.h"
+#include "obs/trace.h"
 #include "parallel/parallel_for.h"
 #include "util/logging.h"
 
@@ -23,6 +25,15 @@ const size_t kObsClusterMerges = ObsCounterId("lamofinder.cluster_merges");
 const size_t kObsSchemesEmitted = ObsCounterId("lamofinder.schemes_emitted");
 /// Motifs that produced at least one labeled variant.
 const size_t kObsMotifsLabeled = ObsCounterId("lamofinder.motifs_labeled");
+/// Per-SO-cell latency (initial matrix fill + row refreshes). Histogram
+/// only: one cell is far below useful trace-event resolution.
+const size_t kHistSoCellUs = ObsHistogramId("lamofinder.so_cell_us");
+/// Per-merge latency: label generalization + member realignment + the row
+/// refresh that follows. args = (surviving cluster, absorbed cluster).
+const size_t kHistClusterMergeUs = ObsHistogramId("lamofinder.cluster_merge_us");
+const size_t kSpanClusterMerge = ObsSpanId("lamofinder.cluster_merge");
+/// One span per motif labeled in LabelAll; arg = motif index.
+const size_t kSpanLabelMotif = ObsSpanId("lamofinder.label_motif");
 
 // One cluster of occurrences during agglomeration.
 struct Cluster {
@@ -205,11 +216,24 @@ std::vector<LabeledMotif> LaMoFinder::LabelMotif(
   // hence the small grain for dynamic balance.
   const size_t n = clusters.size();
   std::vector<std::vector<double>> sim(n, std::vector<double>(n, 0.0));
+  // Scores one SO cell, feeding the per-cell latency histogram when a sink
+  // is installed (a cell is too fine-grained to trace as a span).
+  const auto score_cell = [&](const LabelProfile& a, const LabelProfile& b) {
+    if ((ObsActiveMask() & kObsSinkBit) == 0) return so.Score(a, b);
+    const auto t0 = std::chrono::steady_clock::now();
+    const double s = so.Score(a, b);
+    ObsObserve(kHistSoCellUs,
+               static_cast<uint64_t>(
+                   std::chrono::duration_cast<std::chrono::microseconds>(
+                       std::chrono::steady_clock::now() - t0)
+                       .count()));
+    return s;
+  };
   ParallelFor(0, n, 4, [&](size_t i) {
     if (n > i + 1) ObsAdd(kObsSoCells, n - i - 1);
     for (size_t j = i + 1; j < n; ++j) {
       sim[i][j] = sim[j][i] =
-          so.Score(clusters[i].profile, clusters[j].profile);
+          score_cell(clusters[i].profile, clusters[j].profile);
     }
   });
 
@@ -269,6 +293,11 @@ std::vector<LabeledMotif> LaMoFinder::LabelMotif(
     }
     if (best_i < 0 || best_sim < config.min_similarity) break;
 
+    // Covers generalization, realignment, and the row refresh below (the
+    // timer closes at the end of this loop iteration).
+    const ScopedItemTimer merge_timer(kSpanClusterMerge, kHistClusterMergeUs,
+                                      static_cast<uint64_t>(best_i),
+                                      static_cast<uint64_t>(best_j), 2);
     ObsIncrement(kObsClusterMerges);
     Cluster& a = clusters[best_i];
     Cluster& b = clusters[best_j];
@@ -306,7 +335,7 @@ std::vector<LabeledMotif> LaMoFinder::LabelMotif(
       if (!clusters[j].alive || j == static_cast<size_t>(best_i)) continue;
       ObsIncrement(kObsSoCells);
       sim[best_i][j] = sim[j][best_i] =
-          so.Score(a.profile, clusters[j].profile);
+          score_cell(a.profile, clusters[j].profile);
     }
   }
 
@@ -357,8 +386,10 @@ std::vector<LabeledMotif> LaMoFinder::LabelAll(
   // in flight the inner similarity-matrix loop parallelizes instead (the
   // runtime rejects nested fan-out, so the two levels never compete).
   std::vector<std::vector<LabeledMotif>> per_motif = ParallelMap(
-      motifs.size(), 1,
-      [&](size_t i) { return LabelMotif(motifs[i], config); });
+      motifs.size(), 1, [&](size_t i) {
+        const ScopedSpan span(kSpanLabelMotif, i);
+        return LabelMotif(motifs[i], config);
+      });
   std::vector<LabeledMotif> all;
   for (auto& labeled : per_motif) {
     for (auto& lm : labeled) all.push_back(std::move(lm));

@@ -5,6 +5,7 @@
 
 #include "graph/canonical.h"
 #include "obs/obs.h"
+#include "obs/trace.h"
 #include "parallel/parallel_for.h"
 #include "util/logging.h"
 
@@ -20,6 +21,10 @@ const size_t kObsCanonMisses = ObsCounterId("esu.canon_cache_misses");
 /// distribution for the sharded enumeration.
 const size_t kObsChunks = ObsCounterId("esu.chunks");
 const size_t kObsChunkWallUs = ObsCounterId("esu.chunk_wall_us");
+/// Per-chunk latency histogram + trace span: hub-rooted chunks dominate the
+/// tail, and this is where that skew becomes visible.
+const size_t kHistChunkUs = ObsHistogramId("esu.chunk_us");
+const size_t kSpanChunk = ObsSpanId("esu.chunk");
 
 // Shared recursion for exhaustive and sampled ESU. `depth_probability` is
 // empty for exhaustive enumeration.
@@ -133,24 +138,35 @@ class CanonicalCodeCache {
   std::map<std::vector<uint8_t>, std::vector<uint8_t>> memo_;
 };
 
-/// Wall-clock accounting for one enumeration chunk.
+/// Wall-clock accounting for one enumeration chunk: counters + latency
+/// histogram when a sink is installed, a trace span (args = root range) when
+/// a tracer is installed. One relaxed mask load when both are off.
 class ScopedChunkClock {
  public:
-  ScopedChunkClock() : enabled_(ObsEnabled()) {
-    if (enabled_) start_ = std::chrono::steady_clock::now();
+  ScopedChunkClock(size_t lo, size_t hi)
+      : mask_(ObsActiveMask()), lo_(lo), hi_(hi) {
+    if (mask_ != 0) start_ = std::chrono::steady_clock::now();
   }
   ~ScopedChunkClock() {
-    if (!enabled_) return;
-    const auto elapsed = std::chrono::steady_clock::now() - start_;
-    ObsIncrement(kObsChunks);
-    ObsAdd(kObsChunkWallUs,
-           static_cast<uint64_t>(
-               std::chrono::duration_cast<std::chrono::microseconds>(elapsed)
-                   .count()));
+    if (mask_ == 0) return;
+    const auto end = std::chrono::steady_clock::now();
+    const uint64_t us = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(end - start_)
+            .count());
+    if (mask_ & kObsSinkBit) {
+      ObsIncrement(kObsChunks);
+      ObsAdd(kObsChunkWallUs, us);
+      ObsObserve(kHistChunkUs, us);
+    }
+    if (mask_ & kObsTraceBit) {
+      TraceRecordSpan(kSpanChunk, start_, end, lo_, hi_, 2);
+    }
   }
 
  private:
-  bool enabled_;
+  uint8_t mask_;
+  uint64_t lo_;
+  uint64_t hi_;
   std::chrono::steady_clock::time_point start_;
 };
 
@@ -184,7 +200,7 @@ std::map<std::vector<uint8_t>, size_t> CountSubgraphClasses(const Graph& g,
   return ParallelReduce<Counts>(
       n, EsuRootGrain(n), Counts{},
       [&](size_t lo, size_t hi) {
-        const ScopedChunkClock clock;
+        const ScopedChunkClock clock(lo, hi);
         Counts local;
         CanonicalCodeCache canon_cache;
         EnumerateConnectedSubgraphsInRootRange(

@@ -6,6 +6,7 @@
 #include "graph/generators.h"
 #include "motif/esu.h"
 #include "obs/obs.h"
+#include "obs/trace.h"
 #include "parallel/parallel_for.h"
 #include "util/logging.h"
 #include "util/random.h"
@@ -18,6 +19,13 @@ const size_t kObsCanonHits = ObsCounterId("esu.canon_cache_hits");
 const size_t kObsCanonMisses = ObsCounterId("esu.canon_cache_misses");
 const size_t kObsReplicates = ObsCounterId("uniqueness.replicates");
 const size_t kObsPatternTests = ObsCounterId("uniqueness.pattern_tests");
+/// Same per-item instruments as the dedicated mining/uniqueness passes: the
+/// ESU finder runs both phases internally, so its chunks and replicates feed
+/// the shared histograms and span names.
+const size_t kHistChunkUs = ObsHistogramId("esu.chunk_us");
+const size_t kSpanChunk = ObsSpanId("esu.chunk");
+const size_t kHistReplicateUs = ObsHistogramId("uniqueness.replicate_us");
+const size_t kSpanReplicate = ObsSpanId("uniqueness.replicate");
 
 /// Chunk-local memo from raw adjacency bits to the full canonicalization
 /// result (code, canonical graph, permutation). Same determinism argument as
@@ -60,6 +68,7 @@ std::vector<Motif> FindNetworkMotifsEsu(const Graph& graph,
     classes = ParallelReduce<ClassMap>(
       n, EsuRootGrain(n), ClassMap{},
       [&](size_t lo, size_t hi) {
+        const ScopedItemTimer item(kSpanChunk, kHistChunkUs, lo, hi, 2);
         ClassMap local;
         CanonicalResultCache canon_cache;
         EnumerateConnectedSubgraphsInRootRange(
@@ -119,6 +128,7 @@ std::vector<Motif> FindNetworkMotifsEsu(const Graph& graph,
     }
     const auto replicate_wins = ParallelMap(
         config.num_random_networks, 1, [&](size_t r) {
+          const ScopedItemTimer item(kSpanReplicate, kHistReplicateUs, r, 0, 1);
           ObsIncrement(kObsReplicates);
           ObsAdd(kObsPatternTests, codes.size());
           Rng rng = Rng::Stream(config.seed, r);

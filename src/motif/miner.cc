@@ -6,6 +6,7 @@
 
 #include "graph/canonical.h"
 #include "obs/obs.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace lamo {
@@ -17,6 +18,9 @@ const size_t kObsCandidateSets = ObsCounterId("miner.candidate_sets");
 const size_t kObsDedupHits = ObsCounterId("miner.dedup_hits");
 /// Frequent patterns harvested into the result across all levels.
 const size_t kObsPatternsEmitted = ObsCounterId("miner.patterns_emitted");
+/// Per-level latency: args = (level size being built, patterns entering).
+const size_t kHistLevelUs = ObsHistogramId("miner.level_us");
+const size_t kSpanLevel = ObsSpanId("miner.level");
 
 struct VertexSetHash {
   size_t operator()(const std::vector<VertexId>& vs) const {
@@ -89,6 +93,8 @@ std::vector<Motif> FrequentSubgraphMiner::Mine() {
   harvest(level, 2);
 
   for (size_t size = 2; size < config_.max_size && !level.empty(); ++size) {
+    const ScopedItemTimer level_timer(kSpanLevel, kHistLevelUs, size + 1,
+                                      level.size(), 2);
     std::map<std::vector<uint8_t>, PatternEntry> next;
     // A vertex set is processed at most once per level, no matter how many
     // parent occurrences can reach it.

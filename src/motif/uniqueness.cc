@@ -6,6 +6,7 @@
 #include "graph/isomorphism.h"
 #include "motif/miner.h"
 #include "obs/obs.h"
+#include "obs/trace.h"
 #include "parallel/parallel_for.h"
 #include "util/logging.h"
 
@@ -15,6 +16,10 @@ namespace {
 const size_t kObsReplicates = ObsCounterId("uniqueness.replicates");
 /// Pattern-vs-randomized-network frequency comparisons across all replicates.
 const size_t kObsPatternTests = ObsCounterId("uniqueness.pattern_tests");
+/// Per-replicate latency: each replicate rewires the network and re-counts
+/// every surviving pattern, so this histogram shows ensemble cost spread.
+const size_t kHistReplicateUs = ObsHistogramId("uniqueness.replicate_us");
+const size_t kSpanReplicate = ObsSpanId("uniqueness.replicate");
 
 }  // namespace
 
@@ -27,6 +32,7 @@ void EvaluateUniqueness(const Graph& graph, const UniquenessConfig& config,
   // resulting uniqueness scores — is identical for any thread count.
   const auto replicate_wins = ParallelMap(
       config.num_random_networks, 1, [&](size_t r) {
+        const ScopedItemTimer item(kSpanReplicate, kHistReplicateUs, r, 0, 1);
         ObsIncrement(kObsReplicates);
         ObsAdd(kObsPatternTests, motifs->size());
         Rng rng = Rng::Stream(config.seed, r);

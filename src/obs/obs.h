@@ -42,6 +42,23 @@ namespace lamo {
 /// snapshots never race block growth.
 constexpr size_t kMaxObsCounters = 128;
 
+/// Hard cap on distinct histograms (same rationale as kMaxObsCounters).
+constexpr size_t kMaxObsHistograms = 32;
+
+/// Buckets per histogram. Bucket 0 holds the value 0; bucket i >= 1 holds
+/// values in [2^(i-1), 2^i - 1] (log2 buckets); the last bucket absorbs the
+/// open tail. 64 buckets cover the full uint64_t range.
+constexpr size_t kObsHistogramBuckets = 64;
+
+/// Bits of ObsActiveMask(): which observability consumers are installed.
+constexpr uint8_t kObsSinkBit = 1;   ///< an ObsSink (counters/histograms)
+constexpr uint8_t kObsTraceBit = 2;  ///< a TraceCollector (obs/trace.h)
+
+/// Bitmask of installed consumers. One relaxed atomic load — instrumentation
+/// sites that feed both a histogram and a trace span branch on this once, so
+/// the fully-disabled path stays a single load.
+uint8_t ObsActiveMask();
+
 /// Registers `name` (idempotent) and returns its dense id. Typically called
 /// once per instrumentation site via a namespace-scope `const size_t`
 /// initializer, so ids are resolved before any hot loop runs. Thread-safe.
@@ -68,6 +85,46 @@ void ObsAdd(size_t counter_id, uint64_t delta);
 
 /// ObsAdd(counter_id, 1).
 inline void ObsIncrement(size_t counter_id) { ObsAdd(counter_id, 1); }
+
+/// Registers histogram `name` (idempotent) and returns its dense id. Same
+/// contract as ObsCounterId: call once at namespace scope per site.
+size_t ObsHistogramId(const std::string& name);
+
+/// All histogram names registered so far, indexed by histogram id.
+std::vector<std::string> ObsHistogramNames();
+
+/// Records one observation into the histogram (typically a per-item latency
+/// in microseconds). Lock-free: bumps the calling thread's private bucket
+/// cells. A no-op (load + branch) when disabled.
+void ObsObserve(size_t histogram_id, uint64_t value);
+
+/// The log2 bucket index for `value`: 0 for 0, otherwise bit_width(value)
+/// clamped to the last bucket.
+size_t ObsHistogramBucket(uint64_t value);
+
+/// Inclusive value bounds of `bucket` (see kObsHistogramBuckets).
+uint64_t ObsHistogramBucketLo(size_t bucket);
+uint64_t ObsHistogramBucketHi(size_t bucket);
+
+/// Merged view of one histogram across all threads.
+struct HistogramSnapshot {
+  std::string name;
+  uint64_t count = 0;  ///< == sum over buckets
+  uint64_t sum = 0;    ///< sum of observed values
+  uint64_t min = 0;    ///< smallest observation (0 when count == 0)
+  uint64_t max = 0;    ///< largest observation (0 when count == 0)
+  std::array<uint64_t, kObsHistogramBuckets> buckets{};
+
+  /// Estimated value at quantile `q` in [0, 1]: the upper bound of the
+  /// bucket containing the rank-q observation, clamped to [min, max] so the
+  /// estimate never leaves the observed range. Monotone in q. 0 when empty.
+  uint64_t Percentile(double q) const;
+};
+
+/// Elementwise merge (bucket sums, min of mins, max of maxes). Associative
+/// and commutative, so per-thread blocks may be folded in any order.
+HistogramSnapshot MergeHistograms(const HistogramSnapshot& a,
+                                  const HistogramSnapshot& b);
 
 /// Labels the calling thread in per-worker breakdowns ("worker0", ...).
 /// Threads that never call this are reported as "main".
@@ -126,6 +183,11 @@ class ObsSink {
   /// Gauge snapshot.
   std::map<std::string, double> Gauges() const;
 
+  /// Merged histograms over all threads, indexed by histogram id. Every
+  /// registered histogram appears, empty ones included, so report schemas
+  /// are stable.
+  std::vector<HistogramSnapshot> Histograms() const;
+
   /// Completed top-level phases (with nested children), in begin order.
   /// Phases still open are reported with their elapsed-so-far wall time.
   std::vector<PhaseNode> Phases() const;
@@ -135,12 +197,23 @@ class ObsSink {
 
   /// ---- internal plumbing (used by ObsAdd) --------------------------------
 
-  /// One thread's private counter cells. Cells are atomics only so that
-  /// cross-thread snapshot reads are race-free; the owning thread is the
-  /// only writer, so the relaxed fetch_adds never contend.
+  /// One histogram's per-thread cells. min starts at UINT64_MAX so the
+  /// owner-thread compare-and-store works without a sentinel branch; a block
+  /// whose bucket sum is zero contributes nothing at merge time.
+  struct HistogramCells {
+    std::array<std::atomic<uint64_t>, kObsHistogramBuckets> buckets{};
+    std::atomic<uint64_t> sum{0};
+    std::atomic<uint64_t> min{UINT64_MAX};
+    std::atomic<uint64_t> max{0};
+  };
+
+  /// One thread's private counter + histogram cells. Cells are atomics only
+  /// so that cross-thread snapshot reads are race-free; the owning thread is
+  /// the only writer, so the relaxed fetch_adds never contend.
   struct CounterBlock {
     std::string thread_name;
     std::array<std::atomic<uint64_t>, kMaxObsCounters> cells{};
+    std::array<HistogramCells, kMaxObsHistograms> histograms{};
   };
 
   /// The calling thread's block, created and registered on first use.
@@ -165,24 +238,34 @@ class ObsSink {
 };
 
 /// RAII phase timer: opens a phase on the installed sink at construction and
-/// closes it at destruction. Free (two null checks) when no sink is
-/// installed. Intended for orchestration scopes (a pipeline stage), not for
-/// per-item loops — it takes the sink's mutex.
+/// closes it at destruction; when a trace collector is installed (obs/trace.h)
+/// it also emits the phase as a trace span. Free (one mask load) when nothing
+/// is installed. Intended for orchestration scopes (a pipeline stage), not
+/// for per-item loops — it takes the sink's mutex.
 class ScopedTimer {
  public:
-  explicit ScopedTimer(const std::string& name) : sink_(GetObsSink()) {
-    if (sink_ != nullptr) sink_->BeginPhase(name);
-  }
-  ~ScopedTimer() {
-    if (sink_ != nullptr) sink_->EndPhase();
-  }
+  explicit ScopedTimer(const std::string& name);
+  ~ScopedTimer();
 
   ScopedTimer(const ScopedTimer&) = delete;
   ScopedTimer& operator=(const ScopedTimer&) = delete;
 
  private:
   ObsSink* sink_;
+  size_t span_id_ = 0;
+  bool span_active_ = false;
+  std::chrono::steady_clock::time_point span_start_;
 };
+
+namespace internal {
+/// Sets/clears one bit of ObsActiveMask(). Called by SetObsSink and
+/// SetTraceCollector only; never from instrumented code.
+void SetObsActiveBit(uint8_t bit, bool on);
+
+/// The calling thread's ObsSetThreadName label ("main" when unset). Used by
+/// the trace collector when registering a thread's ring.
+std::string CurrentThreadName();
+}  // namespace internal
 
 }  // namespace lamo
 

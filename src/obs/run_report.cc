@@ -38,12 +38,50 @@ std::map<std::string, double> DerivedGauges(
   return gauges;
 }
 
-void PrintPhase(std::FILE* out, const PhaseNode& phase, int depth) {
-  std::fprintf(out, "  %*s%-*s %10.2f ms\n", 2 * depth, "",
-               28 - 2 * depth, phase.name.c_str(), phase.wall_ms);
+/// Prints `phase` annotated with its share of `parent_ms` (the enclosing
+/// phase's wall time; top-level phases are shown against the sink's total).
+void PrintPhase(std::FILE* out, const PhaseNode& phase, int depth,
+                double parent_ms) {
+  const double pct =
+      parent_ms > 0.0 ? 100.0 * phase.wall_ms / parent_ms : 0.0;
+  std::fprintf(out, "  %*s%-*s %10.2f ms %5.1f%%\n", 2 * depth, "",
+               28 - 2 * depth, phase.name.c_str(), phase.wall_ms, pct);
   for (const PhaseNode& child : phase.children) {
-    PrintPhase(out, child, depth + 1);
+    PrintPhase(out, child, depth + 1, phase.wall_ms);
   }
+}
+
+void WriteHistogram(JsonWriter* json, const HistogramSnapshot& hist) {
+  json->BeginObject();
+  json->Key("count");
+  json->Int(hist.count);
+  json->Key("sum");
+  json->Int(hist.sum);
+  json->Key("min");
+  json->Int(hist.min);
+  json->Key("max");
+  json->Int(hist.max);
+  json->Key("p50");
+  json->Int(hist.Percentile(0.50));
+  json->Key("p90");
+  json->Int(hist.Percentile(0.90));
+  json->Key("p99");
+  json->Int(hist.Percentile(0.99));
+  json->Key("buckets");
+  json->BeginArray();
+  for (size_t b = 0; b < kObsHistogramBuckets; ++b) {
+    if (hist.buckets[b] == 0) continue;
+    json->BeginObject();
+    json->Key("lo");
+    json->Int(ObsHistogramBucketLo(b));
+    json->Key("hi");
+    json->Int(ObsHistogramBucketHi(b));
+    json->Key("count");
+    json->Int(hist.buckets[b]);
+    json->EndObject();
+  }
+  json->EndArray();
+  json->EndObject();
 }
 
 }  // namespace
@@ -54,7 +92,7 @@ std::string RunReportJson(const ObsSink& sink, const std::string& command,
   JsonWriter json;
   json.BeginObject();
   json.Key("lamo_report_version");
-  json.Int(1);
+  json.Int(2);
   json.Key("command");
   json.String(command);
   json.Key("threads");
@@ -80,6 +118,14 @@ std::string RunReportJson(const ObsSink& sink, const std::string& command,
   for (const auto& [name, value] : DerivedGauges(sink, counters)) {
     json.Key(name);
     json.Double(value);
+  }
+  json.EndObject();
+
+  json.Key("histograms");
+  json.BeginObject();
+  for (const HistogramSnapshot& hist : sink.Histograms()) {
+    json.Key(hist.name);
+    WriteHistogram(&json, hist);
   }
   json.EndObject();
 
@@ -132,8 +178,10 @@ void PrintRunSummary(const ObsSink& sink, const std::string& command,
                threads);
   const std::vector<PhaseNode> phases = sink.Phases();
   if (!phases.empty()) {
-    std::fprintf(out, "phases:\n");
-    for (const PhaseNode& phase : phases) PrintPhase(out, phase, 0);
+    std::fprintf(out, "phases (%% of parent wall time):\n");
+    for (const PhaseNode& phase : phases) {
+      PrintPhase(out, phase, 0, sink.ElapsedMs());
+    }
   }
   std::fprintf(out, "counters (nonzero):\n");
   for (const auto& [name, value] : counters) {
@@ -142,6 +190,21 @@ void PrintRunSummary(const ObsSink& sink, const std::string& command,
   }
   for (const auto& [name, value] : DerivedGauges(sink, counters)) {
     std::fprintf(out, "  %-28s %12.4f\n", name.c_str(), value);
+  }
+  bool histogram_header = false;
+  for (const HistogramSnapshot& hist : sink.Histograms()) {
+    if (hist.count == 0) continue;
+    if (!histogram_header) {
+      std::fprintf(out, "latency histograms (us):\n");
+      std::fprintf(out, "  %-28s %10s %10s %10s %10s\n", "", "count", "p50",
+                   "p90", "p99");
+      histogram_header = true;
+    }
+    std::fprintf(out,
+                 "  %-28s %10" PRIu64 " %10" PRIu64 " %10" PRIu64
+                 " %10" PRIu64 "\n",
+                 hist.name.c_str(), hist.count, hist.Percentile(0.50),
+                 hist.Percentile(0.90), hist.Percentile(0.99));
   }
   std::fprintf(out, "workers:\n");
   for (const WorkerCounters& worker : sink.PerThreadCounters()) {

@@ -13,21 +13,27 @@ namespace lamo {
 /// docs/FORMATS.md, "Run report"):
 ///
 ///   {
-///     "lamo_report_version": 1,
+///     "lamo_report_version": 2,
 ///     "command": "mine",
 ///     "threads": 4,                  // resolved worker count
 ///     "wall_ms": 152.7,             // sink lifetime
 ///     "phases":   [{"name": ..., "wall_ms": ..., "children": [...]}],
 ///     "counters": {"esu.subgraphs": 123456, ...},   // merged totals
 ///     "gauges":   {"similarity.memo_hit_rate": 0.97, ...},
+///     "histograms": {"esu.chunk_us": {"count": ..., "sum": ..., "min": ...,
+///                    "max": ..., "p50": ..., "p90": ..., "p99": ...,
+///                    "buckets": [{"lo": ..., "hi": ..., "count": ...}]}},
 ///     "workers":  [{"name": "main", "tasks": 37, "counters": {...}}, ...]
 ///   }
 ///
-/// Every registered counter appears in "counters" (zeros included) so the
-/// key set is stable across workloads. "tasks" is the worker's
-/// `parallel.chunks` value — the number of loop chunks it executed.
+/// Every registered counter appears in "counters" and every registered
+/// histogram in "histograms" (zeros/empties included) so the key set is
+/// stable across workloads. "tasks" is the worker's `parallel.chunks`
+/// value — the number of loop chunks it executed.
 /// `similarity.memo_hit_rate` is derived from the memo counters when they
-/// are nonzero.
+/// are nonzero. Histogram "buckets" lists the nonzero log2 buckets with
+/// inclusive [lo, hi] value bounds; counts sum to "count" and percentiles
+/// lie within [min, max] (invariants enforced by tools/lamo_report_check).
 std::string RunReportJson(const ObsSink& sink, const std::string& command,
                           size_t threads);
 

@@ -1,6 +1,7 @@
 #include "ontology/similarity.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "obs/obs.h"
 
@@ -9,6 +10,9 @@ namespace {
 
 const size_t kObsMemoHits = ObsCounterId("similarity.memo_hits");
 const size_t kObsMemoMisses = ObsCounterId("similarity.memo_misses");
+/// Latency of the uncached LCA+IC computation (memo-miss path only; hits
+/// are a map probe and would drown the histogram in zeros).
+const size_t kHistComputeUs = ObsHistogramId("similarity.compute_us");
 /// Times a shard mutex was found held by another thread (try_lock failed).
 /// A contention *sample*, not a wait-time measure: it says how often the 16
 /// shards actually collide at the current thread count.
@@ -71,7 +75,18 @@ double TermSimilarity::Similarity(TermId ta, TermId tb) const {
   ObsIncrement(kObsMemoMisses);
   // Computed outside the lock: ComputeSimilarity is pure, so a pair raced by
   // two threads just produces the same value twice.
-  const double sim = ComputeSimilarity(ta, tb);
+  double sim;
+  if (ObsEnabled()) {
+    const auto t0 = std::chrono::steady_clock::now();
+    sim = ComputeSimilarity(ta, tb);
+    ObsObserve(kHistComputeUs,
+               static_cast<uint64_t>(
+                   std::chrono::duration_cast<std::chrono::microseconds>(
+                       std::chrono::steady_clock::now() - t0)
+                       .count()));
+  } else {
+    sim = ComputeSimilarity(ta, tb);
+  }
   const std::unique_lock<std::mutex> lock = LockShard(shard.mu);
   shard.map.emplace(key, sim);
   return sim;

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "obs/obs.h"
+#include "obs/trace.h"
 
 namespace lamo {
 namespace {
@@ -16,16 +17,21 @@ const size_t kObsPoolTasks = ObsCounterId("pool.tasks");
 /// Total time tasks spent queued before a worker picked them up, in
 /// microseconds. Only accumulated while a sink is installed.
 const size_t kObsQueueWaitUs = ObsCounterId("pool.queue_wait_us");
+/// Per-task queue-wait distribution (same samples as the counter above);
+/// its p99 is the scheduling-delay headline in bench_scaling.
+const size_t kHistQueueWaitUs = ObsHistogramId("pool.queue_wait_us");
+/// One span per executed task, so traces show worker occupancy gaps.
+const size_t kSpanPoolTask = ObsSpanId("pool.task");
 
 /// Records queue-wait for a task that was stamped at Submit time.
 void RecordDequeue(const std::chrono::steady_clock::time_point& enqueued,
                    bool stamped) {
   if (!stamped || !ObsEnabled()) return;
   const auto waited = std::chrono::steady_clock::now() - enqueued;
-  ObsAdd(kObsQueueWaitUs,
-         static_cast<uint64_t>(
-             std::chrono::duration_cast<std::chrono::microseconds>(waited)
-                 .count()));
+  const uint64_t us = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(waited).count());
+  ObsAdd(kObsQueueWaitUs, us);
+  ObsObserve(kHistQueueWaitUs, us);
 }
 
 }  // namespace
@@ -98,6 +104,7 @@ void ThreadPool::WorkerLoop(size_t worker_index) {
     RecordDequeue(task.enqueued, task.stamped);
     ObsIncrement(kObsPoolTasks);
     try {
+      const ScopedSpan span(kSpanPoolTask);
       task.fn();
     } catch (...) {
       std::lock_guard<std::mutex> lock(mu_);

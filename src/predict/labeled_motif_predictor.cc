@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "obs/obs.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace lamo {
@@ -11,6 +12,9 @@ namespace {
 /// One vote = one motif site contributing its weighted delta to a protein's
 /// category scores.
 const size_t kObsVotes = ObsCounterId("predict.votes");
+/// Per-protein scoring latency; span arg = protein id.
+const size_t kHistScoreUs = ObsHistogramId("predict.score_us");
+const size_t kSpanScore = ObsSpanId("predict.score");
 
 }  // namespace
 
@@ -41,6 +45,7 @@ LabeledMotifPredictor::LabeledMotifPredictor(
 }
 
 std::vector<Prediction> LabeledMotifPredictor::Predict(ProteinId p) const {
+  const ScopedItemTimer timer(kSpanScore, kHistScoreUs, p, 0, 1);
   std::vector<double> scores(context_.categories.size(), 0.0);
   for (const Site& site : index_[p]) {
     ObsIncrement(kObsVotes);

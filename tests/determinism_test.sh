@@ -11,22 +11,27 @@ trap 'rm -rf "$WORK"' EXIT
 "$LAMO" generate --proteins 400 --copies 30 --seed 5 --out "$WORK/ds" \
   > /dev/null
 
-# Each run also writes a JSON run report (--report). Reports contain wall
-# times, so they are *not* part of the byte-compare below — the contract
-# covers pipeline outputs only. Collecting them here proves instrumentation
-# does not perturb the deterministic results.
+# Each run also writes a JSON run report (--report) and a Chrome trace
+# (--trace). Both contain wall times, so they are *not* part of the
+# byte-compare below — the contract covers pipeline outputs only. Collecting
+# them here proves instrumentation does not perturb the deterministic
+# results.
 for threads in 1 4; do
   "$LAMO" mine --graph "$WORK/ds.graph.txt" --min-size 3 --max-size 4 \
     --min-freq 20 --networks 5 --uniqueness 0.8 --threads "$threads" \
     --report "$WORK/mine.t$threads.json" \
+    --trace "$WORK/mine.t$threads.trace.json" \
     --out "$WORK/motifs.t$threads.txt" > /dev/null
   test -s "$WORK/mine.t$threads.json"
+  test -s "$WORK/mine.t$threads.trace.json"
   "$LAMO" label --graph "$WORK/ds.graph.txt" --obo "$WORK/ds.obo" \
     --annotations "$WORK/ds.annotations.tsv" \
     --motifs "$WORK/motifs.t$threads.txt" --sigma 6 \
     --threads "$threads" --report "$WORK/label.t$threads.json" \
+    --trace "$WORK/label.t$threads.trace.json" \
     --out "$WORK/labeled.t$threads.txt" > /dev/null
   test -s "$WORK/label.t$threads.json"
+  test -s "$WORK/label.t$threads.trace.json"
 done
 
 cmp "$WORK/motifs.t1.txt" "$WORK/motifs.t4.txt" || {

@@ -1,0 +1,214 @@
+#include <algorithm>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/json.h"
+#include "obs/obs.h"
+#include "obs/run_report.h"
+#include "util/random.h"
+
+namespace lamo {
+namespace {
+
+const size_t kTestHist = ObsHistogramId("obs_test.latency_us");
+const size_t kTestHistB = ObsHistogramId("obs_test.idle_us");
+
+TEST(HistogramTest, HistogramIdIsIdempotent) {
+  EXPECT_EQ(ObsHistogramId("obs_test.latency_us"), kTestHist);
+  EXPECT_EQ(ObsHistogramId("obs_test.idle_us"), kTestHistB);
+  EXPECT_NE(kTestHist, kTestHistB);
+  const auto names = ObsHistogramNames();
+  ASSERT_GT(names.size(), kTestHist);
+  EXPECT_EQ(names[kTestHist], "obs_test.latency_us");
+}
+
+TEST(HistogramTest, BucketBoundaries) {
+  // Bucket 0 holds exactly the value 0; bucket i holds [2^(i-1), 2^i - 1].
+  EXPECT_EQ(ObsHistogramBucket(0), 0u);
+  EXPECT_EQ(ObsHistogramBucket(1), 1u);
+  EXPECT_EQ(ObsHistogramBucket(2), 2u);
+  EXPECT_EQ(ObsHistogramBucket(3), 2u);
+  EXPECT_EQ(ObsHistogramBucket(4), 3u);
+  EXPECT_EQ(ObsHistogramBucket(UINT64_MAX), kObsHistogramBuckets - 1);
+  EXPECT_EQ(ObsHistogramBucketLo(0), 0u);
+  EXPECT_EQ(ObsHistogramBucketHi(0), 0u);
+  EXPECT_EQ(ObsHistogramBucketLo(1), 1u);
+  EXPECT_EQ(ObsHistogramBucketHi(1), 1u);
+  EXPECT_EQ(ObsHistogramBucketLo(3), 4u);
+  EXPECT_EQ(ObsHistogramBucketHi(3), 7u);
+  EXPECT_EQ(ObsHistogramBucketHi(kObsHistogramBuckets - 1), UINT64_MAX);
+  // Every value lands inside its bucket's inclusive bounds, and bounds tile
+  // the axis without gaps.
+  for (uint64_t value : {0ull, 1ull, 2ull, 5ull, 1023ull, 1024ull, 1ull << 20,
+                         ~0ull}) {
+    const size_t bucket = ObsHistogramBucket(value);
+    EXPECT_GE(value, ObsHistogramBucketLo(bucket)) << value;
+    EXPECT_LE(value, ObsHistogramBucketHi(bucket)) << value;
+  }
+  for (size_t b = 1; b < kObsHistogramBuckets; ++b) {
+    EXPECT_EQ(ObsHistogramBucketLo(b), ObsHistogramBucketHi(b - 1) + 1);
+  }
+}
+
+TEST(HistogramTest, DisabledIsNoOp) {
+  ASSERT_EQ(GetObsSink(), nullptr);
+  ObsObserve(kTestHist, 42);  // must be a no-op, not a crash
+}
+
+TEST(HistogramTest, ObservationsMergeAcrossThreads) {
+  ObsSink sink;
+  SetObsSink(&sink);
+  ObsObserve(kTestHist, 0);
+  ObsObserve(kTestHist, 100);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([t] {
+      for (uint64_t i = 0; i < 100; ++i) {
+        ObsObserve(kTestHist, static_cast<uint64_t>(t) * 1000 + i);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  SetObsSink(nullptr);
+
+  const auto histograms = sink.Histograms();
+  ASSERT_GT(histograms.size(), std::max(kTestHist, kTestHistB));
+  const HistogramSnapshot& hist = histograms[kTestHist];
+  EXPECT_EQ(hist.name, "obs_test.latency_us");
+  EXPECT_EQ(hist.count, 402u);
+  EXPECT_EQ(hist.min, 0u);
+  EXPECT_EQ(hist.max, 3099u);
+  uint64_t bucket_total = 0;
+  for (uint64_t b : hist.buckets) bucket_total += b;
+  EXPECT_EQ(bucket_total, hist.count);
+  EXPECT_EQ(histograms[kTestHistB].count, 0u)
+      << "registered histograms must appear even when untouched";
+}
+
+TEST(HistogramTest, PercentilesAreMonotoneAndBounded) {
+  ObsSink sink;
+  SetObsSink(&sink);
+  Rng rng(2007);
+  uint64_t min = UINT64_MAX;
+  uint64_t max = 0;
+  for (int i = 0; i < 500; ++i) {
+    const uint64_t value = rng.Uniform(1 << 20);
+    min = std::min(min, value);
+    max = std::max(max, value);
+    ObsObserve(kTestHist, value);
+  }
+  SetObsSink(nullptr);
+  const HistogramSnapshot hist = sink.Histograms()[kTestHist];
+  EXPECT_EQ(hist.min, min);
+  EXPECT_EQ(hist.max, max);
+  uint64_t previous = 0;
+  for (double q : {0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0}) {
+    const uint64_t p = hist.Percentile(q);
+    EXPECT_GE(p, hist.min) << "q=" << q;
+    EXPECT_LE(p, hist.max) << "q=" << q;
+    EXPECT_GE(p, previous) << "q=" << q;
+    previous = p;
+  }
+}
+
+TEST(HistogramTest, EmptyPercentileIsZero) {
+  HistogramSnapshot empty;
+  EXPECT_EQ(empty.Percentile(0.5), 0u);
+  EXPECT_EQ(empty.Percentile(0.99), 0u);
+}
+
+// Builds a snapshot directly from values (no sink), for the merge property
+// test below.
+HistogramSnapshot SnapshotOf(const std::vector<uint64_t>& values) {
+  HistogramSnapshot snapshot;
+  if (values.empty()) return snapshot;
+  snapshot.min = UINT64_MAX;
+  for (uint64_t value : values) {
+    snapshot.buckets[ObsHistogramBucket(value)] += 1;
+    snapshot.count += 1;
+    snapshot.sum += value;
+    snapshot.min = std::min(snapshot.min, value);
+    snapshot.max = std::max(snapshot.max, value);
+  }
+  return snapshot;
+}
+
+void ExpectEqualSnapshots(const HistogramSnapshot& a,
+                          const HistogramSnapshot& b) {
+  EXPECT_EQ(a.count, b.count);
+  EXPECT_EQ(a.sum, b.sum);
+  EXPECT_EQ(a.min, b.min);
+  EXPECT_EQ(a.max, b.max);
+  EXPECT_EQ(a.buckets, b.buckets);
+}
+
+TEST(HistogramTest, MergeIsAssociativeAndCommutative) {
+  Rng rng(42);
+  for (int round = 0; round < 50; ++round) {
+    auto random_values = [&] {
+      std::vector<uint64_t> values;
+      const size_t n = rng.Uniform(8);  // empty sides included
+      for (size_t i = 0; i < n; ++i) {
+        values.push_back(rng.Uniform(1u << 16));
+      }
+      return values;
+    };
+    const HistogramSnapshot a = SnapshotOf(random_values());
+    const HistogramSnapshot b = SnapshotOf(random_values());
+    const HistogramSnapshot c = SnapshotOf(random_values());
+    ExpectEqualSnapshots(MergeHistograms(a, b), MergeHistograms(b, a));
+    ExpectEqualSnapshots(MergeHistograms(MergeHistograms(a, b), c),
+                         MergeHistograms(a, MergeHistograms(b, c)));
+  }
+}
+
+TEST(HistogramTest, MergeWithEmptyIsIdentity) {
+  const HistogramSnapshot a = SnapshotOf({3, 9, 100});
+  const HistogramSnapshot empty;
+  ExpectEqualSnapshots(MergeHistograms(a, empty), a);
+  ExpectEqualSnapshots(MergeHistograms(empty, a), a);
+}
+
+TEST(HistogramTest, RunReportEmitsSchemaV2Histograms) {
+  ObsSink sink;
+  SetObsSink(&sink);
+  for (uint64_t v : {1ull, 5ull, 5ull, 900ull}) ObsObserve(kTestHist, v);
+  SetObsSink(nullptr);
+
+  const std::string json = RunReportJson(sink, "test", 1);
+  JsonValue report;
+  std::string error;
+  ASSERT_TRUE(ParseJson(json, &report, &error)) << error;
+  const JsonValue* version = report.Find("lamo_report_version");
+  ASSERT_NE(version, nullptr);
+  EXPECT_EQ(version->number_value, 2.0);
+  const JsonValue* histograms = report.Find("histograms");
+  ASSERT_NE(histograms, nullptr);
+  ASSERT_TRUE(histograms->is_object());
+  const JsonValue* hist = histograms->Find("obs_test.latency_us");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->Find("count")->number_value, 4.0);
+  EXPECT_EQ(hist->Find("sum")->number_value, 911.0);
+  EXPECT_EQ(hist->Find("min")->number_value, 1.0);
+  EXPECT_EQ(hist->Find("max")->number_value, 900.0);
+  const JsonValue* buckets = hist->Find("buckets");
+  ASSERT_NE(buckets, nullptr);
+  double bucket_total = 0.0;
+  for (const JsonValue& bucket : buckets->items) {
+    EXPECT_LE(bucket.Find("lo")->number_value, bucket.Find("hi")->number_value);
+    bucket_total += bucket.Find("count")->number_value;
+  }
+  EXPECT_EQ(bucket_total, 4.0);
+  // Untouched histograms appear too (stable key set).
+  EXPECT_NE(histograms->Find("obs_test.idle_us"), nullptr);
+  // trace.dropped ships in every v2 report, traced or not.
+  const JsonValue* counters = report.Find("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_NE(counters->Find("trace.dropped"), nullptr);
+}
+
+}  // namespace
+}  // namespace lamo

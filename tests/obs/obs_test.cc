@@ -117,9 +117,10 @@ TEST(ObsTest, RunReportJsonHasRequiredKeys) {
   SetObsSink(nullptr);
   const std::string json = RunReportJson(sink, "test", 2);
   for (const char* key :
-       {"\"lamo_report_version\":1", "\"command\":\"test\"", "\"threads\":2",
+       {"\"lamo_report_version\":2", "\"command\":\"test\"", "\"threads\":2",
         "\"wall_ms\":", "\"phases\":", "\"counters\":", "\"gauges\":",
-        "\"workers\":", "\"obs_test.widgets\":1"}) {
+        "\"histograms\":", "\"trace.dropped\":", "\"workers\":",
+        "\"obs_test.widgets\":1"}) {
     EXPECT_NE(json.find(key), std::string::npos) << "missing " << key;
   }
 }

@@ -19,7 +19,8 @@ trap 'rm -rf "$WORK"' EXIT
   > /dev/null 2> "$WORK/mine.stats.txt"
 "$CHECK" "$WORK/mine.json" \
   esu.subgraphs esu.canon_cache_misses parallel.chunks \
-  uniqueness.replicates
+  uniqueness.replicates \
+  hist:esu.chunk_us hist:uniqueness.replicate_us hist:pool.queue_wait_us
 
 grep -q "lamo mine run stats" "$WORK/mine.stats.txt" || {
   echo "FAIL: --stats printed no summary" >&2
@@ -29,7 +30,8 @@ grep -q "lamo mine run stats" "$WORK/mine.stats.txt" || {
 "$LAMO" label --graph "$WORK/ds.graph.txt" --obo "$WORK/ds.obo" \
   --annotations "$WORK/ds.annotations.tsv" --motifs "$WORK/motifs.txt" \
   --sigma 5 --report "$WORK/label.json" --out "$WORK/labeled.txt" > /dev/null
-"$CHECK" "$WORK/label.json" lamofinder.so_cells similarity.memo_misses
+"$CHECK" "$WORK/label.json" lamofinder.so_cells similarity.memo_misses \
+  hist:lamofinder.so_cell_us hist:similarity.compute_us
 
 "$LAMO" predict --graph "$WORK/ds.graph.txt" --obo "$WORK/ds.obo" \
   --annotations "$WORK/ds.annotations.tsv" --labeled "$WORK/labeled.txt" \

@@ -32,6 +32,7 @@
 #include "motif/uniqueness.h"
 #include "obs/obs.h"
 #include "obs/run_report.h"
+#include "obs/trace.h"
 #include "parallel/parallel_for.h"
 #include "predict/labeled_motif_predictor.h"
 #include "synth/dataset.h"
@@ -95,22 +96,36 @@ void ApplyThreadFlag(const Flags& flags) {
   SetThreadCount(flags.GetSize("threads", 0));
 }
 
-// Turns on metric collection for one command when --report/--stats ask for
-// it. Construct before the pipeline runs, call Finish() after it succeeds;
-// early error returns rely on ~ObsSink auto-uninstalling.
+// Turns on metric collection for one command when --report/--stats/--trace
+// ask for it. Construct before the pipeline runs, call Finish() after it
+// succeeds; early error returns rely on ~ObsSink / ~TraceCollector
+// auto-uninstalling.
 class ObsScope {
  public:
   explicit ObsScope(const Flags& flags)
-      : report_path_(flags.Get("report", "")), stats_(flags.Has("stats")) {
+      : report_path_(flags.Get("report", "")),
+        trace_path_(flags.Get("trace", "")),
+        stats_(flags.Has("stats")) {
     if (stats_ || !report_path_.empty()) {
       sink_.emplace();
       SetObsSink(&*sink_);
     }
+    if (!trace_path_.empty()) {
+      tracer_.emplace(flags.GetSize("trace-capacity",
+                                    kDefaultTraceEventsPerThread));
+      SetTraceCollector(&*tracer_);
+    }
   }
 
-  // Uninstalls the sink, prints the --stats summary, writes the --report
-  // JSON. Returns the command's exit code (non-zero on report I/O failure).
+  // Uninstalls the sink and tracer, prints the --stats summary, writes the
+  // --report JSON and the --trace Chrome trace. Returns the command's exit
+  // code (non-zero on report/trace I/O failure).
   int Finish(const std::string& command) {
+    if (tracer_.has_value()) {
+      SetTraceCollector(nullptr);
+      const Status status = tracer_->WriteFile(trace_path_);
+      if (!status.ok()) return Fail(status);
+    }
     if (!sink_.has_value()) return 0;
     SetObsSink(nullptr);
     const size_t threads = ThreadCount();
@@ -125,8 +140,10 @@ class ObsScope {
 
  private:
   std::string report_path_;
+  std::string trace_path_;
   bool stats_;
   std::optional<ObsSink> sink_;
+  std::optional<TraceCollector> tracer_;
 };
 
 int CmdGenerate(const Flags& flags) {
@@ -276,7 +293,9 @@ int CmdPredict(const Flags& flags) {
   if (!labeled.ok()) return Fail(labeled.status());
   load_timer.reset();
 
-  const ScopedTimer predict_timer("predict");
+  // Closed before obs.Finish() so the phase makes it into report and trace.
+  std::optional<ScopedTimer> predict_timer;
+  predict_timer.emplace("predict");
   // Categories: the root's children; protein categories via the true-path.
   PredictionContext context;
   context.ppi = &*graph;
@@ -306,6 +325,7 @@ int CmdPredict(const Flags& flags) {
   if (!predictor.Covers(protein)) {
     std::printf("protein %u occurs in no labeled motif; no prediction\n",
                 protein);
+    predict_timer.reset();
     return obs.Finish("predict");
   }
   const size_t top_k = flags.GetSize("top-k", 3);
@@ -319,6 +339,7 @@ int CmdPredict(const Flags& flags) {
                     ? "  [matches known annotation]"
                     : "");
   }
+  predict_timer.reset();
   return obs.Finish("predict");
 }
 
@@ -341,8 +362,13 @@ int Usage() {
       "resolves via LAMO_THREADS, then hardware concurrency; --threads 1 is\n"
       "fully serial. Output is identical for any thread count.\n"
       "mine/label/predict also take --report FILE (write a JSON run report:\n"
-      "phase wall times, counters, per-worker breakdown; schema in\n"
-      "docs/FORMATS.md) and --stats (human summary of the same on stderr).\n");
+      "phase wall times, counters, latency histograms, per-worker breakdown;\n"
+      "schema in docs/FORMATS.md), --stats (human summary of the same on\n"
+      "stderr), and --trace FILE (write a Chrome trace-event JSON of pipeline\n"
+      "spans, loadable in chrome://tracing or ui.perfetto.dev; per-thread\n"
+      "ring capacity via --trace-capacity EVENTS, default 65536 — overflow\n"
+      "drops oldest events and counts them in trace.dropped). Summarize a\n"
+      "trace offline with lamo_trace_summary.\n");
   return 2;
 }
 

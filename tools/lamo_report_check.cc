@@ -2,11 +2,17 @@
 // --report` against the schema documented in docs/FORMATS.md. Exits 0 when
 // every required key is present with the right shape, 1 with a diagnostic
 // otherwise. Extra arguments name counters that must be present *and*
-// nonzero. Used by the report_schema ctest; handy interactively too:
+// nonzero; a `hist:` prefix demands a histogram with a nonzero count
+// instead. Used by the report_schema ctest; handy interactively too:
 //
 //   lamo mine --graph g.txt --report r.json
-//   lamo_report_check r.json esu.subgraphs
+//   lamo_report_check r.json esu.subgraphs hist:esu.chunk_us
+//
+// Schema v2 adds the "histograms" object and the trace.dropped counter; v1
+// reports (no histograms) are still accepted with a warning so archived
+// reports keep checking out.
 #include <cstdio>
+#include <cstring>
 #include <string>
 
 #include "obs/json.h"
@@ -48,6 +54,67 @@ bool CheckPhase(const JsonValue& phase, int* rc) {
   return true;
 }
 
+// Validates one histogram entry and its invariants: required numeric fields,
+// bucket counts summing to "count", strictly increasing bucket bounds, and
+// ordered percentiles confined to [min, max] (empty histograms may keep all
+// fields at zero).
+int CheckHistogram(const std::string& name, const JsonValue& hist) {
+  const char* fields[] = {"count", "sum", "min", "max", "p50", "p90", "p99"};
+  for (const char* field : fields) {
+    const JsonValue* value = hist.Find(field);
+    if (value == nullptr || !value->is_number()) {
+      return Fail("histogram \"" + name + "\": missing numeric \"" + field +
+                  "\"");
+    }
+  }
+  const JsonValue* buckets = hist.Find("buckets");
+  if (buckets == nullptr || !buckets->is_array()) {
+    return Fail("histogram \"" + name + "\": missing \"buckets\" array");
+  }
+  const double count = hist.Find("count")->number_value;
+  double bucket_total = 0.0;
+  double previous_hi = -1.0;
+  for (const JsonValue& bucket : buckets->items) {
+    const JsonValue* lo = bucket.Find("lo");
+    const JsonValue* hi = bucket.Find("hi");
+    const JsonValue* bucket_count = bucket.Find("count");
+    if (lo == nullptr || !lo->is_number() || hi == nullptr ||
+        !hi->is_number() || bucket_count == nullptr ||
+        !bucket_count->is_number()) {
+      return Fail("histogram \"" + name + "\": malformed bucket");
+    }
+    if (lo->number_value > hi->number_value) {
+      return Fail("histogram \"" + name + "\": bucket with lo > hi");
+    }
+    if (lo->number_value <= previous_hi) {
+      return Fail("histogram \"" + name + "\": bucket bounds not increasing");
+    }
+    if (bucket_count->number_value <= 0.0) {
+      return Fail("histogram \"" + name + "\": empty bucket emitted");
+    }
+    previous_hi = hi->number_value;
+    bucket_total += bucket_count->number_value;
+  }
+  if (bucket_total != count) {
+    return Fail("histogram \"" + name + "\": bucket counts do not sum to " +
+                std::to_string(static_cast<uint64_t>(count)));
+  }
+  if (count == 0.0) return 0;  // empty: percentiles/min/max are all zero
+  const double min = hist.Find("min")->number_value;
+  const double max = hist.Find("max")->number_value;
+  const double p50 = hist.Find("p50")->number_value;
+  const double p90 = hist.Find("p90")->number_value;
+  const double p99 = hist.Find("p99")->number_value;
+  if (min > max) return Fail("histogram \"" + name + "\": min > max");
+  if (!(p50 <= p90 && p90 <= p99)) {
+    return Fail("histogram \"" + name + "\": percentiles not monotone");
+  }
+  if (p50 < min || p99 > max) {
+    return Fail("histogram \"" + name + "\": percentiles outside [min, max]");
+  }
+  return 0;
+}
+
 int Check(const std::string& path, int num_required, char** required) {
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) return Fail("cannot open " + path);
@@ -67,8 +134,16 @@ int Check(const std::string& path, int num_required, char** required) {
   int rc = 0;
   const JsonValue* version = RequireMember(
       report, "lamo_report_version", JsonValue::Type::kNumber, &rc);
-  if (version != nullptr && version->number_value != 1.0) {
+  if (version == nullptr) return rc;
+  const bool v2 = version->number_value == 2.0;
+  if (!v2 && version->number_value != 1.0) {
     return Fail("unsupported lamo_report_version");
+  }
+  if (!v2) {
+    std::fprintf(stderr,
+                 "warning: %s is a legacy v1 report (no histograms); "
+                 "re-run with a current lamo build for schema v2\n",
+                 path.c_str());
   }
   RequireMember(report, "command", JsonValue::Type::kString, &rc);
   RequireMember(report, "threads", JsonValue::Type::kNumber, &rc);
@@ -78,6 +153,9 @@ int Check(const std::string& path, int num_required, char** required) {
   const JsonValue* counters =
       RequireMember(report, "counters", JsonValue::Type::kObject, &rc);
   RequireMember(report, "gauges", JsonValue::Type::kObject, &rc);
+  const JsonValue* histograms =
+      v2 ? RequireMember(report, "histograms", JsonValue::Type::kObject, &rc)
+         : nullptr;
   const JsonValue* workers =
       RequireMember(report, "workers", JsonValue::Type::kArray, &rc);
   if (rc != 0) return rc;
@@ -88,6 +166,20 @@ int Check(const std::string& path, int num_required, char** required) {
   for (const auto& [name, value] : counters->members) {
     if (!value.is_number()) {
       return Fail("counter \"" + name + "\" not a number");
+    }
+  }
+  if (v2) {
+    // Schema v2 ships trace-loss accounting in every report, traced or not.
+    const JsonValue* dropped = counters->Find("trace.dropped");
+    if (dropped == nullptr || !dropped->is_number()) {
+      return Fail("v2 report lacks the \"trace.dropped\" counter");
+    }
+    for (const auto& [name, hist] : histograms->members) {
+      if (!hist.is_object()) {
+        return Fail("histogram \"" + name + "\" not an object");
+      }
+      const int hist_rc = CheckHistogram(name, hist);
+      if (hist_rc != 0) return hist_rc;
     }
   }
   for (const JsonValue& worker : workers->items) {
@@ -102,9 +194,22 @@ int Check(const std::string& path, int num_required, char** required) {
       return rc;
   }
 
-  // Demanded counters prove the pipeline recorded real work, not just a
-  // well-shaped empty report.
+  // Demanded counters/histograms prove the pipeline recorded real work, not
+  // just a well-shaped empty report.
   for (int i = 0; i < num_required; ++i) {
+    if (std::strncmp(required[i], "hist:", 5) == 0) {
+      const char* name = required[i] + 5;
+      if (!v2) continue;  // v1 reports predate histograms
+      const JsonValue* hist = histograms->Find(name);
+      const JsonValue* count =
+          hist == nullptr ? nullptr : hist->Find("count");
+      if (count == nullptr || !count->is_number() ||
+          count->number_value <= 0.0) {
+        return Fail(std::string("histogram \"") + name +
+                    "\" missing or empty");
+      }
+      continue;
+    }
     const JsonValue* value = counters->Find(required[i]);
     if (value == nullptr || !value->is_number() || value->number_value <= 0.0) {
       return Fail(std::string("counter \"") + required[i] +
@@ -122,7 +227,7 @@ int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: lamo_report_check <report.json> "
-                 "[required-nonzero-counter ...]\n");
+                 "[required-nonzero-counter | hist:NAME ...]\n");
     return 2;
   }
   return lamo::Check(argv[1], argc - 2, argv + 2);
