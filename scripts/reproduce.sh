@@ -61,21 +61,52 @@ build/tools/lamo_trace_summary "$OUT/mine_trace.json" \
 build/tools/lamo_trace_summary "$OUT/label_trace.json" \
   | tee "$OUT/label_trace_summary.txt"
 
-# ThreadSanitizer smoke run of the parallel runtime and the tracer: rebuilds
-# the parallel + obs tests under -fsanitize=thread and fails on any reported
-# race (obs_tests includes the multi-thread tracer/histogram hammers).
-echo "== tsan smoke (parallel runtime + tracer) =="
+# Serving artifacts: pack the obs dataset into a snapshot, serve it over
+# TCP, load-test with 4 concurrent connections and archive the throughput +
+# p50/p99 numbers (BENCH_serve.json) plus the daemon's own run report, with
+# the serve.* counter/histogram invariants validated by lamo_report_check.
+echo "== serving (lamo pack/serve + bench client) =="
+build/tools/lamo pack --graph "$OUT/obs_ds.graph.txt" \
+  --obo "$OUT/obs_ds.obo" --annotations "$OUT/obs_ds.annotations.tsv" \
+  --labeled "$OUT/obs_labeled.txt" --out "$OUT/obs_model.lamosnap" \
+  | tee "$OUT/pack.txt"
+build/tools/lamo serve --snapshot "$OUT/obs_model.lamosnap" --port 0 \
+  --report "$OUT/serve_report.json" > "$OUT/serve.log" 2>&1 &
+SERVE_PID=$!
+PORT=""
+for _ in $(seq 1 100); do
+  PORT="$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' \
+    "$OUT/serve.log")"
+  [ -n "$PORT" ] && break
+  sleep 0.1
+done
+test -n "$PORT"
+build/tools/lamo_bench_client --port "$PORT" --connections 4 \
+  --requests 100 --out "$OUT/BENCH_serve.json" | tee "$OUT/serve_bench.txt"
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID"
+build/tools/lamo_report_check "$OUT/serve_report.json" serve.requests \
+  serve.connections hist:serve.request_us
+
+# ThreadSanitizer smoke run of the parallel runtime, the tracer and the
+# serving stack: rebuilds those tests under -fsanitize=thread and fails on
+# any reported race (serve_tests hammers the sharded cache and the stream
+# server from multiple threads).
+echo "== tsan smoke (parallel runtime + tracer + serve) =="
 cmake -B build-tsan -G Ninja -DLAMO_SANITIZE=thread
-cmake --build build-tsan --target parallel_tests obs_tests
+cmake --build build-tsan --target parallel_tests obs_tests serve_tests
 LAMO_THREADS=4 ./build-tsan/tests/parallel_tests
 LAMO_THREADS=4 ./build-tsan/tests/obs_tests
+LAMO_THREADS=4 ./build-tsan/tests/serve_tests
 
 # AddressSanitizer smoke run alongside it: the motif + obs tests cover the
-# enumeration hot paths and the metrics layer's thread-local blocks.
-echo "== asan smoke (motif + obs) =="
+# enumeration hot paths and the metrics layer's thread-local blocks, and
+# serve_tests replays the snapshot corruption matrix under ASan.
+echo "== asan smoke (motif + obs + serve) =="
 cmake -B build-asan -G Ninja -DLAMO_SANITIZE=address
-cmake --build build-asan --target motif_tests obs_tests
+cmake --build build-asan --target motif_tests obs_tests serve_tests
 LAMO_THREADS=4 ./build-asan/tests/motif_tests
 LAMO_THREADS=4 ./build-asan/tests/obs_tests
+LAMO_THREADS=4 ./build-asan/tests/serve_tests
 
 echo "All outputs in $OUT/; compare against EXPERIMENTS.md."

@@ -64,6 +64,9 @@ class Graph {
 
  private:
   friend class GraphBuilder;
+  // Snapshot serialization (serve/snapshot.cc) restores the CSR arrays
+  // directly so loading skips the builder's sort/dedup pass.
+  friend struct SnapshotAccess;
 
   std::vector<size_t> offsets_;      // size n+1
   std::vector<VertexId> neighbors_;  // size 2m, sorted per vertex

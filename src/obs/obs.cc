@@ -197,9 +197,18 @@ HistogramSnapshot MergeHistograms(const HistogramSnapshot& a,
 }
 
 void ObsSetThreadName(const std::string& name) {
-  // Leaked on purpose: thread_local destructor order versus pool teardown is
-  // not worth reasoning about for one small string per thread.
-  if (tls_thread_name == nullptr) tls_thread_name = new std::string();
+  // Never freed on purpose: thread_local destructor order versus pool
+  // teardown is not worth reasoning about for one small string per thread.
+  // Each string is parked in a process-lifetime registry so it stays
+  // reachable after its thread exits (keeps LeakSanitizer quiet when a
+  // short-lived ThreadPool — e.g. one per server run — is torn down).
+  if (tls_thread_name == nullptr) {
+    tls_thread_name = new std::string();
+    static std::mutex* mu = new std::mutex();
+    static std::vector<std::string*>* parked = new std::vector<std::string*>();
+    const std::lock_guard<std::mutex> lock(*mu);
+    parked->push_back(tls_thread_name);
+  }
   *tls_thread_name = name;
   // A block created before the rename keeps working; relabel it.
   ObsSink* sink = g_sink.load(std::memory_order_acquire);

@@ -60,6 +60,10 @@ class AnnotationTable {
   std::vector<size_t> ClosureCounts(const Ontology& ontology) const;
 
  private:
+  // Snapshot serialization (serve/snapshot.cc) restores the per-protein term
+  // lists directly instead of replaying Annotate calls.
+  friend struct SnapshotAccess;
+
   std::vector<std::vector<TermId>> annotations_;
 };
 

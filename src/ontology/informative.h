@@ -50,6 +50,10 @@ class InformativeClasses {
   const std::vector<TermId>& Informative() const { return informative_terms_; }
 
  private:
+  // Snapshot serialization (serve/snapshot.cc) restores the precomputed
+  // partition without re-deriving it from annotations.
+  friend struct SnapshotAccess;
+
   std::vector<bool> informative_;
   std::vector<bool> border_;
   std::vector<bool> candidate_;

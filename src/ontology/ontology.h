@@ -125,6 +125,9 @@ class Ontology {
 
  private:
   friend class OntologyBuilder;
+  // Snapshot serialization (serve/snapshot.cc) reads and restores the
+  // precomputed closures directly so loading performs no Build() work.
+  friend struct SnapshotAccess;
 
   std::vector<std::string> names_;
   std::vector<size_t> parent_offsets_;

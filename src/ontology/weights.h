@@ -33,6 +33,10 @@ class TermWeights {
   size_t num_terms() const { return weights_.size(); }
 
  private:
+  // Snapshot serialization (serve/snapshot.cc) restores precomputed weights
+  // without re-deriving them from annotations.
+  friend struct SnapshotAccess;
+
   std::vector<double> weights_;
   std::vector<double> log_weights_;
 };

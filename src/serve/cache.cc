@@ -1,0 +1,61 @@
+#include "serve/cache.h"
+
+#include <functional>
+
+namespace lamo {
+
+ResponseCache::ResponseCache(size_t capacity, size_t num_shards)
+    : capacity_(capacity) {
+  if (num_shards == 0) num_shards = 1;
+  if (num_shards > capacity && capacity > 0) num_shards = capacity;
+  per_shard_capacity_ =
+      capacity == 0 ? 0 : (capacity + num_shards - 1) / num_shards;
+  shards_.reserve(num_shards);
+  for (size_t i = 0; i < num_shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+ResponseCache::Shard& ResponseCache::ShardFor(const std::string& key) {
+  return *shards_[std::hash<std::string>{}(key) % shards_.size()];
+}
+
+bool ResponseCache::Get(const std::string& key, std::string* value) {
+  if (capacity_ == 0) return false;
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it == shard.index.end()) return false;
+  shard.entries.splice(shard.entries.begin(), shard.entries, it->second);
+  *value = it->second->second;
+  return true;
+}
+
+void ResponseCache::Put(const std::string& key, std::string value) {
+  if (capacity_ == 0) return;
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    it->second->second = std::move(value);
+    shard.entries.splice(shard.entries.begin(), shard.entries, it->second);
+    return;
+  }
+  shard.entries.emplace_front(key, std::move(value));
+  shard.index[key] = shard.entries.begin();
+  if (shard.entries.size() > per_shard_capacity_) {
+    shard.index.erase(shard.entries.back().first);
+    shard.entries.pop_back();
+  }
+}
+
+size_t ResponseCache::size() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->entries.size();
+  }
+  return total;
+}
+
+}  // namespace lamo

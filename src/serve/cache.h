@@ -1,0 +1,62 @@
+#ifndef LAMO_SERVE_CACHE_H_
+#define LAMO_SERVE_CACHE_H_
+
+#include <cstddef>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace lamo {
+
+/// A sharded LRU map from request line to rendered response, memoizing the
+/// serve daemon's pure queries (PREDICT / MOTIFS / TERMINFO). Sharding by
+/// key hash keeps lock hold times short under concurrent connections: each
+/// shard has its own mutex, recency list and capacity slice.
+///
+/// Responses are deterministic functions of the snapshot, so cache hits are
+/// byte-identical to recomputation — turning the cache off (capacity 0)
+/// never changes any response, only its latency.
+class ResponseCache {
+ public:
+  /// A cache holding at most `capacity` entries spread over `num_shards`
+  /// shards (each shard gets ceil(capacity / num_shards) slots). Capacity 0
+  /// disables the cache: Get always misses and Put is a no-op.
+  explicit ResponseCache(size_t capacity, size_t num_shards = 16);
+
+  ResponseCache(const ResponseCache&) = delete;
+  ResponseCache& operator=(const ResponseCache&) = delete;
+
+  /// Looks up `key`, refreshing its recency on a hit.
+  bool Get(const std::string& key, std::string* value);
+
+  /// Inserts or refreshes `key`, evicting the shard's least-recently-used
+  /// entry when its slice is full.
+  void Put(const std::string& key, std::string value);
+
+  /// Entries currently held, summed over shards.
+  size_t size() const;
+
+  /// Total entry capacity (0 = disabled).
+  size_t capacity() const { return capacity_; }
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    // Most-recently-used at the front; each entry is (key, response).
+    std::list<std::pair<std::string, std::string>> entries;
+    std::unordered_map<std::string, decltype(entries)::iterator> index;
+  };
+
+  Shard& ShardFor(const std::string& key);
+
+  size_t capacity_;
+  size_t per_shard_capacity_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace lamo
+
+#endif  // LAMO_SERVE_CACHE_H_

@@ -1,0 +1,162 @@
+#include "serve/request.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/string_util.h"
+
+namespace lamo {
+namespace {
+
+// Tokenizes on runs of spaces/tabs, dropping empties.
+std::vector<std::string> Tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::string current;
+  for (char c : line) {
+    if (c == ' ' || c == '\t' || c == '\r') {
+      if (!current.empty()) tokens.push_back(std::move(current));
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  if (!current.empty()) tokens.push_back(std::move(current));
+  return tokens;
+}
+
+Status BadArity(const char* verb, const char* expected) {
+  return Status::InvalidArgument(std::string(verb) + " expects " + expected);
+}
+
+}  // namespace
+
+StatusOr<Request> ParseRequest(const std::string& line) {
+  const std::vector<std::string> tokens = Tokenize(line);
+  if (tokens.empty()) {
+    return Status::InvalidArgument("empty request");
+  }
+  const std::string& verb = tokens[0];
+  Request request;
+  if (verb == "PREDICT") {
+    if (tokens.size() < 2 || tokens.size() > 3) {
+      return BadArity("PREDICT", "<protein> [k]");
+    }
+    uint64_t protein = 0;
+    if (!ParseUint64(tokens[1], &protein)) {
+      return Status::InvalidArgument("PREDICT: protein must be an integer");
+    }
+    request.type = RequestType::kPredict;
+    request.protein = static_cast<ProteinId>(protein);
+    if (tokens.size() == 3) {
+      uint64_t k = 0;
+      if (!ParseUint64(tokens[2], &k) || k == 0) {
+        return Status::InvalidArgument("PREDICT: k must be a positive integer");
+      }
+      request.top_k = static_cast<size_t>(k);
+    }
+    return request;
+  }
+  if (verb == "MOTIFS") {
+    if (tokens.size() != 2) return BadArity("MOTIFS", "<protein>");
+    uint64_t protein = 0;
+    if (!ParseUint64(tokens[1], &protein)) {
+      return Status::InvalidArgument("MOTIFS: protein must be an integer");
+    }
+    request.type = RequestType::kMotifs;
+    request.protein = static_cast<ProteinId>(protein);
+    return request;
+  }
+  if (verb == "TERMINFO") {
+    if (tokens.size() != 2) return BadArity("TERMINFO", "<term-name>");
+    request.type = RequestType::kTermInfo;
+    request.term = tokens[1];
+    return request;
+  }
+  if (verb == "HEALTH") {
+    if (tokens.size() != 1) return BadArity("HEALTH", "no arguments");
+    request.type = RequestType::kHealth;
+    return request;
+  }
+  if (verb == "STATS") {
+    if (tokens.size() != 1) return BadArity("STATS", "no arguments");
+    request.type = RequestType::kStats;
+    return request;
+  }
+  return Status::InvalidArgument("unknown command \"" + verb + "\"");
+}
+
+bool IsCacheable(RequestType type) {
+  switch (type) {
+    case RequestType::kPredict:
+    case RequestType::kMotifs:
+    case RequestType::kTermInfo:
+      return true;
+    case RequestType::kHealth:
+    case RequestType::kStats:
+      return false;
+  }
+  return false;
+}
+
+std::string CacheKey(const Request& request) {
+  switch (request.type) {
+    case RequestType::kPredict:
+      return "PREDICT " + std::to_string(request.protein) + " " +
+             std::to_string(request.top_k);
+    case RequestType::kMotifs:
+      return "MOTIFS " + std::to_string(request.protein);
+    case RequestType::kTermInfo:
+      return "TERMINFO " + request.term;
+    case RequestType::kHealth:
+      return "HEALTH";
+    case RequestType::kStats:
+      return "STATS";
+  }
+  return {};
+}
+
+std::string FormatOkResponse(const std::vector<std::string>& payload) {
+  std::string out = "OK " + std::to_string(payload.size()) + "\n";
+  for (const std::string& line : payload) {
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+std::string FormatErrorResponse(const Status& status) {
+  std::string message = status.message();
+  std::replace(message.begin(), message.end(), '\n', ' ');
+  return std::string("ERR ") + StatusCodeName(status.code()) + " " + message +
+         "\n";
+}
+
+std::vector<std::string> PredictionOutputLines(
+    const PredictionContext& context, const Ontology& ontology,
+    const LabeledMotifPredictor& predictor, ProteinId protein, size_t top_k) {
+  std::vector<std::string> lines;
+  char buffer[512];
+  if (!predictor.Covers(protein)) {
+    std::snprintf(buffer, sizeof buffer,
+                  "protein %u occurs in no labeled motif; no prediction",
+                  protein);
+    lines.emplace_back(buffer);
+    return lines;
+  }
+  std::snprintf(buffer, sizeof buffer, "top predictions for protein %u:",
+                protein);
+  lines.emplace_back(buffer);
+  const auto predictions = predictor.Predict(protein);
+  for (size_t i = 0; i < std::min(top_k, predictions.size()); ++i) {
+    std::snprintf(buffer, sizeof buffer, "  %zu. %s (score %.3f)%s", i + 1,
+                  ontology.TermName(predictions[i].category).c_str(),
+                  predictions[i].score,
+                  context.HasCategory(protein, predictions[i].category)
+                      ? "  [matches known annotation]"
+                      : "");
+    lines.emplace_back(buffer);
+  }
+  return lines;
+}
+
+}  // namespace lamo

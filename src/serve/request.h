@@ -1,0 +1,78 @@
+#ifndef LAMO_SERVE_REQUEST_H_
+#define LAMO_SERVE_REQUEST_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ontology/annotation.h"
+#include "predict/labeled_motif_predictor.h"
+#include "util/status.h"
+
+namespace lamo {
+
+/// ---- Serve wire protocol ---------------------------------------------------
+///
+/// Line-oriented, UTF-8, one request per line (grammar in docs/FORMATS.md,
+/// "Serve wire protocol"):
+///
+///   PREDICT <protein> [k]   scored top-k categories for a protein
+///   MOTIFS <protein>        labeled-motif sites the protein appears at
+///   TERMINFO <term-name>    packed per-term facts (weight, FC flags, depth)
+///   HEALTH                  snapshot identity + readiness (one line)
+///   STATS                   server counters (requests, cache, connections)
+///
+/// Responses are either `OK <n>` followed by exactly n payload lines, or a
+/// single `ERR <Code> <message>` line. PREDICT payload lines are
+/// byte-identical to offline `lamo predict` stdout for the same snapshot.
+
+/// Default k for PREDICT when the client omits it (matches the CLI's
+/// --top-k default).
+inline constexpr size_t kDefaultPredictTopK = 3;
+
+enum class RequestType : uint8_t {
+  kPredict,
+  kMotifs,
+  kTermInfo,
+  kHealth,
+  kStats,
+};
+
+/// One parsed request line.
+struct Request {
+  RequestType type = RequestType::kHealth;
+  ProteinId protein = 0;          // PREDICT / MOTIFS
+  size_t top_k = kDefaultPredictTopK;  // PREDICT
+  std::string term;               // TERMINFO
+};
+
+/// Parses one request line (leading/trailing whitespace ignored). Unknown
+/// verbs, missing or malformed arguments yield InvalidArgument.
+StatusOr<Request> ParseRequest(const std::string& line);
+
+/// True for the pure queries whose responses may be memoized (PREDICT,
+/// MOTIFS, TERMINFO); HEALTH and STATS describe live server state.
+bool IsCacheable(RequestType type);
+
+/// Renders `key` for the response cache: the canonical form of a request
+/// (normalized whitespace, explicit defaults) so equivalent spellings share
+/// one cache entry.
+std::string CacheKey(const Request& request);
+
+/// `OK <n>\n` + payload lines, each '\n'-terminated.
+std::string FormatOkResponse(const std::vector<std::string>& payload);
+
+/// `ERR <Code> <message>\n` (message newlines replaced with spaces).
+std::string FormatErrorResponse(const Status& status);
+
+/// The offline `lamo predict` stdout for one protein, as lines without
+/// trailing newlines: either the "no prediction" line or the header plus one
+/// rank line per top-k prediction. Shared by the CLI and the PREDICT handler
+/// so the two paths cannot drift apart.
+std::vector<std::string> PredictionOutputLines(
+    const PredictionContext& context, const Ontology& ontology,
+    const LabeledMotifPredictor& predictor, ProteinId protein, size_t top_k);
+
+}  // namespace lamo
+
+#endif  // LAMO_SERVE_REQUEST_H_

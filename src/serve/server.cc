@@ -1,0 +1,398 @@
+#include "serve/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstring>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "obs/obs.h"
+#include "parallel/parallel_for.h"
+#include "parallel/thread_pool.h"
+
+namespace lamo {
+namespace {
+
+/// Requests handled, by outcome. request_us covers every request (parse
+/// errors included), so its count always equals serve.requests.
+const size_t kObsRequests = ObsCounterId("serve.requests");
+const size_t kObsErrors = ObsCounterId("serve.errors");
+const size_t kObsCacheHits = ObsCounterId("serve.cache_hits");
+const size_t kObsCacheMisses = ObsCounterId("serve.cache_misses");
+const size_t kObsConnections = ObsCounterId("serve.connections");
+const size_t kHistRequestUs = ObsHistogramId("serve.request_us");
+const size_t kHistQueueUs = ObsHistogramId("serve.queue_us");
+
+using Clock = std::chrono::steady_clock;
+
+uint64_t MicrosSince(Clock::time_point start) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                            start)
+          .count());
+}
+
+/// A request line cannot reasonably exceed this; longer input without a
+/// newline is a protocol violation and closes the connection.
+constexpr size_t kMaxRequestBytes = 64 * 1024;
+
+}  // namespace
+
+SnapshotService::SnapshotService(Snapshot snapshot, size_t cache_capacity)
+    : snapshot_(std::move(snapshot)), cache_(cache_capacity) {
+  context_.ppi = &snapshot_.graph;
+  context_.categories = snapshot_.categories;
+  context_.protein_categories = snapshot_.protein_categories;
+  predictor_ = std::make_unique<LabeledMotifPredictor>(
+      context_, snapshot_.ontology, snapshot_.motifs);
+}
+
+std::string SnapshotService::Handle(const std::string& line) {
+  const bool observed = ObsEnabled();
+  const Clock::time_point start = observed ? Clock::now() : Clock::time_point();
+  stats_.requests.fetch_add(1, std::memory_order_relaxed);
+  ObsIncrement(kObsRequests);
+
+  std::string response;
+  auto parsed = ParseRequest(line);
+  if (!parsed.ok()) {
+    stats_.errors.fetch_add(1, std::memory_order_relaxed);
+    ObsIncrement(kObsErrors);
+    response = FormatErrorResponse(parsed.status());
+  } else {
+    const Request& request = *parsed;
+    const bool cacheable = IsCacheable(request.type) && cache_.capacity() > 0;
+    const std::string key = cacheable ? CacheKey(request) : std::string();
+    if (cacheable && cache_.Get(key, &response)) {
+      stats_.cache_hits.fetch_add(1, std::memory_order_relaxed);
+      ObsIncrement(kObsCacheHits);
+    } else {
+      if (cacheable) {
+        stats_.cache_misses.fetch_add(1, std::memory_order_relaxed);
+        ObsIncrement(kObsCacheMisses);
+      }
+      auto payload = Payload(request);
+      if (!payload.ok()) {
+        stats_.errors.fetch_add(1, std::memory_order_relaxed);
+        ObsIncrement(kObsErrors);
+        response = FormatErrorResponse(payload.status());
+      } else {
+        response = FormatOkResponse(*payload);
+        if (cacheable) cache_.Put(key, response);
+      }
+    }
+  }
+  if (observed) ObsObserve(kHistRequestUs, MicrosSince(start));
+  return response;
+}
+
+StatusOr<std::vector<std::string>> SnapshotService::Payload(
+    const Request& request) {
+  switch (request.type) {
+    case RequestType::kPredict:
+      return Predict(request);
+    case RequestType::kMotifs:
+      return Motifs(request);
+    case RequestType::kTermInfo:
+      return TermInfo(request);
+    case RequestType::kHealth:
+      return Health();
+    case RequestType::kStats:
+      return Stats();
+  }
+  return Status::Internal("unhandled request type");
+}
+
+StatusOr<std::vector<std::string>> SnapshotService::Predict(
+    const Request& request) {
+  if (request.protein >= snapshot_.graph.num_vertices()) {
+    return Status::InvalidArgument("protein out of range");
+  }
+  return PredictionOutputLines(context_, snapshot_.ontology, *predictor_,
+                               request.protein, request.top_k);
+}
+
+StatusOr<std::vector<std::string>> SnapshotService::Motifs(
+    const Request& request) {
+  if (request.protein >= snapshot_.graph.num_vertices()) {
+    return Status::InvalidArgument("protein out of range");
+  }
+  std::vector<std::string> lines;
+  char buffer[160];
+  for (const SnapshotSite& site : snapshot_.sites[request.protein]) {
+    const LabeledMotif& motif = snapshot_.motifs[site.motif];
+    std::snprintf(buffer, sizeof buffer,
+                  "motif %u vertex %u size %zu frequency %zu strength %.3f",
+                  site.motif, site.vertex, motif.size(), motif.frequency,
+                  motif.strength);
+    lines.emplace_back(buffer);
+  }
+  return lines;
+}
+
+StatusOr<std::vector<std::string>> SnapshotService::TermInfo(
+    const Request& request) {
+  const TermId t = snapshot_.ontology.FindTerm(request.term);
+  if (t == kInvalidTerm) {
+    return Status::NotFound("unknown term \"" + request.term + "\"");
+  }
+  std::vector<std::string> lines;
+  char buffer[256];
+  lines.push_back("term " + snapshot_.ontology.TermName(t));
+  lines.push_back("id " + std::to_string(t));
+  lines.push_back("depth " + std::to_string(snapshot_.ontology.Depth(t)));
+  std::snprintf(buffer, sizeof buffer, "weight %.6g",
+                snapshot_.weights.Weight(t));
+  lines.emplace_back(buffer);
+  lines.push_back(std::string("informative ") +
+                  (snapshot_.informative.IsInformative(t) ? "1" : "0"));
+  lines.push_back(std::string("border ") +
+                  (snapshot_.informative.IsBorderInformative(t) ? "1" : "0"));
+  lines.push_back(std::string("label_candidate ") +
+                  (snapshot_.informative.IsLabelCandidate(t) ? "1" : "0"));
+  std::string parents = "parents ";
+  bool first = true;
+  for (TermId parent : snapshot_.ontology.Parents(t)) {
+    if (!first) parents += ',';
+    parents += snapshot_.ontology.TermName(parent);
+    first = false;
+  }
+  if (first) parents += '-';
+  lines.push_back(std::move(parents));
+  return lines;
+}
+
+std::vector<std::string> SnapshotService::Health() const {
+  char buffer[160];
+  std::snprintf(buffer, sizeof buffer,
+                "ready proteins=%zu terms=%zu motifs=%zu categories=%zu",
+                snapshot_.graph.num_vertices(), snapshot_.ontology.num_terms(),
+                snapshot_.motifs.size(), snapshot_.categories.size());
+  return {buffer};
+}
+
+std::vector<std::string> SnapshotService::Stats() const {
+  std::vector<std::string> lines;
+  lines.push_back(
+      "requests " +
+      std::to_string(stats_.requests.load(std::memory_order_relaxed)));
+  lines.push_back(
+      "errors " + std::to_string(stats_.errors.load(std::memory_order_relaxed)));
+  lines.push_back(
+      "cache_hits " +
+      std::to_string(stats_.cache_hits.load(std::memory_order_relaxed)));
+  lines.push_back(
+      "cache_misses " +
+      std::to_string(stats_.cache_misses.load(std::memory_order_relaxed)));
+  lines.push_back("cache_entries " + std::to_string(cache_.size()));
+  lines.push_back("cache_capacity " + std::to_string(cache_.capacity()));
+  lines.push_back(
+      "connections " +
+      std::to_string(stats_.connections.load(std::memory_order_relaxed)));
+  lines.push_back("threads " + std::to_string(ThreadCount()));
+  return lines;
+}
+
+namespace {
+
+/// Runs one request on the pool and blocks for its response, preserving
+/// request order within the calling connection. Queue wait feeds the
+/// serve.queue_us histogram when observability is on.
+std::string Dispatch(ThreadPool& pool, SnapshotService& service,
+                     const std::string& line) {
+  auto promise = std::make_shared<std::promise<std::string>>();
+  std::future<std::string> future = promise->get_future();
+  const bool observed = ObsEnabled();
+  const Clock::time_point enqueued =
+      observed ? Clock::now() : Clock::time_point();
+  pool.Submit([&service, line, promise, observed, enqueued] {
+    if (observed) ObsObserve(kHistQueueUs, MicrosSince(enqueued));
+    promise->set_value(service.Handle(line));
+  });
+  return future.get();
+}
+
+/// ---- TCP plumbing ---------------------------------------------------------
+
+/// Signal handlers write one byte here (async-signal-safe) to wake the
+/// accept loop's poll().
+std::atomic<int> g_shutdown_pipe_wr{-1};
+
+void OnShutdownSignal(int) {
+  const int fd = g_shutdown_pipe_wr.load(std::memory_order_relaxed);
+  if (fd >= 0) {
+    const char byte = 1;
+    // poll() only needs readability; a full pipe already guarantees that.
+    [[maybe_unused]] ssize_t ignored = write(fd, &byte, 1);
+  }
+}
+
+bool SendAll(int fd, const std::string& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n =
+        send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+/// Reads newline-terminated requests from one client socket, answering each
+/// through the pool. Returns on EOF, error, socket shutdown, or a stop
+/// request between lines.
+void ConnectionLoop(int fd, ThreadPool& pool, SnapshotService& service,
+                    const std::atomic<bool>& stopping) {
+  std::string buffer;
+  char chunk[4096];
+  while (!stopping.load(std::memory_order_acquire)) {
+    size_t newline;
+    while ((newline = buffer.find('\n')) == std::string::npos) {
+      if (buffer.size() > kMaxRequestBytes) {
+        SendAll(fd, FormatErrorResponse(
+                        Status::InvalidArgument("request line too long")));
+        return;
+      }
+      const ssize_t n = recv(fd, chunk, sizeof chunk, 0);
+      if (n <= 0) return;  // EOF, error, or shutdown()
+      buffer.append(chunk, static_cast<size_t>(n));
+    }
+    const std::string line = buffer.substr(0, newline);
+    buffer.erase(0, newline + 1);
+    if (!SendAll(fd, Dispatch(pool, service, line))) return;
+  }
+}
+
+}  // namespace
+
+Status RunStreamServer(SnapshotService* service, std::istream& in,
+                       std::ostream& out) {
+  ThreadPool pool(ThreadCount());
+  std::string line;
+  while (std::getline(in, line)) {
+    out << Dispatch(pool, *service, line);
+  }
+  out.flush();
+  pool.Wait();
+  return Status::OK();
+}
+
+Status RunTcpServer(SnapshotService* service, uint16_t port, std::FILE* log) {
+  const int listen_fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd < 0) return Status::IoError("socket() failed");
+  const int one = 1;
+  setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (bind(listen_fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    close(listen_fd);
+    return Status::IoError("cannot bind 127.0.0.1:" + std::to_string(port) +
+                           ": " + std::strerror(errno));
+  }
+  socklen_t addr_len = sizeof addr;
+  if (getsockname(listen_fd, reinterpret_cast<sockaddr*>(&addr), &addr_len) !=
+      0) {
+    close(listen_fd);
+    return Status::IoError("getsockname() failed");
+  }
+  const uint16_t bound_port = ntohs(addr.sin_port);
+  if (listen(listen_fd, 64) != 0) {
+    close(listen_fd);
+    return Status::IoError("listen() failed");
+  }
+
+  int pipe_fds[2];
+  if (pipe(pipe_fds) != 0) {
+    close(listen_fd);
+    return Status::IoError("pipe() failed");
+  }
+  g_shutdown_pipe_wr.store(pipe_fds[1], std::memory_order_relaxed);
+  struct sigaction action{};
+  action.sa_handler = OnShutdownSignal;
+  sigemptyset(&action.sa_mask);
+  struct sigaction old_int{}, old_term{};
+  sigaction(SIGINT, &action, &old_int);
+  sigaction(SIGTERM, &action, &old_term);
+
+  std::fprintf(log, "lamo serve: listening on 127.0.0.1:%u (pid %ld)\n",
+               bound_port, static_cast<long>(getpid()));
+  std::fflush(log);
+
+  ThreadPool pool(ThreadCount());
+  std::atomic<bool> stopping{false};
+  std::mutex conn_mu;
+  std::vector<int> open_fds;             // guarded by conn_mu
+  std::vector<std::thread> conn_threads;
+
+  pollfd poll_fds[2];
+  poll_fds[0] = {listen_fd, POLLIN, 0};
+  poll_fds[1] = {pipe_fds[0], POLLIN, 0};
+  while (true) {
+    const int ready = poll(poll_fds, 2, -1);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (poll_fds[1].revents != 0) break;  // SIGINT / SIGTERM
+    if ((poll_fds[0].revents & POLLIN) != 0) {
+      const int conn_fd = accept(listen_fd, nullptr, nullptr);
+      if (conn_fd < 0) continue;
+      service->stats().connections.fetch_add(1, std::memory_order_relaxed);
+      ObsIncrement(kObsConnections);
+      {
+        std::lock_guard<std::mutex> lock(conn_mu);
+        open_fds.push_back(conn_fd);
+      }
+      conn_threads.emplace_back([&, conn_fd] {
+        ConnectionLoop(conn_fd, pool, *service, stopping);
+        // Remove-and-close under the lock so the shutdown path never calls
+        // shutdown() on an fd number that was already closed and reused.
+        std::lock_guard<std::mutex> lock(conn_mu);
+        open_fds.erase(std::find(open_fds.begin(), open_fds.end(), conn_fd));
+        close(conn_fd);
+      });
+    }
+  }
+
+  // Graceful drain: stop accepting, unblock blocked readers, let in-flight
+  // requests finish, then join everything before the caller flushes reports.
+  stopping.store(true, std::memory_order_release);
+  close(listen_fd);
+  {
+    std::lock_guard<std::mutex> lock(conn_mu);
+    for (int fd : open_fds) shutdown(fd, SHUT_RDWR);
+  }
+  for (std::thread& t : conn_threads) t.join();
+  pool.Wait();
+
+  sigaction(SIGINT, &old_int, nullptr);
+  sigaction(SIGTERM, &old_term, nullptr);
+  g_shutdown_pipe_wr.store(-1, std::memory_order_relaxed);
+  close(pipe_fds[0]);
+  close(pipe_fds[1]);
+
+  std::fprintf(
+      log, "lamo serve: drained, served %llu requests over %llu connections\n",
+      static_cast<unsigned long long>(
+          service->stats().requests.load(std::memory_order_relaxed)),
+      static_cast<unsigned long long>(
+          service->stats().connections.load(std::memory_order_relaxed)));
+  std::fflush(log);
+  return Status::OK();
+}
+
+}  // namespace lamo

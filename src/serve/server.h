@@ -1,0 +1,93 @@
+#ifndef LAMO_SERVE_SERVER_H_
+#define LAMO_SERVE_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <istream>
+#include <memory>
+#include <ostream>
+#include <string>
+
+#include "predict/labeled_motif_predictor.h"
+#include "serve/cache.h"
+#include "serve/request.h"
+#include "serve/snapshot.h"
+#include "util/status.h"
+
+namespace lamo {
+
+/// Default response-cache capacity (entries) for `lamo serve`.
+inline constexpr size_t kDefaultServeCacheCapacity = 4096;
+
+/// Live server counters, exposed by the STATS request. Kept separately from
+/// the obs layer so STATS works without a `--report` sink installed; the
+/// handlers additionally feed the `serve.*` obs counters and histograms when
+/// a sink is present.
+struct ServeStats {
+  std::atomic<uint64_t> requests{0};
+  std::atomic<uint64_t> errors{0};
+  std::atomic<uint64_t> cache_hits{0};
+  std::atomic<uint64_t> cache_misses{0};
+  std::atomic<uint64_t> connections{0};
+};
+
+/// Answers protocol requests against one loaded snapshot. Construction wires
+/// the prediction context and the labeled-motif predictor from the packed
+/// artifacts — no text parsing, no weight or closure recomputation. Handle()
+/// is thread-safe: the snapshot is immutable, the cache is internally
+/// locked, and the stats are atomics.
+class SnapshotService {
+ public:
+  /// Takes ownership of the snapshot. `cache_capacity` 0 disables response
+  /// memoization (every request recomputes; responses are unchanged).
+  explicit SnapshotService(Snapshot snapshot,
+                           size_t cache_capacity = kDefaultServeCacheCapacity);
+
+  SnapshotService(const SnapshotService&) = delete;
+  SnapshotService& operator=(const SnapshotService&) = delete;
+
+  /// Processes one request line and returns the full wire response
+  /// (`OK <n>` + payload, or `ERR ...`), updating stats, the cache, and the
+  /// serve.* observability metrics.
+  std::string Handle(const std::string& line);
+
+  const Snapshot& snapshot() const { return snapshot_; }
+  ServeStats& stats() { return stats_; }
+  const ServeStats& stats() const { return stats_; }
+  size_t cache_entries() const { return cache_.size(); }
+
+ private:
+  StatusOr<std::vector<std::string>> Payload(const Request& request);
+  StatusOr<std::vector<std::string>> Predict(const Request& request);
+  StatusOr<std::vector<std::string>> Motifs(const Request& request);
+  StatusOr<std::vector<std::string>> TermInfo(const Request& request);
+  std::vector<std::string> Health() const;
+  std::vector<std::string> Stats() const;
+
+  Snapshot snapshot_;
+  PredictionContext context_;
+  std::unique_ptr<LabeledMotifPredictor> predictor_;
+  ResponseCache cache_;
+  ServeStats stats_;
+};
+
+/// One-shot stream mode (`lamo serve --stdin`): reads request lines from
+/// `in` until EOF, writes each response to `out`. Requests are dispatched
+/// onto the parallel runtime's thread pool exactly as in TCP mode, and
+/// responses keep request order, so output is deterministic for any thread
+/// count. Used by tests and the determinism guard.
+Status RunStreamServer(SnapshotService* service, std::istream& in,
+                       std::ostream& out);
+
+/// Long-lived TCP mode: binds 127.0.0.1:`port` (0 picks an ephemeral port),
+/// prints `listening on 127.0.0.1:<port>` to `log`, and serves concurrent
+/// connections — one reader thread per connection, each request dispatched
+/// onto the shared thread pool — until SIGINT or SIGTERM. Shutdown is
+/// graceful: stop accepting, unblock readers, finish in-flight requests,
+/// join everything, then return OK so the CLI can flush --report/--trace.
+Status RunTcpServer(SnapshotService* service, uint16_t port, std::FILE* log);
+
+}  // namespace lamo
+
+#endif  // LAMO_SERVE_SERVER_H_

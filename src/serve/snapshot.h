@@ -1,0 +1,98 @@
+#ifndef LAMO_SERVE_SNAPSHOT_H_
+#define LAMO_SERVE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/labeled_motif.h"
+#include "graph/graph.h"
+#include "ontology/annotation.h"
+#include "ontology/informative.h"
+#include "ontology/ontology.h"
+#include "ontology/weights.h"
+#include "util/status.h"
+
+namespace lamo {
+
+/// ---- Model snapshot (`.lamosnap`) ----------------------------------------
+///
+/// The serving subsystem's binary artifact: everything `lamo predict` would
+/// re-derive from the text inputs (OBO ontology with its ancestor closures,
+/// GAF annotations, Lord term weights, informative/border functional-class
+/// flags, labeled motifs with strengths, a per-protein motif-site index and
+/// the top-category prediction context) compiled once by `lamo pack` and
+/// loaded back with one sequential read — no text parsing, no closure or
+/// weight recomputation on the serve path.
+///
+/// The on-disk layout (field by field) is documented in docs/FORMATS.md
+/// ("Model snapshot"). The file is versioned and checksummed; the reader
+/// rejects truncated files, wrong magic, unsupported versions and checksum
+/// mismatches with a Status error and never crashes on corrupt input.
+
+/// File magic, first 8 bytes of every snapshot.
+inline constexpr char kSnapshotMagic[8] = {'L', 'A', 'M', 'O',
+                                           'S', 'N', 'A', 'P'};
+
+/// Current format version. Readers accept exactly this version.
+inline constexpr uint32_t kSnapshotVersion = 1;
+
+/// One motif site a protein appears at: `motifs[motif]`'s canonical vertex
+/// `vertex`. Mirrors LabeledMotifPredictor's per-protein index.
+struct SnapshotSite {
+  uint32_t motif = 0;
+  uint32_t vertex = 0;
+
+  friend bool operator==(const SnapshotSite& a, const SnapshotSite& b) {
+    return a.motif == b.motif && a.vertex == b.vertex;
+  }
+};
+
+/// The in-memory image of a snapshot.
+struct Snapshot {
+  Graph graph;
+  Ontology ontology;
+  AnnotationTable annotations;
+  TermWeights weights;
+  InformativeClasses informative;
+  std::vector<LabeledMotif> motifs;
+
+  /// Per-protein motif-occurrence index: sites[p] lists the (motif, vertex)
+  /// pairs protein p plays, deduplicated, in first-seen order (identical to
+  /// the index LabeledMotifPredictor builds).
+  std::vector<std::vector<SnapshotSite>> sites;
+
+  /// Prediction context, materialized at pack time: the top categories
+  /// (children of the first ontology root) and each protein's known
+  /// categories generalized via the true path — exactly what `lamo predict`
+  /// derives before answering.
+  std::vector<TermId> categories;
+  std::vector<std::vector<TermId>> protein_categories;
+};
+
+/// Derives the packed artifacts (weights, informative classes, site index,
+/// prediction context) from pipeline outputs. Deterministic: depends only on
+/// the inputs, never on thread count.
+Snapshot BuildSnapshot(Graph graph, Ontology ontology,
+                       AnnotationTable annotations,
+                       std::vector<LabeledMotif> motifs,
+                       const InformativeConfig& informative_config);
+
+/// Serializes `snapshot` to its canonical byte string (magic, version,
+/// sections, trailing FNV-1a checksum). Byte-reproducible for equal inputs.
+std::string EncodeSnapshot(const Snapshot& snapshot);
+
+/// Parses a byte string produced by EncodeSnapshot. Corrupt input (short
+/// file, bad magic, unsupported version, checksum mismatch, malformed or
+/// out-of-range section data) yields a descriptive error Status.
+StatusOr<Snapshot> DecodeSnapshot(const std::string& bytes);
+
+/// Writes EncodeSnapshot(snapshot) to `path`.
+Status WriteSnapshot(const Snapshot& snapshot, const std::string& path);
+
+/// Reads and decodes `path`.
+StatusOr<Snapshot> ReadSnapshot(const std::string& path);
+
+}  // namespace lamo
+
+#endif  // LAMO_SERVE_SNAPSHOT_H_

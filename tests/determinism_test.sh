@@ -52,4 +52,42 @@ cmp "$WORK/motifs.t1.txt" "$WORK/motifs.env.txt" || {
   exit 1
 }
 
-echo "determinism OK: serial and parallel outputs are byte-identical"
+# The serving artifacts obey the same contract: `lamo pack` must be
+# byte-reproducible for any thread count, and served responses must be
+# identical across thread counts and with the response cache on or off
+# (cache hits replay the same bytes recomputation would produce).
+for threads in 1 4; do
+  "$LAMO" pack --graph "$WORK/ds.graph.txt" --obo "$WORK/ds.obo" \
+    --annotations "$WORK/ds.annotations.tsv" \
+    --labeled "$WORK/labeled.t1.txt" --threads "$threads" \
+    --out "$WORK/snap.t$threads.lamosnap" > /dev/null
+done
+cmp "$WORK/snap.t1.lamosnap" "$WORK/snap.t4.lamosnap" || {
+  echo "FAIL: pack output differs between --threads 1 and --threads 4" >&2
+  exit 1
+}
+
+awk 'BEGIN {
+  print "HEALTH";
+  for (p = 0; p < 400; p += 13) printf "PREDICT %d\n", p;
+  for (p = 0; p < 400; p += 29) printf "MOTIFS %d\n", p;
+  for (p = 0; p < 400; p += 37) printf "PREDICT %d 5\n", p;
+  print "PREDICT 7"; print "PREDICT 7";  # repeat: exercises a cache hit
+}' > "$WORK/requests.txt"
+"$LAMO" serve --snapshot "$WORK/snap.t1.lamosnap" --stdin --threads 1 \
+  < "$WORK/requests.txt" > "$WORK/resp.t1.txt" 2> /dev/null
+"$LAMO" serve --snapshot "$WORK/snap.t1.lamosnap" --stdin --threads 4 \
+  < "$WORK/requests.txt" > "$WORK/resp.t4.txt" 2> /dev/null
+"$LAMO" serve --snapshot "$WORK/snap.t1.lamosnap" --stdin --threads 4 \
+  --no-cache < "$WORK/requests.txt" > "$WORK/resp.nocache.txt" 2> /dev/null
+cmp "$WORK/resp.t1.txt" "$WORK/resp.t4.txt" || {
+  echo "FAIL: serve responses differ between --threads 1 and --threads 4" >&2
+  exit 1
+}
+cmp "$WORK/resp.t1.txt" "$WORK/resp.nocache.txt" || {
+  echo "FAIL: serve responses differ with the cache disabled" >&2
+  exit 1
+}
+
+echo "determinism OK: serial and parallel outputs are byte-identical" \
+  "(mine/label/pack/serve)"

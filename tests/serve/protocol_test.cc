@@ -1,0 +1,233 @@
+// Wire-protocol tests: request parsing, response framing, cache keys, the
+// SnapshotService request handlers (including byte-identity between the
+// PREDICT payload and the offline prediction formatter), and the stream
+// server's ordered, deterministic output.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "serve/request.h"
+#include "serve/server.h"
+#include "serve/snapshot.h"
+#include "serve_test_util.h"
+
+namespace lamo {
+namespace {
+
+// ---- ParseRequest ----------------------------------------------------------
+
+TEST(ParseRequestTest, PredictWithDefaultK) {
+  auto request = ParseRequest("PREDICT 17");
+  ASSERT_TRUE(request.ok());
+  EXPECT_EQ(request->type, RequestType::kPredict);
+  EXPECT_EQ(request->protein, 17u);
+  EXPECT_EQ(request->top_k, kDefaultPredictTopK);
+}
+
+TEST(ParseRequestTest, PredictWithExplicitK) {
+  auto request = ParseRequest("PREDICT 17 5");
+  ASSERT_TRUE(request.ok());
+  EXPECT_EQ(request->top_k, 5u);
+}
+
+TEST(ParseRequestTest, ToleratesExtraWhitespaceAndCr) {
+  auto request = ParseRequest("  PREDICT \t 17   5 \r");
+  ASSERT_TRUE(request.ok());
+  EXPECT_EQ(request->protein, 17u);
+  EXPECT_EQ(request->top_k, 5u);
+}
+
+TEST(ParseRequestTest, OtherVerbs) {
+  auto motifs = ParseRequest("MOTIFS 3");
+  ASSERT_TRUE(motifs.ok());
+  EXPECT_EQ(motifs->type, RequestType::kMotifs);
+  EXPECT_EQ(motifs->protein, 3u);
+
+  auto term = ParseRequest("TERMINFO T0005");
+  ASSERT_TRUE(term.ok());
+  EXPECT_EQ(term->type, RequestType::kTermInfo);
+  EXPECT_EQ(term->term, "T0005");
+
+  EXPECT_EQ(ParseRequest("HEALTH")->type, RequestType::kHealth);
+  EXPECT_EQ(ParseRequest("STATS")->type, RequestType::kStats);
+}
+
+TEST(ParseRequestTest, Rejections) {
+  EXPECT_FALSE(ParseRequest("").ok());
+  EXPECT_FALSE(ParseRequest("   \r").ok());
+  EXPECT_FALSE(ParseRequest("BOGUS 1").ok());
+  EXPECT_FALSE(ParseRequest("predict 1").ok());  // verbs are case-sensitive
+  EXPECT_FALSE(ParseRequest("PREDICT").ok());
+  EXPECT_FALSE(ParseRequest("PREDICT x").ok());
+  EXPECT_FALSE(ParseRequest("PREDICT 1 0").ok());   // k must be positive
+  EXPECT_FALSE(ParseRequest("PREDICT 1 2 3").ok());
+  EXPECT_FALSE(ParseRequest("MOTIFS").ok());
+  EXPECT_FALSE(ParseRequest("MOTIFS 1 2").ok());
+  EXPECT_FALSE(ParseRequest("TERMINFO").ok());
+  EXPECT_FALSE(ParseRequest("HEALTH now").ok());
+  EXPECT_FALSE(ParseRequest("STATS all").ok());
+}
+
+// ---- framing + cache keys --------------------------------------------------
+
+TEST(FramingTest, OkResponse) {
+  EXPECT_EQ(FormatOkResponse({}), "OK 0\n");
+  EXPECT_EQ(FormatOkResponse({"a", "b"}), "OK 2\na\nb\n");
+}
+
+TEST(FramingTest, ErrorResponseIsOneLine) {
+  const std::string response =
+      FormatErrorResponse(Status::InvalidArgument("multi\nline\nmessage"));
+  EXPECT_EQ(response, "ERR InvalidArgument multi line message\n");
+}
+
+TEST(CacheKeyTest, EquivalentSpellingsShareOneKey) {
+  const auto a = ParseRequest("PREDICT 5");
+  const auto b = ParseRequest(" PREDICT \t 5  3 \r");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(CacheKey(*a), CacheKey(*b));
+  const auto c = ParseRequest("PREDICT 5 4");
+  ASSERT_TRUE(c.ok());
+  EXPECT_NE(CacheKey(*a), CacheKey(*c));
+}
+
+TEST(CacheKeyTest, OnlyPureQueriesAreCacheable) {
+  EXPECT_TRUE(IsCacheable(RequestType::kPredict));
+  EXPECT_TRUE(IsCacheable(RequestType::kMotifs));
+  EXPECT_TRUE(IsCacheable(RequestType::kTermInfo));
+  EXPECT_FALSE(IsCacheable(RequestType::kHealth));
+  EXPECT_FALSE(IsCacheable(RequestType::kStats));
+}
+
+// ---- SnapshotService -------------------------------------------------------
+
+class ServiceTest : public ::testing::Test {
+ protected:
+  ServiceTest() : service_(TestSnapshot()) {}
+  SnapshotService service_;
+};
+
+TEST_F(ServiceTest, HealthReportsSnapshotIdentity) {
+  const std::string response = service_.Handle("HEALTH");
+  EXPECT_EQ(response.rfind("OK 1\nready proteins=", 0), 0u) << response;
+}
+
+TEST_F(ServiceTest, PredictMatchesOfflineFormatter) {
+  const Snapshot& snapshot = service_.snapshot();
+  // Rebuild the offline context + predictor exactly as `lamo predict` does
+  // and compare payloads for every protein: served answers must be
+  // byte-identical to offline ones.
+  PredictionContext context;
+  context.ppi = &snapshot.graph;
+  context.categories = snapshot.categories;
+  context.protein_categories = snapshot.protein_categories;
+  const LabeledMotifPredictor predictor(context, snapshot.ontology,
+                                        snapshot.motifs);
+  for (ProteinId p = 0; p < snapshot.graph.num_vertices(); ++p) {
+    const auto lines = PredictionOutputLines(context, snapshot.ontology,
+                                             predictor, p, 3);
+    EXPECT_EQ(service_.Handle("PREDICT " + std::to_string(p)),
+              FormatOkResponse(lines))
+        << "protein " << p;
+  }
+}
+
+TEST_F(ServiceTest, MotifsListsSites) {
+  const Snapshot& snapshot = service_.snapshot();
+  ProteinId covered = snapshot.graph.num_vertices();
+  for (ProteinId p = 0; p < snapshot.sites.size(); ++p) {
+    if (!snapshot.sites[p].empty()) {
+      covered = p;
+      break;
+    }
+  }
+  ASSERT_LT(covered, snapshot.graph.num_vertices())
+      << "fixture must cover at least one protein";
+  const std::string response =
+      service_.Handle("MOTIFS " + std::to_string(covered));
+  EXPECT_EQ(response.rfind("OK ", 0), 0u) << response;
+  EXPECT_NE(response.find("motif "), std::string::npos) << response;
+}
+
+TEST_F(ServiceTest, TermInfoKnownAndUnknown) {
+  const std::string name = service_.snapshot().ontology.TermName(0);
+  const std::string response = service_.Handle("TERMINFO " + name);
+  EXPECT_EQ(response.rfind("OK ", 0), 0u) << response;
+  EXPECT_NE(response.find("term " + name), std::string::npos) << response;
+
+  const std::string missing = service_.Handle("TERMINFO NO_SUCH_TERM");
+  EXPECT_EQ(missing.rfind("ERR NotFound", 0), 0u) << missing;
+}
+
+TEST_F(ServiceTest, ErrorsAreStatusLinesNotCrashes) {
+  EXPECT_EQ(service_.Handle("BOGUS").rfind("ERR InvalidArgument", 0), 0u);
+  EXPECT_EQ(service_.Handle("PREDICT 999999999").rfind("ERR ", 0), 0u);
+  EXPECT_EQ(service_.Handle("MOTIFS 999999999").rfind("ERR ", 0), 0u);
+  EXPECT_EQ(service_.Handle("").rfind("ERR ", 0), 0u);
+}
+
+TEST_F(ServiceTest, StatsTrackRequestsAndCache) {
+  service_.Handle("PREDICT 1");
+  service_.Handle("PREDICT 1");      // cache hit
+  service_.Handle("PREDICT 1 3");    // same canonical key: another hit
+  service_.Handle("BOGUS");
+  EXPECT_EQ(service_.stats().requests.load(), 4u);
+  EXPECT_EQ(service_.stats().errors.load(), 1u);
+  EXPECT_EQ(service_.stats().cache_misses.load(), 1u);
+  EXPECT_EQ(service_.stats().cache_hits.load(), 2u);
+  EXPECT_EQ(service_.cache_entries(), 1u);
+
+  const std::string stats = service_.Handle("STATS");
+  EXPECT_NE(stats.find("requests 5"), std::string::npos) << stats;
+  EXPECT_NE(stats.find("errors 1"), std::string::npos) << stats;
+}
+
+TEST_F(ServiceTest, CacheOffNeverChangesResponses) {
+  SnapshotService uncached(TestSnapshot(), /*cache_capacity=*/0);
+  for (const char* request :
+       {"PREDICT 1", "PREDICT 1", "MOTIFS 2", "TERMINFO T0001", "HEALTH"}) {
+    EXPECT_EQ(uncached.Handle(request), service_.Handle(request)) << request;
+  }
+  EXPECT_EQ(uncached.stats().cache_hits.load(), 0u);
+  EXPECT_EQ(uncached.cache_entries(), 0u);
+}
+
+// ---- stream server ---------------------------------------------------------
+
+TEST(StreamServerTest, AnswersInOrderAndDeterministically) {
+  const std::string script =
+      "HEALTH\nPREDICT 0\nMOTIFS 1\nBOGUS\nPREDICT 0\n";
+  std::string first;
+  for (int run = 0; run < 2; ++run) {
+    SnapshotService service(TestSnapshot());
+    std::istringstream in(script);
+    std::ostringstream out;
+    ASSERT_TRUE(RunStreamServer(&service, in, out).ok());
+    // Responses appear in request order: reply 1 is the HEALTH banner and
+    // the BOGUS error precedes the final PREDICT payload.
+    const std::string text = out.str();
+    EXPECT_EQ(text.rfind("OK 1\nready proteins=", 0), 0u);
+    EXPECT_NE(text.find("ERR InvalidArgument"), std::string::npos);
+    EXPECT_EQ(service.stats().requests.load(), 5u);
+    if (run == 0) {
+      first = text;
+    } else {
+      EXPECT_EQ(text, first) << "stream output must be deterministic";
+    }
+  }
+}
+
+TEST(StreamServerTest, EmptyInputIsFine) {
+  SnapshotService service(TestSnapshot());
+  std::istringstream in("");
+  std::ostringstream out;
+  ASSERT_TRUE(RunStreamServer(&service, in, out).ok());
+  EXPECT_TRUE(out.str().empty());
+  EXPECT_EQ(service.stats().requests.load(), 0u);
+}
+
+}  // namespace
+}  // namespace lamo

@@ -1,0 +1,402 @@
+// lamo_bench_client — load generator and one-shot client for `lamo serve`.
+//
+//   lamo_bench_client --port 7471 --connections 4 --requests 200 \
+//       --out BENCH_serve.json
+//   lamo_bench_client --port 7471 --query "PREDICT 42 3"
+//
+// Bench mode opens N concurrent TCP connections to 127.0.0.1:<port>, each
+// issuing M requests back-to-back (a fixed deterministic mix of PREDICT and
+// MOTIFS over the snapshot's protein range), and reports throughput plus
+// p50/p90/p99 request latency. --out writes the numbers in the same
+// {"context":..., "benchmarks":[...]} shape as the google-benchmark JSON
+// the other bench harnesses archive, so BENCH_serve.json can be tracked
+// across PRs next to bench_micro.json and bench_scaling.json.
+//
+// Query mode sends one request line and prints the payload lines verbatim
+// (exit 0 on OK, 1 on ERR) — the byte-compare hook used by
+// tests/cli_serve_test.sh to diff server answers against offline
+// `lamo predict`.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/json.h"
+#include "util/string_util.h"
+
+namespace lamo {
+namespace {
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: lamo_bench_client --port P [--connections N] [--requests M]\n"
+      "                         [--out FILE.json] [--query \"REQUEST LINE\"]\n"
+      "Bench mode (default): N connections x M requests against the lamo\n"
+      "serve daemon on 127.0.0.1:P; prints throughput and latency\n"
+      "percentiles, and with --out writes them as benchmark JSON.\n"
+      "Query mode (--query): send one request, print the payload lines\n"
+      "verbatim; exit 0 on OK, 1 on ERR.\n");
+  return 2;
+}
+
+bool SendAll(int fd, const std::string& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+#ifdef MSG_NOSIGNAL
+                             MSG_NOSIGNAL
+#else
+                             0
+#endif
+    );
+    if (n <= 0) return false;
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+/// Buffered '\n'-delimited reads from a connected socket.
+class LineReader {
+ public:
+  explicit LineReader(int fd) : fd_(fd) {}
+
+  bool ReadLine(std::string* line) {
+    line->clear();
+    for (;;) {
+      const size_t newline = buffer_.find('\n', pos_);
+      if (newline != std::string::npos) {
+        line->assign(buffer_, pos_, newline - pos_);
+        pos_ = newline + 1;
+        if (pos_ == buffer_.size()) {
+          buffer_.clear();
+          pos_ = 0;
+        }
+        return true;
+      }
+      char chunk[4096];
+      const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+      if (n <= 0) return false;
+      buffer_.append(chunk, static_cast<size_t>(n));
+    }
+  }
+
+ private:
+  int fd_;
+  std::string buffer_;
+  size_t pos_ = 0;
+};
+
+int Connect(uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+/// Sends one request and reads the complete response (header + payload).
+/// Returns false on a transport failure or malformed header.
+bool RoundTrip(int fd, LineReader& reader, const std::string& request,
+               std::string* header, std::vector<std::string>* payload) {
+  payload->clear();
+  if (!SendAll(fd, request + "\n")) return false;
+  if (!reader.ReadLine(header)) return false;
+  if (header->rfind("OK ", 0) == 0) {
+    uint64_t count = 0;
+    if (!ParseUint64(header->substr(3), &count)) return false;
+    payload->reserve(count);
+    for (uint64_t i = 0; i < count; ++i) {
+      std::string line;
+      if (!reader.ReadLine(&line)) return false;
+      payload->push_back(std::move(line));
+    }
+    return true;
+  }
+  return header->rfind("ERR ", 0) == 0;
+}
+
+int RunQuery(uint16_t port, const std::string& query) {
+  const int fd = Connect(port);
+  if (fd < 0) {
+    std::fprintf(stderr, "error: cannot connect to 127.0.0.1:%u\n", port);
+    return 1;
+  }
+  LineReader reader(fd);
+  std::string header;
+  std::vector<std::string> payload;
+  const bool ok = RoundTrip(fd, reader, query, &header, &payload);
+  ::close(fd);
+  if (!ok) {
+    std::fprintf(stderr, "error: transport failure or malformed response\n");
+    return 1;
+  }
+  if (header.rfind("ERR", 0) == 0) {
+    std::fprintf(stderr, "%s\n", header.c_str());
+    return 1;
+  }
+  for (const std::string& line : payload) std::printf("%s\n", line.c_str());
+  return 0;
+}
+
+struct WorkerResult {
+  std::vector<double> latencies_us;
+  uint64_t ok = 0;
+  uint64_t err = 0;
+  bool transport_failed = false;
+};
+
+void RunWorker(uint16_t port, size_t index, size_t requests,
+               size_t num_proteins, WorkerResult* result) {
+  const int fd = Connect(port);
+  if (fd < 0) {
+    result->transport_failed = true;
+    return;
+  }
+  LineReader reader(fd);
+  result->latencies_us.reserve(requests);
+  char request[64];
+  for (size_t i = 0; i < requests; ++i) {
+    // Deterministic mix: 3 PREDICTs then a MOTIFS, proteins striding the
+    // snapshot range differently per connection so cache hits and misses
+    // both occur.
+    const size_t protein = (index * 131 + i * 17) % std::max<size_t>(1, num_proteins);
+    if (i % 4 == 3) {
+      std::snprintf(request, sizeof request, "MOTIFS %zu", protein);
+    } else {
+      std::snprintf(request, sizeof request, "PREDICT %zu", protein);
+    }
+    std::string header;
+    std::vector<std::string> payload;
+    const auto start = std::chrono::steady_clock::now();
+    if (!RoundTrip(fd, reader, request, &header, &payload)) {
+      result->transport_failed = true;
+      break;
+    }
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    result->latencies_us.push_back(
+        std::chrono::duration<double, std::micro>(elapsed).count());
+    if (header.rfind("OK", 0) == 0) {
+      ++result->ok;
+    } else {
+      ++result->err;
+    }
+  }
+  ::close(fd);
+}
+
+double Percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const size_t index = static_cast<size_t>(
+      q * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(index, sorted.size() - 1)];
+}
+
+int RunBench(uint16_t port, size_t connections, size_t requests,
+             const std::string& out_path) {
+  // Untimed HEALTH probe: checks the server is up and learns the protein
+  // count so the request mix spans the real snapshot range.
+  size_t num_proteins = 1;
+  {
+    const int fd = Connect(port);
+    if (fd < 0) {
+      std::fprintf(stderr, "error: cannot connect to 127.0.0.1:%u\n", port);
+      return 1;
+    }
+    LineReader reader(fd);
+    std::string header;
+    std::vector<std::string> payload;
+    if (!RoundTrip(fd, reader, "HEALTH", &header, &payload) ||
+        payload.empty()) {
+      std::fprintf(stderr, "error: HEALTH probe failed\n");
+      ::close(fd);
+      return 1;
+    }
+    ::close(fd);
+    const size_t marker = payload[0].find("proteins=");
+    if (marker != std::string::npos) {
+      uint64_t parsed = 0;
+      const std::string tail = payload[0].substr(marker + 9);
+      ParseUint64(tail.substr(0, tail.find(' ')), &parsed);
+      if (parsed > 0) num_proteins = static_cast<size_t>(parsed);
+    }
+  }
+
+  std::vector<WorkerResult> results(connections);
+  std::vector<std::thread> workers;
+  workers.reserve(connections);
+  const auto bench_start = std::chrono::steady_clock::now();
+  for (size_t c = 0; c < connections; ++c) {
+    workers.emplace_back(RunWorker, port, c, requests, num_proteins,
+                         &results[c]);
+  }
+  for (std::thread& worker : workers) worker.join();
+  const auto bench_elapsed = std::chrono::steady_clock::now() - bench_start;
+  const double wall_s =
+      std::chrono::duration<double>(bench_elapsed).count();
+
+  std::vector<double> latencies;
+  uint64_t ok = 0, err = 0;
+  bool transport_failed = false;
+  for (const WorkerResult& r : results) {
+    latencies.insert(latencies.end(), r.latencies_us.begin(),
+                     r.latencies_us.end());
+    ok += r.ok;
+    err += r.err;
+    transport_failed = transport_failed || r.transport_failed;
+  }
+  if (transport_failed) {
+    std::fprintf(stderr, "error: at least one connection failed mid-run\n");
+    return 1;
+  }
+  std::sort(latencies.begin(), latencies.end());
+  double sum = 0;
+  for (double v : latencies) sum += v;
+  const double mean = latencies.empty() ? 0 : sum / latencies.size();
+  const double throughput = wall_s > 0 ? latencies.size() / wall_s : 0;
+  const double p50 = Percentile(latencies, 0.50);
+  const double p90 = Percentile(latencies, 0.90);
+  const double p99 = Percentile(latencies, 0.99);
+  const double max = latencies.empty() ? 0 : latencies.back();
+
+  std::printf("%zu connections x %zu requests: %llu OK, %llu ERR in %.3f s\n",
+              connections, requests,
+              static_cast<unsigned long long>(ok),
+              static_cast<unsigned long long>(err), wall_s);
+  std::printf("throughput %.0f req/s; latency us: mean %.1f p50 %.1f "
+              "p90 %.1f p99 %.1f max %.1f\n",
+              throughput, mean, p50, p90, p99, max);
+
+  if (!out_path.empty()) {
+    JsonWriter json;
+    json.BeginObject();
+    json.Key("context");
+    json.BeginObject();
+    json.Key("host");
+    json.String("127.0.0.1");
+    json.Key("port");
+    json.Int(port);
+    json.Key("connections");
+    json.Int(connections);
+    json.Key("requests_per_connection");
+    json.Int(requests);
+    json.Key("proteins");
+    json.Int(num_proteins);
+    json.EndObject();
+    json.Key("benchmarks");
+    json.BeginArray();
+    json.BeginObject();
+    json.Key("name");
+    json.String("serve/mixed_predict_motifs");
+    json.Key("requests");
+    json.Int(ok + err);
+    json.Key("errors");
+    json.Int(err);
+    json.Key("wall_seconds");
+    json.Double(wall_s);
+    json.Key("throughput_rps");
+    json.Double(throughput);
+    json.Key("mean_us");
+    json.Double(mean);
+    json.Key("p50_us");
+    json.Double(p50);
+    json.Key("p90_us");
+    json.Double(p90);
+    json.Key("p99_us");
+    json.Double(p99);
+    json.Key("max_us");
+    json.Double(max);
+    json.EndObject();
+    json.EndArray();
+    json.EndObject();
+    std::FILE* f = std::fopen(out_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "error: cannot write %s\n", out_path.c_str());
+      return 1;
+    }
+    std::fprintf(f, "%s\n", json.str().c_str());
+    std::fclose(f);
+    std::printf("wrote %s\n", out_path.c_str());
+  }
+  return err > 0 ? 1 : 0;
+}
+
+int Main(int argc, char** argv) {
+  uint16_t port = 0;
+  size_t connections = 4;
+  size_t requests = 100;
+  std::string out_path;
+  std::string query;
+  bool have_query = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto need_value = [&](const char* name) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: missing value for %s\n", name);
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--port" || arg == "--connections" || arg == "--requests") {
+      const char* value = need_value(arg.c_str());
+      if (value == nullptr) return Usage();
+      uint64_t parsed = 0;
+      if (!ParseUint64(value, &parsed)) {
+        std::fprintf(stderr, "error: invalid value \"%s\" for %s\n", value,
+                     arg.c_str());
+        return Usage();
+      }
+      if (arg == "--port") {
+        port = static_cast<uint16_t>(parsed);
+      } else if (arg == "--connections") {
+        connections = static_cast<size_t>(parsed);
+      } else {
+        requests = static_cast<size_t>(parsed);
+      }
+    } else if (arg == "--out") {
+      const char* value = need_value("--out");
+      if (value == nullptr) return Usage();
+      out_path = value;
+    } else if (arg == "--query") {
+      const char* value = need_value("--query");
+      if (value == nullptr) return Usage();
+      query = value;
+      have_query = true;
+    } else {
+      std::fprintf(stderr, "error: unknown flag %s\n", arg.c_str());
+      return Usage();
+    }
+  }
+  if (port == 0) {
+    std::fprintf(stderr, "error: --port is required\n");
+    return Usage();
+  }
+  if (have_query) return RunQuery(port, query);
+  if (connections == 0 || requests == 0) {
+    std::fprintf(stderr, "error: --connections and --requests must be > 0\n");
+    return Usage();
+  }
+  return RunBench(port, connections, requests, out_path);
+}
+
+}  // namespace
+}  // namespace lamo
+
+int main(int argc, char** argv) { return lamo::Main(argc, argv); }

@@ -11,16 +11,27 @@
 //   lamo predict  --graph data/run1.graph.txt --obo data/run1.obo
 //                 --annotations data/run1.annotations.tsv
 //                 --labeled data/run1.labeled.txt --protein 42
+//   lamo pack     --graph data/run1.graph.txt --obo data/run1.obo
+//                 --annotations data/run1.annotations.tsv
+//                 --labeled data/run1.labeled.txt --out data/run1.lamosnap
+//   lamo serve    --snapshot data/run1.lamosnap --port 7471
 //
-// Each stage reads and writes the plain-text formats of src/io, so stages
-// can be rerun, diffed and mixed with external tools.
+// The pipeline stages read and write the plain-text formats of src/io, so
+// stages can be rerun, diffed and mixed with external tools; pack/serve add
+// a binary snapshot compiled once and queried many times (src/serve).
+//
+// Flag parsing is strict: every command declares its flags, and an unknown
+// flag, a missing value, or a malformed numeric value prints the usage text
+// and exits nonzero.
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <iostream>
 #include <map>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "core/lamofinder.h"
 #include "graph/algorithms.h"
@@ -35,33 +46,74 @@
 #include "obs/trace.h"
 #include "parallel/parallel_for.h"
 #include "predict/labeled_motif_predictor.h"
+#include "serve/request.h"
+#include "serve/server.h"
+#include "serve/snapshot.h"
 #include "synth/dataset.h"
 #include "util/string_util.h"
 
 namespace lamo {
 namespace {
 
+/// What a flag's value must look like. kBool flags take no value; all other
+/// kinds require one, validated at parse time.
+enum class FlagKind { kString, kSize, kDouble, kBool };
+
+struct FlagSpec {
+  const char* name;
+  FlagKind kind;
+};
+
+/// Parsed `--name value` pairs, validated against one command's FlagSpec
+/// list. Parse rejects unknown flags, missing values and malformed numbers
+/// instead of silently ignoring them.
 class Flags {
  public:
-  // `--name value` pairs; a `--name` followed by another flag (or nothing)
-  // is a boolean and stores "1" (e.g. --stats). Flag values never begin
-  // with "--" in this CLI.
-  Flags(int argc, char** argv, int first) {
-    for (int i = first; i < argc;) {
-      if (std::strncmp(argv[i], "--", 2) != 0) {
-        ++i;
+  static StatusOr<Flags> Parse(int argc, char** argv, int first,
+                               const std::vector<FlagSpec>& specs) {
+    Flags flags;
+    for (int i = first; i < argc; ++i) {
+      const char* arg = argv[i];
+      if (std::strncmp(arg, "--", 2) != 0) {
+        return Status::InvalidArgument("unexpected argument \"" +
+                                       std::string(arg) +
+                                       "\" (flags are --name [value])");
+      }
+      const std::string name = arg + 2;
+      const auto spec = std::find_if(
+          specs.begin(), specs.end(),
+          [&name](const FlagSpec& s) { return name == s.name; });
+      if (spec == specs.end()) {
+        return Status::InvalidArgument("unknown flag --" + name);
+      }
+      if (spec->kind == FlagKind::kBool) {
+        flags.values_[name] = "1";
         continue;
       }
-      const char* name = argv[i] + 2;
-      if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
-        values_[name] = argv[i + 1];
-        i += 2;
-      } else {
-        values_[name] = "1";
-        ++i;
+      if (i + 1 >= argc || std::strncmp(argv[i + 1], "--", 2) == 0) {
+        return Status::InvalidArgument("missing value for --" + name);
       }
+      const std::string value = argv[++i];
+      if (spec->kind == FlagKind::kSize) {
+        uint64_t parsed = 0;
+        if (!ParseUint64(value, &parsed)) {
+          return Status::InvalidArgument("invalid value \"" + value +
+                                         "\" for --" + name +
+                                         " (expected a non-negative integer)");
+        }
+      } else if (spec->kind == FlagKind::kDouble) {
+        double parsed = 0;
+        if (!ParseDouble(value, &parsed)) {
+          return Status::InvalidArgument("invalid value \"" + value +
+                                         "\" for --" + name +
+                                         " (expected a number)");
+        }
+      }
+      flags.values_[name] = value;
     }
+    return flags;
   }
+
   std::string Get(const std::string& name, const std::string& fallback) const {
     auto it = values_.find(name);
     return it == values_.end() ? fallback : it->second;
@@ -70,20 +122,31 @@ class Flags {
     auto it = values_.find(name);
     if (it == values_.end()) return fallback;
     uint64_t value = 0;
-    return ParseUint64(it->second, &value) ? static_cast<size_t>(value)
-                                           : fallback;
+    ParseUint64(it->second, &value);  // validated at Parse time
+    return static_cast<size_t>(value);
   }
   double GetDouble(const std::string& name, double fallback) const {
     auto it = values_.find(name);
     if (it == values_.end()) return fallback;
     double value = 0;
-    return ParseDouble(it->second, &value) ? value : fallback;
+    ParseDouble(it->second, &value);  // validated at Parse time
+    return value;
   }
   bool Has(const std::string& name) const { return values_.count(name) != 0; }
 
  private:
   std::map<std::string, std::string> values_;
 };
+
+/// The observability + threading flags every pipeline command accepts.
+std::vector<FlagSpec> WithCommonFlags(std::vector<FlagSpec> specs) {
+  specs.push_back({"threads", FlagKind::kSize});
+  specs.push_back({"report", FlagKind::kString});
+  specs.push_back({"stats", FlagKind::kBool});
+  specs.push_back({"trace", FlagKind::kString});
+  specs.push_back({"trace-capacity", FlagKind::kSize});
+  return specs;
+}
 
 int Fail(const Status& status) {
   std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
@@ -322,25 +385,93 @@ int CmdPredict(const Flags& flags) {
   if (protein >= graph->num_vertices()) {
     return Fail(Status::InvalidArgument("--protein out of range"));
   }
-  if (!predictor.Covers(protein)) {
-    std::printf("protein %u occurs in no labeled motif; no prediction\n",
-                protein);
-    predict_timer.reset();
-    return obs.Finish("predict");
-  }
+  // Rendered through the same formatter the serve daemon uses for PREDICT,
+  // so online and offline answers are byte-identical by construction.
   const size_t top_k = flags.GetSize("top-k", 3);
-  std::printf("top predictions for protein %u:\n", protein);
-  const auto predictions = predictor.Predict(protein);
-  for (size_t i = 0; i < std::min(top_k, predictions.size()); ++i) {
-    std::printf("  %zu. %s (score %.3f)%s\n", i + 1,
-                ontology->TermName(predictions[i].category).c_str(),
-                predictions[i].score,
-                context.HasCategory(protein, predictions[i].category)
-                    ? "  [matches known annotation]"
-                    : "");
+  for (const std::string& line : PredictionOutputLines(
+           context, *ontology, predictor, protein, top_k)) {
+    std::printf("%s\n", line.c_str());
   }
   predict_timer.reset();
   return obs.Finish("predict");
+}
+
+int CmdPack(const Flags& flags) {
+  ApplyThreadFlag(flags);
+  ObsScope obs(flags);
+  std::optional<ScopedTimer> load_timer;
+  load_timer.emplace("load");
+  auto graph = ReadEdgeList(flags.Get("graph", ""));
+  if (!graph.ok()) return Fail(graph.status());
+  auto ontology = ReadObo(flags.Get("obo", ""));
+  if (!ontology.ok()) return Fail(ontology.status());
+  auto annotations = ReadAnnotations(flags.Get("annotations", ""), *ontology);
+  if (!annotations.ok()) return Fail(annotations.status());
+  auto labeled = ReadLabeledMotifs(flags.Get("labeled", ""), *ontology);
+  if (!labeled.ok()) return Fail(labeled.status());
+  load_timer.reset();
+
+  InformativeConfig informative_config;
+  informative_config.min_direct_proteins = flags.GetSize(
+      "informative", std::max<size_t>(5, graph->num_vertices() / 140));
+  const auto snapshot = [&] {
+    const ScopedTimer timer("build");
+    return BuildSnapshot(std::move(*graph), std::move(*ontology),
+                         std::move(*annotations), std::move(*labeled),
+                         informative_config);
+  }();
+
+  const std::string out = flags.Get("out", "model.lamosnap");
+  {
+    const ScopedTimer timer("write");
+    const Status status = WriteSnapshot(snapshot, out);
+    if (!status.ok()) return Fail(status);
+  }
+  std::error_code ec;
+  const auto bytes = std::filesystem::file_size(out, ec);
+  std::printf("packed %zu proteins, %zu terms, %zu labeled motifs -> %s "
+              "(%llu bytes)\n",
+              snapshot.graph.num_vertices(), snapshot.ontology.num_terms(),
+              snapshot.motifs.size(), out.c_str(),
+              ec ? 0ull : static_cast<unsigned long long>(bytes));
+  return obs.Finish("pack");
+}
+
+int CmdServe(const Flags& flags) {
+  ApplyThreadFlag(flags);
+  ObsScope obs(flags);
+  std::optional<ScopedTimer> load_timer;
+  load_timer.emplace("load");
+  auto snapshot = ReadSnapshot(flags.Get("snapshot", ""));
+  if (!snapshot.ok()) return Fail(snapshot.status());
+  load_timer.reset();
+
+  const size_t cache_capacity =
+      flags.Has("no-cache")
+          ? 0
+          : flags.GetSize("cache-capacity", kDefaultServeCacheCapacity);
+  SnapshotService service(std::move(*snapshot), cache_capacity);
+  // Load banner on stderr: in --stdin mode stdout carries only responses.
+  std::fprintf(stderr,
+               "lamo serve: loaded %s (%zu proteins, %zu terms, %zu labeled "
+               "motifs, cache capacity %zu)\n",
+               flags.Get("snapshot", "").c_str(),
+               service.snapshot().graph.num_vertices(),
+               service.snapshot().ontology.num_terms(),
+               service.snapshot().motifs.size(), cache_capacity);
+
+  std::optional<ScopedTimer> serve_timer;
+  serve_timer.emplace("serve");
+  Status status;
+  if (flags.Has("stdin")) {
+    status = RunStreamServer(&service, std::cin, std::cout);
+  } else {
+    status = RunTcpServer(
+        &service, static_cast<uint16_t>(flags.GetSize("port", 0)), stdout);
+  }
+  serve_timer.reset();
+  if (!status.ok()) return Fail(status);
+  return obs.Finish("serve");
 }
 
 int Usage() {
@@ -358,29 +489,109 @@ int Usage() {
       "            --out FILE\n"
       "  predict   --graph FILE --obo FILE --annotations FILE\n"
       "            --labeled FILE --protein ID --top-k K --threads N\n"
-      "mine/label/predict run on the parallel runtime: --threads 0 (default)\n"
-      "resolves via LAMO_THREADS, then hardware concurrency; --threads 1 is\n"
-      "fully serial. Output is identical for any thread count.\n"
-      "mine/label/predict also take --report FILE (write a JSON run report:\n"
-      "phase wall times, counters, latency histograms, per-worker breakdown;\n"
-      "schema in docs/FORMATS.md), --stats (human summary of the same on\n"
-      "stderr), and --trace FILE (write a Chrome trace-event JSON of pipeline\n"
-      "spans, loadable in chrome://tracing or ui.perfetto.dev; per-thread\n"
-      "ring capacity via --trace-capacity EVENTS, default 65536 — overflow\n"
-      "drops oldest events and counts them in trace.dropped). Summarize a\n"
-      "trace offline with lamo_trace_summary.\n");
+      "  pack      --graph FILE --obo FILE --annotations FILE --labeled FILE\n"
+      "            --informative T --out FILE.lamosnap\n"
+      "  serve     --snapshot FILE.lamosnap [--port P | --stdin]\n"
+      "            --cache-capacity N --no-cache --threads N\n"
+      "Unknown flags, missing flag values and malformed numbers are rejected.\n"
+      "mine/label/predict/pack/serve run on the parallel runtime: --threads 0\n"
+      "(default) resolves via LAMO_THREADS, then hardware concurrency;\n"
+      "--threads 1 is fully serial. Output is identical for any thread count.\n"
+      "They also take --report FILE (write a JSON run report: phase wall\n"
+      "times, counters, latency histograms, per-worker breakdown; schema in\n"
+      "docs/FORMATS.md), --stats (human summary of the same on stderr), and\n"
+      "--trace FILE (write a Chrome trace-event JSON of pipeline spans,\n"
+      "loadable in chrome://tracing or ui.perfetto.dev; per-thread ring\n"
+      "capacity via --trace-capacity EVENTS, default 65536 — overflow drops\n"
+      "oldest events and counts them in trace.dropped). Summarize a trace\n"
+      "offline with lamo_trace_summary.\n"
+      "pack compiles ontology+annotations+labeled motifs+network into one\n"
+      "checksummed binary snapshot; serve answers PREDICT/MOTIFS/TERMINFO/\n"
+      "HEALTH/STATS queries over TCP on 127.0.0.1 (--port 0 picks a free\n"
+      "port) or line-by-line on stdin (--stdin); see docs/FORMATS.md for the\n"
+      "snapshot layout and the wire protocol. Benchmark a running server\n"
+      "with lamo_bench_client.\n");
   return 2;
+}
+
+struct Command {
+  const char* name;
+  std::vector<FlagSpec> flags;
+  int (*run)(const Flags&);
+};
+
+const std::vector<Command>& Commands() {
+  static const std::vector<Command> kCommands = {
+      {"generate",
+       {{"proteins", FlagKind::kSize},
+        {"seed", FlagKind::kSize},
+        {"copies", FlagKind::kSize},
+        {"informative", FlagKind::kSize},
+        {"out", FlagKind::kString}},
+       CmdGenerate},
+      {"stats", {{"graph", FlagKind::kString}}, CmdStats},
+      {"mine",
+       WithCommonFlags({{"graph", FlagKind::kString},
+                        {"algo", FlagKind::kString},
+                        {"min-size", FlagKind::kSize},
+                        {"max-size", FlagKind::kSize},
+                        {"min-freq", FlagKind::kSize},
+                        {"networks", FlagKind::kSize},
+                        {"uniqueness", FlagKind::kDouble},
+                        {"beam", FlagKind::kSize},
+                        {"seed", FlagKind::kSize},
+                        {"out", FlagKind::kString}}),
+       CmdMine},
+      {"label",
+       WithCommonFlags({{"graph", FlagKind::kString},
+                        {"obo", FlagKind::kString},
+                        {"annotations", FlagKind::kString},
+                        {"motifs", FlagKind::kString},
+                        {"sigma", FlagKind::kSize},
+                        {"max-occurrences", FlagKind::kSize},
+                        {"informative", FlagKind::kSize},
+                        {"out", FlagKind::kString}}),
+       CmdLabel},
+      {"predict",
+       WithCommonFlags({{"graph", FlagKind::kString},
+                        {"obo", FlagKind::kString},
+                        {"annotations", FlagKind::kString},
+                        {"labeled", FlagKind::kString},
+                        {"protein", FlagKind::kSize},
+                        {"top-k", FlagKind::kSize}}),
+       CmdPredict},
+      {"pack",
+       WithCommonFlags({{"graph", FlagKind::kString},
+                        {"obo", FlagKind::kString},
+                        {"annotations", FlagKind::kString},
+                        {"labeled", FlagKind::kString},
+                        {"informative", FlagKind::kSize},
+                        {"out", FlagKind::kString}}),
+       CmdPack},
+      {"serve",
+       WithCommonFlags({{"snapshot", FlagKind::kString},
+                        {"port", FlagKind::kSize},
+                        {"stdin", FlagKind::kBool},
+                        {"cache-capacity", FlagKind::kSize},
+                        {"no-cache", FlagKind::kBool}}),
+       CmdServe},
+  };
+  return kCommands;
 }
 
 int Main(int argc, char** argv) {
   if (argc < 2) return Usage();
-  const Flags flags(argc, argv, 2);
   const std::string command = argv[1];
-  if (command == "generate") return CmdGenerate(flags);
-  if (command == "stats") return CmdStats(flags);
-  if (command == "mine") return CmdMine(flags);
-  if (command == "label") return CmdLabel(flags);
-  if (command == "predict") return CmdPredict(flags);
+  for (const Command& cmd : Commands()) {
+    if (command != cmd.name) continue;
+    auto flags = Flags::Parse(argc, argv, 2, cmd.flags);
+    if (!flags.ok()) {
+      std::fprintf(stderr, "error: %s\n", flags.status().ToString().c_str());
+      return Usage();
+    }
+    return cmd.run(*flags);
+  }
+  std::fprintf(stderr, "error: unknown command \"%s\"\n", command.c_str());
   return Usage();
 }
 

@@ -182,6 +182,39 @@ int Check(const std::string& path, int num_required, char** required) {
       if (hist_rc != 0) return hist_rc;
     }
   }
+  // Serve reports: when the daemon recorded traffic, the serve.* metrics
+  // must be mutually consistent — the cache can't have resolved more lookups
+  // than there were requests, errors are a subset of requests, and every
+  // request must have been timed into the serve.request_us histogram.
+  const JsonValue* serve_requests = counters->Find("serve.requests");
+  if (serve_requests != nullptr && serve_requests->is_number() &&
+      serve_requests->number_value > 0.0) {
+    const double requests = serve_requests->number_value;
+    const auto counter_value = [&](const char* name) {
+      const JsonValue* value = counters->Find(name);
+      return value != nullptr && value->is_number() ? value->number_value
+                                                    : 0.0;
+    };
+    if (counter_value("serve.errors") > requests) {
+      return Fail("serve.errors exceeds serve.requests");
+    }
+    if (counter_value("serve.cache_hits") +
+            counter_value("serve.cache_misses") >
+        requests) {
+      return Fail("serve cache hits+misses exceed serve.requests");
+    }
+    if (v2) {
+      const JsonValue* hist = histograms->Find("serve.request_us");
+      const JsonValue* count =
+          hist == nullptr ? nullptr : hist->Find("count");
+      if (count == nullptr || !count->is_number() ||
+          count->number_value != requests) {
+        return Fail(
+            "histogram \"serve.request_us\" count does not match "
+            "serve.requests");
+      }
+    }
+  }
   for (const JsonValue& worker : workers->items) {
     if (RequireMember(worker, "name", JsonValue::Type::kString, &rc) ==
         nullptr)
