@@ -100,13 +100,38 @@ LAMO_THREADS=4 ./build-tsan/tests/obs_tests
 LAMO_THREADS=4 ./build-tsan/tests/serve_tests
 
 # AddressSanitizer smoke run alongside it: the motif + obs tests cover the
-# enumeration hot paths and the metrics layer's thread-local blocks, and
-# serve_tests replays the snapshot corruption matrix under ASan.
-echo "== asan smoke (motif + obs + serve) =="
+# enumeration hot paths and the metrics layer's thread-local blocks,
+# serve_tests replays the snapshot corruption matrix under ASan, and
+# io_tests runs the parser fuzz matrix (every reader x 500 deterministic
+# mutations) where ASan turns silent overreads into hard failures.
+echo "== asan smoke (motif + obs + serve + parser fuzz) =="
 cmake -B build-asan -G Ninja -DLAMO_SANITIZE=address
-cmake --build build-asan --target motif_tests obs_tests serve_tests
+cmake --build build-asan --target motif_tests obs_tests serve_tests io_tests
 LAMO_THREADS=4 ./build-asan/tests/motif_tests
 LAMO_THREADS=4 ./build-asan/tests/obs_tests
 LAMO_THREADS=4 ./build-asan/tests/serve_tests
+LAMO_THREADS=4 ./build-asan/tests/io_tests
+
+# Fault-injection smoke: crash the level-wise miner mid-run with LAMO_FAULT,
+# resume from the checkpoint, and require byte-identical output — the full
+# crash matrix over every registered fault point runs in ctest
+# (`ctest -L fault`), this is the one-command sanity check.
+echo "== fault smoke (crash + resume, byte-identical) =="
+rm -rf "$OUT/fault_ck"
+rc=0
+LAMO_FAULT="mine.level:2" build/tools/lamo mine \
+  --graph "$OUT/obs_ds.graph.txt" --min-size 3 --max-size 4 --min-freq 20 \
+  --checkpoint "$OUT/fault_ck" --out "$OUT/fault_motifs.txt" \
+  > /dev/null 2>&1 || rc=$?
+test "$rc" -eq 42  # the injected crash, not an ordinary failure
+build/tools/lamo mine \
+  --graph "$OUT/obs_ds.graph.txt" --min-size 3 --max-size 4 --min-freq 20 \
+  --checkpoint "$OUT/fault_ck" --resume --out "$OUT/fault_motifs.txt" \
+  > /dev/null
+build/tools/lamo mine \
+  --graph "$OUT/obs_ds.graph.txt" --min-size 3 --max-size 4 --min-freq 20 \
+  --out "$OUT/fault_baseline.txt" > /dev/null
+cmp "$OUT/fault_motifs.txt" "$OUT/fault_baseline.txt"
+echo "crash/resume reproduced the uninterrupted run byte-for-byte"
 
 echo "All outputs in $OUT/; compare against EXPERIMENTS.md."

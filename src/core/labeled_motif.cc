@@ -28,4 +28,69 @@ void ComputeMotifStrengths(std::vector<LabeledMotif>* motifs) {
   }
 }
 
+void EncodeLabeledMotif(const LabeledMotif& m, ByteWriter* w) {
+  EncodeSmallGraph(m.pattern, w);
+  w->PutU64(m.code.size());
+  for (const uint8_t b : m.code) w->PutU8(b);
+  w->PutU64(m.scheme.size());
+  for (const LabelSet& set : m.scheme) {
+    w->PutU64(set.size());
+    for (const TermId t : set) w->PutU32(t);
+  }
+  w->PutU64(m.occurrences.size());
+  for (const MotifOccurrence& occ : m.occurrences) {
+    w->PutU64(occ.proteins.size());
+    for (const VertexId v : occ.proteins) w->PutU32(v);
+  }
+  w->PutU64(m.frequency);
+  w->PutDouble(m.uniqueness);
+  w->PutDouble(m.strength);
+}
+
+Status DecodeLabeledMotif(ByteReader* r, LabeledMotif* m) {
+  LAMO_RETURN_IF_ERROR(DecodeSmallGraph(r, &m->pattern));
+  uint64_t code_size = 0;
+  LAMO_RETURN_IF_ERROR(r->GetU64(&code_size));
+  if (code_size > r->remaining()) {
+    return Status::Corruption("labeled motif code length out of range");
+  }
+  m->code.assign(static_cast<size_t>(code_size), 0);
+  for (uint8_t& b : m->code) LAMO_RETURN_IF_ERROR(r->GetU8(&b));
+  uint64_t scheme_size = 0;
+  LAMO_RETURN_IF_ERROR(r->GetU64(&scheme_size));
+  if (scheme_size > SmallGraph::kMaxVertices) {
+    return Status::Corruption("labeled motif scheme size out of range");
+  }
+  m->scheme.assign(static_cast<size_t>(scheme_size), {});
+  for (LabelSet& set : m->scheme) {
+    uint64_t set_size = 0;
+    LAMO_RETURN_IF_ERROR(r->GetU64(&set_size));
+    if (set_size > r->remaining()) {
+      return Status::Corruption("labeled motif label-set size out of range");
+    }
+    set.assign(static_cast<size_t>(set_size), 0);
+    for (TermId& t : set) LAMO_RETURN_IF_ERROR(r->GetU32(&t));
+  }
+  uint64_t num_occurrences = 0;
+  LAMO_RETURN_IF_ERROR(r->GetU64(&num_occurrences));
+  m->occurrences.clear();
+  for (uint64_t i = 0; i < num_occurrences; ++i) {
+    uint64_t num_proteins = 0;
+    LAMO_RETURN_IF_ERROR(r->GetU64(&num_proteins));
+    if (num_proteins > SmallGraph::kMaxVertices) {
+      return Status::Corruption("labeled occurrence size out of range");
+    }
+    MotifOccurrence occ;
+    occ.proteins.assign(static_cast<size_t>(num_proteins), 0);
+    for (VertexId& v : occ.proteins) LAMO_RETURN_IF_ERROR(r->GetU32(&v));
+    m->occurrences.push_back(std::move(occ));
+  }
+  uint64_t frequency = 0;
+  LAMO_RETURN_IF_ERROR(r->GetU64(&frequency));
+  m->frequency = static_cast<size_t>(frequency);
+  LAMO_RETURN_IF_ERROR(r->GetDouble(&m->uniqueness));
+  LAMO_RETURN_IF_ERROR(r->GetDouble(&m->strength));
+  return Status::OK();
+}
+
 }  // namespace lamo

@@ -51,6 +51,11 @@ struct LabeledMotif {
 /// motif of each class has strength 1.
 void ComputeMotifStrengths(std::vector<LabeledMotif>* motifs);
 
+/// Binary codecs used by label-stage checkpoint payloads; same contract as
+/// EncodeMotif/DecodeMotif.
+void EncodeLabeledMotif(const LabeledMotif& m, ByteWriter* w);
+Status DecodeLabeledMotif(ByteReader* r, LabeledMotif* m);
+
 }  // namespace lamo
 
 #endif  // LAMO_CORE_LABELED_MOTIF_H_

@@ -9,9 +9,11 @@
 
 #include "core/assignment.h"
 #include "core/occurrence_similarity.h"
+#include "motif/stage_checkpoint.h"
 #include "obs/obs.h"
 #include "obs/trace.h"
 #include "parallel/parallel_for.h"
+#include "util/fault.h"
 #include "util/logging.h"
 
 namespace lamo {
@@ -34,6 +36,9 @@ const size_t kHistClusterMergeUs = ObsHistogramId("lamofinder.cluster_merge_us")
 const size_t kSpanClusterMerge = ObsSpanId("lamofinder.cluster_merge");
 /// One span per motif labeled in LabelAll; arg = motif index.
 const size_t kSpanLabelMotif = ObsSpanId("lamofinder.label_motif");
+
+/// Crash point, hit once per motif group in LabelAll (fault.h).
+const size_t kFpLabelMotif = FaultPointId("label.motif");
 
 // One cluster of occurrences during agglomeration.
 struct Cluster {
@@ -378,6 +383,59 @@ std::vector<LabeledMotif> LaMoFinder::LabelMotif(
   return pruned;
 }
 
+namespace {
+
+uint64_t LabelFingerprint(const std::vector<Motif>& motifs,
+                          const LaMoFinderConfig& config) {
+  ByteWriter w;
+  w.PutU64(config.sigma);
+  w.PutDouble(config.border_fraction);
+  w.PutDouble(config.min_similarity);
+  w.PutU64(config.max_occurrences);
+  w.PutU64(config.max_labels_per_vertex);
+  w.PutU8(config.emit_intermediate ? 1 : 0);
+  // The checkpoint stores progress keyed by motif index, so it is only
+  // valid for this exact motif list.
+  w.PutU64(motifs.size());
+  for (const Motif& m : motifs) {
+    w.PutString(std::string_view(reinterpret_cast<const char*>(m.code.data()),
+                                 m.code.size()));
+    w.PutU64(m.frequency);
+    w.PutU64(m.occurrences.size());
+    w.PutDouble(m.uniqueness);
+  }
+  return Fnv1a64(w.bytes());
+}
+
+std::string EncodeLabelState(size_t next_motif,
+                             const std::vector<LabeledMotif>& labeled) {
+  ByteWriter w;
+  w.PutU64(next_motif);
+  w.PutU64(labeled.size());
+  for (const LabeledMotif& lm : labeled) EncodeLabeledMotif(lm, &w);
+  return w.TakeBytes();
+}
+
+Status DecodeLabelState(std::string_view payload, size_t* next_motif,
+                        std::vector<LabeledMotif>* labeled) {
+  ByteReader r(payload);
+  uint64_t next = 0;
+  LAMO_RETURN_IF_ERROR(r.GetU64(&next));
+  *next_motif = static_cast<size_t>(next);
+  uint64_t count = 0;
+  LAMO_RETURN_IF_ERROR(r.GetU64(&count));
+  labeled->clear();
+  for (uint64_t i = 0; i < count; ++i) {
+    LabeledMotif lm;
+    LAMO_RETURN_IF_ERROR(DecodeLabeledMotif(&r, &lm));
+    labeled->push_back(std::move(lm));
+  }
+  if (!r.AtEnd()) return Status::Corruption("trailing bytes in label state");
+  return Status::OK();
+}
+
+}  // namespace
+
 std::vector<LabeledMotif> LaMoFinder::LabelAll(
     const std::vector<Motif>& motifs, const LaMoFinderConfig& config) const {
   // One task per motif, results concatenated in motif order — identical to
@@ -385,14 +443,45 @@ std::vector<LabeledMotif> LaMoFinder::LabelAll(
   // everything else LabelMotif touches is per-call. When only one motif is
   // in flight the inner similarity-matrix loop parallelizes instead (the
   // runtime rejects nested fan-out, so the two levels never compete).
-  std::vector<std::vector<LabeledMotif>> per_motif = ParallelMap(
-      motifs.size(), 1, [&](size_t i) {
-        const ScopedSpan span(kSpanLabelMotif, i);
-        return LabelMotif(motifs[i], config);
-      });
+  //
+  // With checkpointing on, motifs are labeled in index-ordered groups of
+  // `every`; a resumed run appends where the checkpoint left off, and LMS
+  // strengths are computed once at the end over the full result, so resumed
+  // output is byte-identical to an uninterrupted run.
+  const StageCheckpointer ckpt(config.checkpoint, "label",
+                               LabelFingerprint(motifs, config));
   std::vector<LabeledMotif> all;
-  for (auto& labeled : per_motif) {
-    for (auto& lm : labeled) all.push_back(std::move(lm));
+  size_t next_motif = 0;
+  std::string payload;
+  if (ckpt.TryLoad(&payload)) {
+    size_t restored_motif = 0;
+    std::vector<LabeledMotif> restored;
+    const Status status =
+        DecodeLabelState(payload, &restored_motif, &restored);
+    if (status.ok() && restored_motif <= motifs.size()) {
+      all = std::move(restored);
+      next_motif = restored_motif;
+    } else {
+      ckpt.RecordDecodeFailure();
+    }
+  }
+  ckpt.RecordChunks(motifs.size(), next_motif);
+  const size_t motifs_per_group =
+      ckpt.enabled() ? std::max<size_t>(1, config.checkpoint.every)
+                     : std::max<size_t>(1, motifs.size());
+  for (size_t mlo = next_motif; mlo < motifs.size();
+       mlo += motifs_per_group) {
+    FaultHit(kFpLabelMotif);
+    const size_t mhi = std::min(motifs.size(), mlo + motifs_per_group);
+    std::vector<std::vector<LabeledMotif>> per_motif =
+        ParallelMap(mhi - mlo, 1, [&](size_t i) {
+          const ScopedSpan span(kSpanLabelMotif, mlo + i);
+          return LabelMotif(motifs[mlo + i], config);
+        });
+    for (auto& labeled : per_motif) {
+      for (auto& lm : labeled) all.push_back(std::move(lm));
+    }
+    if (ckpt.enabled()) ckpt.Save(EncodeLabelState(mhi, all));
   }
   ComputeMotifStrengths(&all);
   return all;

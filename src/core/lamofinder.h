@@ -12,6 +12,7 @@
 #include "ontology/ontology.h"
 #include "ontology/similarity.h"
 #include "ontology/weights.h"
+#include "util/checkpoint.h"
 
 namespace lamo {
 
@@ -39,6 +40,11 @@ struct LaMoFinderConfig {
   /// the final partition. This is what lets hierarchical clustering find
   /// overlapping labeling schemes that k-means misses (Figure 5).
   bool emit_intermediate = true;
+  /// Crash-safe progress saves per motif group in LabelAll (stage "label",
+  /// keyed by motif index). Resumed runs are byte-identical: batches
+  /// concatenate in motif order and LMS strengths are computed once at the
+  /// end over the full result.
+  CheckpointOptions checkpoint;
 };
 
 /// LaMoFinder: labels network motifs with GO terms (Task 3 of network motif

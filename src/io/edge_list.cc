@@ -4,20 +4,19 @@
 #include <fstream>
 #include <sstream>
 
+#include "util/atomic_io.h"
 #include "util/string_util.h"
 
 namespace lamo {
 
 Status WriteEdgeList(const Graph& graph, const std::string& path) {
-  std::ofstream out(path);
-  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  std::ostringstream out;
   out << "# lamo edge list\n";
   out << "vertices " << graph.num_vertices() << "\n";
   for (const auto& [a, b] : graph.Edges()) {
     out << a << " " << b << "\n";
   }
-  if (!out) return Status::IoError("write failed for " + path);
-  return Status::OK();
+  return WriteFileAtomic(path, out.str());
 }
 
 StatusOr<Graph> ReadEdgeList(const std::string& path) {
@@ -40,6 +39,12 @@ StatusOr<Graph> ReadEdgeList(const std::string& path) {
       uint64_t n = 0;
       if (!ParseUint64(Trim(trimmed.substr(9)), &n)) {
         return Status::Corruption(path + ": bad vertex count");
+      }
+      // Sanity cap: the count drives an up-front allocation, so a corrupt
+      // header must not be able to demand gigabytes before any edge is read.
+      if (n > 10'000'000) {
+        return Status::Corruption(path + ": implausible vertex count " +
+                                  std::to_string(n));
       }
       num_vertices = static_cast<size_t>(n);
       have_header = true;

@@ -2,15 +2,16 @@
 
 #include <fstream>
 #include <map>
+#include <sstream>
 
+#include "util/atomic_io.h"
 #include "util/string_util.h"
 
 namespace lamo {
 
 Status WriteAnnotations(const AnnotationTable& annotations,
                         const Ontology& ontology, const std::string& path) {
-  std::ofstream out(path);
-  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  std::ostringstream out;
   out << "# lamo annotations\n";
   out << "proteins " << annotations.num_proteins() << "\n";
   for (ProteinId p = 0; p < annotations.num_proteins(); ++p) {
@@ -18,8 +19,7 @@ Status WriteAnnotations(const AnnotationTable& annotations,
       out << p << "\t" << ontology.TermName(t) << "\n";
     }
   }
-  if (!out) return Status::IoError("write failed for " + path);
-  return Status::OK();
+  return WriteFileAtomic(path, out.str());
 }
 
 StatusOr<AnnotationTable> ReadAnnotations(const std::string& path,
@@ -50,6 +50,12 @@ StatusOr<AnnotationTable> ReadAnnotations(const std::string& path,
       uint64_t n = 0;
       if (!ParseUint64(Trim(trimmed.substr(9)), &n)) {
         return Status::Corruption(path + ": bad protein count");
+      }
+      // Same sanity cap as the edge-list reader: the count sizes the
+      // annotation table up front.
+      if (n > 10'000'000) {
+        return Status::Corruption(path + ": implausible protein count " +
+                                  std::to_string(n));
       }
       num_proteins = static_cast<size_t>(n);
       have_header = true;

@@ -5,12 +5,13 @@
 #include <sstream>
 
 #include "graph/canonical.h"
+#include "util/atomic_io.h"
 #include "util/string_util.h"
 
 namespace lamo {
 namespace {
 
-void WriteEdges(std::ofstream& out, const SmallGraph& pattern) {
+void WriteEdges(std::ostream& out, const SmallGraph& pattern) {
   out << "edges";
   for (const auto& [a, b] : pattern.Edges()) {
     out << " " << a << "-" << b;
@@ -40,6 +41,9 @@ Status ParseEdges(const std::string_view line, size_t n, SmallGraph* out) {
 
 Status ParseOccurrence(const std::string_view line, size_t n,
                        MotifOccurrence* occ) {
+  // A bare "occ" line (no trailing space) is shorter than the prefix we
+  // strip; substr past the end throws on string_view.
+  if (line.size() < 4) return Status::Corruption("occurrence arity mismatch");
   std::istringstream fields{std::string(Trim(line.substr(4)))};
   uint64_t p = 0;
   occ->proteins.clear();
@@ -56,8 +60,9 @@ Status ParseOccurrence(const std::string_view line, size_t n,
 
 Status WriteMotifs(const std::vector<Motif>& motifs,
                    const std::string& path) {
-  std::ofstream out(path);
-  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  // Rendered in memory and replaced atomically: a crash mid-write must
+  // never leave a torn motif file behind.
+  std::ostringstream out;
   out << "# lamo motifs\n";
   for (const Motif& m : motifs) {
     out << "motif " << m.size() << " " << m.frequency << " " << m.uniqueness
@@ -70,8 +75,7 @@ Status WriteMotifs(const std::vector<Motif>& motifs,
     }
     out << "end\n";
   }
-  if (!out) return Status::IoError("write failed for " + path);
-  return Status::OK();
+  return WriteFileAtomic(path, out.str());
 }
 
 StatusOr<std::vector<Motif>> ReadMotifs(const std::string& path) {
@@ -92,6 +96,11 @@ StatusOr<std::vector<Motif>> ReadMotifs(const std::string& path) {
       size_t n = 0;
       if (!(fields >> n >> current.frequency >> current.uniqueness)) {
         return Status::Corruption(path + ": bad motif header");
+      }
+      // Validate before SmallGraph(n): its constructor CHECK-fails on
+      // oversized n, and corrupt input must never abort the process.
+      if (n < 2 || n > SmallGraph::kMaxVertices) {
+        return Status::Corruption(path + ": motif size out of range");
       }
       current.pattern = SmallGraph(n);
     } else if (StartsWith(trimmed, "edges")) {
@@ -120,8 +129,7 @@ StatusOr<std::vector<Motif>> ReadMotifs(const std::string& path) {
 
 Status WriteLabeledMotifs(const std::vector<LabeledMotif>& motifs,
                           const Ontology& ontology, const std::string& path) {
-  std::ofstream out(path);
-  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  std::ostringstream out;
   out << "# lamo labeled motifs\n";
   for (const LabeledMotif& m : motifs) {
     out << "labeled " << m.size() << " " << m.frequency << " "
@@ -143,8 +151,7 @@ Status WriteLabeledMotifs(const std::vector<LabeledMotif>& motifs,
     }
     out << "end\n";
   }
-  if (!out) return Status::IoError("write failed for " + path);
-  return Status::OK();
+  return WriteFileAtomic(path, out.str());
 }
 
 StatusOr<std::vector<LabeledMotif>> ReadLabeledMotifs(
@@ -173,6 +180,9 @@ StatusOr<std::vector<LabeledMotif>> ReadLabeledMotifs(
       if (!(fields >> n >> current.frequency >> current.uniqueness >>
             current.strength)) {
         return Status::Corruption(path + ": bad labeled header");
+      }
+      if (n < 2 || n > SmallGraph::kMaxVertices) {
+        return Status::Corruption(path + ": motif size out of range");
       }
       current.pattern = SmallGraph(n);
       current.scheme.assign(n, {});

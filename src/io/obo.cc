@@ -2,15 +2,16 @@
 
 #include <fstream>
 #include <map>
+#include <sstream>
 #include <vector>
 
+#include "util/atomic_io.h"
 #include "util/string_util.h"
 
 namespace lamo {
 
 Status WriteObo(const Ontology& ontology, const std::string& path) {
-  std::ofstream out(path);
-  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  std::ostringstream out;
   out << "format-version: 1.2\n";
   for (TermId t = 0; t < ontology.num_terms(); ++t) {
     out << "\n[Term]\n";
@@ -26,8 +27,7 @@ Status WriteObo(const Ontology& ontology, const std::string& path) {
       }
     }
   }
-  if (!out) return Status::IoError("write failed for " + path);
-  return Status::OK();
+  return WriteFileAtomic(path, out.str());
 }
 
 StatusOr<Ontology> ReadObo(const std::string& path) {

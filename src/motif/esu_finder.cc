@@ -1,13 +1,16 @@
 #include "motif/esu_finder.h"
 
+#include <algorithm>
 #include <map>
 
 #include "graph/canonical.h"
 #include "graph/generators.h"
 #include "motif/esu.h"
+#include "motif/stage_checkpoint.h"
 #include "obs/obs.h"
 #include "obs/trace.h"
 #include "parallel/parallel_for.h"
+#include "util/fault.h"
 #include "util/logging.h"
 #include "util/random.h"
 
@@ -26,6 +29,10 @@ const size_t kHistChunkUs = ObsHistogramId("esu.chunk_us");
 const size_t kSpanChunk = ObsSpanId("esu.chunk");
 const size_t kHistReplicateUs = ObsHistogramId("uniqueness.replicate_us");
 const size_t kSpanReplicate = ObsSpanId("uniqueness.replicate");
+
+/// Crash points, one per checkpoint group of each half (fault.h).
+const size_t kFpEnumChunk = FaultPointId("mine.enum.chunk");
+const size_t kFpUniqReplicate = FaultPointId("mine.uniq.replicate");
 
 /// Chunk-local memo from raw adjacency bits to the full canonicalization
 /// result (code, canonical graph, permutation). Same determinism argument as
@@ -48,26 +55,163 @@ class CanonicalResultCache {
   std::map<std::vector<uint8_t>, CanonicalResult> memo_;
 };
 
+struct ClassEntry {
+  SmallGraph pattern{0};
+  std::vector<MotifOccurrence> occurrences;
+};
+using ClassMap = std::map<std::vector<uint8_t>, ClassEntry>;
+
+/// Folds one chunk's class map into the accumulator, appending occurrences
+/// in chunk order (the serial occurrence order for any thread count).
+void MergeClassMap(ClassMap* acc, ClassMap part) {
+  for (auto& [code, entry] : part) {
+    auto [it, inserted] = acc->try_emplace(code, std::move(entry));
+    if (!inserted) {
+      auto& dst = it->second.occurrences;
+      auto& src = entry.occurrences;
+      dst.insert(dst.end(), std::make_move_iterator(src.begin()),
+                 std::make_move_iterator(src.end()));
+    }
+  }
+}
+
+uint64_t EsuFingerprint(const Graph& graph, const EsuMotifConfig& config) {
+  ByteWriter w;
+  w.PutU64(config.size);
+  w.PutU64(config.min_frequency);
+  w.PutU64(config.num_random_networks);
+  w.PutDouble(config.swaps_per_edge);
+  w.PutDouble(config.uniqueness_threshold);
+  w.PutU64(config.seed);
+  w.PutU64(GraphFingerprint(graph));
+  return Fnv1a64(w.bytes());
+}
+
+std::string EncodeEnumState(size_t next_root, const ClassMap& classes) {
+  ByteWriter w;
+  w.PutU64(next_root);
+  w.PutU64(classes.size());
+  for (const auto& [code, entry] : classes) {
+    w.PutString(std::string_view(reinterpret_cast<const char*>(code.data()),
+                                 code.size()));
+    EncodeSmallGraph(entry.pattern, &w);
+    w.PutU64(entry.occurrences.size());
+    for (const MotifOccurrence& occ : entry.occurrences) {
+      w.PutU64(occ.proteins.size());
+      for (const VertexId v : occ.proteins) w.PutU32(v);
+    }
+  }
+  return w.TakeBytes();
+}
+
+Status DecodeEnumState(std::string_view payload, size_t* next_root,
+                       ClassMap* classes) {
+  ByteReader r(payload);
+  uint64_t root = 0;
+  LAMO_RETURN_IF_ERROR(r.GetU64(&root));
+  *next_root = static_cast<size_t>(root);
+  uint64_t num_classes = 0;
+  LAMO_RETURN_IF_ERROR(r.GetU64(&num_classes));
+  classes->clear();
+  for (uint64_t i = 0; i < num_classes; ++i) {
+    std::string code_bytes;
+    LAMO_RETURN_IF_ERROR(r.GetString(&code_bytes));
+    ClassEntry entry;
+    LAMO_RETURN_IF_ERROR(DecodeSmallGraph(&r, &entry.pattern));
+    uint64_t num_occurrences = 0;
+    LAMO_RETURN_IF_ERROR(r.GetU64(&num_occurrences));
+    for (uint64_t o = 0; o < num_occurrences; ++o) {
+      uint64_t num_proteins = 0;
+      LAMO_RETURN_IF_ERROR(r.GetU64(&num_proteins));
+      if (num_proteins > SmallGraph::kMaxVertices) {
+        return Status::Corruption("enum occurrence size out of range");
+      }
+      MotifOccurrence occ;
+      occ.proteins.assign(static_cast<size_t>(num_proteins), 0);
+      for (VertexId& v : occ.proteins) LAMO_RETURN_IF_ERROR(r.GetU32(&v));
+      entry.occurrences.push_back(std::move(occ));
+    }
+    std::vector<uint8_t> code(code_bytes.begin(), code_bytes.end());
+    classes->emplace(std::move(code), std::move(entry));
+  }
+  if (!r.AtEnd()) return Status::Corruption("trailing bytes in enum state");
+  return Status::OK();
+}
+
+std::string EncodeWinState(size_t next_replicate,
+                           const std::vector<uint64_t>& wins) {
+  ByteWriter w;
+  w.PutU64(next_replicate);
+  w.PutU64(wins.size());
+  for (const uint64_t v : wins) w.PutU64(v);
+  return w.TakeBytes();
+}
+
+Status DecodeWinState(std::string_view payload, size_t expected_classes,
+                      size_t* next_replicate, std::vector<uint64_t>* wins) {
+  ByteReader r(payload);
+  uint64_t rep = 0;
+  LAMO_RETURN_IF_ERROR(r.GetU64(&rep));
+  *next_replicate = static_cast<size_t>(rep);
+  uint64_t count = 0;
+  LAMO_RETURN_IF_ERROR(r.GetU64(&count));
+  if (count != expected_classes) {
+    return Status::Corruption("uniqueness win-vector size mismatch");
+  }
+  wins->assign(static_cast<size_t>(count), 0);
+  for (uint64_t& v : *wins) LAMO_RETURN_IF_ERROR(r.GetU64(&v));
+  if (!r.AtEnd()) return Status::Corruption("trailing bytes in win state");
+  return Status::OK();
+}
+
 }  // namespace
 
 std::vector<Motif> FindNetworkMotifsEsu(const Graph& graph,
                                         const EsuMotifConfig& config) {
-  struct ClassEntry {
-    SmallGraph pattern{0};
-    std::vector<MotifOccurrence> occurrences;
-  };
-  using ClassMap = std::map<std::vector<uint8_t>, ClassEntry>;
+  const size_t n = graph.num_vertices();
+  const size_t grain = EsuRootGrain(n);
+  const uint64_t fingerprint = EsuFingerprint(graph, config);
+  const std::string size_tag = std::to_string(config.size);
 
   // Enumeration is sharded by ESU root vertex; per-chunk class maps are
   // merged in chunk order, which reproduces the serial occurrence order
-  // (roots ascending, DFS order within a root) for any thread count.
-  const size_t n = graph.num_vertices();
+  // (roots ascending, DFS order within a root) for any thread count. With
+  // checkpointing on, chunks are processed in groups of `every` — group
+  // boundaries are multiples of the grain, so the sub-chunks and their fold
+  // order are exactly those of the single full-range reduce, and a resumed
+  // run picks up the identical accumulator.
   ClassMap classes;
   {
     const ScopedTimer timer("esu_enumeration");
-    classes = ParallelReduce<ClassMap>(
-      n, EsuRootGrain(n), ClassMap{},
-      [&](size_t lo, size_t hi) {
+    const StageCheckpointer ckpt(config.checkpoint, "mine_enum_" + size_tag,
+                                 fingerprint);
+    size_t next_root = 0;
+    std::string payload;
+    if (ckpt.TryLoad(&payload)) {
+      size_t restored_root = 0;
+      ClassMap restored;
+      const Status status =
+          DecodeEnumState(payload, &restored_root, &restored);
+      if (status.ok() && restored_root <= n &&
+          (restored_root % grain == 0 || restored_root == n)) {
+        classes = std::move(restored);
+        next_root = restored_root;
+      } else {
+        ckpt.RecordDecodeFailure();
+      }
+    }
+    const size_t num_chunks = n == 0 ? 0 : (n + grain - 1) / grain;
+    ckpt.RecordChunks(num_chunks, (next_root + grain - 1) / grain);
+    const size_t roots_per_group =
+        ckpt.enabled() ? std::max<size_t>(1, config.checkpoint.every) * grain
+                       : std::max<size_t>(1, n);
+    for (size_t glo = next_root; glo < n; glo += roots_per_group) {
+      FaultHit(kFpEnumChunk);
+      const size_t ghi = std::min(n, glo + roots_per_group);
+      const size_t group_chunks = (ghi - glo + grain - 1) / grain;
+      std::vector<ClassMap> partials(group_chunks);
+      ParallelForChunks(glo, ghi, grain, [&](size_t chunk, size_t lo,
+                                             size_t hi) {
         const ScopedItemTimer item(kSpanChunk, kHistChunkUs, lo, hi, 2);
         ClassMap local;
         CanonicalResultCache canon_cache;
@@ -87,20 +231,11 @@ std::vector<Motif> FindNetworkMotifsEsu(const Graph& graph,
               it->second.occurrences.push_back(std::move(occ));
               return true;
             });
-        return local;
-      },
-      [](ClassMap acc, ClassMap part) {
-        for (auto& [code, entry] : part) {
-          auto [it, inserted] = acc.try_emplace(code, std::move(entry));
-          if (!inserted) {
-            auto& dst = it->second.occurrences;
-            auto& src = entry.occurrences;
-            dst.insert(dst.end(), std::make_move_iterator(src.begin()),
-                       std::make_move_iterator(src.end()));
-          }
-        }
-        return acc;
+        partials[chunk] = std::move(local);
       });
+      for (ClassMap& part : partials) MergeClassMap(&classes, std::move(part));
+      if (ckpt.enabled()) ckpt.Save(EncodeEnumState(ghi, classes));
+    }
   }
 
   for (auto it = classes.begin(); it != classes.end();) {
@@ -115,7 +250,9 @@ std::vector<Motif> FindNetworkMotifsEsu(const Graph& graph,
 
   // Uniqueness ensemble: one randomized network per task, each on its own
   // deterministic Rng substream so the ensemble is identical whether the
-  // replicates run serially or in parallel.
+  // replicates run serially, in parallel, or split across a resumed run
+  // (the per-class win counts are exact integer sums, so replicate groups
+  // accumulate in any grouping to the same totals).
   std::map<std::vector<uint8_t>, size_t> wins;
   {
     const ScopedTimer timer("uniqueness");
@@ -126,27 +263,58 @@ std::vector<Motif> FindNetworkMotifsEsu(const Graph& graph,
       codes.push_back(&code);
       real_frequencies.push_back(entry.occurrences.size());
     }
-    const auto replicate_wins = ParallelMap(
-        config.num_random_networks, 1, [&](size_t r) {
-          const ScopedItemTimer item(kSpanReplicate, kHistReplicateUs, r, 0, 1);
-          ObsIncrement(kObsReplicates);
-          ObsAdd(kObsPatternTests, codes.size());
-          Rng rng = Rng::Stream(config.seed, r);
-          const Graph randomized =
-              DegreePreservingRewire(graph, config.swaps_per_edge, rng);
-          const auto random_counts =
-              CountSubgraphClasses(randomized, config.size);
-          std::vector<uint8_t> won(codes.size(), 0);
-          for (size_t c = 0; c < codes.size(); ++c) {
-            auto it = random_counts.find(*codes[c]);
-            const size_t random_frequency =
-                it == random_counts.end() ? 0 : it->second;
-            won[c] = real_frequencies[c] >= random_frequency ? 1 : 0;
-          }
-          return won;
-        });
-    for (const auto& won : replicate_wins) {
-      for (size_t c = 0; c < codes.size(); ++c) wins[*codes[c]] += won[c];
+    const StageCheckpointer ckpt(config.checkpoint, "mine_uniq_" + size_tag,
+                                 fingerprint);
+    std::vector<uint64_t> win_counts(codes.size(), 0);
+    size_t next_replicate = 0;
+    std::string payload;
+    if (ckpt.TryLoad(&payload)) {
+      size_t restored_replicate = 0;
+      std::vector<uint64_t> restored;
+      const Status status = DecodeWinState(payload, codes.size(),
+                                           &restored_replicate, &restored);
+      if (status.ok() && restored_replicate <= config.num_random_networks) {
+        win_counts = std::move(restored);
+        next_replicate = restored_replicate;
+      } else {
+        ckpt.RecordDecodeFailure();
+      }
+    }
+    ckpt.RecordChunks(config.num_random_networks, next_replicate);
+    const size_t replicates_per_group =
+        ckpt.enabled() ? std::max<size_t>(1, config.checkpoint.every)
+                       : std::max<size_t>(1, config.num_random_networks);
+    for (size_t rlo = next_replicate; rlo < config.num_random_networks;
+         rlo += replicates_per_group) {
+      FaultHit(kFpUniqReplicate);
+      const size_t rhi =
+          std::min(config.num_random_networks, rlo + replicates_per_group);
+      const auto replicate_wins = ParallelMap(rhi - rlo, 1, [&](size_t i) {
+        const size_t r = rlo + i;
+        const ScopedItemTimer item(kSpanReplicate, kHistReplicateUs, r, 0, 1);
+        ObsIncrement(kObsReplicates);
+        ObsAdd(kObsPatternTests, codes.size());
+        Rng rng = Rng::Stream(config.seed, r);
+        const Graph randomized =
+            DegreePreservingRewire(graph, config.swaps_per_edge, rng);
+        const auto random_counts =
+            CountSubgraphClasses(randomized, config.size);
+        std::vector<uint8_t> won(codes.size(), 0);
+        for (size_t c = 0; c < codes.size(); ++c) {
+          auto it = random_counts.find(*codes[c]);
+          const size_t random_frequency =
+              it == random_counts.end() ? 0 : it->second;
+          won[c] = real_frequencies[c] >= random_frequency ? 1 : 0;
+        }
+        return won;
+      });
+      for (const auto& won : replicate_wins) {
+        for (size_t c = 0; c < codes.size(); ++c) win_counts[c] += won[c];
+      }
+      if (ckpt.enabled()) ckpt.Save(EncodeWinState(rhi, win_counts));
+    }
+    for (size_t c = 0; c < codes.size(); ++c) {
+      wins[*codes[c]] = static_cast<size_t>(win_counts[c]);
     }
   }
 

@@ -5,6 +5,7 @@
 
 #include "graph/graph.h"
 #include "motif/motif.h"
+#include "util/checkpoint.h"
 
 namespace lamo {
 
@@ -22,6 +23,11 @@ struct EsuMotifConfig {
   /// (uniqueness still reported).
   double uniqueness_threshold = 0.95;
   uint64_t seed = 42;
+  /// Crash-safe progress saves: the enumeration checkpoints per root-vertex
+  /// chunk group (stage "mine_enum_<size>") and the uniqueness ensemble per
+  /// replicate group (stage "mine_uniq_<size>"). Resumed runs are
+  /// byte-identical to uninterrupted ones.
+  CheckpointOptions checkpoint;
 };
 
 /// The FANMOD/mfinder route to network motifs: exhaustively enumerate all

@@ -5,8 +5,10 @@
 #include <unordered_set>
 
 #include "graph/canonical.h"
+#include "motif/stage_checkpoint.h"
 #include "obs/obs.h"
 #include "obs/trace.h"
+#include "util/fault.h"
 #include "util/logging.h"
 
 namespace lamo {
@@ -21,6 +23,9 @@ const size_t kObsPatternsEmitted = ObsCounterId("miner.patterns_emitted");
 /// Per-level latency: args = (level size being built, patterns entering).
 const size_t kHistLevelUs = ObsHistogramId("miner.level_us");
 const size_t kSpanLevel = ObsSpanId("miner.level");
+
+/// Crash point, hit once per level before it is grown (fault.h).
+const size_t kFpMinerLevel = FaultPointId("mine.level");
 
 struct VertexSetHash {
   size_t operator()(const std::vector<VertexId>& vs) const {
@@ -51,6 +56,83 @@ MotifOccurrence AlignOccurrence(const std::vector<VertexId>& sorted_set,
   return occ;
 }
 
+using LevelMap = std::map<std::vector<uint8_t>, PatternEntry>;
+
+uint64_t MinerFingerprint(const Graph& graph, const MinerConfig& config) {
+  ByteWriter w;
+  w.PutU64(config.min_size);
+  w.PutU64(config.max_size);
+  w.PutU64(config.min_frequency);
+  w.PutU64(config.max_occurrences_per_pattern);
+  w.PutU64(config.max_patterns_per_level);
+  w.PutU64(GraphFingerprint(graph));
+  return Fnv1a64(w.bytes());
+}
+
+/// Level-state payload: the size of the patterns currently in `level`, the
+/// level itself, and everything harvested so far.
+std::string EncodeLevelState(size_t level_size, const LevelMap& level,
+                             const std::vector<Motif>& results) {
+  ByteWriter w;
+  w.PutU64(level_size);
+  w.PutU64(level.size());
+  for (const auto& [code, entry] : level) {
+    w.PutString(std::string_view(reinterpret_cast<const char*>(code.data()),
+                                 code.size()));
+    EncodeSmallGraph(entry.pattern, &w);
+    w.PutU64(entry.occurrences.size());
+    for (const MotifOccurrence& occ : entry.occurrences) {
+      w.PutU64(occ.proteins.size());
+      for (const VertexId v : occ.proteins) w.PutU32(v);
+    }
+  }
+  w.PutU64(results.size());
+  for (const Motif& m : results) EncodeMotif(m, &w);
+  return w.TakeBytes();
+}
+
+Status DecodeLevelState(std::string_view payload, size_t* level_size,
+                        LevelMap* level, std::vector<Motif>* results) {
+  ByteReader r(payload);
+  uint64_t size = 0;
+  LAMO_RETURN_IF_ERROR(r.GetU64(&size));
+  *level_size = static_cast<size_t>(size);
+  uint64_t num_patterns = 0;
+  LAMO_RETURN_IF_ERROR(r.GetU64(&num_patterns));
+  level->clear();
+  for (uint64_t i = 0; i < num_patterns; ++i) {
+    std::string code_bytes;
+    LAMO_RETURN_IF_ERROR(r.GetString(&code_bytes));
+    PatternEntry entry;
+    LAMO_RETURN_IF_ERROR(DecodeSmallGraph(&r, &entry.pattern));
+    uint64_t num_occurrences = 0;
+    LAMO_RETURN_IF_ERROR(r.GetU64(&num_occurrences));
+    for (uint64_t o = 0; o < num_occurrences; ++o) {
+      uint64_t num_proteins = 0;
+      LAMO_RETURN_IF_ERROR(r.GetU64(&num_proteins));
+      if (num_proteins > SmallGraph::kMaxVertices) {
+        return Status::Corruption("miner occurrence size out of range");
+      }
+      MotifOccurrence occ;
+      occ.proteins.assign(static_cast<size_t>(num_proteins), 0);
+      for (VertexId& v : occ.proteins) LAMO_RETURN_IF_ERROR(r.GetU32(&v));
+      entry.occurrences.push_back(std::move(occ));
+    }
+    level->emplace(std::vector<uint8_t>(code_bytes.begin(), code_bytes.end()),
+                   std::move(entry));
+  }
+  uint64_t num_results = 0;
+  LAMO_RETURN_IF_ERROR(r.GetU64(&num_results));
+  results->clear();
+  for (uint64_t i = 0; i < num_results; ++i) {
+    Motif m;
+    LAMO_RETURN_IF_ERROR(DecodeMotif(&r, &m));
+    results->push_back(std::move(m));
+  }
+  if (!r.AtEnd()) return Status::Corruption("trailing bytes in level state");
+  return Status::OK();
+}
+
 }  // namespace
 
 FrequentSubgraphMiner::FrequentSubgraphMiner(const Graph& graph,
@@ -62,23 +144,33 @@ std::vector<Motif> FrequentSubgraphMiner::Mine() {
   LAMO_CHECK_GE(config_.max_size, config_.min_size);
   std::vector<Motif> results;
 
-  // Level 2: the single-edge pattern with every edge as an occurrence.
-  std::map<std::vector<uint8_t>, PatternEntry> level;
-  {
-    SmallGraph edge_pattern(2);
-    edge_pattern.AddEdge(0, 1);
-    PatternEntry entry;
-    entry.pattern = edge_pattern;
-    for (const auto& [a, b] : graph_.Edges()) {
-      entry.occurrences.push_back(MotifOccurrence{{a, b}});
-    }
-    if (entry.occurrences.size() >= config_.min_frequency) {
-      level.emplace(edge_pattern.AdjacencyCode(), std::move(entry));
+  // Each level is a deterministic function of the previous one, so the
+  // (level, results) pair after any completed level is a valid restart
+  // point; a resumed run replays the remaining levels byte-identically.
+  const StageCheckpointer ckpt(config_.checkpoint, "mine_levels",
+                               MinerFingerprint(graph_, config_));
+  LevelMap level;
+  size_t start_size = 2;
+  bool restored = false;
+  std::string payload;
+  if (ckpt.TryLoad(&payload)) {
+    size_t level_size = 0;
+    LevelMap restored_level;
+    std::vector<Motif> restored_results;
+    const Status status = DecodeLevelState(payload, &level_size,
+                                           &restored_level, &restored_results);
+    if (status.ok() && level_size >= 2 && level_size <= config_.max_size) {
+      level = std::move(restored_level);
+      results = std::move(restored_results);
+      start_size = level_size;
+      restored = true;
+    } else {
+      ckpt.RecordDecodeFailure();
     }
   }
+  ckpt.RecordChunks(config_.max_size - 2, start_size - 2);
 
-  auto harvest = [&](const std::map<std::vector<uint8_t>, PatternEntry>& lvl,
-                     size_t size) {
+  auto harvest = [&](const LevelMap& lvl, size_t size) {
     if (size < config_.min_size) return;
     for (const auto& [code, entry] : lvl) {
       Motif motif;
@@ -90,12 +182,30 @@ std::vector<Motif> FrequentSubgraphMiner::Mine() {
       ObsIncrement(kObsPatternsEmitted);
     }
   };
-  harvest(level, 2);
 
-  for (size_t size = 2; size < config_.max_size && !level.empty(); ++size) {
+  if (!restored) {
+    // Level 2: the single-edge pattern with every edge as an occurrence.
+    SmallGraph edge_pattern(2);
+    edge_pattern.AddEdge(0, 1);
+    PatternEntry entry;
+    entry.pattern = edge_pattern;
+    for (const auto& [a, b] : graph_.Edges()) {
+      entry.occurrences.push_back(MotifOccurrence{{a, b}});
+    }
+    if (entry.occurrences.size() >= config_.min_frequency) {
+      level.emplace(edge_pattern.AdjacencyCode(), std::move(entry));
+    }
+    harvest(level, 2);
+  }
+
+  const size_t save_every = std::max<size_t>(1, config_.checkpoint.every);
+  size_t completed_levels = 0;
+  for (size_t size = start_size; size < config_.max_size && !level.empty();
+       ++size) {
+    FaultHit(kFpMinerLevel);
     const ScopedItemTimer level_timer(kSpanLevel, kHistLevelUs, size + 1,
                                       level.size(), 2);
-    std::map<std::vector<uint8_t>, PatternEntry> next;
+    LevelMap next;
     // A vertex set is processed at most once per level, no matter how many
     // parent occurrences can reach it.
     std::unordered_set<std::vector<VertexId>, VertexSetHash> seen_sets;
@@ -154,7 +264,7 @@ std::vector<Motif> FrequentSubgraphMiner::Mine() {
       }
       std::sort(ranked.begin(), ranked.end(),
                 [](const auto& a, const auto& b) { return a.first > b.first; });
-      std::map<std::vector<uint8_t>, PatternEntry> pruned;
+      LevelMap pruned;
       for (size_t i = 0; i < config_.max_patterns_per_level; ++i) {
         auto node = next.extract(ranked[i].second);
         pruned.insert(std::move(node));
@@ -164,6 +274,9 @@ std::vector<Motif> FrequentSubgraphMiner::Mine() {
 
     harvest(next, size + 1);
     level = std::move(next);
+    if (ckpt.enabled() && ++completed_levels % save_every == 0) {
+      ckpt.Save(EncodeLevelState(size + 1, level, results));
+    }
     LAMO_LOG(Debug) << "miner level " << (size + 1) << ": " << level.size()
                     << " frequent patterns";
   }

@@ -6,6 +6,7 @@
 
 #include "graph/graph.h"
 #include "motif/motif.h"
+#include "util/checkpoint.h"
 #include "util/status.h"
 
 namespace lamo {
@@ -29,6 +30,11 @@ struct MinerConfig {
   /// partitioning plays the same role of taming level growth; a frequency
   /// beam is the equivalent lever for our occurrence-list grower.
   size_t max_patterns_per_level = 0;
+  /// Crash-safe progress saves, one per completed level (stage
+  /// "mine_levels"): a resumed run restarts from the last saved level and
+  /// produces byte-identical results (every level is a deterministic
+  /// function of the previous one).
+  CheckpointOptions checkpoint;
 };
 
 /// Level-wise frequent connected-subgraph miner over a single large graph,

@@ -13,4 +13,103 @@ std::string Motif::ToString() const {
   return out;
 }
 
+void EncodeSmallGraph(const SmallGraph& g, ByteWriter* w) {
+  w->PutU32(static_cast<uint32_t>(g.num_vertices()));
+  const auto edges = g.Edges();
+  w->PutU32(static_cast<uint32_t>(edges.size()));
+  for (const auto& [a, b] : edges) {
+    w->PutU8(static_cast<uint8_t>(a));
+    w->PutU8(static_cast<uint8_t>(b));
+  }
+}
+
+Status DecodeSmallGraph(ByteReader* r, SmallGraph* g) {
+  uint32_t n = 0;
+  LAMO_RETURN_IF_ERROR(r->GetU32(&n));
+  if (n > SmallGraph::kMaxVertices) {
+    return Status::Corruption("SmallGraph vertex count out of range");
+  }
+  uint32_t num_edges = 0;
+  LAMO_RETURN_IF_ERROR(r->GetU32(&num_edges));
+  std::vector<std::pair<uint32_t, uint32_t>> edges;
+  edges.reserve(num_edges);
+  for (uint32_t i = 0; i < num_edges; ++i) {
+    uint8_t a = 0, b = 0;
+    LAMO_RETURN_IF_ERROR(r->GetU8(&a));
+    LAMO_RETURN_IF_ERROR(r->GetU8(&b));
+    edges.emplace_back(a, b);
+  }
+  StatusOr<SmallGraph> built = SmallGraph::FromEdges(n, edges);
+  if (!built.ok()) {
+    return Status::Corruption("SmallGraph edges invalid: " +
+                              built.status().message());
+  }
+  *g = std::move(built).value();
+  return Status::OK();
+}
+
+void EncodeMotif(const Motif& m, ByteWriter* w) {
+  EncodeSmallGraph(m.pattern, w);
+  w->PutU64(m.code.size());
+  for (const uint8_t b : m.code) w->PutU8(b);
+  w->PutU64(m.occurrences.size());
+  for (const MotifOccurrence& occ : m.occurrences) {
+    w->PutU64(occ.proteins.size());
+    for (const VertexId v : occ.proteins) w->PutU32(v);
+  }
+  w->PutU64(m.frequency);
+  w->PutDouble(m.uniqueness);
+  w->PutU64(m.symmetric_sets_override.size());
+  for (const auto& set : m.symmetric_sets_override) {
+    w->PutU64(set.size());
+    for (const uint32_t v : set) w->PutU32(v);
+  }
+}
+
+Status DecodeMotif(ByteReader* r, Motif* m) {
+  LAMO_RETURN_IF_ERROR(DecodeSmallGraph(r, &m->pattern));
+  uint64_t code_size = 0;
+  LAMO_RETURN_IF_ERROR(r->GetU64(&code_size));
+  if (code_size > r->remaining()) {
+    return Status::Corruption("motif code length out of range");
+  }
+  m->code.assign(static_cast<size_t>(code_size), 0);
+  for (uint8_t& b : m->code) LAMO_RETURN_IF_ERROR(r->GetU8(&b));
+  uint64_t num_occurrences = 0;
+  LAMO_RETURN_IF_ERROR(r->GetU64(&num_occurrences));
+  m->occurrences.clear();
+  for (uint64_t i = 0; i < num_occurrences; ++i) {
+    uint64_t num_proteins = 0;
+    LAMO_RETURN_IF_ERROR(r->GetU64(&num_proteins));
+    if (num_proteins > SmallGraph::kMaxVertices) {
+      return Status::Corruption("motif occurrence size out of range");
+    }
+    MotifOccurrence occ;
+    occ.proteins.assign(static_cast<size_t>(num_proteins), 0);
+    for (VertexId& v : occ.proteins) LAMO_RETURN_IF_ERROR(r->GetU32(&v));
+    m->occurrences.push_back(std::move(occ));
+  }
+  uint64_t frequency = 0;
+  LAMO_RETURN_IF_ERROR(r->GetU64(&frequency));
+  m->frequency = static_cast<size_t>(frequency);
+  LAMO_RETURN_IF_ERROR(r->GetDouble(&m->uniqueness));
+  uint64_t num_sets = 0;
+  LAMO_RETURN_IF_ERROR(r->GetU64(&num_sets));
+  if (num_sets > SmallGraph::kMaxVertices) {
+    return Status::Corruption("motif symmetric-set count out of range");
+  }
+  m->symmetric_sets_override.clear();
+  for (uint64_t i = 0; i < num_sets; ++i) {
+    uint64_t set_size = 0;
+    LAMO_RETURN_IF_ERROR(r->GetU64(&set_size));
+    if (set_size > SmallGraph::kMaxVertices) {
+      return Status::Corruption("motif symmetric-set size out of range");
+    }
+    std::vector<uint32_t> set(static_cast<size_t>(set_size), 0);
+    for (uint32_t& v : set) LAMO_RETURN_IF_ERROR(r->GetU32(&v));
+    m->symmetric_sets_override.push_back(std::move(set));
+  }
+  return Status::OK();
+}
+
 }  // namespace lamo

@@ -7,6 +7,8 @@
 
 #include "graph/graph.h"
 #include "graph/small_graph.h"
+#include "util/checkpoint.h"
+#include "util/status.h"
 
 namespace lamo {
 
@@ -53,6 +55,14 @@ struct Motif {
   /// One-line summary for logs.
   std::string ToString() const;
 };
+
+/// Binary codecs used by checkpoint payloads (little-endian, bounds-checked
+/// on decode). Encode(Decode(x)) is the identity; Decode rejects malformed
+/// input with a Status instead of crashing.
+void EncodeSmallGraph(const SmallGraph& g, ByteWriter* w);
+Status DecodeSmallGraph(ByteReader* r, SmallGraph* g);
+void EncodeMotif(const Motif& m, ByteWriter* w);
+Status DecodeMotif(ByteReader* r, Motif* m);
 
 }  // namespace lamo
 

@@ -6,6 +6,7 @@
 
 #include "graph/graph.h"
 #include "motif/motif.h"
+#include "util/checkpoint.h"
 #include "util/random.h"
 
 namespace lamo {
@@ -18,6 +19,10 @@ struct UniquenessConfig {
   double swaps_per_edge = 3.0;
   /// Seed for the randomization ensemble.
   uint64_t seed = 42;
+  /// Crash-safe progress saves per replicate group (stage "uniqueness").
+  /// Replicate r always draws Rng::Stream(seed, r), so a resumed ensemble
+  /// is byte-identical to an uninterrupted one.
+  CheckpointOptions checkpoint;
 };
 
 /// Evaluates the uniqueness s(g) of each motif in place: the number of
@@ -59,6 +64,9 @@ struct MotifFindingConfig {
   UniquenessConfig uniqueness;
   /// Motifs below this uniqueness are discarded (paper: > 0.95).
   double uniqueness_threshold = 0.95;
+  /// Checkpointing, forwarded to both the miner ("mine_levels" stage) and
+  /// the uniqueness ensemble ("uniqueness" stage).
+  CheckpointOptions checkpoint;
 };
 
 }  // namespace lamo

@@ -3,6 +3,7 @@
 #include <cinttypes>
 
 #include "obs/json.h"
+#include "util/atomic_io.h"
 
 namespace lamo {
 namespace {
@@ -156,18 +157,10 @@ std::string RunReportJson(const ObsSink& sink, const std::string& command,
 
 Status WriteRunReport(const ObsSink& sink, const std::string& command,
                       size_t threads, const std::string& path) {
-  const std::string document = RunReportJson(sink, command, threads);
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) {
-    return Status::IoError("cannot open report file: " + path);
-  }
-  const size_t written = std::fwrite(document.data(), 1, document.size(), f);
-  const bool newline_ok = std::fputc('\n', f) != EOF;
-  const int close_rc = std::fclose(f);
-  if (written != document.size() || !newline_ok || close_rc != 0) {
-    return Status::IoError("short write to report file: " + path);
-  }
-  return Status::OK();
+  // Atomic replace: report consumers (lamo_report_check, dashboards) must
+  // never observe a torn document.
+  const std::string document = RunReportJson(sink, command, threads) + "\n";
+  return WriteFileAtomic(path, document);
 }
 
 void PrintRunSummary(const ObsSink& sink, const std::string& command,

@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "obs/json.h"
+#include "util/atomic_io.h"
 #include "util/logging.h"
 
 namespace lamo {
@@ -229,18 +230,7 @@ std::string TraceCollector::ToJson() const {
 }
 
 Status TraceCollector::WriteFile(const std::string& path) const {
-  const std::string document = ToJson();
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) {
-    return Status::IoError("cannot open trace file: " + path);
-  }
-  const size_t written = std::fwrite(document.data(), 1, document.size(), f);
-  const bool newline_ok = std::fputc('\n', f) != EOF;
-  const int close_rc = std::fclose(f);
-  if (written != document.size() || !newline_ok || close_rc != 0) {
-    return Status::IoError("short write to trace file: " + path);
-  }
-  return Status::OK();
+  return WriteFileAtomic(path, ToJson() + "\n");
 }
 
 }  // namespace lamo

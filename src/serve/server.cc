@@ -33,6 +33,16 @@ const size_t kObsConnections = ObsCounterId("serve.connections");
 const size_t kHistRequestUs = ObsHistogramId("serve.request_us");
 const size_t kHistQueueUs = ObsHistogramId("serve.queue_us");
 
+/// Overload-protection outcomes. timeouts counts expired request budgets
+/// (slowloris partial lines and slow dispatches alike); idle_reaped counts
+/// silent closes of quiet connections; overlong_lines counts the
+/// line-length guard firing; backpressure_waits counts poll cycles entered
+/// with the listen socket parked because max_conns live connections exist.
+const size_t kObsTimeouts = ObsCounterId("serve.timeouts");
+const size_t kObsIdleReaped = ObsCounterId("serve.idle_reaped");
+const size_t kObsOverlongLines = ObsCounterId("serve.overlong_lines");
+const size_t kObsBackpressureWaits = ObsCounterId("serve.backpressure_waits");
+
 using Clock = std::chrono::steady_clock;
 
 uint64_t MicrosSince(Clock::time_point start) {
@@ -41,10 +51,6 @@ uint64_t MicrosSince(Clock::time_point start) {
                                                             start)
           .count());
 }
-
-/// A request line cannot reasonably exceed this; longer input without a
-/// newline is a protocol violation and closes the connection.
-constexpr size_t kMaxRequestBytes = 64 * 1024;
 
 }  // namespace
 
@@ -248,28 +254,110 @@ bool SendAll(int fd, const std::string& data) {
   return true;
 }
 
+/// Like Dispatch but gives up after `timeout_ms`. On expiry the pool task
+/// keeps running harmlessly (it owns its line copy and shared promise; the
+/// service outlives the pool), but the connection is told
+/// `ERR DeadlineExceeded` and closed so an abusive or unlucky client cannot
+/// pin a reader thread forever. `timeout_ms` 0 means no deadline.
+bool DispatchWithDeadline(ThreadPool& pool, SnapshotService& service,
+                          const std::string& line, uint64_t timeout_ms,
+                          std::string* response) {
+  auto promise = std::make_shared<std::promise<std::string>>();
+  std::future<std::string> future = promise->get_future();
+  const bool observed = ObsEnabled();
+  const Clock::time_point enqueued =
+      observed ? Clock::now() : Clock::time_point();
+  pool.Submit([&service, line, promise, observed, enqueued] {
+    if (observed) ObsObserve(kHistQueueUs, MicrosSince(enqueued));
+    promise->set_value(service.Handle(line));
+  });
+  if (timeout_ms > 0 &&
+      future.wait_for(std::chrono::milliseconds(timeout_ms)) !=
+          std::future_status::ready) {
+    return false;
+  }
+  *response = future.get();
+  return true;
+}
+
 /// Reads newline-terminated requests from one client socket, answering each
-/// through the pool. Returns on EOF, error, socket shutdown, or a stop
-/// request between lines.
+/// through the pool. Returns on EOF, error, socket shutdown, an overload
+/// guard firing, or a stop request between lines.
+///
+/// The read side is poll()-driven so two deadlines can be enforced without
+/// extra threads: a connection holding an unfinished request line longer
+/// than the request budget (slowloris) gets `ERR DeadlineExceeded`, and a
+/// connection with no partial line and no traffic past the idle budget is
+/// reaped silently — including half-closed sockets whose clients called
+/// shutdown(SHUT_WR) and then hung around.
 void ConnectionLoop(int fd, ThreadPool& pool, SnapshotService& service,
+                    const ServeOptions& options,
                     const std::atomic<bool>& stopping) {
   std::string buffer;
   char chunk[4096];
+  Clock::time_point line_start = Clock::now();  // first byte of current line
+  Clock::time_point last_activity = line_start;
   while (!stopping.load(std::memory_order_acquire)) {
     size_t newline;
     while ((newline = buffer.find('\n')) == std::string::npos) {
-      if (buffer.size() > kMaxRequestBytes) {
+      if (buffer.size() > options.max_line_bytes) {
+        ObsIncrement(kObsOverlongLines);
         SendAll(fd, FormatErrorResponse(
                         Status::InvalidArgument("request line too long")));
         return;
       }
+      // Pick the nearest armed deadline for this poll.
+      int wait_ms = -1;
+      const Clock::time_point now = Clock::now();
+      if (!buffer.empty() && options.request_timeout_ms > 0) {
+        const auto deadline =
+            line_start + std::chrono::milliseconds(options.request_timeout_ms);
+        wait_ms = static_cast<int>(std::max<int64_t>(
+            0, std::chrono::duration_cast<std::chrono::milliseconds>(deadline -
+                                                                     now)
+                   .count()));
+      } else if (buffer.empty() && options.idle_timeout_ms > 0) {
+        const auto deadline =
+            last_activity + std::chrono::milliseconds(options.idle_timeout_ms);
+        wait_ms = static_cast<int>(std::max<int64_t>(
+            0, std::chrono::duration_cast<std::chrono::milliseconds>(deadline -
+                                                                     now)
+                   .count()));
+      }
+      pollfd pfd{fd, POLLIN, 0};
+      const int ready = poll(&pfd, 1, wait_ms);
+      if (ready < 0) {
+        if (errno == EINTR) continue;
+        return;
+      }
+      if (ready == 0) {  // deadline expired
+        if (!buffer.empty()) {
+          ObsIncrement(kObsTimeouts);
+          SendAll(fd, FormatErrorResponse(Status::DeadlineExceeded(
+                          "request line not completed within deadline")));
+        } else {
+          ObsIncrement(kObsIdleReaped);
+        }
+        return;
+      }
       const ssize_t n = recv(fd, chunk, sizeof chunk, 0);
       if (n <= 0) return;  // EOF, error, or shutdown()
+      if (buffer.empty()) line_start = Clock::now();
+      last_activity = Clock::now();
       buffer.append(chunk, static_cast<size_t>(n));
     }
     const std::string line = buffer.substr(0, newline);
     buffer.erase(0, newline + 1);
-    if (!SendAll(fd, Dispatch(pool, service, line))) return;
+    std::string response;
+    if (!DispatchWithDeadline(pool, service, line, options.request_timeout_ms,
+                              &response)) {
+      ObsIncrement(kObsTimeouts);
+      SendAll(fd, FormatErrorResponse(Status::DeadlineExceeded(
+                      "request did not complete within deadline")));
+      return;
+    }
+    if (!SendAll(fd, response)) return;
+    line_start = last_activity = Clock::now();
   }
 }
 
@@ -287,7 +375,20 @@ Status RunStreamServer(SnapshotService* service, std::istream& in,
   return Status::OK();
 }
 
-Status RunTcpServer(SnapshotService* service, uint16_t port, std::FILE* log) {
+namespace {
+
+/// One live client connection: its socket, its reader thread, and a flag the
+/// thread raises when it is finished and safe to join.
+struct Conn {
+  int fd = -1;
+  std::atomic<bool> done{false};
+  std::thread thread;
+};
+
+}  // namespace
+
+Status RunTcpServer(SnapshotService* service, const ServeOptions& options) {
+  std::FILE* log = options.log != nullptr ? options.log : stdout;
   const int listen_fd = socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd < 0) return Status::IoError("socket() failed");
   const int one = 1;
@@ -296,12 +397,13 @@ Status RunTcpServer(SnapshotService* service, uint16_t port, std::FILE* log) {
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(port);
+  addr.sin_port = htons(options.port);
   if (bind(listen_fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
       0) {
     close(listen_fd);
-    return Status::IoError("cannot bind 127.0.0.1:" + std::to_string(port) +
-                           ": " + std::strerror(errno));
+    return Status::IoError("cannot bind 127.0.0.1:" +
+                           std::to_string(options.port) + ": " +
+                           std::strerror(errno));
   }
   socklen_t addr_len = sizeof addr;
   if (getsockname(listen_fd, reinterpret_cast<sockaddr*>(&addr), &addr_len) !=
@@ -320,6 +422,16 @@ Status RunTcpServer(SnapshotService* service, uint16_t port, std::FILE* log) {
     close(listen_fd);
     return Status::IoError("pipe() failed");
   }
+  // Connection threads write one byte here when they finish, waking the
+  // accept loop to reap them — and, when the server was at max_conns, to put
+  // the listen socket back into the poll set.
+  int conn_event_fds[2];
+  if (pipe(conn_event_fds) != 0) {
+    close(listen_fd);
+    close(pipe_fds[0]);
+    close(pipe_fds[1]);
+    return Status::IoError("pipe() failed");
+  }
   g_shutdown_pipe_wr.store(pipe_fds[1], std::memory_order_relaxed);
   struct sigaction action{};
   action.sa_handler = OnShutdownSignal;
@@ -331,39 +443,87 @@ Status RunTcpServer(SnapshotService* service, uint16_t port, std::FILE* log) {
   std::fprintf(log, "lamo serve: listening on 127.0.0.1:%u (pid %ld)\n",
                bound_port, static_cast<long>(getpid()));
   std::fflush(log);
+  if (options.on_listening) options.on_listening(bound_port);
 
   ThreadPool pool(ThreadCount());
   std::atomic<bool> stopping{false};
   std::mutex conn_mu;
-  std::vector<int> open_fds;             // guarded by conn_mu
-  std::vector<std::thread> conn_threads;
+  std::vector<std::unique_ptr<Conn>> conns;  // guarded by conn_mu
+  const int conn_event_wr = conn_event_fds[1];
 
-  pollfd poll_fds[2];
-  poll_fds[0] = {listen_fd, POLLIN, 0};
-  poll_fds[1] = {pipe_fds[0], POLLIN, 0};
+  auto reap_finished = [&conns, &conn_mu] {
+    std::vector<std::unique_ptr<Conn>> finished;
+    {
+      std::lock_guard<std::mutex> lock(conn_mu);
+      auto it = conns.begin();
+      while (it != conns.end()) {
+        if ((*it)->done.load(std::memory_order_acquire)) {
+          finished.push_back(std::move(*it));
+          it = conns.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+    // Join outside the lock; the threads have already signalled done.
+    for (auto& conn : finished) conn->thread.join();
+    return finished.size();
+  };
+
   while (true) {
-    const int ready = poll(poll_fds, 2, -1);
+    size_t live;
+    {
+      std::lock_guard<std::mutex> lock(conn_mu);
+      live = conns.size();
+    }
+    const bool at_capacity = options.max_conns > 0 && live >= options.max_conns;
+    if (at_capacity) ObsIncrement(kObsBackpressureWaits);
+
+    // At capacity the listen fd is parked: new clients wait in the kernel
+    // backlog instead of costing a thread each, and the conn-event pipe
+    // wakes us the moment a slot frees up.
+    pollfd poll_fds[3];
+    poll_fds[0] = {pipe_fds[0], POLLIN, 0};
+    poll_fds[1] = {conn_event_fds[0], POLLIN, 0};
+    poll_fds[2] = {listen_fd, POLLIN, 0};
+    const nfds_t num_fds = at_capacity ? 2 : 3;
+    const int ready = poll(poll_fds, num_fds, -1);
     if (ready < 0) {
       if (errno == EINTR) continue;
       break;
     }
-    if (poll_fds[1].revents != 0) break;  // SIGINT / SIGTERM
-    if ((poll_fds[0].revents & POLLIN) != 0) {
+    if (poll_fds[0].revents != 0) break;  // SIGINT / SIGTERM
+    if (poll_fds[1].revents != 0) {
+      char drain[64];
+      [[maybe_unused]] ssize_t ignored =
+          read(conn_event_fds[0], drain, sizeof drain);
+      reap_finished();
+    }
+    if (!at_capacity && (poll_fds[2].revents & POLLIN) != 0) {
       const int conn_fd = accept(listen_fd, nullptr, nullptr);
       if (conn_fd < 0) continue;
       service->stats().connections.fetch_add(1, std::memory_order_relaxed);
       ObsIncrement(kObsConnections);
+      auto conn = std::make_unique<Conn>();
+      Conn* raw = conn.get();
+      raw->fd = conn_fd;
       {
         std::lock_guard<std::mutex> lock(conn_mu);
-        open_fds.push_back(conn_fd);
+        conns.push_back(std::move(conn));
       }
-      conn_threads.emplace_back([&, conn_fd] {
-        ConnectionLoop(conn_fd, pool, *service, stopping);
-        // Remove-and-close under the lock so the shutdown path never calls
-        // shutdown() on an fd number that was already closed and reused.
-        std::lock_guard<std::mutex> lock(conn_mu);
-        open_fds.erase(std::find(open_fds.begin(), open_fds.end(), conn_fd));
-        close(conn_fd);
+      raw->thread = std::thread([&pool, service, &options, &stopping, &conn_mu,
+                                 conn_event_wr, raw] {
+        ConnectionLoop(raw->fd, pool, *service, options, stopping);
+        // Close under the lock so the shutdown path never calls shutdown()
+        // on an fd number that was already closed and reused.
+        {
+          std::lock_guard<std::mutex> lock(conn_mu);
+          close(raw->fd);
+          raw->fd = -1;
+        }
+        raw->done.store(true, std::memory_order_release);
+        const char byte = 1;
+        [[maybe_unused]] ssize_t ignored = write(conn_event_wr, &byte, 1);
       });
     }
   }
@@ -374,9 +534,22 @@ Status RunTcpServer(SnapshotService* service, uint16_t port, std::FILE* log) {
   close(listen_fd);
   {
     std::lock_guard<std::mutex> lock(conn_mu);
-    for (int fd : open_fds) shutdown(fd, SHUT_RDWR);
+    for (const auto& conn : conns) {
+      if (conn->fd >= 0) shutdown(conn->fd, SHUT_RDWR);
+    }
   }
-  for (std::thread& t : conn_threads) t.join();
+  std::vector<std::unique_ptr<Conn>> draining;
+  {
+    // Move out under the lock, join outside it: exiting threads still need
+    // conn_mu to close their own fd, so joining while holding it would
+    // deadlock.
+    std::lock_guard<std::mutex> lock(conn_mu);
+    draining = std::move(conns);
+    conns.clear();
+  }
+  for (const auto& conn : draining) {
+    if (conn->thread.joinable()) conn->thread.join();
+  }
   pool.Wait();
 
   sigaction(SIGINT, &old_int, nullptr);
@@ -384,6 +557,8 @@ Status RunTcpServer(SnapshotService* service, uint16_t port, std::FILE* log) {
   g_shutdown_pipe_wr.store(-1, std::memory_order_relaxed);
   close(pipe_fds[0]);
   close(pipe_fds[1]);
+  close(conn_event_fds[0]);
+  close(conn_event_fds[1]);
 
   std::fprintf(
       log, "lamo serve: drained, served %llu requests over %llu connections\n",

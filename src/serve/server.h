@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cstdint>
 #include <cstdio>
+#include <functional>
 #include <istream>
 #include <memory>
 #include <ostream>
@@ -80,13 +81,47 @@ class SnapshotService {
 Status RunStreamServer(SnapshotService* service, std::istream& in,
                        std::ostream& out);
 
-/// Long-lived TCP mode: binds 127.0.0.1:`port` (0 picks an ephemeral port),
-/// prints `listening on 127.0.0.1:<port>` to `log`, and serves concurrent
+/// Overload-protection knobs for the TCP server. Every limit has a "0
+/// disables" escape hatch so tests can exercise one guard at a time, but the
+/// CLI defaults are all armed: an abusive client (slowloris writer, oversized
+/// request line, half-closed socket, connection flood) costs a bounded amount
+/// of memory and one bounded-lifetime thread, never a hang.
+struct ServeOptions {
+  /// TCP port on 127.0.0.1; 0 picks an ephemeral port.
+  uint16_t port = 0;
+  /// Per-request budget covering both the partial-line read (slowloris
+  /// guard) and the dispatch-to-response wait. Expiry sends
+  /// `ERR DeadlineExceeded ...` and closes the connection. 0 disables.
+  uint64_t request_timeout_ms = 10'000;
+  /// Idle reaper: a connection with no buffered partial line and no traffic
+  /// for this long is closed silently. 0 disables.
+  uint64_t idle_timeout_ms = 60'000;
+  /// Accept-backpressure threshold: at this many live connections the listen
+  /// socket is removed from the poll set, so further clients queue in the
+  /// kernel backlog instead of spawning threads. 0 means unlimited.
+  size_t max_conns = 64;
+  /// A request line longer than this (no newline seen) gets
+  /// `ERR InvalidArgument request line too long` and a close. Bounds
+  /// per-connection buffer memory.
+  size_t max_line_bytes = 64 * 1024;
+  /// Invoked once with the bound port after listen() succeeds, before the
+  /// accept loop starts. Lets in-process tests discover an ephemeral port
+  /// without parsing the log. May be empty.
+  std::function<void(uint16_t)> on_listening;
+  /// Human-readable progress lines (listening/drained); never the wire
+  /// protocol. Defaults to stdout in the CLI.
+  std::FILE* log = nullptr;
+};
+
+/// Long-lived TCP mode: binds 127.0.0.1:`options.port`, prints
+/// `listening on 127.0.0.1:<port>` to `options.log`, and serves concurrent
 /// connections — one reader thread per connection, each request dispatched
-/// onto the shared thread pool — until SIGINT or SIGTERM. Shutdown is
-/// graceful: stop accepting, unblock readers, finish in-flight requests,
-/// join everything, then return OK so the CLI can flush --report/--trace.
-Status RunTcpServer(SnapshotService* service, uint16_t port, std::FILE* log);
+/// onto the shared thread pool — until SIGINT or SIGTERM. Overload behavior
+/// (deadlines, idle reaping, line-length guard, accept backpressure) follows
+/// `options`; see ServeOptions. Shutdown is graceful: stop accepting,
+/// unblock readers, finish in-flight requests, join everything, then return
+/// OK so the CLI can flush --report/--trace.
+Status RunTcpServer(SnapshotService* service, const ServeOptions& options);
 
 }  // namespace lamo
 

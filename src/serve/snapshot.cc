@@ -5,6 +5,8 @@
 #include <cstdio>
 #include <cstring>
 
+#include "util/atomic_io.h"
+
 namespace lamo {
 
 /// Befriended by Graph, Ontology, AnnotationTable, TermWeights and
@@ -735,15 +737,9 @@ StatusOr<Snapshot> DecodeSnapshot(const std::string& bytes) {
 }
 
 Status WriteSnapshot(const Snapshot& snapshot, const std::string& path) {
-  const std::string bytes = EncodeSnapshot(snapshot);
-  std::FILE* f = std::fopen(path.c_str(), "wb");
-  if (f == nullptr) return Status::IoError("cannot open " + path);
-  const size_t written = std::fwrite(bytes.data(), 1, bytes.size(), f);
-  const bool closed = std::fclose(f) == 0;
-  if (written != bytes.size() || !closed) {
-    return Status::IoError("short write to " + path);
-  }
-  return Status::OK();
+  // Atomic replace: a serving process may re-load this path at any moment,
+  // so it must never observe a half-written snapshot.
+  return WriteFileAtomic(path, EncodeSnapshot(snapshot));
 }
 
 StatusOr<Snapshot> ReadSnapshot(const std::string& path) {

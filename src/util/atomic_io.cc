@@ -1,0 +1,93 @@
+#include "util/atomic_io.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "util/fault.h"
+
+namespace lamo {
+namespace {
+
+const size_t kFpWrite = FaultPointId("atomic.write");
+const size_t kFpPreRename = FaultPointId("atomic.pre_rename");
+
+Status IoErrorFor(const std::string& op, const std::string& path) {
+  return Status::IoError(op + " failed for " + path + ": " +
+                         std::strerror(errno));
+}
+
+/// write(2) loop that survives short writes and EINTR — the two behaviors
+/// the atomic.write fault point injects on demand.
+Status WriteAll(int fd, std::string_view bytes, const std::string& path) {
+  size_t done = 0;
+  while (done < bytes.size()) {
+    size_t want = bytes.size() - done;
+    switch (FaultHit(kFpWrite)) {
+      case FaultAction::kShortWrite:
+        want = 1;
+        break;
+      case FaultAction::kEintr:
+        errno = EINTR;
+        continue;
+      case FaultAction::kError:
+        return Status::IoError("injected write error for " + path);
+      default:
+        break;
+    }
+    const ssize_t n = write(fd, bytes.data() + done, want);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return IoErrorFor("write", path);
+    }
+    done += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status FsyncDirOf(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  const int fd = open(dir.empty() ? "/" : dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return IoErrorFor("open dir", dir);
+  const int rc = fsync(fd);
+  close(fd);
+  // Some filesystems refuse directory fsync; the rename is still ordered
+  // after the file fsync, so treat EINVAL as best-effort success.
+  if (rc != 0 && errno != EINVAL) return IoErrorFor("fsync dir", dir);
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string AtomicTmpPath(const std::string& path) { return path + ".tmp"; }
+
+Status WriteFileAtomic(const std::string& path, std::string_view bytes,
+                       size_t* fsync_out) {
+  const std::string tmp = AtomicTmpPath(path);
+  const int fd = open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return IoErrorFor("open", tmp);
+  Status status = WriteAll(fd, bytes, tmp);
+  if (status.ok() && fsync(fd) != 0) status = IoErrorFor("fsync", tmp);
+  if (close(fd) != 0 && status.ok()) status = IoErrorFor("close", tmp);
+  if (!status.ok()) {
+    unlink(tmp.c_str());
+    return status;
+  }
+  FaultHit(kFpPreRename);
+  if (rename(tmp.c_str(), path.c_str()) != 0) {
+    const Status rename_status = IoErrorFor("rename", tmp);
+    unlink(tmp.c_str());
+    return rename_status;
+  }
+  LAMO_RETURN_IF_ERROR(FsyncDirOf(path));
+  if (fsync_out != nullptr) ++*fsync_out;
+  return Status::OK();
+}
+
+}  // namespace lamo

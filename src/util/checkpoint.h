@@ -1,0 +1,97 @@
+#ifndef LAMO_UTIL_CHECKPOINT_H_
+#define LAMO_UTIL_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace lamo {
+
+/// ---- Crash-safe stage checkpoints -----------------------------------------
+///
+/// A checkpoint is one file per pipeline stage, `<dir>/<stage>.ckpt`, holding
+/// an opaque stage payload inside a versioned, checksummed container (layout
+/// in docs/FORMATS.md §Checkpoint). Files are replaced via WriteFileAtomic,
+/// so a crash mid-save leaves the previous complete checkpoint (or none) —
+/// never a torn one. On resume, any load failure (missing file, bad magic,
+/// bad checksum, mismatched fingerprint) is reported as a Status and the
+/// stage restarts cleanly from the beginning; a stale or corrupt checkpoint
+/// can cost recomputation but never correctness.
+
+/// How a stage checkpoints, plumbed from the `--checkpoint`,
+/// `--checkpoint-every` and `--resume` CLI flags.
+struct CheckpointOptions {
+  /// Directory for checkpoint files; empty disables checkpointing.
+  std::string dir;
+  /// Save after every N units of work (chunks / replicates / motifs).
+  size_t every = 1;
+  /// Attempt to load an existing checkpoint before starting.
+  bool resume = false;
+
+  bool enabled() const { return !dir.empty(); }
+};
+
+/// Bounds-checked little-endian serializers for checkpoint payloads.
+class ByteWriter {
+ public:
+  void PutU8(uint8_t v) { bytes_.push_back(static_cast<char>(v)); }
+  void PutU32(uint32_t v);
+  void PutU64(uint64_t v);
+  void PutDouble(double v);
+  void PutString(std::string_view s);  // u64 length + raw bytes
+  void PutBytes(std::string_view s) { bytes_.append(s); }
+
+  const std::string& bytes() const { return bytes_; }
+  std::string TakeBytes() { return std::move(bytes_); }
+
+ private:
+  std::string bytes_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view bytes) : bytes_(bytes) {}
+
+  Status GetU8(uint8_t* v);
+  Status GetU32(uint32_t* v);
+  Status GetU64(uint64_t* v);
+  Status GetDouble(double* v);
+  Status GetString(std::string* s);
+
+  size_t remaining() const { return bytes_.size() - pos_; }
+  bool AtEnd() const { return pos_ == bytes_.size(); }
+
+ private:
+  Status Take(size_t n, const char** out);
+
+  std::string_view bytes_;
+  size_t pos_ = 0;
+};
+
+/// FNV-1a 64-bit over `bytes`, seeded by `seed` (chain calls to hash several
+/// fields). Used for both checkpoint checksums and config fingerprints.
+uint64_t Fnv1a64(std::string_view bytes, uint64_t seed = 0xcbf29ce484222325ull);
+
+/// Atomically writes `<dir>/<stage>.ckpt` (creating `dir` if needed).
+/// `fingerprint` identifies the config + input the payload belongs to;
+/// LoadCheckpoint rejects a mismatch so a resumed run can't silently mix
+/// state across configurations. `fsync_out` as in WriteFileAtomic.
+Status SaveCheckpoint(const std::string& dir, const std::string& stage,
+                      uint64_t fingerprint, std::string_view payload,
+                      size_t* fsync_out = nullptr);
+
+/// Loads and verifies `<dir>/<stage>.ckpt` into `payload`. NotFound if the
+/// file does not exist, Corruption for any structural or checksum failure,
+/// FailedPrecondition if the fingerprint does not match.
+Status LoadCheckpoint(const std::string& dir, const std::string& stage,
+                      uint64_t fingerprint, std::string* payload);
+
+/// The checkpoint file path for a stage (for tests and docs).
+std::string CheckpointPath(const std::string& dir, const std::string& stage);
+
+}  // namespace lamo
+
+#endif  // LAMO_UTIL_CHECKPOINT_H_

@@ -1,0 +1,143 @@
+#include "util/fault.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <algorithm>
+#include <mutex>
+
+namespace lamo {
+namespace {
+
+std::mutex g_mu;
+
+std::vector<std::string>& Registry() {
+  static std::vector<std::string>* names = new std::vector<std::string>();
+  return *names;
+}
+
+/// The armed spec (guarded by g_mu); g_armed is the relaxed fast-path gate.
+struct ArmedFault {
+  std::string point;
+  uint64_t nth = 0;  // 1-based hit that triggers
+  FaultAction action = FaultAction::kCrash;
+  uint64_t hits = 0;
+};
+ArmedFault* g_fault = nullptr;  // guarded by g_mu
+std::atomic<bool> g_armed{false};
+std::once_flag g_env_once;
+
+/// Parses "<point>:<n>[:<action>]"; returns nullptr on malformed input
+/// (reported on stderr — a misarmed fault test must not silently pass).
+ArmedFault* ParseSpec(const std::string& spec) {
+  const size_t first = spec.find(':');
+  if (first == std::string::npos || first == 0) {
+    std::fprintf(stderr, "lamo: ignoring malformed LAMO_FAULT \"%s\" "
+                 "(want <point>:<n>[:<action>])\n", spec.c_str());
+    return nullptr;
+  }
+  const size_t second = spec.find(':', first + 1);
+  const std::string count = spec.substr(
+      first + 1, second == std::string::npos ? std::string::npos
+                                             : second - first - 1);
+  char* end = nullptr;
+  const unsigned long long nth = std::strtoull(count.c_str(), &end, 10);
+  if (count.empty() || end == nullptr || *end != '\0' || nth == 0) {
+    std::fprintf(stderr, "lamo: ignoring LAMO_FAULT \"%s\": hit count must "
+                 "be a positive integer\n", spec.c_str());
+    return nullptr;
+  }
+  FaultAction action = FaultAction::kCrash;
+  if (second != std::string::npos) {
+    const std::string name = spec.substr(second + 1);
+    if (name == "crash") {
+      action = FaultAction::kCrash;
+    } else if (name == "short_write") {
+      action = FaultAction::kShortWrite;
+    } else if (name == "eintr") {
+      action = FaultAction::kEintr;
+    } else if (name == "error") {
+      action = FaultAction::kError;
+    } else {
+      std::fprintf(stderr, "lamo: ignoring LAMO_FAULT \"%s\": unknown action "
+                   "\"%s\"\n", spec.c_str(), name.c_str());
+      return nullptr;
+    }
+  }
+  ArmedFault* fault = new ArmedFault();
+  fault->point = spec.substr(0, first);
+  fault->nth = nth;
+  fault->action = action;
+  return fault;
+}
+
+void Arm(const char* spec) {
+  std::lock_guard<std::mutex> lock(g_mu);
+  delete g_fault;
+  g_fault = nullptr;
+  if (spec != nullptr && spec[0] != '\0') g_fault = ParseSpec(spec);
+  g_armed.store(g_fault != nullptr, std::memory_order_release);
+}
+
+void ArmFromEnvOnce() {
+  std::call_once(g_env_once, [] { Arm(std::getenv("LAMO_FAULT")); });
+}
+
+}  // namespace
+
+size_t FaultPointId(const std::string& name) {
+  ArmFromEnvOnce();
+  std::lock_guard<std::mutex> lock(g_mu);
+  std::vector<std::string>& names = Registry();
+  for (size_t i = 0; i < names.size(); ++i) {
+    if (names[i] == name) return i;
+  }
+  names.push_back(name);
+  return names.size() - 1;
+}
+
+std::vector<std::string> FaultPointNames() {
+  std::lock_guard<std::mutex> lock(g_mu);
+  std::vector<std::string> names = Registry();
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+FaultAction FaultHit(size_t point_id) {
+  if (!g_armed.load(std::memory_order_relaxed)) return FaultAction::kNone;
+  FaultAction action = FaultAction::kNone;
+  std::string point;
+  uint64_t hit = 0;
+  {
+    std::lock_guard<std::mutex> lock(g_mu);
+    if (g_fault == nullptr) return FaultAction::kNone;
+    const std::vector<std::string>& names = Registry();
+    if (point_id >= names.size() || names[point_id] != g_fault->point) {
+      return FaultAction::kNone;
+    }
+    if (++g_fault->hits != g_fault->nth) return FaultAction::kNone;
+    action = g_fault->action;
+    point = g_fault->point;
+    hit = g_fault->hits;
+  }
+  if (action == FaultAction::kCrash) {
+    // Simulated hard crash: bypass atexit, stream flushing and destructors
+    // so nothing downstream of this point gets a chance to tidy up.
+    std::fprintf(stderr,
+                 "lamo: injected crash at fault point %s (hit %llu)\n",
+                 point.c_str(), static_cast<unsigned long long>(hit));
+    _exit(kFaultExitCode);
+  }
+  std::fprintf(stderr, "lamo: injected fault at point %s (hit %llu)\n",
+               point.c_str(), static_cast<unsigned long long>(hit));
+  return action;
+}
+
+void FaultArmForTest(const char* spec) {
+  ArmFromEnvOnce();  // keep the env parse from clobbering a test arm later
+  Arm(spec);
+}
+
+}  // namespace lamo

@@ -1,0 +1,77 @@
+#ifndef LAMO_UTIL_FAULT_H_
+#define LAMO_UTIL_FAULT_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace lamo {
+
+/// ---- Deterministic fault injection ----------------------------------------
+///
+/// Named fault points compiled into the binary let tests prove — rather than
+/// assert — that the checkpoint/resume and atomic-write machinery survives
+/// crashes, short writes and interrupted syscalls. A fault point is a named
+/// call site (`FaultHit`) that is one relaxed atomic load when no fault is
+/// armed, so the instrumentation is compiled in unconditionally.
+///
+/// Arming happens through the environment:
+///
+///   LAMO_FAULT="<point>:<n>[:<action>]"
+///
+/// triggers `<action>` at exactly the n-th hit (1-based) of `<point>` in this
+/// process. Actions:
+///
+///   crash        (default) print a diagnostic and _exit(kFaultExitCode)
+///                immediately — no atexit handlers, no stream flushes, no
+///                destructors; a deterministic stand-in for SIGKILL.
+///   short_write  the current atomic write transfers at most one byte
+///                (the write loop must recover). Only meaningful at
+///                `atomic.write`; other sites ignore it.
+///   eintr        the current write call fails once with EINTR semantics
+///                (the write loop must retry). Only meaningful at
+///                `atomic.write`.
+///   error        the fault point reports an injected IoError to its caller
+///                (exercises the Status propagation path).
+///
+/// Fault-point naming convention: `<component>.<event>` in lower snake case,
+/// e.g. `checkpoint.mine.chunk`, `atomic.pre_rename`. The registry of points
+/// compiled into a binary is printed by `lamo fault-points`; the crash-matrix
+/// test (tests/fault_resume_test.sh) iterates over exactly that list, so new
+/// fault points fail the suite until the matrix covers them.
+
+/// Exit code of an injected crash; distinct from every normal CLI exit so
+/// tests can assert the crash came from the armed fault point.
+inline constexpr int kFaultExitCode = 42;
+
+/// What an armed fault point tells its caller to do. kCrash never reaches
+/// the caller (FaultHit exits the process first).
+enum class FaultAction : uint8_t {
+  kNone = 0,
+  kCrash,
+  kShortWrite,
+  kEintr,
+  kError,
+};
+
+/// Registers `name` (idempotent) and returns its dense id. Call once per
+/// site via a namespace-scope `const size_t` initializer, like ObsCounterId.
+/// Thread-safe.
+size_t FaultPointId(const std::string& name);
+
+/// Names of all fault points registered so far, sorted.
+std::vector<std::string> FaultPointNames();
+
+/// Records one hit of the point. Returns kNone unless LAMO_FAULT armed this
+/// point and this is exactly its n-th hit; a `crash` action _exits the
+/// process right here. One relaxed atomic load when nothing is armed.
+FaultAction FaultHit(size_t point_id);
+
+/// Re-parses the fault spec (nullptr or "" disarms) and resets hit counts.
+/// Tests use this instead of setenv so one process can exercise several
+/// specs; production code never calls it.
+void FaultArmForTest(const char* spec);
+
+}  // namespace lamo
+
+#endif  // LAMO_UTIL_FAULT_H_

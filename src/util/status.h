@@ -23,6 +23,8 @@ enum class StatusCode {
   kIoError,
   kUnimplemented,
   kInternal,
+  kDeadlineExceeded,
+  kUnavailable,
 };
 
 /// Returns a human-readable name for a status code ("Ok", "InvalidArgument"...).
@@ -71,6 +73,12 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   /// True iff this status represents success.
   bool ok() const { return code_ == StatusCode::kOk; }
@@ -94,6 +102,10 @@ class Status {
   bool IsIoError() const { return code_ == StatusCode::kIoError; }
   bool IsUnimplemented() const { return code_ == StatusCode::kUnimplemented; }
   bool IsInternal() const { return code_ == StatusCode::kInternal; }
+  bool IsDeadlineExceeded() const {
+    return code_ == StatusCode::kDeadlineExceeded;
+  }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
 
   /// "OK" or "<Code>: <message>".
   std::string ToString() const;

@@ -19,6 +19,7 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -42,11 +43,18 @@ int Usage() {
       stderr,
       "usage: lamo_bench_client --port P [--connections N] [--requests M]\n"
       "                         [--out FILE.json] [--query \"REQUEST LINE\"]\n"
+      "                         [--abuse slowloris|longline|halfclose|burst]\n"
       "Bench mode (default): N connections x M requests against the lamo\n"
       "serve daemon on 127.0.0.1:P; prints throughput and latency\n"
       "percentiles, and with --out writes them as benchmark JSON.\n"
       "Query mode (--query): send one request, print the payload lines\n"
-      "verbatim; exit 0 on OK, 1 on ERR.\n");
+      "verbatim; exit 0 on OK, 1 on ERR.\n"
+      "Abuse mode (--abuse): behave like a hostile client and exit 0 iff\n"
+      "the server honored its overload contract —\n"
+      "  slowloris  unfinished request line -> ERR DeadlineExceeded + close\n"
+      "  longline   oversized request line -> ERR InvalidArgument + close\n"
+      "  halfclose  request then shutdown(WR) -> answer + clean close\n"
+      "  burst      N idle-held connections, served FIFO past max-conns\n");
   return 2;
 }
 
@@ -338,12 +346,133 @@ int RunBench(uint16_t port, size_t connections, size_t requests,
   return err > 0 ? 1 : 0;
 }
 
+/// Reads until the server closes the connection (or the receive timeout
+/// trips); returns every byte received.
+std::string RecvUntilClose(int fd) {
+  std::string received;
+  char chunk[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+    if (n <= 0) break;
+    received.append(chunk, static_cast<size_t>(n));
+  }
+  return received;
+}
+
+int ConnectAbuse(uint16_t port) {
+  const int fd = Connect(port);
+  if (fd < 0) {
+    std::fprintf(stderr, "abuse: cannot connect to 127.0.0.1:%u\n", port);
+    return -1;
+  }
+  // A server that wrongly hangs must fail the run, not wedge it.
+  timeval timeout{15, 0};
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof timeout);
+  return fd;
+}
+
+/// Misbehaves on purpose and verifies the server's documented overload
+/// response. Exit 0 iff the contract held; diagnostics on stderr otherwise.
+int RunAbuse(uint16_t port, const std::string& mode, size_t connections) {
+  if (mode == "slowloris") {
+    // Start a request line and never finish it. The server must answer with
+    // ERR DeadlineExceeded once --request-timeout-ms expires, then close.
+    const int fd = ConnectAbuse(port);
+    if (fd < 0) return 1;
+    SendAll(fd, "PRED");
+    const std::string response = RecvUntilClose(fd);
+    ::close(fd);
+    if (response.find("ERR DeadlineExceeded") == std::string::npos) {
+      std::fprintf(stderr, "abuse slowloris: expected ERR DeadlineExceeded, "
+                   "got \"%s\"\n", response.c_str());
+      return 1;
+    }
+    std::printf("abuse slowloris: ERR DeadlineExceeded + close\n");
+    return 0;
+  }
+  if (mode == "longline") {
+    // 8 KiB with no newline: overflows any --max-line-bytes below that. The
+    // server must reject the line with ERR InvalidArgument, not buffer on.
+    const int fd = ConnectAbuse(port);
+    if (fd < 0) return 1;
+    SendAll(fd, std::string(8192, 'A'));
+    const std::string response = RecvUntilClose(fd);
+    ::close(fd);
+    if (response.find("ERR InvalidArgument") == std::string::npos ||
+        response.find("request line too long") == std::string::npos) {
+      std::fprintf(stderr, "abuse longline: expected ERR InvalidArgument "
+                   "request line too long, got \"%s\"\n", response.c_str());
+      return 1;
+    }
+    std::printf("abuse longline: ERR InvalidArgument + close\n");
+    return 0;
+  }
+  if (mode == "halfclose") {
+    // Pipeline one request, then shut down our write side. The server must
+    // still answer the pipelined request and then close cleanly on the EOF.
+    const int fd = ConnectAbuse(port);
+    if (fd < 0) return 1;
+    if (!SendAll(fd, "HEALTH\n")) {
+      ::close(fd);
+      std::fprintf(stderr, "abuse halfclose: send failed\n");
+      return 1;
+    }
+    ::shutdown(fd, SHUT_WR);
+    const std::string response = RecvUntilClose(fd);
+    ::close(fd);
+    if (response.rfind("OK ", 0) != 0) {
+      std::fprintf(stderr, "abuse halfclose: expected OK response before "
+                   "close, got \"%s\"\n", response.c_str());
+      return 1;
+    }
+    std::printf("abuse halfclose: answered then closed cleanly\n");
+    return 0;
+  }
+  if (mode == "burst") {
+    // Open every connection up front — more than --max-conns — then serve
+    // them one at a time in connect order. Excess connections sit in the
+    // kernel backlog; every single one must still be answered (accept
+    // backpressure, not drops) as earlier ones close and free slots.
+    std::vector<int> fds;
+    fds.reserve(connections);
+    for (size_t c = 0; c < connections; ++c) {
+      const int fd = ConnectAbuse(port);
+      if (fd < 0) {
+        for (int open_fd : fds) ::close(open_fd);
+        return 1;
+      }
+      fds.push_back(fd);
+    }
+    size_t answered = 0;
+    for (size_t c = 0; c < fds.size(); ++c) {
+      LineReader reader(fds[c]);
+      std::string header;
+      std::vector<std::string> payload;
+      const bool ok = RoundTrip(fds[c], reader, "HEALTH", &header, &payload) &&
+                      header.rfind("OK ", 0) == 0;
+      ::close(fds[c]);
+      if (!ok) {
+        std::fprintf(stderr,
+                     "abuse burst: connection %zu/%zu was not answered "
+                     "(header \"%s\")\n", c + 1, fds.size(), header.c_str());
+        return 1;
+      }
+      ++answered;
+    }
+    std::printf("abuse burst: all %zu connections answered\n", answered);
+    return 0;
+  }
+  std::fprintf(stderr, "error: unknown --abuse mode \"%s\"\n", mode.c_str());
+  return Usage();
+}
+
 int Main(int argc, char** argv) {
   uint16_t port = 0;
   size_t connections = 4;
   size_t requests = 100;
   std::string out_path;
   std::string query;
+  std::string abuse;
   bool have_query = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -379,6 +508,10 @@ int Main(int argc, char** argv) {
       if (value == nullptr) return Usage();
       query = value;
       have_query = true;
+    } else if (arg == "--abuse") {
+      const char* value = need_value("--abuse");
+      if (value == nullptr) return Usage();
+      abuse = value;
     } else {
       std::fprintf(stderr, "error: unknown flag %s\n", arg.c_str());
       return Usage();
@@ -389,6 +522,13 @@ int Main(int argc, char** argv) {
     return Usage();
   }
   if (have_query) return RunQuery(port, query);
+  if (!abuse.empty()) {
+    if (connections == 0) {
+      std::fprintf(stderr, "error: --connections must be > 0\n");
+      return Usage();
+    }
+    return RunAbuse(port, abuse, connections);
+  }
   if (connections == 0 || requests == 0) {
     std::fprintf(stderr, "error: --connections and --requests must be > 0\n");
     return Usage();

@@ -50,6 +50,8 @@
 #include "serve/server.h"
 #include "serve/snapshot.h"
 #include "synth/dataset.h"
+#include "util/checkpoint.h"
+#include "util/fault.h"
 #include "util/string_util.h"
 
 namespace lamo {
@@ -153,6 +155,31 @@ int Fail(const Status& status) {
   return 1;
 }
 
+/// The crash-safety flags mine and label share. --checkpoint DIR enables
+/// periodic atomic checkpoints, --checkpoint-every N sets the group size
+/// (chunks/replicates/motifs per checkpoint), --resume restarts from the
+/// newest valid checkpoint in DIR.
+std::vector<FlagSpec> WithCheckpointFlags(std::vector<FlagSpec> specs) {
+  specs.push_back({"checkpoint", FlagKind::kString});
+  specs.push_back({"checkpoint-every", FlagKind::kSize});
+  specs.push_back({"resume", FlagKind::kBool});
+  return specs;
+}
+
+StatusOr<CheckpointOptions> CheckpointFromFlags(const Flags& flags) {
+  CheckpointOptions checkpoint;
+  checkpoint.dir = flags.Get("checkpoint", "");
+  checkpoint.every = flags.GetSize("checkpoint-every", 1);
+  checkpoint.resume = flags.Has("resume");
+  if (checkpoint.resume && checkpoint.dir.empty()) {
+    return Status::InvalidArgument("--resume requires --checkpoint DIR");
+  }
+  if (checkpoint.every == 0) {
+    return Status::InvalidArgument("--checkpoint-every must be >= 1");
+  }
+  return checkpoint;
+}
+
 // Applies --threads N (0 = auto: LAMO_THREADS env, then hardware
 // concurrency) for the stages that run on the parallel runtime.
 void ApplyThreadFlag(const Flags& flags) {
@@ -249,6 +276,8 @@ int CmdStats(const Flags& flags) {
 
 int CmdMine(const Flags& flags) {
   ApplyThreadFlag(flags);
+  auto checkpoint = CheckpointFromFlags(flags);
+  if (!checkpoint.ok()) return Fail(checkpoint.status());
   ObsScope obs(flags);
   const auto graph = [&] {
     const ScopedTimer timer("load");
@@ -267,6 +296,7 @@ int CmdMine(const Flags& flags) {
     config.num_random_networks = flags.GetSize("networks", 10);
     config.uniqueness_threshold = flags.GetDouble("uniqueness", 0.95);
     config.seed = flags.GetSize("seed", 42);
+    config.checkpoint = *checkpoint;
     const size_t min_size = flags.GetSize("min-size", 3);
     const size_t max_size = flags.GetSize("max-size", 5);
     for (size_t size = min_size; size <= max_size; ++size) {
@@ -283,6 +313,7 @@ int CmdMine(const Flags& flags) {
     config.miner.max_patterns_per_level = flags.GetSize("beam", 60);
     config.uniqueness.num_random_networks = flags.GetSize("networks", 10);
     config.uniqueness_threshold = flags.GetDouble("uniqueness", 0.95);
+    config.checkpoint = *checkpoint;
     motifs = FindNetworkMotifs(*graph, config);
   } else {
     return Fail(Status::InvalidArgument("--algo must be levelwise or esu"));
@@ -300,6 +331,8 @@ int CmdMine(const Flags& flags) {
 
 int CmdLabel(const Flags& flags) {
   ApplyThreadFlag(flags);
+  auto checkpoint = CheckpointFromFlags(flags);
+  if (!checkpoint.ok()) return Fail(checkpoint.status());
   ObsScope obs(flags);
   std::optional<ScopedTimer> load_timer;
   load_timer.emplace("load");
@@ -324,6 +357,7 @@ int CmdLabel(const Flags& flags) {
   LaMoFinderConfig config;
   config.sigma = flags.GetSize("sigma", 10);
   config.max_occurrences = flags.GetSize("max-occurrences", 300);
+  config.checkpoint = *checkpoint;
   const auto labeled = [&] {
     const ScopedTimer timer("label");
     return finder.LabelAll(*motifs, config);
@@ -466,12 +500,31 @@ int CmdServe(const Flags& flags) {
   if (flags.Has("stdin")) {
     status = RunStreamServer(&service, std::cin, std::cout);
   } else {
-    status = RunTcpServer(
-        &service, static_cast<uint16_t>(flags.GetSize("port", 0)), stdout);
+    ServeOptions options;
+    options.port = static_cast<uint16_t>(flags.GetSize("port", 0));
+    options.request_timeout_ms =
+        flags.GetSize("request-timeout-ms", options.request_timeout_ms);
+    options.idle_timeout_ms =
+        flags.GetSize("idle-timeout-ms", options.idle_timeout_ms);
+    options.max_conns = flags.GetSize("max-conns", options.max_conns);
+    options.max_line_bytes =
+        flags.GetSize("max-line-bytes", options.max_line_bytes);
+    options.log = stdout;
+    status = RunTcpServer(&service, options);
   }
   serve_timer.reset();
   if (!status.ok()) return Fail(status);
   return obs.Finish("serve");
+}
+
+/// Prints every registered fault point, one per line. The crash-matrix test
+/// iterates this list so a new fault point without test coverage fails CI
+/// instead of silently shipping untested.
+int CmdFaultPoints(const Flags&) {
+  for (const std::string& name : FaultPointNames()) {
+    std::printf("%s\n", name.c_str());
+  }
+  return 0;
 }
 
 int Usage() {
@@ -493,7 +546,21 @@ int Usage() {
       "            --informative T --out FILE.lamosnap\n"
       "  serve     --snapshot FILE.lamosnap [--port P | --stdin]\n"
       "            --cache-capacity N --no-cache --threads N\n"
+      "            --request-timeout-ms MS --idle-timeout-ms MS\n"
+      "            --max-conns N --max-line-bytes B\n"
+      "  fault-points   (list registered fault-injection points)\n"
       "Unknown flags, missing flag values and malformed numbers are rejected.\n"
+      "mine and label are crash-safe: --checkpoint DIR writes atomic progress\n"
+      "checkpoints (every --checkpoint-every N chunks/replicates/motifs, see\n"
+      "docs/FORMATS.md), and --resume restarts from the newest valid\n"
+      "checkpoint; a resumed run produces byte-identical output. The serve\n"
+      "daemon sheds abusive clients: requests and unfinished request lines\n"
+      "past --request-timeout-ms get ERR DeadlineExceeded, silent\n"
+      "connections past --idle-timeout-ms are reaped, request lines over\n"
+      "--max-line-bytes get ERR InvalidArgument, and past --max-conns live\n"
+      "connections new clients wait in the TCP backlog (0 disables each).\n"
+      "LAMO_FAULT=point:count[:action] injects a deterministic fault at the\n"
+      "Nth hit of a fault point (see lamo fault-points) for crash testing.\n"
       "mine/label/predict/pack/serve run on the parallel runtime: --threads 0\n"
       "(default) resolves via LAMO_THREADS, then hardware concurrency;\n"
       "--threads 1 is fully serial. Output is identical for any thread count.\n"
@@ -531,26 +598,28 @@ const std::vector<Command>& Commands() {
        CmdGenerate},
       {"stats", {{"graph", FlagKind::kString}}, CmdStats},
       {"mine",
-       WithCommonFlags({{"graph", FlagKind::kString},
-                        {"algo", FlagKind::kString},
-                        {"min-size", FlagKind::kSize},
-                        {"max-size", FlagKind::kSize},
-                        {"min-freq", FlagKind::kSize},
-                        {"networks", FlagKind::kSize},
-                        {"uniqueness", FlagKind::kDouble},
-                        {"beam", FlagKind::kSize},
-                        {"seed", FlagKind::kSize},
-                        {"out", FlagKind::kString}}),
+       WithCheckpointFlags(
+           WithCommonFlags({{"graph", FlagKind::kString},
+                            {"algo", FlagKind::kString},
+                            {"min-size", FlagKind::kSize},
+                            {"max-size", FlagKind::kSize},
+                            {"min-freq", FlagKind::kSize},
+                            {"networks", FlagKind::kSize},
+                            {"uniqueness", FlagKind::kDouble},
+                            {"beam", FlagKind::kSize},
+                            {"seed", FlagKind::kSize},
+                            {"out", FlagKind::kString}})),
        CmdMine},
       {"label",
-       WithCommonFlags({{"graph", FlagKind::kString},
-                        {"obo", FlagKind::kString},
-                        {"annotations", FlagKind::kString},
-                        {"motifs", FlagKind::kString},
-                        {"sigma", FlagKind::kSize},
-                        {"max-occurrences", FlagKind::kSize},
-                        {"informative", FlagKind::kSize},
-                        {"out", FlagKind::kString}}),
+       WithCheckpointFlags(
+           WithCommonFlags({{"graph", FlagKind::kString},
+                            {"obo", FlagKind::kString},
+                            {"annotations", FlagKind::kString},
+                            {"motifs", FlagKind::kString},
+                            {"sigma", FlagKind::kSize},
+                            {"max-occurrences", FlagKind::kSize},
+                            {"informative", FlagKind::kSize},
+                            {"out", FlagKind::kString}})),
        CmdLabel},
       {"predict",
        WithCommonFlags({{"graph", FlagKind::kString},
@@ -573,8 +642,13 @@ const std::vector<Command>& Commands() {
                         {"port", FlagKind::kSize},
                         {"stdin", FlagKind::kBool},
                         {"cache-capacity", FlagKind::kSize},
-                        {"no-cache", FlagKind::kBool}}),
+                        {"no-cache", FlagKind::kBool},
+                        {"request-timeout-ms", FlagKind::kSize},
+                        {"idle-timeout-ms", FlagKind::kSize},
+                        {"max-conns", FlagKind::kSize},
+                        {"max-line-bytes", FlagKind::kSize}}),
        CmdServe},
+      {"fault-points", {}, CmdFaultPoints},
   };
   return kCommands;
 }

@@ -182,6 +182,10 @@ int Check(const std::string& path, int num_required, char** required) {
       if (hist_rc != 0) return hist_rc;
     }
   }
+  const auto counter_value = [&](const char* name) {
+    const JsonValue* value = counters->Find(name);
+    return value != nullptr && value->is_number() ? value->number_value : 0.0;
+  };
   // Serve reports: when the daemon recorded traffic, the serve.* metrics
   // must be mutually consistent — the cache can't have resolved more lookups
   // than there were requests, errors are a subset of requests, and every
@@ -190,11 +194,6 @@ int Check(const std::string& path, int num_required, char** required) {
   if (serve_requests != nullptr && serve_requests->is_number() &&
       serve_requests->number_value > 0.0) {
     const double requests = serve_requests->number_value;
-    const auto counter_value = [&](const char* name) {
-      const JsonValue* value = counters->Find(name);
-      return value != nullptr && value->is_number() ? value->number_value
-                                                    : 0.0;
-    };
     if (counter_value("serve.errors") > requests) {
       return Fail("serve.errors exceeds serve.requests");
     }
@@ -214,6 +213,19 @@ int Check(const std::string& path, int num_required, char** required) {
             "serve.requests");
       }
     }
+  }
+  // Checkpointed runs: a resume can only replay chunks the run actually
+  // tracked, and atomic checkpoint/output replaces are durable — one fsynced
+  // rename per write, so the two counters must agree exactly.
+  if (counters->Find("checkpoint.resumed_chunks") != nullptr &&
+      counter_value("checkpoint.resumed_chunks") >
+          counter_value("checkpoint.total_chunks")) {
+    return Fail("checkpoint.resumed_chunks exceeds checkpoint.total_chunks");
+  }
+  if (counter_value("checkpoint.writes") > 0.0 &&
+      counter_value("checkpoint.writes") !=
+          counter_value("checkpoint.fsyncs")) {
+    return Fail("checkpoint.writes does not match checkpoint.fsyncs");
   }
   for (const JsonValue& worker : workers->items) {
     if (RequireMember(worker, "name", JsonValue::Type::kString, &rc) ==
