@@ -88,29 +88,91 @@ wait "$SERVE_PID"
 build/tools/lamo_report_check "$OUT/serve_report.json" serve.requests \
   serve.connections hist:serve.request_us
 
+# Cluster routing artifacts: shard the snapshot, then bench the SAME
+# workload against 1, 2 and 4 sharded backends behind `lamo router` —
+# BENCH_router.json archives the throughput scaling curve, and the router's
+# own run report is validated against the router.* invariants
+# (backend request sums == proxied, retries <= requests).
+echo "== cluster routing (lamo router + bench client scaling) =="
+build/tools/lamo pack --graph "$OUT/obs_ds.graph.txt" \
+  --obo "$OUT/obs_ds.obo" --annotations "$OUT/obs_ds.annotations.tsv" \
+  --labeled "$OUT/obs_labeled.txt" --out "$OUT/obs_model.lamosnap" \
+  --shards 2 > /dev/null
+build/tools/lamo pack --graph "$OUT/obs_ds.graph.txt" \
+  --obo "$OUT/obs_ds.obo" --annotations "$OUT/obs_ds.annotations.tsv" \
+  --labeled "$OUT/obs_labeled.txt" --out "$OUT/obs_model.lamosnap" \
+  --shards 4 > /dev/null
+PROTEINS=500
+: > "$OUT/router_bench.txt"
+for N in 1 2 4; do
+  rm -f "$OUT/router.log"
+  build/tools/lamo router --snapshot "$OUT/obs_model.lamosnap" \
+    --backends "$N" --mode sharded --port 0 \
+    --report "$OUT/router_report_${N}.json" > "$OUT/router.log" 2>&1 &
+  ROUTER_PID=$!
+  PORT=""
+  for _ in $(seq 1 100); do
+    PORT="$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' \
+      "$OUT/router.log")"
+    [ -n "$PORT" ] && break
+    sleep 0.1
+  done
+  test -n "$PORT"
+  build/tools/lamo_bench_client --port "$PORT" --cluster \
+    --proteins "$PROTEINS" --connections 4 --requests 100 \
+    --name "router/sharded_x$N" --out "$OUT/BENCH_router_${N}.json" \
+    | tee -a "$OUT/router_bench.txt"
+  kill -TERM "$ROUTER_PID"
+  wait "$ROUTER_PID"
+  build/tools/lamo_report_check "$OUT/router_report_${N}.json" \
+    router.requests router.proxied router.backend_requests \
+    hist:router.request_us
+done
+# Stitch the three scaling points into one BENCH_router.json (same shape as
+# the per-run files: one context, benchmarks array ordered 1 -> 2 -> 4).
+python3 - "$OUT" << 'PYEOF'
+import json, sys
+d = sys.argv[1]
+merged = None
+for n in (1, 2, 4):
+    with open(f"{d}/BENCH_router_{n}.json") as f:
+        run = json.load(f)
+    if merged is None:
+        merged = run
+    else:
+        merged["benchmarks"].extend(run["benchmarks"])
+with open(f"{d}/BENCH_router.json", "w") as f:
+    json.dump(merged, f, indent=1)
+PYEOF
+
 # ThreadSanitizer smoke run of the parallel runtime, the tracer and the
 # serving stack: rebuilds those tests under -fsanitize=thread and fails on
 # any reported race (serve_tests hammers the sharded cache and the stream
-# server from multiple threads).
-echo "== tsan smoke (parallel runtime + tracer + serve) =="
+# server from multiple threads; router_tests exercises the monitor/reload
+# threads against live backend processes).
+echo "== tsan smoke (parallel runtime + tracer + serve + router) =="
 cmake -B build-tsan -G Ninja -DLAMO_SANITIZE=thread
-cmake --build build-tsan --target parallel_tests obs_tests serve_tests
+cmake --build build-tsan --target parallel_tests obs_tests serve_tests \
+  router_tests
 LAMO_THREADS=4 ./build-tsan/tests/parallel_tests
 LAMO_THREADS=4 ./build-tsan/tests/obs_tests
 LAMO_THREADS=4 ./build-tsan/tests/serve_tests
+LAMO_THREADS=4 ./build-tsan/tests/router_tests
 
 # AddressSanitizer smoke run alongside it: the motif + obs tests cover the
 # enumeration hot paths and the metrics layer's thread-local blocks,
 # serve_tests replays the snapshot corruption matrix under ASan, and
 # io_tests runs the parser fuzz matrix (every reader x 500 deterministic
 # mutations) where ASan turns silent overreads into hard failures.
-echo "== asan smoke (motif + obs + serve + parser fuzz) =="
+echo "== asan smoke (motif + obs + serve + router + parser fuzz) =="
 cmake -B build-asan -G Ninja -DLAMO_SANITIZE=address
-cmake --build build-asan --target motif_tests obs_tests serve_tests io_tests
+cmake --build build-asan --target motif_tests obs_tests serve_tests \
+  io_tests router_tests
 LAMO_THREADS=4 ./build-asan/tests/motif_tests
 LAMO_THREADS=4 ./build-asan/tests/obs_tests
 LAMO_THREADS=4 ./build-asan/tests/serve_tests
 LAMO_THREADS=4 ./build-asan/tests/io_tests
+LAMO_THREADS=4 ./build-asan/tests/router_tests
 
 # Fault-injection smoke: crash the level-wise miner mid-run with LAMO_FAULT,
 # resume from the checkpoint, and require byte-identical output — the full

@@ -1,0 +1,72 @@
+#ifndef LAMO_ROUTER_PLACEMENT_H_
+#define LAMO_ROUTER_PLACEMENT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lamo {
+
+/// ---- Request placement -----------------------------------------------------
+///
+/// How the router picks a backend for a request. Two modes:
+///
+///   sharded     backend i serves shard i of N (`<base>.shard<i>of<N>`), and a
+///               protein's shard is fixed by `p % N` — the same rule
+///               MakeShard uses for ownership, so routing and data placement
+///               cannot drift. A sharded request has exactly one valid
+///               destination; when it is down the router waits for the
+///               respawn instead of failing over.
+///
+///   replicated  every backend serves the full snapshot, so any of them can
+///               answer any request. Placement uses a consistent-hash ring
+///               for cache affinity (the same key keeps hitting the same
+///               backend's response cache) and falls back to the
+///               least-loaded up backend when the primary is down.
+
+/// FNV-1a 64-bit over `key`. The router's only hash: ring points, key
+/// placement and TERMINFO affinity all use it, so placement is stable across
+/// runs and platforms.
+uint64_t RouterHash(const std::string& key);
+
+/// The backend that owns `protein` under sharded placement: p % num_backends,
+/// matching Snapshot::OwnsProtein for shard i of num_backends.
+size_t ShardBackend(uint32_t protein, size_t num_backends);
+
+/// Default virtual points per node. 64 keeps the max/min key-share ratio
+/// under ~1.3 for small clusters while the ring stays a few KB.
+inline constexpr size_t kDefaultVirtualNodes = 64;
+
+/// Consistent-hash ring over nodes 0..num_nodes-1, each represented by
+/// `virtual_nodes` points. Lookup cost is one binary search. Adding or
+/// removing one node moves only ~1/num_nodes of the key space — the
+/// stability property the unit tests assert.
+class HashRing {
+ public:
+  explicit HashRing(size_t num_nodes,
+                    size_t virtual_nodes = kDefaultVirtualNodes);
+
+  /// The node owning `key`: first ring point clockwise from RouterHash(key).
+  size_t Primary(const std::string& key) const;
+
+  /// All nodes in fallback order for `key`: the primary first, then each
+  /// remaining node in the order its first point appears clockwise.
+  /// Deterministic for a given (key, ring).
+  std::vector<size_t> Preference(const std::string& key) const;
+
+  size_t num_nodes() const { return num_nodes_; }
+
+ private:
+  struct Point {
+    uint64_t hash;
+    uint32_t node;
+  };
+
+  size_t num_nodes_;
+  std::vector<Point> points_;  // sorted by hash
+};
+
+}  // namespace lamo
+
+#endif  // LAMO_ROUTER_PLACEMENT_H_

@@ -1,0 +1,279 @@
+#include "router/router.h"
+
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <sstream>
+#include <thread>
+
+#include "obs/obs.h"
+#include "serve/request.h"
+
+namespace lamo {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// router.* metrics. request_us covers every request (parse errors
+/// included), so its count always equals router.requests.
+/// backend_requests is incremented once per backend-served forward, at the
+/// same site as proxied — lamo_report_check asserts the two stay equal, the
+/// "no request lost or double-counted between front and backends" invariant.
+const size_t kObsRequests = ObsCounterId("router.requests");
+const size_t kObsErrors = ObsCounterId("router.errors");
+const size_t kObsProxied = ObsCounterId("router.proxied");
+const size_t kObsBackendRequests = ObsCounterId("router.backend_requests");
+const size_t kObsRetries = ObsCounterId("router.retries");
+const size_t kObsReloads = ObsCounterId("router.reloads");
+const size_t kObsConnections = ObsCounterId("router.connections");
+const size_t kHistRequestUs = ObsHistogramId("router.request_us");
+
+uint64_t ElapsedUs(Clock::time_point start) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                            start)
+          .count());
+}
+
+/// First whitespace-separated token of `line` plus the remainder (trimmed).
+void SplitVerb(const std::string& line, std::string* verb,
+               std::string* rest) {
+  std::istringstream in(line);
+  in >> *verb;
+  std::getline(in, *rest);
+  const size_t start = rest->find_first_not_of(" \t\r");
+  if (start == std::string::npos) {
+    rest->clear();
+  } else {
+    const size_t end = rest->find_last_not_of(" \t\r");
+    *rest = rest->substr(start, end - start + 1);
+  }
+}
+
+/// Parses one `key value...` payload line of a backend STATS response.
+void ParseStatsLine(const std::string& line,
+                    std::map<std::string, std::string>* fields) {
+  const size_t space = line.find(' ');
+  if (space == std::string::npos) return;
+  (*fields)[line.substr(0, space)] = line.substr(space + 1);
+}
+
+}  // namespace
+
+RouterService::RouterService(Cluster* cluster, bool sharded)
+    : cluster_(cluster), sharded_(sharded), ring_(cluster->size()) {}
+
+RouterService::~RouterService() {
+  std::lock_guard<std::mutex> lock(reload_worker_mu_);
+  if (reload_worker_.joinable()) reload_worker_.join();
+}
+
+void RouterService::OnConnection() {
+  stats_.connections.fetch_add(1, std::memory_order_relaxed);
+  ObsIncrement(kObsConnections);
+}
+
+std::string RouterService::Handle(const std::string& line) {
+  const bool observed = ObsEnabled();
+  const Clock::time_point start = observed ? Clock::now() : Clock::time_point();
+  stats_.requests.fetch_add(1, std::memory_order_relaxed);
+  ObsIncrement(kObsRequests);
+
+  std::string response;
+  std::string verb, rest;
+  SplitVerb(line, &verb, &rest);
+  if (verb == "RELOAD") {
+    response = Reload(rest);
+  } else {
+    auto parsed = ParseRequest(line);
+    if (!parsed.ok()) {
+      response = FormatErrorResponse(parsed.status());
+    } else {
+      const Request& request = *parsed;
+      switch (request.type) {
+        case RequestType::kHealth:
+          response = Health();
+          break;
+        case RequestType::kStats:
+          response = StatsView();
+          break;
+        case RequestType::kPredict:
+        case RequestType::kMotifs:
+          // Forward the canonical spelling so every client phrasing of the
+          // same query shares one backend cache entry.
+          response = Route("p:" + std::to_string(request.protein),
+                           request.protein, sharded_, CacheKey(request));
+          break;
+        case RequestType::kTermInfo:
+          // Any backend can answer TERMINFO (every shard keeps the full
+          // ontology); the ring gives cache affinity in both modes.
+          response = Route("t:" + request.term, 0, false, CacheKey(request));
+          break;
+      }
+    }
+  }
+
+  if (response.rfind("ERR", 0) == 0) {
+    stats_.errors.fetch_add(1, std::memory_order_relaxed);
+    ObsIncrement(kObsErrors);
+  }
+  if (observed) ObsObserve(kHistRequestUs, ElapsedUs(start));
+  return response;
+}
+
+std::string RouterService::Route(const std::string& key, uint32_t protein,
+                                 bool pinned, const std::string& line) {
+  const std::vector<size_t> preference =
+      pinned ? std::vector<size_t>{ShardBackend(protein, cluster_->size())}
+             : ring_.Preference(key);
+
+  const Clock::time_point deadline =
+      Clock::now() +
+      std::chrono::milliseconds(cluster_->retry_deadline_ms());
+  Status last = Status::Unavailable("no backend attempted");
+  bool retried = false;
+  while (true) {
+    // Pick this attempt's backend. Pinned (sharded) requests have exactly
+    // one valid destination and wait for it; replicated requests use the
+    // ring primary when it is up, otherwise the least-loaded up candidate.
+    size_t index = preference[0];
+    bool candidate_up =
+        cluster_->backend(index).state() == BackendState::kUp;
+    if (!candidate_up && !pinned) {
+      uint64_t best_load = 0;
+      for (const size_t cand : preference) {
+        const Backend& backend = cluster_->backend(cand);
+        if (backend.state() != BackendState::kUp) continue;
+        if (!candidate_up || backend.inflight() < best_load) {
+          candidate_up = true;
+          index = cand;
+          best_load = backend.inflight();
+        }
+      }
+    }
+    if (candidate_up) {
+      std::string response;
+      last = cluster_->backend(index).SendRequest(line, &response);
+      if (last.ok()) {
+        if (retried) {
+          stats_.retries.fetch_add(1, std::memory_order_relaxed);
+          ObsIncrement(kObsRetries);
+        }
+        stats_.proxied.fetch_add(1, std::memory_order_relaxed);
+        ObsIncrement(kObsProxied);
+        ObsIncrement(kObsBackendRequests);
+        return response;
+      }
+    } else {
+      last = Status::Unavailable("backend " + std::to_string(index) + " " +
+                                 BackendStateName(
+                                     cluster_->backend(index).state()));
+    }
+    if (Clock::now() >= deadline) break;
+    retried = true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  if (retried) {
+    stats_.retries.fetch_add(1, std::memory_order_relaxed);
+    ObsIncrement(kObsRetries);
+  }
+  return FormatErrorResponse(last);
+}
+
+std::string RouterService::Health() {
+  const size_t up = cluster_->num_up();
+  const size_t total = cluster_->size();
+  char line[256];
+  std::snprintf(line, sizeof line,
+                "%s backends=%zu/%zu mode=%s snapshot=%s reloads=%llu",
+                up == total ? "ready" : "degraded", up, total,
+                sharded_ ? "sharded" : "replicated",
+                cluster_->base_snapshot().c_str(),
+                static_cast<unsigned long long>(cluster_->reloads()));
+  return FormatOkResponse({line});
+}
+
+std::string RouterService::StatsView() {
+  std::vector<std::string> lines;
+  lines.push_back(std::string("mode ") +
+                  (sharded_ ? "sharded" : "replicated"));
+  lines.push_back("backends " + std::to_string(cluster_->size()));
+  lines.push_back("snapshot " + cluster_->base_snapshot());
+  lines.push_back(
+      "requests " +
+      std::to_string(stats_.requests.load(std::memory_order_relaxed)));
+  lines.push_back(
+      "errors " + std::to_string(stats_.errors.load(std::memory_order_relaxed)));
+  lines.push_back(
+      "proxied " +
+      std::to_string(stats_.proxied.load(std::memory_order_relaxed)));
+  lines.push_back(
+      "retries " +
+      std::to_string(stats_.retries.load(std::memory_order_relaxed)));
+  lines.push_back("reloads " + std::to_string(cluster_->reloads()));
+  lines.push_back(
+      "connections " +
+      std::to_string(stats_.connections.load(std::memory_order_relaxed)));
+
+  // One line per backend with the identity fields from its own STATS —
+  // after a rolling reload this is how an operator verifies every backend
+  // swapped onto the new model (matching checksums), straight through the
+  // router.
+  for (size_t i = 0; i < cluster_->size(); ++i) {
+    Backend& backend = cluster_->backend(i);
+    const BackendState state = backend.state();
+    std::string line = "backend " + std::to_string(i) + " " +
+                       BackendStateName(state) +
+                       " port=" + std::to_string(backend.port()) +
+                       " pid=" + std::to_string(backend.pid()) +
+                       " inflight=" + std::to_string(backend.inflight()) +
+                       " respawns=" + std::to_string(backend.respawns());
+    if (state == BackendState::kUp) {
+      std::string response;
+      if (backend.SendRequest("STATS", &response).ok() &&
+          response.rfind("OK ", 0) == 0) {
+        std::map<std::string, std::string> fields;
+        std::istringstream in(response);
+        std::string payload_line;
+        std::getline(in, payload_line);  // OK <n>
+        while (std::getline(in, payload_line)) {
+          ParseStatsLine(payload_line, &fields);
+        }
+        line += " snapshot=" + fields["snapshot_path"] +
+                " checksum=" + fields["snapshot_checksum"] +
+                " shard=" + fields["shard"] +
+                " requests=" + fields["requests"];
+      }
+    }
+    lines.push_back(line);
+  }
+  return FormatOkResponse(lines);
+}
+
+std::string RouterService::Reload(const std::string& path) {
+  if (path.empty()) {
+    return FormatErrorResponse(
+        Status::InvalidArgument("RELOAD requires a snapshot path"));
+  }
+  const Status status = cluster_->Reload(path);
+  if (!status.ok()) return FormatErrorResponse(status);
+  ObsIncrement(kObsReloads);
+  char line[512];
+  std::snprintf(line, sizeof line, "reloaded backends=%zu snapshot=%s",
+                cluster_->size(), path.c_str());
+  return FormatOkResponse({line});
+}
+
+void RouterService::ReloadAsync() {
+  bool expected = false;
+  if (!reload_running_.compare_exchange_strong(expected, true)) return;
+  std::lock_guard<std::mutex> lock(reload_worker_mu_);
+  if (reload_worker_.joinable()) reload_worker_.join();
+  reload_worker_ = std::thread([this] {
+    const Status status = cluster_->Reload(cluster_->base_snapshot());
+    if (status.ok()) ObsIncrement(kObsReloads);
+    reload_running_.store(false, std::memory_order_release);
+  });
+}
+
+}  // namespace lamo

@@ -1,0 +1,96 @@
+#ifndef LAMO_ROUTER_ROUTER_H_
+#define LAMO_ROUTER_ROUTER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "router/cluster.h"
+#include "router/placement.h"
+#include "serve/server.h"
+#include "util/status.h"
+
+namespace lamo {
+
+/// ---- Cluster router --------------------------------------------------------
+///
+/// `lamo router` front-end: speaks the same line protocol as `lamo serve`,
+/// but instead of answering from a snapshot it forwards PREDICT / MOTIFS /
+/// TERMINFO to one of N supervised backend serve processes and aggregates
+/// HEALTH / STATS into cluster views. Placement is sharded (protein % N,
+/// matching `lamo pack --shards`) or replicated (consistent hashing with
+/// least-loaded fallback); see router/placement.h. The admin verb
+///
+///   RELOAD <path>
+///
+/// (grammar in docs/FORMATS.md) and SIGHUP both trigger a rolling snapshot
+/// swap via Cluster::Reload: clients keep getting answers for the whole
+/// swap. Because RouterService implements LineService, the TCP front shares
+/// every overload protection `lamo serve` has (slowloris guard, idle
+/// reaper, line-length cap, accept backpressure, graceful drain).
+
+/// Live router counters, exposed by the aggregated STATS view and mirrored
+/// into the router.* obs metrics. Invariants (checked by lamo_report_check):
+/// proxied == sum of backend requests; retries <= requests.
+struct RouterStats {
+  std::atomic<uint64_t> requests{0};   // lines entering Handle
+  std::atomic<uint64_t> errors{0};     // ERR responses (any cause)
+  std::atomic<uint64_t> proxied{0};    // forwards answered by a backend
+  std::atomic<uint64_t> retries{0};    // requests retried at least once
+  std::atomic<uint64_t> connections{0};
+};
+
+class RouterService : public LineService {
+ public:
+  /// Borrows the started cluster (caller keeps it alive and running).
+  RouterService(Cluster* cluster, bool sharded);
+  ~RouterService() override;
+
+  RouterService(const RouterService&) = delete;
+  RouterService& operator=(const RouterService&) = delete;
+
+  /// Routes one request line: forwards queries, aggregates HEALTH/STATS,
+  /// executes RELOAD. Thread-safe.
+  std::string Handle(const std::string& line) override;
+
+  void OnConnection() override;
+  uint64_t TotalRequests() const override {
+    return stats_.requests.load(std::memory_order_relaxed);
+  }
+  uint64_t TotalConnections() const override {
+    return stats_.connections.load(std::memory_order_relaxed);
+  }
+
+  /// SIGHUP entry point: kicks off Reload(current base) on a detached
+  /// worker so the accept loop is never blocked; a reload already in
+  /// flight makes this a no-op.
+  void ReloadAsync();
+
+  const RouterStats& stats() const { return stats_; }
+
+ private:
+  /// Picks the backend for a query and forwards it. Sharded placement is
+  /// pinned (waits for the owning backend); replicated placement walks the
+  /// ring preference order, skipping not-up backends, preferring the
+  /// least-loaded candidate on failover.
+  std::string Route(const std::string& key, uint32_t protein,
+                    bool pinned, const std::string& line);
+  std::string Health();
+  std::string StatsView();
+  std::string Reload(const std::string& path);
+
+  Cluster* cluster_;
+  const bool sharded_;
+  HashRing ring_;
+  RouterStats stats_;
+  std::atomic<bool> reload_running_{false};
+  std::thread reload_worker_;
+  std::mutex reload_worker_mu_;
+};
+
+}  // namespace lamo
+
+#endif  // LAMO_ROUTER_ROUTER_H_

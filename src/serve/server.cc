@@ -179,16 +179,35 @@ StatusOr<std::vector<std::string>> SnapshotService::TermInfo(
 }
 
 std::vector<std::string> SnapshotService::Health() const {
-  char buffer[160];
+  char buffer[192];
   std::snprintf(buffer, sizeof buffer,
-                "ready proteins=%zu terms=%zu motifs=%zu categories=%zu",
+                "ready proteins=%zu terms=%zu motifs=%zu categories=%zu "
+                "shard=%u/%u",
                 snapshot_.graph.num_vertices(), snapshot_.ontology.num_terms(),
-                snapshot_.motifs.size(), snapshot_.categories.size());
+                snapshot_.motifs.size(), snapshot_.categories.size(),
+                snapshot_.shard_id, snapshot_.num_shards);
   return {buffer};
+}
+
+void SnapshotService::OnConnection() {
+  stats_.connections.fetch_add(1, std::memory_order_relaxed);
+  ObsIncrement(kObsConnections);
 }
 
 std::vector<std::string> SnapshotService::Stats() const {
   std::vector<std::string> lines;
+  // Snapshot identity first: after a rolling reload the router (and any
+  // operator) verifies which model this backend serves by checksum, not by
+  // trusting the path it was started with.
+  char checksum[32];
+  std::snprintf(checksum, sizeof checksum, "%016llx",
+                static_cast<unsigned long long>(snapshot_.checksum));
+  lines.push_back("snapshot_path " + (snapshot_.source_path.empty()
+                                          ? std::string("-")
+                                          : snapshot_.source_path));
+  lines.push_back(std::string("snapshot_checksum ") + checksum);
+  lines.push_back("shard " + std::to_string(snapshot_.shard_id) + "/" +
+                  std::to_string(snapshot_.num_shards));
   lines.push_back(
       "requests " +
       std::to_string(stats_.requests.load(std::memory_order_relaxed)));
@@ -214,7 +233,7 @@ namespace {
 /// Runs one request on the pool and blocks for its response, preserving
 /// request order within the calling connection. Queue wait feeds the
 /// serve.queue_us histogram when observability is on.
-std::string Dispatch(ThreadPool& pool, SnapshotService& service,
+std::string Dispatch(ThreadPool& pool, LineService& service,
                      const std::string& line) {
   auto promise = std::make_shared<std::promise<std::string>>();
   std::future<std::string> future = promise->get_future();
@@ -231,17 +250,21 @@ std::string Dispatch(ThreadPool& pool, SnapshotService& service,
 /// ---- TCP plumbing ---------------------------------------------------------
 
 /// Signal handlers write one byte here (async-signal-safe) to wake the
-/// accept loop's poll().
+/// accept loop's poll(). The byte identifies the signal class: 'S' asks for
+/// shutdown (SIGINT/SIGTERM), 'H' asks for the on_sighup callback (SIGHUP,
+/// installed only when the callback is set).
 std::atomic<int> g_shutdown_pipe_wr{-1};
 
-void OnShutdownSignal(int) {
+void WriteSignalByte(char byte) {
   const int fd = g_shutdown_pipe_wr.load(std::memory_order_relaxed);
   if (fd >= 0) {
-    const char byte = 1;
     // poll() only needs readability; a full pipe already guarantees that.
     [[maybe_unused]] ssize_t ignored = write(fd, &byte, 1);
   }
 }
+
+void OnShutdownSignal(int) { WriteSignalByte('S'); }
+void OnHupSignal(int) { WriteSignalByte('H'); }
 
 bool SendAll(int fd, const std::string& data) {
   size_t sent = 0;
@@ -259,7 +282,7 @@ bool SendAll(int fd, const std::string& data) {
 /// service outlives the pool), but the connection is told
 /// `ERR DeadlineExceeded` and closed so an abusive or unlucky client cannot
 /// pin a reader thread forever. `timeout_ms` 0 means no deadline.
-bool DispatchWithDeadline(ThreadPool& pool, SnapshotService& service,
+bool DispatchWithDeadline(ThreadPool& pool, LineService& service,
                           const std::string& line, uint64_t timeout_ms,
                           std::string* response) {
   auto promise = std::make_shared<std::promise<std::string>>();
@@ -290,7 +313,7 @@ bool DispatchWithDeadline(ThreadPool& pool, SnapshotService& service,
 /// connection with no partial line and no traffic past the idle budget is
 /// reaped silently — including half-closed sockets whose clients called
 /// shutdown(SHUT_WR) and then hung around.
-void ConnectionLoop(int fd, ThreadPool& pool, SnapshotService& service,
+void ConnectionLoop(int fd, ThreadPool& pool, LineService& service,
                     const ServeOptions& options,
                     const std::atomic<bool>& stopping) {
   std::string buffer;
@@ -363,7 +386,7 @@ void ConnectionLoop(int fd, ThreadPool& pool, SnapshotService& service,
 
 }  // namespace
 
-Status RunStreamServer(SnapshotService* service, std::istream& in,
+Status RunStreamServer(LineService* service, std::istream& in,
                        std::ostream& out) {
   ThreadPool pool(ThreadCount());
   std::string line;
@@ -387,7 +410,7 @@ struct Conn {
 
 }  // namespace
 
-Status RunTcpServer(SnapshotService* service, const ServeOptions& options) {
+Status RunTcpServer(LineService* service, const ServeOptions& options) {
   std::FILE* log = options.log != nullptr ? options.log : stdout;
   const int listen_fd = socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd < 0) return Status::IoError("socket() failed");
@@ -436,11 +459,17 @@ Status RunTcpServer(SnapshotService* service, const ServeOptions& options) {
   struct sigaction action{};
   action.sa_handler = OnShutdownSignal;
   sigemptyset(&action.sa_mask);
-  struct sigaction old_int{}, old_term{};
+  struct sigaction old_int{}, old_term{}, old_hup{};
   sigaction(SIGINT, &action, &old_int);
   sigaction(SIGTERM, &action, &old_term);
+  if (options.on_sighup) {
+    struct sigaction hup_action{};
+    hup_action.sa_handler = OnHupSignal;
+    sigemptyset(&hup_action.sa_mask);
+    sigaction(SIGHUP, &hup_action, &old_hup);
+  }
 
-  std::fprintf(log, "lamo serve: listening on 127.0.0.1:%u (pid %ld)\n",
+  std::fprintf(log, "%s: listening on 127.0.0.1:%u (pid %ld)\n", options.name,
                bound_port, static_cast<long>(getpid()));
   std::fflush(log);
   if (options.on_listening) options.on_listening(bound_port);
@@ -492,7 +521,19 @@ Status RunTcpServer(SnapshotService* service, const ServeOptions& options) {
       if (errno == EINTR) continue;
       break;
     }
-    if (poll_fds[0].revents != 0) break;  // SIGINT / SIGTERM
+    if (poll_fds[0].revents != 0) {
+      // Drain the signal pipe and dispatch by byte: 'S' (SIGINT/SIGTERM)
+      // starts the graceful shutdown, 'H' (SIGHUP) runs the reload callback
+      // here on the accept-loop thread, outside signal context.
+      char bytes[16];
+      const ssize_t got = read(pipe_fds[0], bytes, sizeof bytes);
+      bool shutdown_requested = false;
+      for (ssize_t i = 0; i < got; ++i) {
+        if (bytes[i] == 'S') shutdown_requested = true;
+        if (bytes[i] == 'H' && options.on_sighup) options.on_sighup();
+      }
+      if (shutdown_requested) break;
+    }
     if (poll_fds[1].revents != 0) {
       char drain[64];
       [[maybe_unused]] ssize_t ignored =
@@ -502,8 +543,7 @@ Status RunTcpServer(SnapshotService* service, const ServeOptions& options) {
     if (!at_capacity && (poll_fds[2].revents & POLLIN) != 0) {
       const int conn_fd = accept(listen_fd, nullptr, nullptr);
       if (conn_fd < 0) continue;
-      service->stats().connections.fetch_add(1, std::memory_order_relaxed);
-      ObsIncrement(kObsConnections);
+      service->OnConnection();
       auto conn = std::make_unique<Conn>();
       Conn* raw = conn.get();
       raw->fd = conn_fd;
@@ -554,6 +594,7 @@ Status RunTcpServer(SnapshotService* service, const ServeOptions& options) {
 
   sigaction(SIGINT, &old_int, nullptr);
   sigaction(SIGTERM, &old_term, nullptr);
+  if (options.on_sighup) sigaction(SIGHUP, &old_hup, nullptr);
   g_shutdown_pipe_wr.store(-1, std::memory_order_relaxed);
   close(pipe_fds[0]);
   close(pipe_fds[1]);
@@ -561,11 +602,10 @@ Status RunTcpServer(SnapshotService* service, const ServeOptions& options) {
   close(conn_event_fds[1]);
 
   std::fprintf(
-      log, "lamo serve: drained, served %llu requests over %llu connections\n",
-      static_cast<unsigned long long>(
-          service->stats().requests.load(std::memory_order_relaxed)),
-      static_cast<unsigned long long>(
-          service->stats().connections.load(std::memory_order_relaxed)));
+      log, "%s: drained, served %llu requests over %llu connections\n",
+      options.name,
+      static_cast<unsigned long long>(service->TotalRequests()),
+      static_cast<unsigned long long>(service->TotalConnections()));
   std::fflush(log);
   return Status::OK();
 }

@@ -33,12 +33,34 @@ struct ServeStats {
   std::atomic<uint64_t> connections{0};
 };
 
+/// What the stream/TCP server loops need from a request handler: one
+/// thread-safe line-in/response-out method plus the counters the drain
+/// banner prints. `lamo serve` implements it over one snapshot
+/// (SnapshotService); `lamo router` implements it over a backend cluster
+/// (RouterService) — both share the same connection, overload-protection
+/// and dispatch machinery below.
+class LineService {
+ public:
+  virtual ~LineService() = default;
+
+  /// Processes one request line and returns the full wire response
+  /// (`OK <n>` + payload, or `ERR ...`). Must be thread-safe.
+  virtual std::string Handle(const std::string& line) = 0;
+
+  /// Called once per accepted TCP connection, before its reader starts.
+  virtual void OnConnection() {}
+
+  /// Lifetime totals for the drain banner.
+  virtual uint64_t TotalRequests() const = 0;
+  virtual uint64_t TotalConnections() const = 0;
+};
+
 /// Answers protocol requests against one loaded snapshot. Construction wires
 /// the prediction context and the labeled-motif predictor from the packed
 /// artifacts — no text parsing, no weight or closure recomputation. Handle()
 /// is thread-safe: the snapshot is immutable, the cache is internally
 /// locked, and the stats are atomics.
-class SnapshotService {
+class SnapshotService : public LineService {
  public:
   /// Takes ownership of the snapshot. `cache_capacity` 0 disables response
   /// memoization (every request recomputes; responses are unchanged).
@@ -51,7 +73,15 @@ class SnapshotService {
   /// Processes one request line and returns the full wire response
   /// (`OK <n>` + payload, or `ERR ...`), updating stats, the cache, and the
   /// serve.* observability metrics.
-  std::string Handle(const std::string& line);
+  std::string Handle(const std::string& line) override;
+
+  void OnConnection() override;
+  uint64_t TotalRequests() const override {
+    return stats_.requests.load(std::memory_order_relaxed);
+  }
+  uint64_t TotalConnections() const override {
+    return stats_.connections.load(std::memory_order_relaxed);
+  }
 
   const Snapshot& snapshot() const { return snapshot_; }
   ServeStats& stats() { return stats_; }
@@ -78,7 +108,7 @@ class SnapshotService {
 /// onto the parallel runtime's thread pool exactly as in TCP mode, and
 /// responses keep request order, so output is deterministic for any thread
 /// count. Used by tests and the determinism guard.
-Status RunStreamServer(SnapshotService* service, std::istream& in,
+Status RunStreamServer(LineService* service, std::istream& in,
                        std::ostream& out);
 
 /// Overload-protection knobs for the TCP server. Every limit has a "0
@@ -108,6 +138,14 @@ struct ServeOptions {
   /// accept loop starts. Lets in-process tests discover an ephemeral port
   /// without parsing the log. May be empty.
   std::function<void(uint16_t)> on_listening;
+  /// When set, SIGHUP is caught for the server's lifetime and this callback
+  /// runs on the accept-loop thread (not in signal context). The router uses
+  /// it to trigger a rolling snapshot reload; keep the callback quick — hand
+  /// long work to another thread.
+  std::function<void()> on_sighup;
+  /// Program name for the listening/drained log lines ("lamo serve",
+  /// "lamo router").
+  const char* name = "lamo serve";
   /// Human-readable progress lines (listening/drained); never the wire
   /// protocol. Defaults to stdout in the CLI.
   std::FILE* log = nullptr;
@@ -121,7 +159,7 @@ struct ServeOptions {
 /// `options`; see ServeOptions. Shutdown is graceful: stop accepting,
 /// unblock readers, finish in-flight requests, join everything, then return
 /// OK so the CLI can flush --report/--trace.
-Status RunTcpServer(SnapshotService* service, const ServeOptions& options);
+Status RunTcpServer(LineService* service, const ServeOptions& options);
 
 }  // namespace lamo
 

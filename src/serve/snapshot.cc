@@ -410,10 +410,52 @@ Snapshot BuildSnapshot(Graph graph, Ontology ontology,
   return snap;
 }
 
+std::string ShardSnapshotPath(const std::string& base, uint32_t shard_id,
+                              uint32_t num_shards) {
+  return base + ".shard" + std::to_string(shard_id) + "of" +
+         std::to_string(num_shards);
+}
+
+Snapshot MakeShard(const Snapshot& full, uint32_t shard_id,
+                   uint32_t num_shards) {
+  Snapshot shard = full;
+  shard.num_shards = num_shards;
+  shard.shard_id = shard_id;
+  if (num_shards <= 1) return shard;
+  // Keep exactly the occurrences that involve an owned protein: the
+  // predictor index a backend rebuilds from them lists, for every owned
+  // protein, the same (motif, vertex) sites in the same first-seen order as
+  // the full snapshot, so served answers cannot drift. Stored frequency,
+  // uniqueness and strength are untouched — they describe the whole
+  // interactome, not the shard.
+  for (LabeledMotif& motif : shard.motifs) {
+    std::vector<MotifOccurrence> kept;
+    kept.reserve(motif.occurrences.size());
+    for (MotifOccurrence& occ : motif.occurrences) {
+      const bool owned =
+          std::any_of(occ.proteins.begin(), occ.proteins.end(),
+                      [&shard](VertexId p) { return shard.OwnsProtein(p); });
+      if (owned) kept.push_back(std::move(occ));
+    }
+    motif.occurrences = std::move(kept);
+  }
+  for (uint32_t p = 0; p < shard.sites.size(); ++p) {
+    if (!shard.OwnsProtein(p)) {
+      shard.sites[p].clear();
+      shard.sites[p].shrink_to_fit();
+    }
+  }
+  return shard;
+}
+
 std::string EncodeSnapshot(const Snapshot& snap) {
   std::string out;
   out.append(kSnapshotMagic, sizeof kSnapshotMagic);
   PutU32(&out, kSnapshotVersion);
+
+  // -- shard section --
+  PutU32(&out, snap.num_shards);
+  PutU32(&out, snap.shard_id);
 
   // -- graph (CSR) --
   PutSizeVec(&out, SnapshotAccess::GraphOffsets(snap.graph));
@@ -538,6 +580,15 @@ StatusOr<Snapshot> DecodeSnapshot(const std::string& bytes) {
   }
 
   Snapshot snap;
+  snap.checksum = actual;
+
+  // -- shard section --
+  snap.num_shards = in.GetU32();
+  snap.shard_id = in.GetU32();
+  if (in.ok() && (snap.num_shards == 0 || snap.shard_id >= snap.num_shards)) {
+    in.Fail("invalid shard section (shard " + std::to_string(snap.shard_id) +
+            " of " + std::to_string(snap.num_shards) + ")");
+  }
 
   // -- graph --
   auto graph_offsets = in.GetSizeVec("graph offsets");
@@ -762,6 +813,7 @@ StatusOr<Snapshot> ReadSnapshot(const std::string& path) {
                       : Status::Corruption(path + ": " +
                                            snapshot.status().message()));
   }
+  snapshot->source_path = path;
   return snapshot;
 }
 

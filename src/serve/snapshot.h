@@ -34,8 +34,10 @@ namespace lamo {
 inline constexpr char kSnapshotMagic[8] = {'L', 'A', 'M', 'O',
                                            'S', 'N', 'A', 'P'};
 
-/// Current format version. Readers accept exactly this version.
-inline constexpr uint32_t kSnapshotVersion = 1;
+/// Current format version. Readers accept exactly this version. Version 2
+/// added the shard section (num_shards, shard_id) right after the version
+/// word; see docs/FORMATS.md.
+inline constexpr uint32_t kSnapshotVersion = 2;
 
 /// One motif site a protein appears at: `motifs[motif]`'s canonical vertex
 /// `vertex`. Mirrors LabeledMotifPredictor's per-protein index.
@@ -68,7 +70,41 @@ struct Snapshot {
   /// derives before answering.
   std::vector<TermId> categories;
   std::vector<std::vector<TermId>> protein_categories;
+
+  /// Shard section. An unsharded snapshot is shard 0 of 1. Shard k of N
+  /// keeps the full graph, ontology, annotations, weights, motifs and
+  /// prediction context (so scoring is identical everywhere), but retains
+  /// only the motif occurrences touching at least one owned protein
+  /// (p % num_shards == shard_id) and only the owned rows of the per-protein
+  /// site index — the memory that actually scales with query ownership.
+  uint32_t num_shards = 1;
+  uint32_t shard_id = 0;
+
+  /// Identity, filled by DecodeSnapshot/ReadSnapshot (not serialized): the
+  /// file's trailing FNV-1a checksum and the path it was loaded from.
+  /// Surfaced by STATS so operators (and the router) can verify which model
+  /// a backend is serving after a rolling reload.
+  uint64_t checksum = 0;
+  std::string source_path;
+
+  /// True iff this shard owns protein p (always true when num_shards == 1).
+  bool OwnsProtein(uint32_t p) const { return p % num_shards == shard_id; }
 };
+
+/// Canonical on-disk name of shard `shard_id` of `num_shards` derived from a
+/// base snapshot path: `<base>.shard<k>of<N>`. Shared by `lamo pack
+/// --shards` and the router's sharded placement so the two cannot drift.
+std::string ShardSnapshotPath(const std::string& base, uint32_t shard_id,
+                              uint32_t num_shards);
+
+/// Extracts shard `shard_id` of `num_shards` from a full snapshot: drops
+/// motif occurrences containing no owned protein and clears the site-index
+/// rows of non-owned proteins. For every owned protein the shard answers
+/// PREDICT and MOTIFS byte-identically to the full snapshot (the predictor's
+/// index is rebuilt from exactly the occurrences that involve owned
+/// proteins, in the same first-seen order). Requires shard_id < num_shards.
+Snapshot MakeShard(const Snapshot& full, uint32_t shard_id,
+                   uint32_t num_shards);
 
 /// Derives the packed artifacts (weights, informative classes, site index,
 /// prediction context) from pipeline outputs. Deterministic: depends only on

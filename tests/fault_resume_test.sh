@@ -8,8 +8,14 @@
 set -e
 LAMO="$1"
 REPORT_CHECK="$2"
+BENCH="$3"
 WORK="$(mktemp -d)"
-trap 'rm -rf "$WORK"' EXIT
+ROUTER_PID=""
+cleanup() {
+  [ -n "$ROUTER_PID" ] && kill "$ROUTER_PID" 2> /dev/null
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
 
 FAULT_EXIT=42  # kFaultExitCode: proves the abort came from the armed point
 
@@ -62,6 +68,32 @@ run_case() {
   fi
 }
 
+# Lazy one-time setup for the router.* fault points: pack a snapshot from
+# the label baseline, and record the un-faulted answer the faulted router
+# run must reproduce.
+router_setup() {
+  [ -f "$WORK/model.lamosnap" ] && return 0
+  "$LAMO" pack --graph "$WORK/ds.graph.txt" --obo "$WORK/ds.obo" \
+    --annotations "$WORK/ds.annotations.tsv" \
+    --labeled "$WORK/base_label.txt" --out "$WORK/model.lamosnap" > /dev/null
+  printf 'PREDICT 7 3\n' | "$LAMO" serve \
+    --snapshot "$WORK/model.lamosnap" --stdin 2> /dev/null \
+    | sed '1d' > "$WORK/router_baseline_answer.txt"
+}
+
+# Polls a router log for the listening banner; sets ROUTER_PORT.
+router_wait_port() {
+  ROUTER_PORT=""
+  for _ in $(seq 1 200); do
+    ROUTER_PORT="$(sed -n \
+      's/.*listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' "$1")"
+    [ -n "$ROUTER_PORT" ] && return 0
+    sleep 0.1
+  done
+  echo "FAIL: router did not start (no listening banner in $1)" >&2
+  exit 1
+}
+
 POINTS="$("$LAMO" fault-points)"
 test -n "$POINTS" || {
   echo "FAIL: lamo fault-points printed nothing" >&2
@@ -94,6 +126,49 @@ for point in $POINTS; do
     label.motif)
       run_case "$point" "$point:2" "$FAULT_EXIT" "$WORK/base_label.txt" \
         "$LAMO" label $LABEL_FLAGS --motifs "$WORK/base_lw.txt"
+      ;;
+    router.forward)
+      # Injected transport error on the router's forward path: the request
+      # must be retried transparently — the client still gets the correct
+      # answer and the router reports zero errors. Backends unset LAMO_FAULT
+      # on exec, so the armed point fires in the router process only.
+      router_setup
+      rm -f "$WORK/router_fwd.log"
+      LAMO_FAULT="router.forward:1:error" "$LAMO" router \
+        --snapshot "$WORK/model.lamosnap" --backends 1 --mode replicated \
+        --port 0 > "$WORK/router_fwd.log" 2> /dev/null &
+      ROUTER_PID=$!
+      router_wait_port "$WORK/router_fwd.log"
+      "$BENCH" --port "$ROUTER_PORT" --query "PREDICT 7 3" \
+        > "$WORK/router_fwd_answer.txt"
+      cmp "$WORK/router_baseline_answer.txt" "$WORK/router_fwd_answer.txt" || {
+        echo "FAIL: router.forward: retried answer differs from baseline" >&2
+        exit 1
+      }
+      kill "$ROUTER_PID" 2> /dev/null
+      wait "$ROUTER_PID" || true
+      ROUTER_PID=""
+      ;;
+    router.spawn)
+      # Crash the router while it is spawning backend 2 of 2: the exit code
+      # must be the fault code, and the already-spawned backend must die
+      # with its parent (PR_SET_PDEATHSIG) instead of leaking.
+      router_setup
+      rc=0
+      LAMO_FAULT="router.spawn:2" "$LAMO" router \
+        --snapshot "$WORK/model.lamosnap" --backends 2 --mode replicated \
+        --port 0 > /dev/null 2>&1 || rc=$?
+      if [ "$rc" -ne "$FAULT_EXIT" ]; then
+        echo "FAIL: router.spawn: armed run exited $rc, expected" \
+          "$FAULT_EXIT" >&2
+        exit 1
+      fi
+      sleep 1
+      if pgrep -f "serve --snapshot $WORK/model.lamosnap" > /dev/null 2>&1
+      then
+        echo "FAIL: router.spawn: backend serve process leaked" >&2
+        exit 1
+      fi
       ;;
     *)
       echo "FAIL: fault point '$point' has no crash-matrix entry —" \

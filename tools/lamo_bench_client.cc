@@ -42,11 +42,18 @@ int Usage() {
   std::fprintf(
       stderr,
       "usage: lamo_bench_client --port P [--connections N] [--requests M]\n"
-      "                         [--out FILE.json] [--query \"REQUEST LINE\"]\n"
+      "                         [--out FILE.json] [--name BENCH_NAME]\n"
+      "                         [--cluster --proteins N]\n"
+      "                         [--query \"REQUEST LINE\"]\n"
       "                         [--abuse slowloris|longline|halfclose|burst]\n"
       "Bench mode (default): N connections x M requests against the lamo\n"
       "serve daemon on 127.0.0.1:P; prints throughput and latency\n"
-      "percentiles, and with --out writes them as benchmark JSON.\n"
+      "percentiles, and with --out writes them as benchmark JSON (aggregate\n"
+      "plus per-connection error counts and max latency).\n"
+      "--cluster targets a lamo router front-end instead: the HEALTH probe\n"
+      "expects the cluster view (ready/degraded backends=U/N ...), and the\n"
+      "protein range for the request mix comes from --proteins (required,\n"
+      "since the cluster HEALTH line carries no protein count).\n"
       "Query mode (--query): send one request, print the payload lines\n"
       "verbatim; exit 0 on OK, 1 on ERR.\n"
       "Abuse mode (--abuse): behave like a hostile client and exit 0 iff\n"
@@ -218,10 +225,13 @@ double Percentile(const std::vector<double>& sorted, double q) {
 }
 
 int RunBench(uint16_t port, size_t connections, size_t requests,
-             const std::string& out_path) {
+             const std::string& out_path, const std::string& bench_name,
+             bool cluster, size_t proteins_override) {
   // Untimed HEALTH probe: checks the server is up and learns the protein
-  // count so the request mix spans the real snapshot range.
-  size_t num_proteins = 1;
+  // count so the request mix spans the real snapshot range. A router's
+  // cluster HEALTH carries no protein count, so --cluster takes the range
+  // from --proteins and instead verifies every backend is up.
+  size_t num_proteins = proteins_override > 0 ? proteins_override : 1;
   {
     const int fd = Connect(port);
     if (fd < 0) {
@@ -238,12 +248,20 @@ int RunBench(uint16_t port, size_t connections, size_t requests,
       return 1;
     }
     ::close(fd);
-    const size_t marker = payload[0].find("proteins=");
-    if (marker != std::string::npos) {
-      uint64_t parsed = 0;
-      const std::string tail = payload[0].substr(marker + 9);
-      ParseUint64(tail.substr(0, tail.find(' ')), &parsed);
-      if (parsed > 0) num_proteins = static_cast<size_t>(parsed);
+    if (cluster) {
+      if (payload[0].rfind("ready", 0) != 0) {
+        std::fprintf(stderr, "error: cluster not ready: %s\n",
+                     payload[0].c_str());
+        return 1;
+      }
+    } else if (proteins_override == 0) {
+      const size_t marker = payload[0].find("proteins=");
+      if (marker != std::string::npos) {
+        uint64_t parsed = 0;
+        const std::string tail = payload[0].substr(marker + 9);
+        ParseUint64(tail.substr(0, tail.find(' ')), &parsed);
+        if (parsed > 0) num_proteins = static_cast<size_t>(parsed);
+      }
     }
   }
 
@@ -312,7 +330,7 @@ int RunBench(uint16_t port, size_t connections, size_t requests,
     json.BeginArray();
     json.BeginObject();
     json.Key("name");
-    json.String("serve/mixed_predict_motifs");
+    json.String(bench_name);
     json.Key("requests");
     json.Int(ok + err);
     json.Key("errors");
@@ -331,6 +349,27 @@ int RunBench(uint16_t port, size_t connections, size_t requests,
     json.Double(p99);
     json.Key("max_us");
     json.Double(max);
+    // Per-connection breakdown: a single slow or error-prone connection
+    // (e.g. one pinned to a backend that was killed mid-run) shows up here
+    // even when the aggregate percentiles look healthy.
+    json.Key("per_connection");
+    json.BeginArray();
+    for (size_t c = 0; c < results.size(); ++c) {
+      const WorkerResult& r = results[c];
+      double worker_max = 0;
+      for (const double v : r.latencies_us) worker_max = std::max(worker_max, v);
+      json.BeginObject();
+      json.Key("connection");
+      json.Int(c);
+      json.Key("requests");
+      json.Int(r.ok + r.err);
+      json.Key("errors");
+      json.Int(r.err);
+      json.Key("max_us");
+      json.Double(worker_max);
+      json.EndObject();
+    }
+    json.EndArray();
     json.EndObject();
     json.EndArray();
     json.EndObject();
@@ -470,10 +509,13 @@ int Main(int argc, char** argv) {
   uint16_t port = 0;
   size_t connections = 4;
   size_t requests = 100;
+  size_t proteins = 0;
   std::string out_path;
   std::string query;
   std::string abuse;
+  std::string bench_name = "serve/mixed_predict_motifs";
   bool have_query = false;
+  bool cluster = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     const auto need_value = [&](const char* name) -> const char* {
@@ -483,7 +525,8 @@ int Main(int argc, char** argv) {
       }
       return argv[++i];
     };
-    if (arg == "--port" || arg == "--connections" || arg == "--requests") {
+    if (arg == "--port" || arg == "--connections" || arg == "--requests" ||
+        arg == "--proteins") {
       const char* value = need_value(arg.c_str());
       if (value == nullptr) return Usage();
       uint64_t parsed = 0;
@@ -496,9 +539,17 @@ int Main(int argc, char** argv) {
         port = static_cast<uint16_t>(parsed);
       } else if (arg == "--connections") {
         connections = static_cast<size_t>(parsed);
+      } else if (arg == "--proteins") {
+        proteins = static_cast<size_t>(parsed);
       } else {
         requests = static_cast<size_t>(parsed);
       }
+    } else if (arg == "--cluster") {
+      cluster = true;
+    } else if (arg == "--name") {
+      const char* value = need_value("--name");
+      if (value == nullptr) return Usage();
+      bench_name = value;
     } else if (arg == "--out") {
       const char* value = need_value("--out");
       if (value == nullptr) return Usage();
@@ -533,7 +584,12 @@ int Main(int argc, char** argv) {
     std::fprintf(stderr, "error: --connections and --requests must be > 0\n");
     return Usage();
   }
-  return RunBench(port, connections, requests, out_path);
+  if (cluster && proteins == 0) {
+    std::fprintf(stderr, "error: --cluster requires --proteins N\n");
+    return Usage();
+  }
+  return RunBench(port, connections, requests, out_path, bench_name, cluster,
+                  proteins);
 }
 
 }  // namespace

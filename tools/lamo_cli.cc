@@ -46,6 +46,8 @@
 #include "obs/trace.h"
 #include "parallel/parallel_for.h"
 #include "predict/labeled_motif_predictor.h"
+#include "router/cluster.h"
+#include "router/router.h"
 #include "serve/request.h"
 #include "serve/server.h"
 #include "serve/snapshot.h"
@@ -468,6 +470,32 @@ int CmdPack(const Flags& flags) {
               snapshot.graph.num_vertices(), snapshot.ontology.num_terms(),
               snapshot.motifs.size(), out.c_str(),
               ec ? 0ull : static_cast<unsigned long long>(bytes));
+
+  // --shards N additionally writes <out>.shard<i>ofN for the router's
+  // sharded placement: shard i answers PREDICT/MOTIFS byte-identically to
+  // the full snapshot for every protein with p % N == i.
+  const size_t num_shards = flags.GetSize("shards", 1);
+  if (num_shards > 1) {
+    if (num_shards > 256) {
+      return Fail(Status::InvalidArgument("--shards must be <= 256"));
+    }
+    const ScopedTimer timer("shards");
+    for (size_t i = 0; i < num_shards; ++i) {
+      const Snapshot shard =
+          MakeShard(snapshot, static_cast<uint32_t>(i),
+                    static_cast<uint32_t>(num_shards));
+      const std::string shard_path = ShardSnapshotPath(
+          out, static_cast<uint32_t>(i), static_cast<uint32_t>(num_shards));
+      const Status status = WriteSnapshot(shard, shard_path);
+      if (!status.ok()) return Fail(status);
+      std::error_code shard_ec;
+      const auto shard_bytes = std::filesystem::file_size(shard_path, shard_ec);
+      std::printf("  shard %zu/%zu -> %s (%llu bytes)\n", i, num_shards,
+                  shard_path.c_str(),
+                  shard_ec ? 0ull
+                           : static_cast<unsigned long long>(shard_bytes));
+    }
+  }
   return obs.Finish("pack");
 }
 
@@ -517,6 +545,90 @@ int CmdServe(const Flags& flags) {
   return obs.Finish("serve");
 }
 
+/// Absolute path of this executable, exec'd again as `lamo serve` for each
+/// router backend so a relocated or renamed binary still supervises the
+/// right code.
+StatusOr<std::string> SelfExePath() {
+  std::error_code ec;
+  const auto path = std::filesystem::read_symlink("/proc/self/exe", ec);
+  if (ec) return Status::IoError("cannot resolve /proc/self/exe");
+  return path.string();
+}
+
+int CmdRouter(const Flags& flags) {
+  ApplyThreadFlag(flags);
+  ObsScope obs(flags);
+
+  const std::string mode = flags.Get("mode", "sharded");
+  if (mode != "sharded" && mode != "replicated") {
+    return Fail(
+        Status::InvalidArgument("--mode must be sharded or replicated"));
+  }
+  auto binary = SelfExePath();
+  if (!binary.ok()) return Fail(binary.status());
+
+  ClusterOptions cluster_options;
+  cluster_options.binary = *binary;
+  cluster_options.snapshot = flags.Get("snapshot", "");
+  cluster_options.sharded = mode == "sharded";
+  cluster_options.num_backends = flags.GetSize("backends", 2);
+  cluster_options.retry_deadline_ms =
+      flags.GetSize("retry-deadline-ms", cluster_options.retry_deadline_ms);
+  cluster_options.log = stdout;
+  if (cluster_options.num_backends == 0 || cluster_options.num_backends > 64) {
+    return Fail(Status::InvalidArgument("--backends must be in [1, 64]"));
+  }
+  // Fail with a pointer to `pack --shards` before spawning anything when
+  // the shard files are missing.
+  Cluster cluster(cluster_options);
+  for (size_t i = 0; i < cluster_options.num_backends; ++i) {
+    const std::string path =
+        cluster.SnapshotPathFor(cluster_options.snapshot, i);
+    if (!std::filesystem::exists(path)) {
+      return Fail(Status::NotFound(
+          path + " not found" +
+          (cluster_options.sharded && cluster_options.num_backends > 1
+               ? " (create shard files with: lamo pack ... --shards " +
+                     std::to_string(cluster_options.num_backends) + ")"
+               : "")));
+    }
+  }
+
+  std::optional<ScopedTimer> start_timer;
+  start_timer.emplace("start");
+  const Status started = cluster.Start();
+  if (!started.ok()) return Fail(started);
+  start_timer.reset();
+  std::fprintf(stderr,
+               "lamo router: %zu %s backend(s) up on %s\n",
+               cluster.size(), mode.c_str(),
+               cluster_options.snapshot.c_str());
+
+  RouterService service(&cluster, cluster_options.sharded);
+  ServeOptions options;
+  options.port = static_cast<uint16_t>(flags.GetSize("port", 0));
+  // The router's own budget must exceed the backend retry deadline, or a
+  // request waiting out a backend respawn times out client-side just
+  // before it would have been answered.
+  options.request_timeout_ms = flags.GetSize("request-timeout-ms", 30'000);
+  options.idle_timeout_ms =
+      flags.GetSize("idle-timeout-ms", options.idle_timeout_ms);
+  options.max_conns = flags.GetSize("max-conns", options.max_conns);
+  options.max_line_bytes =
+      flags.GetSize("max-line-bytes", options.max_line_bytes);
+  options.name = "lamo router";
+  options.on_sighup = [&service] { service.ReloadAsync(); };
+  options.log = stdout;
+
+  std::optional<ScopedTimer> serve_timer;
+  serve_timer.emplace("router");
+  const Status status = RunTcpServer(&service, options);
+  serve_timer.reset();
+  cluster.Stop();
+  if (!status.ok()) return Fail(status);
+  return obs.Finish("router");
+}
+
 /// Prints every registered fault point, one per line. The crash-matrix test
 /// iterates this list so a new fault point without test coverage fails CI
 /// instead of silently shipping untested.
@@ -543,11 +655,15 @@ int Usage() {
       "  predict   --graph FILE --obo FILE --annotations FILE\n"
       "            --labeled FILE --protein ID --top-k K --threads N\n"
       "  pack      --graph FILE --obo FILE --annotations FILE --labeled FILE\n"
-      "            --informative T --out FILE.lamosnap\n"
+      "            --informative T --shards N --out FILE.lamosnap\n"
       "  serve     --snapshot FILE.lamosnap [--port P | --stdin]\n"
       "            --cache-capacity N --no-cache --threads N\n"
       "            --request-timeout-ms MS --idle-timeout-ms MS\n"
       "            --max-conns N --max-line-bytes B\n"
+      "  router    --snapshot FILE.lamosnap --backends N\n"
+      "            --mode sharded|replicated --port P\n"
+      "            --retry-deadline-ms MS --request-timeout-ms MS\n"
+      "            --idle-timeout-ms MS --max-conns N --max-line-bytes B\n"
       "  fault-points   (list registered fault-injection points)\n"
       "Unknown flags, missing flag values and malformed numbers are rejected.\n"
       "mine and label are crash-safe: --checkpoint DIR writes atomic progress\n"
@@ -577,7 +693,15 @@ int Usage() {
       "HEALTH/STATS queries over TCP on 127.0.0.1 (--port 0 picks a free\n"
       "port) or line-by-line on stdin (--stdin); see docs/FORMATS.md for the\n"
       "snapshot layout and the wire protocol. Benchmark a running server\n"
-      "with lamo_bench_client.\n");
+      "with lamo_bench_client.\n"
+      "router fronts N supervised serve backends with the same wire\n"
+      "protocol: pack --shards N splits the per-protein index into\n"
+      "FILE.lamosnap.shard<i>ofN files and --mode sharded routes by\n"
+      "protein id; --mode replicated puts whole snapshots behind\n"
+      "consistent hashing with least-loaded failover. Dead backends are\n"
+      "respawned, and `RELOAD PATH` (or SIGHUP) rolls every backend onto a\n"
+      "new snapshot one at a time without failing in-flight requests;\n"
+      "aggregated HEALTH/STATS report per-backend snapshot checksums.\n");
   return 2;
 }
 
@@ -635,6 +759,7 @@ const std::vector<Command>& Commands() {
                         {"annotations", FlagKind::kString},
                         {"labeled", FlagKind::kString},
                         {"informative", FlagKind::kSize},
+                        {"shards", FlagKind::kSize},
                         {"out", FlagKind::kString}}),
        CmdPack},
       {"serve",
@@ -648,6 +773,17 @@ const std::vector<Command>& Commands() {
                         {"max-conns", FlagKind::kSize},
                         {"max-line-bytes", FlagKind::kSize}}),
        CmdServe},
+      {"router",
+       WithCommonFlags({{"snapshot", FlagKind::kString},
+                        {"backends", FlagKind::kSize},
+                        {"mode", FlagKind::kString},
+                        {"port", FlagKind::kSize},
+                        {"retry-deadline-ms", FlagKind::kSize},
+                        {"request-timeout-ms", FlagKind::kSize},
+                        {"idle-timeout-ms", FlagKind::kSize},
+                        {"max-conns", FlagKind::kSize},
+                        {"max-line-bytes", FlagKind::kSize}}),
+       CmdRouter},
       {"fault-points", {}, CmdFaultPoints},
   };
   return kCommands;

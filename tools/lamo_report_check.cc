@@ -214,6 +214,36 @@ int Check(const std::string& path, int num_required, char** required) {
       }
     }
   }
+  // Router reports: the front-end only counts a backend request at the
+  // moment it successfully proxies a client request, so the two counters
+  // must agree exactly; retried requests are a subset of all requests; and
+  // every client request must have been timed into router.request_us.
+  const JsonValue* router_requests = counters->Find("router.requests");
+  if (router_requests != nullptr && router_requests->is_number() &&
+      router_requests->number_value > 0.0) {
+    const double requests = router_requests->number_value;
+    if (counter_value("router.backend_requests") !=
+        counter_value("router.proxied")) {
+      return Fail("router.backend_requests does not match router.proxied");
+    }
+    if (counter_value("router.retries") > requests) {
+      return Fail("router.retries exceeds router.requests");
+    }
+    if (counter_value("router.errors") > requests) {
+      return Fail("router.errors exceeds router.requests");
+    }
+    if (v2) {
+      const JsonValue* hist = histograms->Find("router.request_us");
+      const JsonValue* count =
+          hist == nullptr ? nullptr : hist->Find("count");
+      if (count == nullptr || !count->is_number() ||
+          count->number_value != requests) {
+        return Fail(
+            "histogram \"router.request_us\" count does not match "
+            "router.requests");
+      }
+    }
+  }
   // Checkpointed runs: a resume can only replay chunks the run actually
   // tracked, and atomic checkpoint/output replaces are durable — one fsynced
   // rename per write, so the two counters must agree exactly.
