@@ -14,6 +14,8 @@
 // every measurement); scripts/reproduce.sh does this for every bench.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+
 #include "core/assignment.h"
 #include "core/lamofinder.h"
 #include "core/paper_example.h"
@@ -161,20 +163,41 @@ void BM_EsuEnumerationThreads(benchmark::State& state) {
   SetThreadCount(threads);
   ObsSink sink;
   SetObsSink(&sink);
+  const auto wall_start = std::chrono::steady_clock::now();
   for (auto _ : state) {
     benchmark::DoNotOptimize(CountSubgraphClasses(*graph, 4));
   }
+  const double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
   SetObsSink(nullptr);
   SetThreadCount(0);
   const JsonValue report = ParsedReport(sink, "bench_esu", threads, state);
   const double hits = ReportCounter(report, "esu.canon_cache_hits");
   const double misses = ReportCounter(report, "esu.canon_cache_misses");
+  const double shared_hits = ReportCounter(report, "esu.canon_shared_hits");
+  const double shared_misses =
+      ReportCounter(report, "esu.canon_shared_misses");
   state.counters["threads"] = static_cast<double>(threads);
+  const double subgraphs = ReportCounter(report, "esu.subgraphs");
   state.counters["subgraphs"] =
-      benchmark::Counter(ReportCounter(report, "esu.subgraphs"),
-                         benchmark::Counter::kAvgIterations);
+      benchmark::Counter(subgraphs, benchmark::Counter::kAvgIterations);
+  // The perf-regression headline: connected size-k sets enumerated and
+  // classified per second of wall time (reproduce.sh archives this in
+  // BENCH_mine.json and EXPERIMENTS.md tracks it across PRs). Computed
+  // against measured wall time rather than Counter::kIsRate, which divides
+  // by the benchmark thread's CPU time and overstates the rate when the
+  // work runs on the internal pool.
+  state.counters["subgraphs_per_sec"] =
+      wall_seconds > 0.0 ? subgraphs / wall_seconds : 0.0;
   state.counters["canon_hit_rate"] =
       hits + misses > 0.0 ? hits / (hits + misses) : 0.0;
+  state.counters["canon_shared_hit_rate"] =
+      shared_hits + shared_misses > 0.0
+          ? shared_hits / (shared_hits + shared_misses)
+          : 0.0;
+  state.counters["chunk_p99_us"] = HistogramP99(sink, "esu.chunk_us");
   state.counters["queue_wait_us"] =
       benchmark::Counter(ReportCounter(report, "pool.queue_wait_us"),
                          benchmark::Counter::kAvgIterations);

@@ -28,6 +28,17 @@ for bench in build/bench/*; do
   esac
 done
 
+# Mining perf-regression gate: archive the ESU thread sweep on its own
+# (BENCH_mine.json) with the headline esu.subgraphs/sec rate, the shared
+# canonicalization-table hit rate and the p99 chunk time, so the enumeration
+# engine's throughput is tracked across PRs exactly like the serving and
+# routing benchmarks (EXPERIMENTS.md records the baseline).
+echo "== mining perf gate (BENCH_mine.json) =="
+build/bench/bench_scaling \
+  --benchmark_filter=BM_EsuEnumerationThreads \
+  --benchmark_out="$OUT/BENCH_mine.json" --benchmark_out_format=json \
+  | tee "$OUT/mine_bench.txt"
+
 # Observability artifacts: run the ESU pipeline with --report/--stats over
 # a pinned synthetic dataset, validate the JSON against the documented
 # schema, and keep both documents with the other outputs so instrumentation
@@ -41,8 +52,8 @@ build/tools/lamo mine --graph "$OUT/obs_ds.graph.txt" --algo esu \
   --trace "$OUT/mine_trace.json" \
   --out "$OUT/obs_motifs.txt" > /dev/null 2> "$OUT/mine_stats.txt"
 build/tools/lamo_report_check "$OUT/mine_report.json" \
-  esu.subgraphs parallel.chunks uniqueness.replicates \
-  hist:esu.chunk_us hist:uniqueness.replicate_us
+  esu.subgraphs esu.canon_shared_lookups parallel.chunks \
+  uniqueness.replicates hist:esu.chunk_us hist:uniqueness.replicate_us
 build/tools/lamo label --graph "$OUT/obs_ds.graph.txt" \
   --obo "$OUT/obs_ds.obo" --annotations "$OUT/obs_ds.annotations.tsv" \
   --motifs "$OUT/obs_motifs.txt" --sigma 6 \
@@ -149,26 +160,33 @@ PYEOF
 # serving stack: rebuilds those tests under -fsanitize=thread and fails on
 # any reported race (serve_tests hammers the sharded cache and the stream
 # server from multiple threads; router_tests exercises the monitor/reload
-# threads against live backend processes).
-echo "== tsan smoke (parallel runtime + tracer + serve + router) =="
+# threads against live backend processes; motif_tests drives the shared
+# canonicalization table — lock-free CAS inserts on the dense path, mutex
+# shards past k=6 — from concurrent enumeration chunks).
+echo "== tsan smoke (parallel runtime + tracer + serve + router + motif) =="
 cmake -B build-tsan -G Ninja -DLAMO_SANITIZE=thread
 cmake --build build-tsan --target parallel_tests obs_tests serve_tests \
-  router_tests
+  router_tests motif_tests
 LAMO_THREADS=4 ./build-tsan/tests/parallel_tests
 LAMO_THREADS=4 ./build-tsan/tests/obs_tests
 LAMO_THREADS=4 ./build-tsan/tests/serve_tests
 LAMO_THREADS=4 ./build-tsan/tests/router_tests
+LAMO_THREADS=4 ./build-tsan/tests/motif_tests
 
 # AddressSanitizer smoke run alongside it: the motif + obs tests cover the
 # enumeration hot paths and the metrics layer's thread-local blocks,
-# serve_tests replays the snapshot corruption matrix under ASan, and
-# io_tests runs the parser fuzz matrix (every reader x 500 deterministic
-# mutations) where ASan turns silent overreads into hard failures.
-echo "== asan smoke (motif + obs + serve + router + parser fuzz) =="
+# graph_tests runs the GraphIndex property battery (bitset kernels, CSR
+# round trips), serve_tests replays the snapshot corruption matrix under
+# ASan, and io_tests runs the parser fuzz matrix (every reader x 500
+# deterministic mutations) plus the GraphIndex build fuzz (500 mutated edge
+# lists through ReadEdgeList -> index build -> Validate) where ASan turns
+# silent overreads into hard failures.
+echo "== asan smoke (motif + graph + obs + serve + router + fuzz) =="
 cmake -B build-asan -G Ninja -DLAMO_SANITIZE=address
-cmake --build build-asan --target motif_tests obs_tests serve_tests \
-  io_tests router_tests
+cmake --build build-asan --target motif_tests graph_tests obs_tests \
+  serve_tests io_tests router_tests
 LAMO_THREADS=4 ./build-asan/tests/motif_tests
+LAMO_THREADS=4 ./build-asan/tests/graph_tests
 LAMO_THREADS=4 ./build-asan/tests/obs_tests
 LAMO_THREADS=4 ./build-asan/tests/serve_tests
 LAMO_THREADS=4 ./build-asan/tests/io_tests

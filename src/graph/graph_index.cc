@@ -1,0 +1,165 @@
+#include "graph/graph_index.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "util/logging.h"
+
+namespace lamo {
+
+GraphIndex::GraphIndex(const Graph& g, size_t dense_vertex_limit) {
+  num_vertices_ = g.num_vertices();
+  const size_t total_neighbors = 2 * g.num_edges();
+  LAMO_CHECK_LT(total_neighbors, static_cast<size_t>(UINT32_MAX));
+
+  offsets_.assign(num_vertices_ + 1, 0);
+  neighbors_.reserve(total_neighbors);
+  for (VertexId v = 0; v < num_vertices_; ++v) {
+    const auto nbrs = g.Neighbors(v);
+    neighbors_.insert(neighbors_.end(), nbrs.begin(), nbrs.end());
+    offsets_[v + 1] = static_cast<uint32_t>(neighbors_.size());
+  }
+
+  if (num_vertices_ > 0 && num_vertices_ <= dense_vertex_limit) {
+    words_per_row_ = (num_vertices_ + 63) / 64;
+    bits_.assign(num_vertices_ * words_per_row_, 0);
+    for (VertexId v = 0; v < num_vertices_; ++v) {
+      uint64_t* row = bits_.data() + static_cast<size_t>(v) * words_per_row_;
+      for (const VertexId u : Neighbors(v)) {
+        row[u >> 6] |= uint64_t{1} << (u & 63);
+      }
+    }
+  }
+}
+
+bool GraphIndex::HasEdge(VertexId a, VertexId b) const {
+  if (a >= num_vertices_ || b >= num_vertices_) return false;
+  if (dense()) {
+    return (Row(a)[b >> 6] >> (b & 63)) & 1;
+  }
+  if (Degree(a) > Degree(b)) std::swap(a, b);
+  const auto nbrs = Neighbors(a);
+  return std::binary_search(nbrs.begin(), nbrs.end(), b);
+}
+
+uint64_t GraphIndex::InducedBits(const VertexId* verts, size_t k) const {
+  LAMO_CHECK_LE(k, kMaxInducedBitsVertices);
+  uint64_t bits = 0;
+  size_t pair = 0;
+  if (dense()) {
+    for (size_t i = 0; i < k; ++i) {
+      const uint64_t* row = Row(verts[i]);
+      for (size_t j = i + 1; j < k; ++j, ++pair) {
+        const VertexId u = verts[j];
+        bits |= ((row[u >> 6] >> (u & 63)) & 1) << pair;
+      }
+    }
+  } else {
+    for (size_t i = 0; i < k; ++i) {
+      for (size_t j = i + 1; j < k; ++j, ++pair) {
+        if (HasEdge(verts[i], verts[j])) bits |= uint64_t{1} << pair;
+      }
+    }
+  }
+  return bits;
+}
+
+size_t GraphIndex::CommonNeighbors(VertexId a, VertexId b,
+                                   std::vector<VertexId>* out) const {
+  out->clear();
+  if (a >= num_vertices_ || b >= num_vertices_) return 0;
+  if (dense()) {
+    const uint64_t* ra = Row(a);
+    const uint64_t* rb = Row(b);
+    for (size_t w = 0; w < words_per_row_; ++w) {
+      uint64_t word = ra[w] & rb[w];
+      while (word != 0) {
+        const int bit = std::countr_zero(word);
+        out->push_back(static_cast<VertexId>(w * 64 + bit));
+        word &= word - 1;
+      }
+    }
+    return out->size();
+  }
+  return IntersectSorted(Neighbors(a), Neighbors(b), out);
+}
+
+size_t GraphIndex::IntersectSorted(std::span<const VertexId> a,
+                                   std::span<const VertexId> b,
+                                   std::vector<VertexId>* out) {
+  out->clear();
+  size_t i = 0;
+  size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      out->push_back(a[i]);
+      ++i;
+      ++j;
+    }
+  }
+  return out->size();
+}
+
+Status GraphIndex::Validate() const {
+  if (offsets_.size() != num_vertices_ + 1) {
+    return Status::Corruption("offset array size mismatch");
+  }
+  if (offsets_.front() != 0 || offsets_.back() != neighbors_.size()) {
+    return Status::Corruption("offset bounds do not cover neighbor array");
+  }
+  for (VertexId v = 0; v < num_vertices_; ++v) {
+    if (offsets_[v] > offsets_[v + 1]) {
+      return Status::Corruption("offsets not monotone at vertex " +
+                                std::to_string(v));
+    }
+    const auto nbrs = Neighbors(v);
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      if (nbrs[i] >= num_vertices_) {
+        return Status::Corruption("neighbor out of range at vertex " +
+                                  std::to_string(v));
+      }
+      if (nbrs[i] == v) {
+        return Status::Corruption("self-loop at vertex " + std::to_string(v));
+      }
+      if (i > 0 && nbrs[i - 1] >= nbrs[i]) {
+        return Status::Corruption("neighbors not sorted+deduped at vertex " +
+                                  std::to_string(v));
+      }
+      const auto back = Neighbors(nbrs[i]);
+      if (!std::binary_search(back.begin(), back.end(), v)) {
+        return Status::Corruption("asymmetric edge {" + std::to_string(v) +
+                                  ", " + std::to_string(nbrs[i]) + "}");
+      }
+    }
+  }
+  if (dense()) {
+    if (bits_.size() != num_vertices_ * words_per_row_) {
+      return Status::Corruption("dense bitset size mismatch");
+    }
+    for (VertexId v = 0; v < num_vertices_; ++v) {
+      const uint64_t* row = Row(v);
+      size_t popcount = 0;
+      for (size_t w = 0; w < words_per_row_; ++w) {
+        popcount += static_cast<size_t>(std::popcount(row[w]));
+      }
+      if (popcount != Degree(v)) {
+        return Status::Corruption("dense row popcount != degree at vertex " +
+                                  std::to_string(v));
+      }
+      for (const VertexId u : Neighbors(v)) {
+        if (((row[u >> 6] >> (u & 63)) & 1) == 0) {
+          return Status::Corruption("dense row missing CSR edge {" +
+                                    std::to_string(v) + ", " +
+                                    std::to_string(u) + "}");
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace lamo

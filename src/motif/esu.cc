@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <chrono>
+#include <optional>
+#include <unordered_map>
 
 #include "graph/canonical.h"
+#include "motif/esu_engine.h"
 #include "obs/obs.h"
 #include "obs/trace.h"
 #include "parallel/parallel_for.h"
@@ -14,7 +17,8 @@ namespace {
 
 /// Connected size-k sets emitted by the class-counting pipelines.
 const size_t kObsSubgraphs = ObsCounterId("esu.subgraphs");
-/// Canonical-form cache outcomes (see CanonicalCodeCache below).
+/// Chunk-local canonical-form memo outcomes (the L1 in front of the shared
+/// table; see CanonicalCodeCache below and SharedCanonCache).
 const size_t kObsCanonHits = ObsCounterId("esu.canon_cache_hits");
 const size_t kObsCanonMisses = ObsCounterId("esu.canon_cache_misses");
 /// Root-range chunks processed and their summed wall time: per-chunk cost
@@ -26,8 +30,11 @@ const size_t kObsChunkWallUs = ObsCounterId("esu.chunk_wall_us");
 const size_t kHistChunkUs = ObsHistogramId("esu.chunk_us");
 const size_t kSpanChunk = ObsSpanId("esu.chunk");
 
-// Shared recursion for exhaustive and sampled ESU. `depth_probability` is
-// empty for exhaustive enumeration.
+// The original recursive ESU walk over Graph adjacency (binary-search
+// HasEdge probes, one vector copy per tree node). Retained for two callers
+// only: RAND-ESU sampling (`depth_probability` non-null), where the
+// per-branch coin flips dominate anyway, and the test-only legacy hook the
+// differential battery diffs the index engine against.
 class EsuEnumerator {
  public:
   EsuEnumerator(const Graph& g, size_t k,
@@ -115,12 +122,11 @@ class EsuEnumerator {
   Rng* rng_;
 };
 
-/// Memo from raw adjacency bits of an induced subgraph to its canonical
-/// code. Induced size-k subgraphs repeat the same few adjacency patterns
-/// millions of times, and a map probe on a ≤8-byte key is much cheaper than
-/// a refinement+backtracking canonicalization, so each enumeration chunk
-/// keeps one of these. Chunk-local by design: no sharing, no locks, and the
-/// result of CountSubgraphClasses is bit-identical with or without it.
+/// Chunk-local memo from raw adjacency bytes of an induced subgraph to its
+/// canonical code, for sizes past SharedCanonCache::kMaxK (whose patterns
+/// no longer fit a 64-bit key). Chunk-local by design: no sharing, no
+/// locks, and the result of CountSubgraphClasses is bit-identical with or
+/// without it.
 class CanonicalCodeCache {
  public:
   const std::vector<uint8_t>& CodeFor(const SmallGraph& sub) {
@@ -175,16 +181,40 @@ class ScopedChunkClock {
 void EnumerateConnectedSubgraphs(
     const Graph& g, size_t k,
     const std::function<bool(const std::vector<VertexId>&)>& callback) {
-  EsuEnumerator enumerator(g, k, callback, nullptr, nullptr);
-  enumerator.Run();
+  const GraphIndex index(g);
+  EnumerateConnectedSubgraphsInRootRange(
+      index, k, 0, static_cast<VertexId>(g.num_vertices()), callback);
 }
 
 void EnumerateConnectedSubgraphsInRootRange(
     const Graph& g, size_t k, VertexId root_begin, VertexId root_end,
     const std::function<bool(const std::vector<VertexId>&)>& callback) {
-  EsuEnumerator enumerator(g, k, callback, nullptr, nullptr);
-  enumerator.RunRoots(root_begin, root_end);
+  const GraphIndex index(g);
+  EnumerateConnectedSubgraphsInRootRange(index, k, root_begin, root_end,
+                                         callback);
 }
+
+void EnumerateConnectedSubgraphsInRootRange(
+    const GraphIndex& index, size_t k, VertexId root_begin, VertexId root_end,
+    const std::function<bool(const std::vector<VertexId>&)>& callback) {
+  std::vector<VertexId> scratch;
+  esu_internal::RunEsu(index, k, root_begin, root_end,
+                       [&](const VertexId* set, size_t size) {
+                         scratch.assign(set, set + size);
+                         return callback(scratch);
+                       });
+}
+
+namespace internal {
+
+void EnumerateConnectedSubgraphsLegacy(
+    const Graph& g, size_t k,
+    const std::function<bool(const std::vector<VertexId>&)>& callback) {
+  EsuEnumerator enumerator(g, k, callback, nullptr, nullptr);
+  enumerator.Run();
+}
+
+}  // namespace internal
 
 size_t EsuRootGrain(size_t num_vertices) {
   // Many small chunks: per-root costs are heavily skewed (hub roots dominate)
@@ -195,22 +225,66 @@ size_t EsuRootGrain(size_t num_vertices) {
 
 std::map<std::vector<uint8_t>, size_t> CountSubgraphClasses(const Graph& g,
                                                             size_t k) {
+  return CountSubgraphClasses(g, k, nullptr);
+}
+
+std::map<std::vector<uint8_t>, size_t> CountSubgraphClasses(
+    const Graph& g, size_t k, SharedCanonCache* shared_canon) {
   using Counts = std::map<std::vector<uint8_t>, size_t>;
   const size_t n = g.num_vertices();
+  const GraphIndex index(g);
+  // Sizes that fit the 64-bit pattern key resolve canonical codes through a
+  // shared table — the caller's if provided (FindNetworkMotifsEsu shares one
+  // across all uniqueness replicates), else one local to this call.
+  std::optional<SharedCanonCache> own_canon;
+  SharedCanonCache* canon = shared_canon;
+  if (canon == nullptr && k <= SharedCanonCache::kMaxK) {
+    own_canon.emplace(k);
+    canon = &*own_canon;
+  }
+  if (canon != nullptr) LAMO_CHECK_EQ(canon->k(), k);
+
   return ParallelReduce<Counts>(
       n, EsuRootGrain(n), Counts{},
       [&](size_t lo, size_t hi) {
         const ScopedChunkClock clock(lo, hi);
         Counts local;
-        CanonicalCodeCache canon_cache;
-        EnumerateConnectedSubgraphsInRootRange(
-            g, k, static_cast<VertexId>(lo), static_cast<VertexId>(hi),
-            [&](const std::vector<VertexId>& set) {
-              ObsIncrement(kObsSubgraphs);
-              const SmallGraph sub = SmallGraph::InducedSubgraph(g, set);
-              ++local[canon_cache.CodeFor(sub)];
-              return true;
-            });
+        if (canon != nullptr) {
+          // Fast path: tally raw 64-bit adjacency patterns (the chunk-local
+          // L1 — a hash probe per emission, no allocation), then translate
+          // each distinct pattern through the shared table once.
+          std::unordered_map<uint64_t, size_t> pattern_counts;
+          esu_internal::RunEsu(
+              index, k, static_cast<VertexId>(lo), static_cast<VertexId>(hi),
+              [&](const VertexId* set, size_t size) {
+                ObsIncrement(kObsSubgraphs);
+                auto [it, inserted] =
+                    pattern_counts.try_emplace(index.InducedBits(set, size), 1);
+                if (inserted) {
+                  ObsIncrement(kObsCanonMisses);
+                } else {
+                  ObsIncrement(kObsCanonHits);
+                  ++it->second;
+                }
+                return true;
+              });
+          // Sum-merge into the sorted code map: iteration order of the
+          // hash map cannot affect the totals.
+          for (const auto& [bits, count] : pattern_counts) {
+            local[canon->Lookup(bits).code] += count;
+          }
+        } else {
+          CanonicalCodeCache chunk_canon;
+          esu_internal::RunEsu(
+              index, k, static_cast<VertexId>(lo), static_cast<VertexId>(hi),
+              [&](const VertexId* set, size_t size) {
+                ObsIncrement(kObsSubgraphs);
+                const SmallGraph sub = SmallGraph::InducedSubgraph(
+                    g, std::vector<VertexId>(set, set + size));
+                ++local[chunk_canon.CodeFor(sub)];
+                return true;
+              });
+        }
         return local;
       },
       [](Counts acc, Counts part) {

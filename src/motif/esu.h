@@ -6,7 +6,9 @@
 #include <vector>
 
 #include "graph/graph.h"
+#include "graph/graph_index.h"
 #include "graph/small_graph.h"
+#include "motif/canon_cache.h"
 #include "util/random.h"
 
 namespace lamo {
@@ -17,7 +19,9 @@ namespace lamo {
 ///
 /// ESU is the exhaustive ground truth we cross-check the level-wise
 /// NeMoFinder-style miner against (practical for k <= ~6 on PPI-scale
-/// networks).
+/// networks). Runs on the index-centric engine (a GraphIndex is built
+/// internally); use the GraphIndex overload below to amortize the index
+/// across many calls.
 void EnumerateConnectedSubgraphs(
     const Graph& g, size_t k,
     const std::function<bool(const std::vector<VertexId>&)>& callback);
@@ -32,6 +36,13 @@ void EnumerateConnectedSubgraphsInRootRange(
     const Graph& g, size_t k, VertexId root_begin, VertexId root_end,
     const std::function<bool(const std::vector<VertexId>&)>& callback);
 
+/// Same enumeration over a prebuilt GraphIndex — the form the mining hot
+/// paths use: build the index once at load, run every chunk (and, in tests,
+/// the sparse fallback) against it without rebuilding.
+void EnumerateConnectedSubgraphsInRootRange(
+    const GraphIndex& index, size_t k, VertexId root_begin, VertexId root_end,
+    const std::function<bool(const std::vector<VertexId>&)>& callback);
+
 /// The root-range chunk size the parallel ESU pipelines use for a graph of
 /// `num_vertices` vertices (small, to balance hub-dominated root costs).
 size_t EsuRootGrain(size_t num_vertices);
@@ -42,6 +53,28 @@ size_t EsuRootGrain(size_t num_vertices);
 /// results are identical for any thread count.
 std::map<std::vector<uint8_t>, size_t> CountSubgraphClasses(const Graph& g,
                                                             size_t k);
+
+/// As above, but resolving canonical codes through a caller-owned shared
+/// canonicalization table (which must have been built for the same k).
+/// FindNetworkMotifsEsu threads one table through the real network and all
+/// uniqueness replicates, so each adjacency pattern is canonicalized once
+/// per run instead of once per chunk per network. Passing nullptr (or any
+/// k > SharedCanonCache::kMaxK) uses chunk-local caches instead; results
+/// are identical either way.
+std::map<std::vector<uint8_t>, size_t> CountSubgraphClasses(
+    const Graph& g, size_t k, SharedCanonCache* shared_canon);
+
+namespace internal {
+
+/// Test-only hook: the pre-index, pointer-chasing ESU walk (adjacency
+/// probes through Graph::HasEdge, per-node vector copies). Kept solely so
+/// the differential battery can diff the index-centric engine against the
+/// original in-process; production paths never call it.
+void EnumerateConnectedSubgraphsLegacy(
+    const Graph& g, size_t k,
+    const std::function<bool(const std::vector<VertexId>&)>& callback);
+
+}  // namespace internal
 
 /// RAND-ESU (Wernicke): each branch of the ESU tree is explored with the
 /// per-depth probability from `probabilities` (size k; product = sampling

@@ -1,11 +1,15 @@
 #include "motif/esu_finder.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <map>
+#include <optional>
+#include <unordered_map>
 
 #include "graph/canonical.h"
 #include "graph/generators.h"
 #include "motif/esu.h"
+#include "motif/esu_engine.h"
 #include "motif/stage_checkpoint.h"
 #include "obs/obs.h"
 #include "obs/trace.h"
@@ -34,10 +38,12 @@ const size_t kSpanReplicate = ObsSpanId("uniqueness.replicate");
 const size_t kFpEnumChunk = FaultPointId("mine.enum.chunk");
 const size_t kFpUniqReplicate = FaultPointId("mine.uniq.replicate");
 
-/// Chunk-local memo from raw adjacency bits to the full canonicalization
-/// result (code, canonical graph, permutation). Same determinism argument as
-/// the code-only cache in esu.cc: Canonicalize is a pure function of the
-/// induced subgraph, and the cache never crosses a chunk boundary.
+/// Chunk-local memo from raw adjacency bytes to the full canonicalization
+/// result (code, canonical graph, permutation) — the fallback for sizes past
+/// SharedCanonCache::kMaxK, whose patterns outgrow the 64-bit key. Same
+/// determinism argument as the code-only cache in esu.cc: Canonicalize is a
+/// pure function of the induced subgraph, and the cache never crosses a
+/// chunk boundary.
 class CanonicalResultCache {
  public:
   const CanonicalResult& ResultFor(const SmallGraph& sub) {
@@ -173,6 +179,17 @@ std::vector<Motif> FindNetworkMotifsEsu(const Graph& graph,
   const uint64_t fingerprint = EsuFingerprint(graph, config);
   const std::string size_tag = std::to_string(config.size);
 
+  // Index built once per run: CSR neighbor arrays plus (for all but
+  // pathological vertex counts) the dense bitset adjacency the ESU engine's
+  // inner loop probes. Shared read-only by every chunk worker.
+  const GraphIndex index(graph);
+  // One canonicalization table for the whole run — every enumeration chunk
+  // and every uniqueness replicate resolves through it, so each adjacency
+  // pattern is canonicalized once per run. Sizes past the 64-bit key fall
+  // back to chunk-local caches (CanonicalResultCache below).
+  std::optional<SharedCanonCache> shared_canon;
+  if (config.size <= SharedCanonCache::kMaxK) shared_canon.emplace(config.size);
+
   // Enumeration is sharded by ESU root vertex; per-chunk class maps are
   // merged in chunk order, which reproduces the serial occurrence order
   // (roots ascending, DFS order within a root) for any thread count. With
@@ -214,23 +231,50 @@ std::vector<Motif> FindNetworkMotifsEsu(const Graph& graph,
                                              size_t hi) {
         const ScopedItemTimer item(kSpanChunk, kHistChunkUs, lo, hi, 2);
         ClassMap local;
-        CanonicalResultCache canon_cache;
-        EnumerateConnectedSubgraphsInRootRange(
-            graph, config.size, static_cast<VertexId>(lo),
-            static_cast<VertexId>(hi), [&](const std::vector<VertexId>& set) {
-              ObsIncrement(kObsSubgraphs);
-              const SmallGraph sub = SmallGraph::InducedSubgraph(graph, set);
-              const CanonicalResult& canon = canon_cache.ResultFor(sub);
-              auto [it, inserted] = local.try_emplace(canon.code);
-              if (inserted) it->second.pattern = canon.graph;
-              MotifOccurrence occ;
-              occ.proteins.resize(set.size());
-              for (size_t pos = 0; pos < set.size(); ++pos) {
-                occ.proteins[pos] = set[canon.canonical_to_original[pos]];
-              }
-              it->second.occurrences.push_back(std::move(occ));
-              return true;
-            });
+        const auto record = [&](const VertexId* set, size_t size,
+                                const CanonicalResult& canon) {
+          auto [it, inserted] = local.try_emplace(canon.code);
+          if (inserted) it->second.pattern = canon.graph;
+          MotifOccurrence occ;
+          occ.proteins.resize(size);
+          for (size_t pos = 0; pos < size; ++pos) {
+            occ.proteins[pos] = set[canon.canonical_to_original[pos]];
+          }
+          it->second.occurrences.push_back(std::move(occ));
+        };
+        if (shared_canon.has_value()) {
+          // Chunk-local L1 in front of the shared table: one hash probe on
+          // the 64-bit adjacency key per emission, one shared lookup per
+          // distinct pattern per chunk. Pointers are stable for the cache's
+          // lifetime, so caching them is safe.
+          std::unordered_map<uint64_t, const CanonicalResult*> memo;
+          esu_internal::RunEsu(
+              index, config.size, static_cast<VertexId>(lo),
+              static_cast<VertexId>(hi), [&](const VertexId* set, size_t size) {
+                ObsIncrement(kObsSubgraphs);
+                const uint64_t bits = index.InducedBits(set, size);
+                auto [it, inserted] = memo.try_emplace(bits, nullptr);
+                if (inserted) {
+                  ObsIncrement(kObsCanonMisses);
+                  it->second = &shared_canon->Lookup(bits);
+                } else {
+                  ObsIncrement(kObsCanonHits);
+                }
+                record(set, size, *it->second);
+                return true;
+              });
+        } else {
+          CanonicalResultCache canon_cache;
+          esu_internal::RunEsu(
+              index, config.size, static_cast<VertexId>(lo),
+              static_cast<VertexId>(hi), [&](const VertexId* set, size_t size) {
+                ObsIncrement(kObsSubgraphs);
+                const SmallGraph sub = SmallGraph::InducedSubgraph(
+                    graph, std::vector<VertexId>(set, set + size));
+                record(set, size, canon_cache.ResultFor(sub));
+                return true;
+              });
+        }
         partials[chunk] = std::move(local);
       });
       for (ClassMap& part : partials) MergeClassMap(&classes, std::move(part));
@@ -297,8 +341,13 @@ std::vector<Motif> FindNetworkMotifsEsu(const Graph& graph,
         Rng rng = Rng::Stream(config.seed, r);
         const Graph randomized =
             DegreePreservingRewire(graph, config.swaps_per_edge, rng);
-        const auto random_counts =
-            CountSubgraphClasses(randomized, config.size);
+        // Replicates resolve canonical codes through the run-wide shared
+        // table: the randomized networks repeat the same adjacency patterns
+        // as the real one, so past the first replicate virtually every
+        // pattern is already resident.
+        const auto random_counts = CountSubgraphClasses(
+            randomized, config.size,
+            shared_canon.has_value() ? &*shared_canon : nullptr);
         std::vector<uint8_t> won(codes.size(), 0);
         for (size_t c = 0; c < codes.size(); ++c) {
           auto it = random_counts.find(*codes[c]);

@@ -1,0 +1,227 @@
+// Property tests for the GraphIndex builder (CSR + dense bitset): the
+// neighbor arrays are sorted and deduplicated, the CSR round-trips back to
+// the source edge list, the bitset kernels agree with the STL reference
+// algorithms, and the build is byte-stable regardless of the configured
+// thread count (the index feeds byte-identical pipelines, so its own bytes
+// must never depend on --threads).
+#include <algorithm>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "graph/graph_index.h"
+#include "graph/small_graph.h"
+#include "motif/canon_cache.h"
+#include "parallel/parallel_for.h"
+#include "util/random.h"
+
+namespace lamo {
+namespace {
+
+using EdgeSet = std::set<std::pair<VertexId, VertexId>>;
+
+// The {min, max} edge pairs of a graph, via its own adjacency.
+EdgeSet EdgesOf(const Graph& g) {
+  EdgeSet edges;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    for (const VertexId u : g.Neighbors(v)) {
+      edges.emplace(std::min(v, u), std::max(v, u));
+    }
+  }
+  return edges;
+}
+
+// The same, reconstructed purely from the index's CSR arrays.
+EdgeSet EdgesOfIndex(const GraphIndex& index) {
+  EdgeSet edges;
+  const auto offsets = index.Offsets();
+  const auto neighbors = index.NeighborArray();
+  for (VertexId v = 0; v < index.num_vertices(); ++v) {
+    for (uint32_t i = offsets[v]; i < offsets[v + 1]; ++i) {
+      const VertexId u = neighbors[i];
+      edges.emplace(std::min(v, u), std::max(v, u));
+    }
+  }
+  return edges;
+}
+
+TEST(GraphIndexTest, NeighborArraysSortedDedupedAndValid) {
+  Rng rng(41);
+  for (int trial = 0; trial < 20; ++trial) {
+    const size_t n = 2 + rng.Uniform(60);
+    const size_t m = rng.Uniform(n * (n - 1) / 2 + 1);
+    Rng graph_rng(rng.Next64());
+    const Graph g = ErdosRenyi(n, m, graph_rng);
+    const GraphIndex index(g);
+    ASSERT_EQ(index.num_vertices(), n);
+    ASSERT_EQ(index.num_edges(), g.num_edges());
+    for (VertexId v = 0; v < n; ++v) {
+      const auto nbrs = index.Neighbors(v);
+      EXPECT_EQ(nbrs.size(), index.Degree(v));
+      for (size_t i = 0; i + 1 < nbrs.size(); ++i) {
+        EXPECT_LT(nbrs[i], nbrs[i + 1]) << "vertex " << v;
+      }
+    }
+    EXPECT_TRUE(index.Validate().ok());
+    const GraphIndex sparse(g, 0);
+    EXPECT_FALSE(sparse.dense());
+    EXPECT_TRUE(sparse.Validate().ok());
+  }
+}
+
+TEST(GraphIndexTest, CsrRoundTripsToEdgeList) {
+  Rng rng(42);
+  for (int trial = 0; trial < 20; ++trial) {
+    const size_t n = 2 + rng.Uniform(50);
+    const size_t m = rng.Uniform(n * (n - 1) / 2 + 1);
+    Rng graph_rng(rng.Next64());
+    const Graph g = ErdosRenyi(n, m, graph_rng);
+    const GraphIndex index(g);
+    EXPECT_EQ(EdgesOfIndex(index), EdgesOf(g));
+    // And back: a graph rebuilt from the index's edge list produces an
+    // identical index.
+    GraphBuilder b(n);
+    for (const auto& [u, v] : EdgesOfIndex(index)) {
+      ASSERT_TRUE(b.AddEdge(u, v).ok());
+    }
+    const GraphIndex rebuilt(b.Build());
+    EXPECT_EQ(std::vector<uint32_t>(index.Offsets().begin(),
+                                    index.Offsets().end()),
+              std::vector<uint32_t>(rebuilt.Offsets().begin(),
+                                    rebuilt.Offsets().end()));
+    EXPECT_EQ(std::vector<VertexId>(index.NeighborArray().begin(),
+                                    index.NeighborArray().end()),
+              std::vector<VertexId>(rebuilt.NeighborArray().begin(),
+                                    rebuilt.NeighborArray().end()));
+  }
+}
+
+TEST(GraphIndexTest, IntersectionKernelsMatchStdSetIntersection) {
+  // 500 random vertex pairs across graphs of varied density: the dense
+  // word-AND path (CommonNeighbors), the sparse merge path, and the static
+  // IntersectSorted kernel must all equal std::set_intersection of the
+  // neighbor lists.
+  Rng rng(43);
+  size_t pairs = 0;
+  while (pairs < 500) {
+    const size_t n = 2 + rng.Uniform(80);
+    const size_t m = rng.Uniform(n * (n - 1) / 2 + 1);
+    Rng graph_rng(rng.Next64());
+    const Graph g = ErdosRenyi(n, m, graph_rng);
+    const GraphIndex dense(g);
+    const GraphIndex sparse(g, 0);
+    ASSERT_TRUE(dense.dense());
+    for (int p = 0; p < 25 && pairs < 500; ++p, ++pairs) {
+      const VertexId a = static_cast<VertexId>(rng.Uniform(n));
+      const VertexId b = static_cast<VertexId>(rng.Uniform(n));
+      const auto na = g.Neighbors(a);
+      const auto nb = g.Neighbors(b);
+      std::vector<VertexId> expected;
+      std::set_intersection(na.begin(), na.end(), nb.begin(), nb.end(),
+                            std::back_inserter(expected));
+      std::vector<VertexId> got;
+      EXPECT_EQ(dense.CommonNeighbors(a, b, &got), expected.size());
+      EXPECT_EQ(got, expected);
+      EXPECT_EQ(sparse.CommonNeighbors(a, b, &got), expected.size());
+      EXPECT_EQ(got, expected);
+      EXPECT_EQ(GraphIndex::IntersectSorted(dense.Neighbors(a),
+                                            dense.Neighbors(b), &got),
+                expected.size());
+      EXPECT_EQ(got, expected);
+    }
+  }
+}
+
+TEST(GraphIndexTest, HasEdgeMatchesGraphOnBothPaths) {
+  Rng rng(44);
+  const Graph g = ErdosRenyi(40, 200, rng);
+  const GraphIndex dense(g);
+  const GraphIndex sparse(g, 0);
+  for (VertexId a = 0; a < 40; ++a) {
+    for (VertexId b = 0; b < 40; ++b) {
+      EXPECT_EQ(dense.HasEdge(a, b), g.HasEdge(a, b));
+      EXPECT_EQ(sparse.HasEdge(a, b), g.HasEdge(a, b));
+    }
+  }
+  EXPECT_FALSE(dense.HasEdge(0, 40));
+  EXPECT_FALSE(dense.HasEdge(40, 0));
+}
+
+TEST(GraphIndexTest, InducedBitsAgreesWithInducedSubgraph) {
+  // The packed key, unpacked, must reproduce exactly the SmallGraph the
+  // legacy pipeline would have built for the same vertex set — that
+  // equivalence is what lets SharedCanonCache key on the packed bits.
+  Rng rng(45);
+  for (int trial = 0; trial < 50; ++trial) {
+    const size_t n = 6 + rng.Uniform(30);
+    const size_t m = rng.Uniform(n * (n - 1) / 2 + 1);
+    Rng graph_rng(rng.Next64());
+    const Graph g = ErdosRenyi(n, m, graph_rng);
+    const GraphIndex dense(g);
+    const GraphIndex sparse(g, 0);
+    const size_t k = 2 + rng.Uniform(5);  // 2..6
+    std::vector<VertexId> verts;
+    while (verts.size() < k) {
+      const VertexId v = static_cast<VertexId>(rng.Uniform(n));
+      if (std::find(verts.begin(), verts.end(), v) == verts.end()) {
+        verts.push_back(v);
+      }
+    }
+    std::sort(verts.begin(), verts.end());
+    const uint64_t bits = dense.InducedBits(verts.data(), k);
+    EXPECT_EQ(sparse.InducedBits(verts.data(), k), bits);
+    const SmallGraph expected = SmallGraph::InducedSubgraph(g, verts);
+    const SmallGraph unpacked = SharedCanonCache::UnpackBits(bits, k);
+    ASSERT_EQ(unpacked.num_vertices(), expected.num_vertices());
+    for (uint32_t i = 0; i < k; ++i) {
+      for (uint32_t j = 0; j < k; ++j) {
+        EXPECT_EQ(unpacked.HasEdge(i, j), expected.HasEdge(i, j));
+      }
+    }
+    EXPECT_EQ(SharedCanonCache::PackBits(expected), bits);
+  }
+}
+
+TEST(GraphIndexTest, BuildIsByteStableAcrossThreadCounts) {
+  // The build is serial by design; this pins that the bytes (CSR arrays and
+  // bitset words) cannot drift with the configured worker count.
+  Rng rng(46);
+  const Graph g = DuplicationDivergence(300, 0.4, 0.1, rng);
+  SetThreadCount(1);
+  const GraphIndex one(g);
+  SetThreadCount(4);
+  const GraphIndex four(g);
+  SetThreadCount(0);
+  EXPECT_EQ(std::vector<uint32_t>(one.Offsets().begin(), one.Offsets().end()),
+            std::vector<uint32_t>(four.Offsets().begin(),
+                                  four.Offsets().end()));
+  EXPECT_EQ(std::vector<VertexId>(one.NeighborArray().begin(),
+                                  one.NeighborArray().end()),
+            std::vector<VertexId>(four.NeighborArray().begin(),
+                                  four.NeighborArray().end()));
+  ASSERT_TRUE(one.dense());
+  EXPECT_EQ(std::vector<uint64_t>(one.DenseBits().begin(),
+                                  one.DenseBits().end()),
+            std::vector<uint64_t>(four.DenseBits().begin(),
+                                  four.DenseBits().end()));
+  EXPECT_EQ(one.words_per_row(), four.words_per_row());
+}
+
+TEST(GraphIndexTest, DenseLimitIsHonored) {
+  Rng rng(47);
+  const Graph g = ErdosRenyi(65, 200, rng);
+  EXPECT_TRUE(GraphIndex(g, 65).dense());
+  EXPECT_FALSE(GraphIndex(g, 64).dense());
+  EXPECT_EQ(GraphIndex(g, 65).words_per_row(), 2u);  // 65 bits -> 2 words
+  const Graph empty = GraphBuilder(0).Build();
+  const GraphIndex empty_index(empty);
+  EXPECT_EQ(empty_index.num_vertices(), 0u);
+  EXPECT_FALSE(empty_index.dense());
+  EXPECT_TRUE(empty_index.Validate().ok());
+}
+
+}  // namespace
+}  // namespace lamo

@@ -1,8 +1,16 @@
-// Differential test: ESU versus a naive brute-force connected-subgraph
-// enumerator. The brute force walks every C(n, k) vertex subset and keeps
-// the connected ones, so it is obviously correct (and hopeless beyond tiny
-// n); ESU must produce exactly the same multiset of canonical classes on
-// random graphs of every density.
+// Differential tests for the ESU enumeration stack, two layers deep:
+//
+//  1. ESU versus a naive brute-force connected-subgraph enumerator. The
+//     brute force walks every C(n, k) vertex subset and keeps the connected
+//     ones, so it is obviously correct (and hopeless beyond tiny n); ESU
+//     must produce exactly the same multiset of canonical classes on random
+//     graphs of every density.
+//  2. The index-centric engine (CSR + dense bitset, and its sparse
+//     CSR-only fallback) versus the original pointer-chasing walk it
+//     replaced, kept as internal::EnumerateConnectedSubgraphsLegacy. These
+//     are required to agree on the exact emission *sequence*, not just the
+//     multiset — the pipelines' byte-identical-output guarantee rests on
+//     the emission order being preserved.
 #include <map>
 #include <set>
 #include <vector>
@@ -11,6 +19,8 @@
 
 #include "graph/canonical.h"
 #include "graph/generators.h"
+#include "graph/graph_index.h"
+#include "motif/canon_cache.h"
 #include "motif/esu.h"
 #include "util/random.h"
 
@@ -67,6 +77,129 @@ TEST(EsuDifferentialTest, MatchesBruteForceOnRandomGraphs) {
                                       << " m=" << m << " k=" << k);
       EXPECT_EQ(EsuClasses(g, k), expected);
       EXPECT_EQ(CountSubgraphClasses(g, k), expected);
+    }
+  }
+}
+
+using SetSequence = std::vector<std::vector<VertexId>>;
+
+// The exact emission sequence of the original pointer-chasing walk.
+SetSequence LegacySequence(const Graph& g, size_t k) {
+  SetSequence sets;
+  internal::EnumerateConnectedSubgraphsLegacy(
+      g, k, [&](const std::vector<VertexId>& set) {
+        sets.push_back(set);
+        return true;
+      });
+  return sets;
+}
+
+// The exact emission sequence of the index engine over a prebuilt index
+// (dense bitset or, with dense_vertex_limit = 0, the sparse CSR fallback).
+SetSequence IndexSequence(const GraphIndex& index, size_t k) {
+  SetSequence sets;
+  EnumerateConnectedSubgraphsInRootRange(
+      index, k, 0, static_cast<VertexId>(index.num_vertices()),
+      [&](const std::vector<VertexId>& set) {
+        sets.push_back(set);
+        return true;
+      });
+  return sets;
+}
+
+// A graph from one of several structural families, cycling with `trial` so
+// the battery covers shapes random edge counts rarely hit: stars (one hub,
+// maximal degree skew), cliques (densest case), disjoint unions
+// (disconnected graphs), and near-empty graphs, with Erdos-Renyi across the
+// full density range in between.
+Graph TrialGraph(int trial, size_t n, Rng& rng) {
+  GraphBuilder b(n);
+  switch (trial % 8) {
+    case 0:  // star: vertex 0 adjacent to everyone
+      for (VertexId v = 1; v < n; ++v) EXPECT_TRUE(b.AddEdge(0, v).ok());
+      return b.Build();
+    case 1:  // clique
+      for (VertexId u = 0; u < n; ++u) {
+        for (VertexId v = u + 1; v < n; ++v) {
+          EXPECT_TRUE(b.AddEdge(u, v).ok());
+        }
+      }
+      return b.Build();
+    case 2: {  // two disjoint cliques (disconnected)
+      const VertexId half = static_cast<VertexId>(n / 2);
+      for (VertexId u = 0; u < n; ++u) {
+        for (VertexId v = u + 1; v < n; ++v) {
+          if ((u < half) == (v < half)) {
+            EXPECT_TRUE(b.AddEdge(u, v).ok());
+          }
+        }
+      }
+      return b.Build();
+    }
+    case 3: {  // path plus isolated vertices (sparse, disconnected)
+      const VertexId end = static_cast<VertexId>(n - n / 3);
+      for (VertexId v = 1; v < end; ++v) {
+        EXPECT_TRUE(b.AddEdge(v - 1, v).ok());
+      }
+      return b.Build();
+    }
+    default: {  // Erdos-Renyi across the density range
+      const size_t max_edges = n * (n - 1) / 2;
+      Rng graph_rng(rng.Next64());
+      return ErdosRenyi(n, rng.Uniform(max_edges + 1), graph_rng);
+    }
+  }
+}
+
+TEST(EsuDifferentialTest, IndexEngineMatchesLegacyWalkOn120Graphs) {
+  // 120 graphs (stars, cliques, disjoint unions, paths, random at all
+  // densities), n <= 14, every k in 3..5. The dense-bitset engine, the
+  // forced-sparse engine, and the legacy walk must emit the *same sequence*
+  // of vertex sets; the class-counting pipeline (with and without a shared
+  // canonicalization table) and the brute force must agree on the multiset.
+  Rng rng(20070715);
+  for (int trial = 0; trial < 120; ++trial) {
+    const size_t n = 4 + rng.Uniform(11);  // 4..14
+    const Graph g = TrialGraph(trial, n, rng);
+    const GraphIndex dense_index(g);
+    const GraphIndex sparse_index(g, 0);
+    ASSERT_TRUE(dense_index.dense());
+    ASSERT_FALSE(sparse_index.dense());
+    for (size_t k = 3; k <= 5 && k <= n; ++k) {
+      SCOPED_TRACE(testing::Message()
+                   << "trial " << trial << " n=" << n
+                   << " m=" << g.num_edges() << " k=" << k);
+      const SetSequence legacy = LegacySequence(g, k);
+      EXPECT_EQ(IndexSequence(dense_index, k), legacy);
+      EXPECT_EQ(IndexSequence(sparse_index, k), legacy);
+
+      const ClassCounts expected = BruteForceClasses(g, k);
+      EXPECT_EQ(CountSubgraphClasses(g, k), expected);
+      SharedCanonCache shared(k);
+      EXPECT_EQ(CountSubgraphClasses(g, k, &shared), expected);
+    }
+  }
+}
+
+TEST(EsuDifferentialTest, IndexEngineHonorsCallbackAbort) {
+  // Returning false must stop the enumeration immediately on both engine
+  // paths, exactly as the legacy walk does.
+  Rng rng(11);
+  const Graph g = ErdosRenyi(12, 40, rng);
+  const SetSequence all = LegacySequence(g, 4);
+  ASSERT_GT(all.size(), 5u);
+  for (const size_t limit : {size_t{1}, size_t{5}, all.size() - 1}) {
+    for (const size_t dense_limit : {GraphIndex::kDenseVertexLimit,
+                                     size_t{0}}) {
+      const GraphIndex index(g, dense_limit);
+      SetSequence prefix;
+      EnumerateConnectedSubgraphsInRootRange(
+          index, 4, 0, 12, [&](const std::vector<VertexId>& set) {
+            prefix.push_back(set);
+            return prefix.size() < limit;
+          });
+      EXPECT_EQ(prefix.size(), limit);
+      EXPECT_EQ(prefix, SetSequence(all.begin(), all.begin() + limit));
     }
   }
 }

@@ -244,6 +244,17 @@ int Check(const std::string& path, int num_required, char** required) {
       }
     }
   }
+  // Shared canonicalization table: Lookup ticks the lookup counter and then
+  // exactly one of hit/miss, so the totals must agree exactly on every run
+  // that used the table.
+  if (counters->Find("esu.canon_shared_lookups") != nullptr &&
+      counter_value("esu.canon_shared_lookups") !=
+          counter_value("esu.canon_shared_hits") +
+              counter_value("esu.canon_shared_misses")) {
+    return Fail(
+        "esu.canon_shared_lookups does not match esu.canon_shared_hits + "
+        "esu.canon_shared_misses");
+  }
   // Checkpointed runs: a resume can only replay chunks the run actually
   // tracked, and atomic checkpoint/output replaces are durable — one fsynced
   // rename per write, so the two counters must agree exactly.
