@@ -82,7 +82,9 @@ build/tools/lamo pack --graph "$OUT/obs_ds.graph.txt" \
   --labeled "$OUT/obs_labeled.txt" --out "$OUT/obs_model.lamosnap" \
   | tee "$OUT/pack.txt"
 build/tools/lamo serve --snapshot "$OUT/obs_model.lamosnap" --port 0 \
-  --report "$OUT/serve_report.json" > "$OUT/serve.log" 2>&1 &
+  --report "$OUT/serve_report.json" \
+  --access-log "$OUT/serve_access.jsonl" --access-sample 5 --slow-ms 50 \
+  > "$OUT/serve.log" 2>&1 &
 SERVE_PID=$!
 PORT=""
 for _ in $(seq 1 100); do
@@ -94,10 +96,17 @@ done
 test -n "$PORT"
 build/tools/lamo_bench_client --port "$PORT" --connections 4 \
   --requests 100 --out "$OUT/BENCH_serve.json" | tee "$OUT/serve_bench.txt"
+# Archive a live METRICS scrape (Prometheus text exposition) and validate it
+# against the documented grammar; after shutdown the scraped totals must sit
+# within the final --report counters.
+build/tools/lamo_bench_client --port "$PORT" --query METRICS \
+  > "$OUT/serve_metrics.txt"
 kill -TERM "$SERVE_PID"
 wait "$SERVE_PID"
+build/tools/lamo_metrics_check "$OUT/serve_metrics.txt" \
+  --report "$OUT/serve_report.json"
 build/tools/lamo_report_check "$OUT/serve_report.json" serve.requests \
-  serve.connections hist:serve.request_us
+  serve.connections serve.access_logged hist:serve.request_us
 
 # Cluster routing artifacts: shard the snapshot, then bench the SAME
 # workload against 1, 2 and 4 sharded backends behind `lamo router` —
@@ -119,7 +128,10 @@ for N in 1 2 4; do
   rm -f "$OUT/router.log"
   build/tools/lamo router --snapshot "$OUT/obs_model.lamosnap" \
     --backends "$N" --mode sharded --port 0 \
-    --report "$OUT/router_report_${N}.json" > "$OUT/router.log" 2>&1 &
+    --report "$OUT/router_report_${N}.json" \
+    --access-log "$OUT/router_access_${N}.jsonl" --access-sample 5 \
+    --backend-access-log "$OUT/backend_access_${N}.jsonl" --slow-ms 50 \
+    > "$OUT/router.log" 2>&1 &
   ROUTER_PID=$!
   PORT=""
   for _ in $(seq 1 100); do
@@ -133,11 +145,17 @@ for N in 1 2 4; do
     --proteins "$PROTEINS" --connections 4 --requests 100 \
     --name "router/sharded_x$N" --out "$OUT/BENCH_router_${N}.json" \
     | tee -a "$OUT/router_bench.txt"
+  # Aggregated scrape: the router's own series plus every backend's,
+  # re-exported with backend=/shard= labels.
+  build/tools/lamo_bench_client --port "$PORT" --query METRICS \
+    > "$OUT/router_metrics_${N}.txt"
   kill -TERM "$ROUTER_PID"
   wait "$ROUTER_PID"
+  build/tools/lamo_metrics_check "$OUT/router_metrics_${N}.txt" \
+    --report "$OUT/router_report_${N}.json"
   build/tools/lamo_report_check "$OUT/router_report_${N}.json" \
     router.requests router.proxied router.backend_requests \
-    hist:router.request_us
+    router.ids_issued hist:router.request_us
 done
 # Stitch the three scaling points into one BENCH_router.json (same shape as
 # the per-run files: one context, benchmarks array ordered 1 -> 2 -> 4).
@@ -162,7 +180,8 @@ PYEOF
 # server from multiple threads; router_tests exercises the monitor/reload
 # threads against live backend processes; motif_tests drives the shared
 # canonicalization table — lock-free CAS inserts on the dense path, mutex
-# shards past k=6 — from concurrent enumeration chunks).
+# shards past k=6 — from concurrent enumeration chunks; obs_tests hammers
+# the metric-window ring with concurrent observers vs METRICS scrapes).
 echo "== tsan smoke (parallel runtime + tracer + serve + router + motif) =="
 cmake -B build-tsan -G Ninja -DLAMO_SANITIZE=thread
 cmake --build build-tsan --target parallel_tests obs_tests serve_tests \

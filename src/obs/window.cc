@@ -1,0 +1,95 @@
+#include "obs/window.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace lamo {
+
+MetricWindows::MetricWindows(uint64_t slot_ms, size_t capacity)
+    : slot_ms_(slot_ms == 0 ? 1 : slot_ms),
+      capacity_(capacity == 0 ? 1 : capacity) {}
+
+void MetricWindows::Update(uint64_t now_ms,
+                           std::map<std::string, uint64_t> counters,
+                           std::vector<HistogramSnapshot> histograms) {
+  // Archive the PREVIOUS latest before overwriting it, so back-to-back
+  // scrapes still leave one slot strictly older than the newest snapshot
+  // (otherwise two quick scrapes could never produce a nonzero span).
+  if (have_latest_ &&
+      (slots_.empty() || latest_.t_ms >= slots_.back().t_ms + slot_ms_)) {
+    slots_.push_back(latest_);
+    while (slots_.size() > capacity_) slots_.pop_front();
+  }
+  latest_.t_ms = now_ms;
+  latest_.counters = std::move(counters);
+  latest_.histograms = std::move(histograms);
+  have_latest_ = true;
+  if (slots_.empty()) {
+    slots_.push_back(latest_);
+  }
+}
+
+HistogramSnapshot DiffHistograms(const HistogramSnapshot& to,
+                                 const HistogramSnapshot& from) {
+  HistogramSnapshot d;
+  d.name = to.name;
+  for (size_t b = 0; b < kObsHistogramBuckets; ++b) {
+    const uint64_t hi = to.buckets[b];
+    const uint64_t lo = from.buckets[b];
+    d.buckets[b] = hi > lo ? hi - lo : 0;
+    d.count += d.buckets[b];
+  }
+  d.sum = to.sum > from.sum ? to.sum - from.sum : 0;
+  if (d.count > 0) {
+    // min/max are not delta-able; fall back to the bounds of the occupied
+    // buckets so Percentile stays clamped to a sound range.
+    for (size_t b = 0; b < kObsHistogramBuckets; ++b) {
+      if (d.buckets[b] > 0) {
+        d.min = ObsHistogramBucketLo(b);
+        break;
+      }
+    }
+    for (size_t b = kObsHistogramBuckets; b-- > 0;) {
+      if (d.buckets[b] > 0) {
+        d.max = ObsHistogramBucketHi(b);
+        break;
+      }
+    }
+  }
+  return d;
+}
+
+bool MetricWindows::WindowDelta(uint64_t window_ms, Delta* out) const {
+  if (!have_latest_) return false;
+  // The newest archived slot that is at least `window_ms` older than the
+  // latest snapshot; when the ring is too young, the oldest slot (a shorter,
+  // best-effort window). Slots with the same timestamp as the latest snapshot
+  // cannot anchor a window.
+  const Slot* base = nullptr;
+  for (const Slot& s : slots_) {
+    if (s.t_ms >= latest_.t_ms) break;
+    if (base == nullptr || latest_.t_ms - s.t_ms >= window_ms) base = &s;
+    if (latest_.t_ms - s.t_ms < window_ms) break;
+  }
+  if (base == nullptr) return false;
+  out->span_s = static_cast<double>(latest_.t_ms - base->t_ms) / 1000.0;
+  out->counters.clear();
+  for (const auto& [name, total] : latest_.counters) {
+    const auto it = base->counters.find(name);
+    const uint64_t before = it == base->counters.end() ? 0 : it->second;
+    out->counters[name] = total > before ? total - before : 0;
+  }
+  out->histograms.clear();
+  out->histograms.reserve(latest_.histograms.size());
+  for (size_t i = 0; i < latest_.histograms.size(); ++i) {
+    if (i < base->histograms.size()) {
+      out->histograms.push_back(
+          DiffHistograms(latest_.histograms[i], base->histograms[i]));
+    } else {
+      out->histograms.push_back(latest_.histograms[i]);
+    }
+  }
+  return true;
+}
+
+}  // namespace lamo

@@ -1,0 +1,98 @@
+#ifndef LAMO_OBS_WINDOW_H_
+#define LAMO_OBS_WINDOW_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/obs.h"
+
+namespace lamo {
+
+/// ---- Rolling-window metric aggregates ------------------------------------
+///
+/// Turns the cumulative counters and log2 histograms of an ObsSink into
+/// sliding-window rates and percentiles (10s / 60s / lifetime) without adding
+/// any cost to the instrumentation hot path. The design is scrape-driven:
+/// nothing ticks in the background and no per-observation work happens —
+/// `Update` is called only when somebody scrapes (a METRICS request), takes a
+/// full registry snapshot, and archives it into a small ring of timestamped
+/// slots. A window aggregate is then the difference between the newest
+/// snapshot and the newest archived slot at least `window_ms` old. When
+/// nothing is scraping, instrumented code still pays exactly the usual single
+/// relaxed atomic load (see obs.h).
+///
+/// Log2 bucket counts, counts and sums are all cumulative, so snapshot
+/// differences are themselves valid histograms and the existing
+/// HistogramSnapshot::Percentile applies unchanged. min/max are NOT
+/// delta-able; window snapshots instead clamp percentiles to the bounds of
+/// the occupied buckets of the delta, which is the best information the ring
+/// retains.
+///
+/// All entry points take an explicit `now_ms` (milliseconds on any monotonic
+/// scale chosen by the caller), which makes window-boundary behavior exactly
+/// reproducible under a fake clock in tests.
+///
+/// Thread-safety: none. Callers (SnapshotService / RouterService) serialize
+/// scrapes with their own mutex.
+class MetricWindows {
+ public:
+  /// `slot_ms` is the archival granularity: consecutive Updates closer
+  /// together than this collapse into one slot, bounding ring growth under
+  /// aggressive scraping. `capacity` slots are retained, so the longest
+  /// answerable window is about slot_ms * capacity. The defaults (5s x 16)
+  /// comfortably cover the 60s window.
+  explicit MetricWindows(uint64_t slot_ms = 5000, size_t capacity = 16);
+
+  /// Archives a snapshot taken at `now_ms`. Call with the sink's merged
+  /// CounterTotals() / Histograms() at scrape time, before querying deltas.
+  void Update(uint64_t now_ms, std::map<std::string, uint64_t> counters,
+              std::vector<HistogramSnapshot> histograms);
+
+  /// The difference between the latest Update and the ring slot that best
+  /// covers a `window_ms` lookback.
+  struct Delta {
+    double span_s = 0.0;  ///< actual time covered (may be < window_ms early on)
+    std::map<std::string, uint64_t> counters;   ///< counter increments
+    std::vector<HistogramSnapshot> histograms;  ///< histogram increments
+  };
+
+  /// Computes the window ending at the latest Update. Returns false when the
+  /// ring has no slot strictly older than the latest Update (first scrape),
+  /// in which case no rates can be derived yet.
+  bool WindowDelta(uint64_t window_ms, Delta* out) const;
+
+  /// Number of archived slots (test hook for rotation behavior).
+  size_t slots() const { return slots_.size(); }
+
+  /// Timestamp of the latest Update (0 before the first).
+  uint64_t latest_ms() const { return latest_.t_ms; }
+
+ private:
+  struct Slot {
+    uint64_t t_ms = 0;
+    std::map<std::string, uint64_t> counters;
+    std::vector<HistogramSnapshot> histograms;
+  };
+
+  const uint64_t slot_ms_;
+  const size_t capacity_;
+  bool have_latest_ = false;
+  Slot latest_;              // most recent Update, always current
+  std::deque<Slot> slots_;   // archived snapshots, oldest first
+};
+
+/// The elementwise difference `to - from` of two cumulative histogram
+/// snapshots (`to` must be a later snapshot of the same histogram, so every
+/// bucket of `to` >= the matching bucket of `from`; differences saturate at
+/// zero defensively). min/max of the result are the bounds of its occupied
+/// buckets. Exposed for the window property tests.
+HistogramSnapshot DiffHistograms(const HistogramSnapshot& to,
+                                 const HistogramSnapshot& from);
+
+}  // namespace lamo
+
+#endif  // LAMO_OBS_WINDOW_H_

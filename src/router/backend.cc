@@ -160,8 +160,14 @@ Status Backend::Spawn(const BackendConfig& config) {
     // fault targets the router process, and kFaultExitCode from a backend
     // would masquerade as the router crash the matrix looks for.
     unsetenv("LAMO_FAULT");
-    execl(config.binary.c_str(), config.binary.c_str(), "serve", "--snapshot",
-          config.snapshot.c_str(), "--port", "0", static_cast<char*>(nullptr));
+    std::vector<const char*> argv = {config.binary.c_str(), "serve",
+                                     "--snapshot", config.snapshot.c_str(),
+                                     "--port", "0"};
+    for (const std::string& arg : config.extra_args) {
+      argv.push_back(arg.c_str());
+    }
+    argv.push_back(nullptr);
+    execv(config.binary.c_str(), const_cast<char* const*>(argv.data()));
     _exit(127);  // exec failed
   }
 

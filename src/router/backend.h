@@ -37,6 +37,9 @@ struct BackendConfig {
   std::string snapshot;        // snapshot file this backend serves
   uint64_t spawn_timeout_ms = 20'000;  // banner-parse budget
   std::FILE* log = nullptr;    // nullptr silences supervision chatter
+  /// Extra argv entries appended to `serve --snapshot <path> --port 0`
+  /// (e.g. `--access-log <path>`); identical across respawns.
+  std::vector<std::string> extra_args;
 };
 
 /// One pooled TCP connection to a backend, with its read buffer (leftover

@@ -47,16 +47,32 @@ std::string Cluster::base_snapshot() const {
   return base_snapshot_;
 }
 
+BackendConfig Cluster::MakeBackendConfig(
+    size_t index, const std::string& snapshot_path) const {
+  BackendConfig config;
+  config.binary = options_.binary;
+  config.snapshot = snapshot_path;
+  config.spawn_timeout_ms = options_.spawn_timeout_ms;
+  config.log = options_.log;
+  if (!options_.backend_access_log.empty()) {
+    config.extra_args = {
+        "--access-log",
+        options_.backend_access_log + "." + std::to_string(index),
+        "--access-sample",
+        std::to_string(options_.backend_access_sample),
+        "--slow-ms",
+        std::to_string(options_.backend_slow_ms),
+    };
+  }
+  return config;
+}
+
 Status Cluster::SpawnBackend(size_t index, const std::string& base) {
   if (FaultHit(kFaultSpawn) == FaultAction::kError) {
     return Status::IoError("injected fault: router.spawn");
   }
-  BackendConfig config;
-  config.binary = options_.binary;
-  config.snapshot = SnapshotPathFor(base, index);
-  config.spawn_timeout_ms = options_.spawn_timeout_ms;
-  config.log = options_.log;
-  return backends_[index]->Spawn(config);
+  return backends_[index]->Spawn(
+      MakeBackendConfig(index, SnapshotPathFor(base, index)));
 }
 
 Status Cluster::Start() {
@@ -128,15 +144,12 @@ void Cluster::MonitorLoop() {
         // Respawn on the exact snapshot the dead incarnation served (not
         // recomputed from the base, which may already point at a newer
         // model mid-reload).
-        BackendConfig config;
-        config.binary = options_.binary;
-        config.snapshot = backend->snapshot_path();
-        if (config.snapshot.empty()) {
-          config.snapshot = SnapshotPathFor(base_snapshot(), backend->index());
+        std::string snapshot = backend->snapshot_path();
+        if (snapshot.empty()) {
+          snapshot = SnapshotPathFor(base_snapshot(), backend->index());
         }
-        config.spawn_timeout_ms = options_.spawn_timeout_ms;
-        config.log = options_.log;
-        const Status status = backend->Spawn(config);
+        const Status status =
+            backend->Spawn(MakeBackendConfig(backend->index(), snapshot));
         (void)status;  // kDown until a later tick succeeds
       }
     }

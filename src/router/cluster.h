@@ -37,6 +37,13 @@ struct ClusterOptions {
   uint64_t monitor_interval_ms = 50;
   uint64_t spawn_timeout_ms = 20'000;
   std::FILE* log = nullptr;
+  /// When non-empty, backend i is spawned with
+  /// `--access-log <backend_access_log>.<i>` (one JSONL file per backend so
+  /// concurrent processes never interleave lines) plus the sampling knobs
+  /// below, mirroring the router's own --access-log flags.
+  std::string backend_access_log;
+  uint64_t backend_access_sample = 1;
+  uint64_t backend_slow_ms = 0;
 };
 
 class Cluster {
@@ -91,6 +98,11 @@ class Cluster {
   void MonitorLoop();
   Status SpawnBackend(size_t index, const std::string& base);
   Status ProbeHealth(size_t index);
+  /// The spawn config for backend `index` serving `snapshot_path` — the one
+  /// place the access-log extra args are composed, so initial spawns,
+  /// monitor respawns and rolling reloads all agree.
+  BackendConfig MakeBackendConfig(size_t index,
+                                  const std::string& snapshot_path) const;
 
   ClusterOptions options_;
   std::vector<std::unique_ptr<Backend>> backends_;

@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "obs/obs.h"
+#include "obs/prometheus.h"
 #include "serve/request.h"
 
 namespace lamo {
@@ -19,6 +20,11 @@ using Clock = std::chrono::steady_clock;
 /// backend_requests is incremented once per backend-served forward, at the
 /// same site as proxied — lamo_report_check asserts the two stay equal, the
 /// "no request lost or double-counted between front and backends" invariant.
+/// ids_issued counts request IDs stamped (queries and unparseable lines);
+/// errors counts only router-originated failures (see RouterStats), so
+/// ids_issued == backend_requests + errors is the end-to-end conservation
+/// law lamo_report_check enforces: every stamped request was either answered
+/// by a backend or turned into a router error, never lost, never both.
 const size_t kObsRequests = ObsCounterId("router.requests");
 const size_t kObsErrors = ObsCounterId("router.errors");
 const size_t kObsProxied = ObsCounterId("router.proxied");
@@ -26,6 +32,8 @@ const size_t kObsBackendRequests = ObsCounterId("router.backend_requests");
 const size_t kObsRetries = ObsCounterId("router.retries");
 const size_t kObsReloads = ObsCounterId("router.reloads");
 const size_t kObsConnections = ObsCounterId("router.connections");
+const size_t kObsIdsIssued = ObsCounterId("router.ids_issued");
+const size_t kObsAccessLogged = ObsCounterId("router.access_logged");
 const size_t kHistRequestUs = ObsHistogramId("router.request_us");
 
 uint64_t ElapsedUs(Clock::time_point start) {
@@ -75,18 +83,31 @@ void RouterService::OnConnection() {
 
 std::string RouterService::Handle(const std::string& line) {
   const bool observed = ObsEnabled();
-  const Clock::time_point start = observed ? Clock::now() : Clock::time_point();
+  const bool timed = observed || access_log_ != nullptr;
+  const Clock::time_point start = timed ? Clock::now() : Clock::time_point();
   stats_.requests.fetch_add(1, std::memory_order_relaxed);
   ObsIncrement(kObsRequests);
 
   std::string response;
   std::string verb, rest;
   SplitVerb(line, &verb, &rest);
+  // Every query gets a fresh monotonic request ID, forwarded to the backend
+  // as a `#<id>` line prefix; unparseable lines are stamped too so the
+  // ids_issued == backend_requests + errors conservation law closes.
+  // Admin verbs answered in-process (HEALTH/STATS/METRICS/RELOAD) carry
+  // id 0 in the access log.
+  uint64_t id = 0;
+  bool router_error = false;  // router-originated failure (not a relayed ERR)
+  RouteResult routed;
   if (verb == "RELOAD") {
     response = Reload(rest);
   } else {
     auto parsed = ParseRequest(line);
     if (!parsed.ok()) {
+      id = next_id_.fetch_add(1, std::memory_order_relaxed);
+      stats_.ids_issued.fetch_add(1, std::memory_order_relaxed);
+      ObsIncrement(kObsIdsIssued);
+      router_error = true;
       response = FormatErrorResponse(parsed.status());
     } else {
       const Request& request = *parsed;
@@ -97,32 +118,65 @@ std::string RouterService::Handle(const std::string& line) {
         case RequestType::kStats:
           response = StatsView();
           break;
+        case RequestType::kMetrics:
+          response = Metrics();
+          break;
         case RequestType::kPredict:
         case RequestType::kMotifs:
+        case RequestType::kTermInfo: {
+          id = next_id_.fetch_add(1, std::memory_order_relaxed);
+          stats_.ids_issued.fetch_add(1, std::memory_order_relaxed);
+          ObsIncrement(kObsIdsIssued);
           // Forward the canonical spelling so every client phrasing of the
-          // same query shares one backend cache entry.
-          response = Route("p:" + std::to_string(request.protein),
-                           request.protein, sharded_, CacheKey(request));
+          // same query shares one backend cache entry; TERMINFO may go to
+          // any backend (every shard keeps the full ontology), the ring
+          // gives cache affinity in both modes.
+          const std::string forwarded =
+              "#" + std::to_string(id) + " " + CacheKey(request);
+          if (request.type == RequestType::kTermInfo) {
+            response = Route("t:" + request.term, 0, false, forwarded, &routed);
+          } else {
+            response = Route("p:" + std::to_string(request.protein),
+                             request.protein, sharded_, forwarded, &routed);
+          }
+          router_error = !routed.from_backend;
           break;
-        case RequestType::kTermInfo:
-          // Any backend can answer TERMINFO (every shard keeps the full
-          // ontology); the ring gives cache affinity in both modes.
-          response = Route("t:" + request.term, 0, false, CacheKey(request));
-          break;
+        }
       }
     }
   }
 
-  if (response.rfind("ERR", 0) == 0) {
+  if (router_error && response.rfind("ERR", 0) == 0) {
     stats_.errors.fetch_add(1, std::memory_order_relaxed);
     ObsIncrement(kObsErrors);
   }
-  if (observed) ObsObserve(kHistRequestUs, ElapsedUs(start));
+  const uint64_t total_us = timed ? ElapsedUs(start) : 0;
+  if (observed) ObsObserve(kHistRequestUs, total_us);
+  if (access_log_ != nullptr) {
+    AccessLog::Entry entry;
+    entry.id = id;
+    entry.verb = verb.empty() ? "-" : verb;
+    entry.request = line;
+    entry.ok = response.rfind("ERR", 0) != 0;
+    entry.total_us = total_us;
+    if (routed.from_backend) {
+      entry.backend = static_cast<int64_t>(routed.backend);
+      entry.spans_us.emplace_back("backend_us", routed.backend_us);
+      entry.spans_us.emplace_back(
+          "route_us", total_us >= routed.backend_us
+                          ? total_us - routed.backend_us
+                          : 0);
+    } else {
+      entry.spans_us.emplace_back("handle_us", total_us);
+    }
+    if (access_log_->Log(entry)) ObsIncrement(kObsAccessLogged);
+  }
   return response;
 }
 
 std::string RouterService::Route(const std::string& key, uint32_t protein,
-                                 bool pinned, const std::string& line) {
+                                 bool pinned, const std::string& line,
+                                 RouteResult* result) {
   const std::vector<size_t> preference =
       pinned ? std::vector<size_t>{ShardBackend(protein, cluster_->size())}
              : ring_.Preference(key);
@@ -153,6 +207,7 @@ std::string RouterService::Route(const std::string& key, uint32_t protein,
     }
     if (candidate_up) {
       std::string response;
+      const Clock::time_point attempt_start = Clock::now();
       last = cluster_->backend(index).SendRequest(line, &response);
       if (last.ok()) {
         if (retried) {
@@ -162,6 +217,11 @@ std::string RouterService::Route(const std::string& key, uint32_t protein,
         stats_.proxied.fetch_add(1, std::memory_order_relaxed);
         ObsIncrement(kObsProxied);
         ObsIncrement(kObsBackendRequests);
+        if (result != nullptr) {
+          result->from_backend = true;
+          result->backend = index;
+          result->backend_us = ElapsedUs(attempt_start);
+        }
         return response;
       }
     } else {
@@ -212,8 +272,20 @@ std::string RouterService::StatsView() {
       std::to_string(stats_.retries.load(std::memory_order_relaxed)));
   lines.push_back("reloads " + std::to_string(cluster_->reloads()));
   lines.push_back(
+      "ids_issued " +
+      std::to_string(stats_.ids_issued.load(std::memory_order_relaxed)));
+  lines.push_back(
       "connections " +
       std::to_string(stats_.connections.load(std::memory_order_relaxed)));
+  // Monotonic-clock fields so external scrapers can turn counter deltas
+  // into rates (same contract as `lamo serve` STATS).
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "uptime_s %.3f",
+                std::chrono::duration<double>(Clock::now() - start_).count());
+  lines.emplace_back(buffer);
+  std::snprintf(buffer, sizeof buffer, "start_time %.3f",
+                std::chrono::duration<double>(start_.time_since_epoch()).count());
+  lines.emplace_back(buffer);
 
   // One line per backend with the identity fields from its own STATS —
   // after a rolling reload this is how an operator verifies every backend
@@ -248,6 +320,51 @@ std::string RouterService::StatsView() {
     lines.push_back(line);
   }
   return FormatOkResponse(lines);
+}
+
+std::string RouterService::Metrics() {
+  // The router's own registry first (its serve.* instrumentation is all
+  // zero and therefore omitted by CollectPromFamilies, so the router-level
+  // families are exclusively router.*, uptime and gauges)...
+  std::vector<PromFamily> families;
+  {
+    std::lock_guard<std::mutex> lock(metrics_mu_);
+    const Clock::time_point now = Clock::now();
+    const double uptime_s = std::chrono::duration<double>(now - start_).count();
+    const double start_time_s =
+        std::chrono::duration<double>(start_.time_since_epoch()).count();
+    const uint64_t now_ms = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(now - start_)
+            .count());
+    ObsSink* sink = GetObsSink();
+    families = CollectPromFamilies(sink, sink != nullptr ? &windows_ : nullptr,
+                                   now_ms, uptime_s, start_time_s);
+  }
+  // ...then every up backend's METRICS scrape re-exported with
+  // backend/shard labels injected, merged at family level so each `# TYPE`
+  // header appears once with all backends' samples grouped under it.
+  for (size_t i = 0; i < cluster_->size(); ++i) {
+    Backend& backend = cluster_->backend(i);
+    if (backend.state() != BackendState::kUp) continue;
+    std::string response;
+    if (!backend.SendRequest("METRICS", &response).ok() ||
+        response.rfind("OK ", 0) != 0) {
+      continue;
+    }
+    const size_t newline = response.find('\n');
+    const std::string payload =
+        newline == std::string::npos ? std::string() : response.substr(newline + 1);
+    std::vector<PromFamily> scraped;
+    std::string error;
+    if (!ParsePromFamilies(payload, &scraped, &error)) continue;
+    const std::string shard =
+        sharded_ ? std::to_string(i) + "/" + std::to_string(cluster_->size())
+                 : "0/1";
+    MergePromFamilies(&families, scraped,
+                      "backend=\"" + std::to_string(i) + "\",shard=\"" + shard +
+                          "\"");
+  }
+  return FormatOkResponse(RenderPromLines(families));
 }
 
 std::string RouterService::Reload(const std::string& path) {

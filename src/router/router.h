@@ -2,14 +2,18 @@
 #define LAMO_ROUTER_ROUTER_H_
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "obs/window.h"
 #include "router/cluster.h"
 #include "router/placement.h"
+#include "serve/access_log.h"
 #include "serve/server.h"
 #include "util/status.h"
 
@@ -34,12 +38,21 @@ namespace lamo {
 
 /// Live router counters, exposed by the aggregated STATS view and mirrored
 /// into the router.* obs metrics. Invariants (checked by lamo_report_check):
-/// proxied == sum of backend requests; retries <= requests.
+/// proxied == sum of backend requests; retries <= requests; ids_issued ==
+/// backend_requests + errors (every stamped request ends either answered by
+/// a backend or as a router-originated error, never both, never neither).
 struct RouterStats {
-  std::atomic<uint64_t> requests{0};   // lines entering Handle
-  std::atomic<uint64_t> errors{0};     // ERR responses (any cause)
-  std::atomic<uint64_t> proxied{0};    // forwards answered by a backend
-  std::atomic<uint64_t> retries{0};    // requests retried at least once
+  std::atomic<uint64_t> requests{0};    // lines entering Handle
+  /// Router-originated ERR responses: unparseable request lines and
+  /// forwards that exhausted the retry deadline without a backend answer.
+  /// An ERR *relayed* from a backend counts as proxied here (the backend's
+  /// own serve.errors accounts for it), and failed admin commands (RELOAD
+  /// of a bad snapshot) are reported to the caller without touching this —
+  /// errors measures lost/rejected traffic, not rejected administration.
+  std::atomic<uint64_t> errors{0};
+  std::atomic<uint64_t> proxied{0};     // forwards answered by a backend
+  std::atomic<uint64_t> retries{0};     // requests retried at least once
+  std::atomic<uint64_t> ids_issued{0};  // request IDs stamped onto queries
   std::atomic<uint64_t> connections{0};
 };
 
@@ -71,21 +84,40 @@ class RouterService : public LineService {
 
   const RouterStats& stats() const { return stats_; }
 
+  /// Attaches a sampled JSONL access log (borrowed; caller keeps it alive
+  /// past the last Handle call). Entries carry the stamped request ID and
+  /// the answering backend, joining with the backends' own access logs.
+  void set_access_log(AccessLog* log) { access_log_ = log; }
+
  private:
+  /// Where a Route answer came from, for error accounting and access logs.
+  struct RouteResult {
+    bool from_backend = false;      ///< a backend answered (even with ERR)
+    size_t backend = SIZE_MAX;      ///< answering backend index
+    uint64_t backend_us = 0;        ///< time inside the winning SendRequest
+  };
+
   /// Picks the backend for a query and forwards it. Sharded placement is
   /// pinned (waits for the owning backend); replicated placement walks the
   /// ring preference order, skipping not-up backends, preferring the
   /// least-loaded candidate on failover.
   std::string Route(const std::string& key, uint32_t protein,
-                    bool pinned, const std::string& line);
+                    bool pinned, const std::string& line, RouteResult* result);
   std::string Health();
   std::string StatsView();
+  std::string Metrics();
   std::string Reload(const std::string& path);
 
   Cluster* cluster_;
   const bool sharded_;
   HashRing ring_;
   RouterStats stats_;
+  std::atomic<uint64_t> next_id_{1};
+  AccessLog* access_log_ = nullptr;
+  const std::chrono::steady_clock::time_point start_ =
+      std::chrono::steady_clock::now();
+  std::mutex metrics_mu_;
+  MetricWindows windows_;  // guarded by metrics_mu_
   std::atomic<bool> reload_running_{false};
   std::thread reload_worker_;
   std::mutex reload_worker_mu_;

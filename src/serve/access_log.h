@@ -1,0 +1,78 @@
+#ifndef LAMO_SERVE_ACCESS_LOG_H_
+#define LAMO_SERVE_ACCESS_LOG_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace lamo {
+
+/// ---- Structured access log -------------------------------------------------
+///
+/// A sampled JSONL request log shared by `lamo serve` and `lamo router`
+/// (`--access-log PATH --access-sample N --slow-ms T`). One JSON object per
+/// line, so `grep '"id":17' router.jsonl backend.jsonl.*` follows a single
+/// request end-to-end via the router-stamped request ID.
+///
+/// Sampling keeps steady-state overhead bounded: every Nth request is logged
+/// (the first always is, so short runs still produce evidence). Requests at
+/// least `slow_ms` milliseconds long bypass sampling — slow requests are
+/// always logged, with their span breakdown — because the tail is exactly
+/// what an operator greps for.
+///
+/// Logging never changes response bytes; it is a pure side channel
+/// (determinism_test.sh and cli_metrics_test.sh pin this).
+struct AccessLogOptions {
+  std::string path;
+  uint64_t sample = 1;   ///< log every Nth request (1 = all, 0 treated as 1)
+  uint64_t slow_ms = 0;  ///< when > 0, requests this slow always log
+};
+
+class AccessLog {
+ public:
+  /// Opens `options.path` for appending.
+  static StatusOr<std::unique_ptr<AccessLog>> Open(
+      const AccessLogOptions& options);
+
+  ~AccessLog();
+
+  AccessLog(const AccessLog&) = delete;
+  AccessLog& operator=(const AccessLog&) = delete;
+
+  /// One request's record. `verb` is the first token of the request line;
+  /// `request` the raw line (whitespace-normalized by the caller if at all).
+  struct Entry {
+    uint64_t id = 0;            ///< router-stamped request ID (0 = direct)
+    std::string verb;
+    std::string request;
+    bool ok = true;             ///< response was OK (vs ERR)
+    uint64_t total_us = 0;
+    const char* cache = nullptr;  ///< "hit" / "miss" / nullptr (uncacheable)
+    int64_t backend = -1;         ///< router: backend index answering
+    /// Named sub-timings, emitted under "spans" (always present for slow
+    /// requests per the contract above).
+    std::vector<std::pair<std::string, uint64_t>> spans_us;
+  };
+
+  /// Applies the sampling policy and writes one JSONL record when the entry
+  /// qualifies. Returns true iff a line was written. Thread-safe.
+  bool Log(const Entry& entry);
+
+ private:
+  AccessLog(std::FILE* file, const AccessLogOptions& options);
+
+  std::FILE* const file_;
+  const AccessLogOptions options_;
+  std::mutex mu_;
+  uint64_t seq_ = 0;  // requests seen, guarded by mu_
+};
+
+}  // namespace lamo
+
+#endif  // LAMO_SERVE_ACCESS_LOG_H_

@@ -31,12 +31,24 @@ Status BadArity(const char* verb, const char* expected) {
 }  // namespace
 
 StatusOr<Request> ParseRequest(const std::string& line) {
-  const std::vector<std::string> tokens = Tokenize(line);
+  std::vector<std::string> tokens = Tokenize(line);
   if (tokens.empty()) {
     return Status::InvalidArgument("empty request");
   }
-  const std::string& verb = tokens[0];
   Request request;
+  if (tokens[0][0] == '#') {
+    uint64_t id = 0;
+    if (!ParseUint64(tokens[0].substr(1), &id)) {
+      return Status::InvalidArgument("malformed request id \"" + tokens[0] +
+                                     "\"");
+    }
+    request.id = id;
+    tokens.erase(tokens.begin());
+    if (tokens.empty()) {
+      return Status::InvalidArgument("empty request");
+    }
+  }
+  const std::string& verb = tokens[0];
   if (verb == "PREDICT") {
     if (tokens.size() < 2 || tokens.size() > 3) {
       return BadArity("PREDICT", "<protein> [k]");
@@ -82,6 +94,11 @@ StatusOr<Request> ParseRequest(const std::string& line) {
     request.type = RequestType::kStats;
     return request;
   }
+  if (verb == "METRICS") {
+    if (tokens.size() != 1) return BadArity("METRICS", "no arguments");
+    request.type = RequestType::kMetrics;
+    return request;
+  }
   return Status::InvalidArgument("unknown command \"" + verb + "\"");
 }
 
@@ -93,6 +110,7 @@ bool IsCacheable(RequestType type) {
       return true;
     case RequestType::kHealth:
     case RequestType::kStats:
+    case RequestType::kMetrics:
       return false;
   }
   return false;
@@ -111,6 +129,8 @@ std::string CacheKey(const Request& request) {
       return "HEALTH";
     case RequestType::kStats:
       return "STATS";
+    case RequestType::kMetrics:
+      return "METRICS";
   }
   return {};
 }

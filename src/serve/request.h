@@ -21,6 +21,12 @@ namespace lamo {
 ///   TERMINFO <term-name>    packed per-term facts (weight, FC flags, depth)
 ///   HEALTH                  snapshot identity + readiness (one line)
 ///   STATS                   server counters (requests, cache, connections)
+///   METRICS                 Prometheus text exposition of the obs registry
+///
+/// Any request line may carry an optional leading request-ID token
+/// `#<u64>` (e.g. `#17 PREDICT 42 3`): the router stamps one per request
+/// and forwards it so backend access logs can be joined with the router's.
+/// The ID never changes the response bytes and is excluded from cache keys.
 ///
 /// Responses are either `OK <n>` followed by exactly n payload lines, or a
 /// single `ERR <Code> <message>` line. PREDICT payload lines are
@@ -36,6 +42,7 @@ enum class RequestType : uint8_t {
   kTermInfo,
   kHealth,
   kStats,
+  kMetrics,
 };
 
 /// One parsed request line.
@@ -44,6 +51,7 @@ struct Request {
   ProteinId protein = 0;          // PREDICT / MOTIFS
   size_t top_k = kDefaultPredictTopK;  // PREDICT
   std::string term;               // TERMINFO
+  uint64_t id = 0;                // `#<u64>` request-ID token (0 = none)
 };
 
 /// Parses one request line (leading/trailing whitespace ignored). Unknown

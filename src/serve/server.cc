@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "obs/obs.h"
+#include "obs/prometheus.h"
 #include "parallel/parallel_for.h"
 #include "parallel/thread_pool.h"
 
@@ -30,6 +31,7 @@ const size_t kObsErrors = ObsCounterId("serve.errors");
 const size_t kObsCacheHits = ObsCounterId("serve.cache_hits");
 const size_t kObsCacheMisses = ObsCounterId("serve.cache_misses");
 const size_t kObsConnections = ObsCounterId("serve.connections");
+const size_t kObsAccessLogged = ObsCounterId("serve.access_logged");
 const size_t kHistRequestUs = ObsHistogramId("serve.request_us");
 const size_t kHistQueueUs = ObsHistogramId("serve.queue_us");
 
@@ -52,6 +54,22 @@ uint64_t MicrosSince(Clock::time_point start) {
           .count());
 }
 
+// The verb token of a raw request line (request-ID tokens skipped), for
+// access-log records of lines that may not parse.
+std::string RequestVerb(const std::string& line) {
+  size_t begin = line.find_first_not_of(" \t\r");
+  while (begin != std::string::npos && line[begin] == '#') {
+    const size_t end = line.find_first_of(" \t\r", begin);
+    begin = end == std::string::npos
+                ? std::string::npos
+                : line.find_first_not_of(" \t\r", end);
+  }
+  if (begin == std::string::npos) return "-";
+  const size_t end = line.find_first_of(" \t\r", begin);
+  return line.substr(begin,
+                     end == std::string::npos ? std::string::npos : end - begin);
+}
+
 }  // namespace
 
 SnapshotService::SnapshotService(Snapshot snapshot, size_t cache_capacity)
@@ -65,40 +83,61 @@ SnapshotService::SnapshotService(Snapshot snapshot, size_t cache_capacity)
 
 std::string SnapshotService::Handle(const std::string& line) {
   const bool observed = ObsEnabled();
-  const Clock::time_point start = observed ? Clock::now() : Clock::time_point();
+  const bool timed = observed || access_log_ != nullptr;
+  const Clock::time_point start = timed ? Clock::now() : Clock::time_point();
   stats_.requests.fetch_add(1, std::memory_order_relaxed);
   ObsIncrement(kObsRequests);
 
   std::string response;
+  uint64_t request_id = 0;
+  const char* cache_outcome = nullptr;
+  bool ok_response = true;
   auto parsed = ParseRequest(line);
   if (!parsed.ok()) {
     stats_.errors.fetch_add(1, std::memory_order_relaxed);
     ObsIncrement(kObsErrors);
     response = FormatErrorResponse(parsed.status());
+    ok_response = false;
   } else {
     const Request& request = *parsed;
+    request_id = request.id;
     const bool cacheable = IsCacheable(request.type) && cache_.capacity() > 0;
     const std::string key = cacheable ? CacheKey(request) : std::string();
     if (cacheable && cache_.Get(key, &response)) {
       stats_.cache_hits.fetch_add(1, std::memory_order_relaxed);
       ObsIncrement(kObsCacheHits);
+      cache_outcome = "hit";
     } else {
       if (cacheable) {
         stats_.cache_misses.fetch_add(1, std::memory_order_relaxed);
         ObsIncrement(kObsCacheMisses);
+        cache_outcome = "miss";
       }
       auto payload = Payload(request);
       if (!payload.ok()) {
         stats_.errors.fetch_add(1, std::memory_order_relaxed);
         ObsIncrement(kObsErrors);
         response = FormatErrorResponse(payload.status());
+        ok_response = false;
       } else {
         response = FormatOkResponse(*payload);
         if (cacheable) cache_.Put(key, response);
       }
     }
   }
-  if (observed) ObsObserve(kHistRequestUs, MicrosSince(start));
+  const uint64_t total_us = timed ? MicrosSince(start) : 0;
+  if (observed) ObsObserve(kHistRequestUs, total_us);
+  if (access_log_ != nullptr) {
+    AccessLog::Entry entry;
+    entry.id = request_id;
+    entry.verb = RequestVerb(line);
+    entry.request = line;
+    entry.ok = ok_response;
+    entry.total_us = total_us;
+    entry.cache = cache_outcome;
+    entry.spans_us.emplace_back("handle_us", total_us);
+    if (access_log_->Log(entry)) ObsIncrement(kObsAccessLogged);
+  }
   return response;
 }
 
@@ -115,6 +154,8 @@ StatusOr<std::vector<std::string>> SnapshotService::Payload(
       return Health();
     case RequestType::kStats:
       return Stats();
+    case RequestType::kMetrics:
+      return Metrics();
   }
   return Status::Internal("unhandled request type");
 }
@@ -225,7 +266,32 @@ std::vector<std::string> SnapshotService::Stats() const {
       "connections " +
       std::to_string(stats_.connections.load(std::memory_order_relaxed)));
   lines.push_back("threads " + std::to_string(ThreadCount()));
+  // Monotonic-clock fields so external scrapers can turn counter deltas into
+  // rates: uptime_s is seconds since this service was constructed and
+  // start_time the construction instant on the same monotonic scale.
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "uptime_s %.3f",
+                std::chrono::duration<double>(Clock::now() - start_).count());
+  lines.emplace_back(buffer);
+  std::snprintf(buffer, sizeof buffer, "start_time %.3f",
+                std::chrono::duration<double>(start_.time_since_epoch()).count());
+  lines.emplace_back(buffer);
   return lines;
+}
+
+std::vector<std::string> SnapshotService::Metrics() {
+  std::lock_guard<std::mutex> lock(metrics_mu_);
+  const Clock::time_point now = Clock::now();
+  const double uptime_s = std::chrono::duration<double>(now - start_).count();
+  const double start_time_s =
+      std::chrono::duration<double>(start_.time_since_epoch()).count();
+  const uint64_t now_ms = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(now - start_)
+          .count());
+  ObsSink* sink = GetObsSink();
+  return RenderPromLines(CollectPromFamilies(
+      sink, sink != nullptr ? &windows_ : nullptr, now_ms, uptime_s,
+      start_time_s));
 }
 
 namespace {

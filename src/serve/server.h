@@ -2,15 +2,19 @@
 #define LAMO_SERVE_SERVER_H_
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <functional>
 #include <istream>
 #include <memory>
+#include <mutex>
 #include <ostream>
 #include <string>
 
+#include "obs/window.h"
 #include "predict/labeled_motif_predictor.h"
+#include "serve/access_log.h"
 #include "serve/cache.h"
 #include "serve/request.h"
 #include "serve/snapshot.h"
@@ -88,6 +92,10 @@ class SnapshotService : public LineService {
   const ServeStats& stats() const { return stats_; }
   size_t cache_entries() const { return cache_.size(); }
 
+  /// Attaches a sampled JSONL access log (borrowed; caller keeps it alive
+  /// past the last Handle call). Logging never changes response bytes.
+  void set_access_log(AccessLog* log) { access_log_ = log; }
+
  private:
   StatusOr<std::vector<std::string>> Payload(const Request& request);
   StatusOr<std::vector<std::string>> Predict(const Request& request);
@@ -95,12 +103,18 @@ class SnapshotService : public LineService {
   StatusOr<std::vector<std::string>> TermInfo(const Request& request);
   std::vector<std::string> Health() const;
   std::vector<std::string> Stats() const;
+  std::vector<std::string> Metrics();
 
   Snapshot snapshot_;
   PredictionContext context_;
   std::unique_ptr<LabeledMotifPredictor> predictor_;
   ResponseCache cache_;
   ServeStats stats_;
+  AccessLog* access_log_ = nullptr;
+  const std::chrono::steady_clock::time_point start_ =
+      std::chrono::steady_clock::now();
+  std::mutex metrics_mu_;
+  MetricWindows windows_;  // guarded by metrics_mu_
 };
 
 /// One-shot stream mode (`lamo serve --stdin`): reads request lines from

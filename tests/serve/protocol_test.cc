@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/obs.h"
 #include "serve/request.h"
 #include "serve/server.h"
 #include "serve/snapshot.h"
@@ -52,6 +53,28 @@ TEST(ParseRequestTest, OtherVerbs) {
 
   EXPECT_EQ(ParseRequest("HEALTH")->type, RequestType::kHealth);
   EXPECT_EQ(ParseRequest("STATS")->type, RequestType::kStats);
+  EXPECT_EQ(ParseRequest("METRICS")->type, RequestType::kMetrics);
+}
+
+TEST(ParseRequestTest, RequestIdTokenIsStrippedIntoId) {
+  auto request = ParseRequest("#7 PREDICT 3");
+  ASSERT_TRUE(request.ok());
+  EXPECT_EQ(request->id, 7u);
+  EXPECT_EQ(request->type, RequestType::kPredict);
+  EXPECT_EQ(request->protein, 3u);
+  // No token: id stays 0 (= none).
+  EXPECT_EQ(ParseRequest("PREDICT 3")->id, 0u);
+  // The token rides any verb, whitespace included.
+  auto stats = ParseRequest("  #42 \t STATS \r");
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->id, 42u);
+  EXPECT_EQ(stats->type, RequestType::kStats);
+}
+
+TEST(ParseRequestTest, MalformedRequestIdsAreRejected) {
+  EXPECT_FALSE(ParseRequest("#x PREDICT 3").ok());
+  EXPECT_FALSE(ParseRequest("# PREDICT 3").ok());
+  EXPECT_FALSE(ParseRequest("#7").ok());  // an id alone is not a request
 }
 
 TEST(ParseRequestTest, Rejections) {
@@ -68,6 +91,7 @@ TEST(ParseRequestTest, Rejections) {
   EXPECT_FALSE(ParseRequest("TERMINFO").ok());
   EXPECT_FALSE(ParseRequest("HEALTH now").ok());
   EXPECT_FALSE(ParseRequest("STATS all").ok());
+  EXPECT_FALSE(ParseRequest("METRICS all").ok());
 }
 
 // ---- framing + cache keys --------------------------------------------------
@@ -100,6 +124,16 @@ TEST(CacheKeyTest, OnlyPureQueriesAreCacheable) {
   EXPECT_TRUE(IsCacheable(RequestType::kTermInfo));
   EXPECT_FALSE(IsCacheable(RequestType::kHealth));
   EXPECT_FALSE(IsCacheable(RequestType::kStats));
+  EXPECT_FALSE(IsCacheable(RequestType::kMetrics));
+}
+
+TEST(CacheKeyTest, RequestIdNeverChangesTheKey) {
+  const auto plain = ParseRequest("PREDICT 5");
+  const auto tagged = ParseRequest("#99 PREDICT 5");
+  ASSERT_TRUE(plain.ok());
+  ASSERT_TRUE(tagged.ok());
+  EXPECT_EQ(CacheKey(*plain), CacheKey(*tagged))
+      << "ids must not fragment the response cache";
 }
 
 // ---- SnapshotService -------------------------------------------------------
@@ -183,6 +217,43 @@ TEST_F(ServiceTest, StatsTrackRequestsAndCache) {
   const std::string stats = service_.Handle("STATS");
   EXPECT_NE(stats.find("requests 5"), std::string::npos) << stats;
   EXPECT_NE(stats.find("errors 1"), std::string::npos) << stats;
+  EXPECT_NE(stats.find("uptime_s "), std::string::npos) << stats;
+  EXPECT_NE(stats.find("start_time "), std::string::npos) << stats;
+}
+
+TEST_F(ServiceTest, MetricsRendersExpositionEvenWithoutSink) {
+  // No obs sink installed (unit-test default): the scrape still answers OK
+  // with the uptime gauges instead of erroring, so probes never flap.
+  ASSERT_EQ(GetObsSink(), nullptr);
+  const std::string response = service_.Handle("METRICS");
+  EXPECT_EQ(response.rfind("OK ", 0), 0u) << response;
+  EXPECT_NE(response.find("# TYPE lamo_uptime_seconds gauge"),
+            std::string::npos)
+      << response;
+  EXPECT_NE(response.find("lamo_start_time_seconds"), std::string::npos)
+      << response;
+}
+
+TEST_F(ServiceTest, MetricsReflectsLiveCounters) {
+  ObsSink sink;
+  SetObsSink(&sink);
+  service_.Handle("PREDICT 1");
+  service_.Handle("BOGUS");
+  const std::string response = service_.Handle("METRICS");
+  SetObsSink(nullptr);
+  EXPECT_EQ(response.rfind("OK ", 0), 0u) << response;
+  // 3 requests at scrape time (the METRICS request counts itself).
+  EXPECT_NE(response.find("lamo_serve_requests_total 3"), std::string::npos)
+      << response;
+  EXPECT_NE(response.find("lamo_serve_errors_total 1"), std::string::npos)
+      << response;
+  // The request_us histogram is present with its cumulative +Inf bucket.
+  EXPECT_NE(response.find("# TYPE lamo_serve_request_us histogram"),
+            std::string::npos)
+      << response;
+  EXPECT_NE(response.find("lamo_serve_request_us_bucket{le=\"+Inf\"}"),
+            std::string::npos)
+      << response;
 }
 
 TEST_F(ServiceTest, CacheOffNeverChangesResponses) {

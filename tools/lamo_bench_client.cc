@@ -26,10 +26,13 @@
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <map>
 #include <mutex>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "obs/json.h"
@@ -46,6 +49,7 @@ int Usage() {
       "                         [--cluster --proteins N]\n"
       "                         [--query \"REQUEST LINE\"]\n"
       "                         [--abuse slowloris|longline|halfclose|burst]\n"
+      "                         [--top [--watch N] [--interval-ms MS]]\n"
       "Bench mode (default): N connections x M requests against the lamo\n"
       "serve daemon on 127.0.0.1:P; prints throughput and latency\n"
       "percentiles, and with --out writes them as benchmark JSON (aggregate\n"
@@ -56,6 +60,10 @@ int Usage() {
       "since the cluster HEALTH line carries no protein count).\n"
       "Query mode (--query): send one request, print the payload lines\n"
       "verbatim; exit 0 on OK, 1 on ERR.\n"
+      "Top mode (--top): poll STATS + METRICS and print the raw stats (one\n"
+      "`backend i ...` line per router backend) plus a table of the derived\n"
+      "lifetime/10s/60s rate and percentile gauges per backend; one shot by\n"
+      "default, --watch N repeats with --interval-ms between polls.\n"
       "Abuse mode (--abuse): behave like a hostile client and exit 0 iff\n"
       "the server honored its overload contract —\n"
       "  slowloris  unfinished request line -> ERR DeadlineExceeded + close\n"
@@ -176,6 +184,10 @@ struct WorkerResult {
   uint64_t ok = 0;
   uint64_t err = 0;
   bool transport_failed = false;
+  // The first failing request this connection saw, reported when the bench
+  // exits nonzero so an ERR deep inside a long run is diagnosable.
+  std::string first_err_request;
+  std::string first_err_header;
 };
 
 void RunWorker(uint16_t port, size_t index, size_t requests,
@@ -212,6 +224,10 @@ void RunWorker(uint16_t port, size_t index, size_t requests,
       ++result->ok;
     } else {
       ++result->err;
+      if (result->first_err_request.empty()) {
+        result->first_err_request = request;
+        result->first_err_header = header;
+      }
     }
   }
   ::close(fd);
@@ -382,7 +398,139 @@ int RunBench(uint16_t port, size_t connections, size_t requests,
     std::fclose(f);
     std::printf("wrote %s\n", out_path.c_str());
   }
-  return err > 0 ? 1 : 0;
+  if (err > 0) {
+    for (size_t c = 0; c < results.size(); ++c) {
+      if (results[c].first_err_request.empty()) continue;
+      std::fprintf(stderr,
+                   "error: connection %zu request \"%s\" answered \"%s\" "
+                   "(%llu ERR total)\n",
+                   c, results[c].first_err_request.c_str(),
+                   results[c].first_err_header.c_str(),
+                   static_cast<unsigned long long>(err));
+      break;
+    }
+    return 1;
+  }
+  return 0;
+}
+
+/// One window-labeled gauge sample extracted from a METRICS exposition:
+/// `lamo_serve_requests_per_sec{backend="0",shard="0/2",window="10s"} 61.2`.
+struct TopSample {
+  std::string metric;
+  std::string backend;  // "-" for the polled process's own series
+  std::string window;   // "lifetime", "10s" or "60s"
+  double value = 0.0;
+};
+
+/// Pulls `key="value"` out of a label substring; empty when absent.
+std::string LabelValue(const std::string& labels, const std::string& key) {
+  const std::string needle = key + "=\"";
+  const size_t at = labels.find(needle);
+  if (at == std::string::npos) return "";
+  const size_t start = at + needle.size();
+  const size_t end = labels.find('"', start);
+  return end == std::string::npos ? "" : labels.substr(start, end - start);
+}
+
+/// Extracts every window-labeled sample (rates and percentiles) from raw
+/// exposition lines; other series don't belong in the top table.
+std::vector<TopSample> ParseTopSamples(const std::vector<std::string>& lines) {
+  std::vector<TopSample> samples;
+  for (const std::string& line : lines) {
+    if (line.empty() || line[0] == '#') continue;
+    const size_t brace = line.find('{');
+    const size_t space = line.find(' ');
+    if (brace == std::string::npos || space == std::string::npos ||
+        brace > space) {
+      continue;  // unlabeled sample: no window, not a table row
+    }
+    const size_t close = line.find('}', brace);
+    if (close == std::string::npos) continue;
+    const std::string labels = line.substr(brace + 1, close - brace - 1);
+    TopSample sample;
+    sample.window = LabelValue(labels, "window");
+    if (sample.window.empty()) continue;
+    sample.metric = line.substr(0, brace);
+    const std::string backend = LabelValue(labels, "backend");
+    sample.backend = backend.empty() ? "-" : backend;
+    const size_t value_at = line.find(' ', close);
+    if (value_at == std::string::npos) continue;
+    sample.value = std::strtod(line.c_str() + value_at + 1, nullptr);
+    samples.push_back(std::move(sample));
+  }
+  return samples;
+}
+
+/// Top mode: polls STATS + METRICS and prints the raw stats (the router's
+/// include one `backend i ...` line per backend) followed by a
+/// metric x window table of the derived rate/percentile gauges, one row per
+/// (metric, backend). One shot by default; --watch N repeats N times with
+/// --interval-ms between polls.
+int RunTop(uint16_t port, size_t iterations, uint64_t interval_ms) {
+  for (size_t iter = 0; iter < iterations; ++iter) {
+    if (iter > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+      std::printf("\n");
+    }
+    const int fd = Connect(port);
+    if (fd < 0) {
+      std::fprintf(stderr, "error: cannot connect to 127.0.0.1:%u\n", port);
+      return 1;
+    }
+    LineReader reader(fd);
+    std::string header;
+    std::vector<std::string> stats;
+    std::vector<std::string> metrics;
+    if (!RoundTrip(fd, reader, "STATS", &header, &stats) ||
+        header.rfind("OK ", 0) != 0) {
+      std::fprintf(stderr, "error: STATS failed (%s)\n", header.c_str());
+      ::close(fd);
+      return 1;
+    }
+    if (!RoundTrip(fd, reader, "METRICS", &header, &metrics) ||
+        header.rfind("OK ", 0) != 0) {
+      std::fprintf(stderr, "error: METRICS failed (%s)\n", header.c_str());
+      ::close(fd);
+      return 1;
+    }
+    ::close(fd);
+
+    std::printf("== lamo top: 127.0.0.1:%u (poll %zu/%zu) ==\n", port,
+                iter + 1, iterations);
+    for (const std::string& line : stats) std::printf("%s\n", line.c_str());
+
+    // (metric, backend) -> window -> value. std::map keys sort the rows so
+    // a backend's series group together under its metric.
+    std::map<std::pair<std::string, std::string>, std::map<std::string, double>>
+        rows;
+    for (const TopSample& sample : ParseTopSamples(metrics)) {
+      rows[{sample.metric, sample.backend}][sample.window] = sample.value;
+    }
+    if (rows.empty()) {
+      std::printf("(no windowed series yet — scrape again after traffic)\n");
+      continue;
+    }
+    std::printf("%-44s %-8s %12s %12s %12s\n", "metric", "backend", "lifetime",
+                "10s", "60s");
+    static const char* kWindows[] = {"lifetime", "10s", "60s"};
+    for (const auto& [key, windows] : rows) {
+      std::string cells;
+      char cell[16];
+      for (const char* window : kWindows) {
+        const auto it = windows.find(window);
+        if (it == windows.end()) {
+          std::snprintf(cell, sizeof cell, " %12s", "-");
+        } else {
+          std::snprintf(cell, sizeof cell, " %12.1f", it->second);
+        }
+        cells += cell;
+      }
+      std::printf("%-44s %-8s%s\n", key.first.c_str(), key.second.c_str(),
+                  cells.c_str());
+    }
+  }
+  return 0;
 }
 
 /// Reads until the server closes the connection (or the receive timeout
@@ -516,6 +664,9 @@ int Main(int argc, char** argv) {
   std::string bench_name = "serve/mixed_predict_motifs";
   bool have_query = false;
   bool cluster = false;
+  bool top = false;
+  size_t watch = 1;
+  uint64_t interval_ms = 2000;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     const auto need_value = [&](const char* name) -> const char* {
@@ -526,7 +677,7 @@ int Main(int argc, char** argv) {
       return argv[++i];
     };
     if (arg == "--port" || arg == "--connections" || arg == "--requests" ||
-        arg == "--proteins") {
+        arg == "--proteins" || arg == "--watch" || arg == "--interval-ms") {
       const char* value = need_value(arg.c_str());
       if (value == nullptr) return Usage();
       uint64_t parsed = 0;
@@ -541,11 +692,17 @@ int Main(int argc, char** argv) {
         connections = static_cast<size_t>(parsed);
       } else if (arg == "--proteins") {
         proteins = static_cast<size_t>(parsed);
+      } else if (arg == "--watch") {
+        watch = static_cast<size_t>(parsed);
+      } else if (arg == "--interval-ms") {
+        interval_ms = parsed;
       } else {
         requests = static_cast<size_t>(parsed);
       }
     } else if (arg == "--cluster") {
       cluster = true;
+    } else if (arg == "--top") {
+      top = true;
     } else if (arg == "--name") {
       const char* value = need_value("--name");
       if (value == nullptr) return Usage();
@@ -573,6 +730,13 @@ int Main(int argc, char** argv) {
     return Usage();
   }
   if (have_query) return RunQuery(port, query);
+  if (top) {
+    if (watch == 0) {
+      std::fprintf(stderr, "error: --watch must be > 0\n");
+      return Usage();
+    }
+    return RunTop(port, watch, interval_ms);
+  }
   if (!abuse.empty()) {
     if (connections == 0) {
       std::fprintf(stderr, "error: --connections must be > 0\n");

@@ -48,6 +48,7 @@
 #include "predict/labeled_motif_predictor.h"
 #include "router/cluster.h"
 #include "router/router.h"
+#include "serve/access_log.h"
 #include "serve/request.h"
 #include "serve/server.h"
 #include "serve/snapshot.h"
@@ -191,14 +192,17 @@ void ApplyThreadFlag(const Flags& flags) {
 // Turns on metric collection for one command when --report/--stats/--trace
 // ask for it. Construct before the pipeline runs, call Finish() after it
 // succeeds; early error returns rely on ~ObsSink / ~TraceCollector
-// auto-uninstalling.
+// auto-uninstalling. The long-running daemons (serve, router) pass
+// `always_collect` so a METRICS scrape sees live counters even when no
+// --report/--stats flag was given — router backends in particular are
+// spawned without either flag.
 class ObsScope {
  public:
-  explicit ObsScope(const Flags& flags)
+  explicit ObsScope(const Flags& flags, bool always_collect = false)
       : report_path_(flags.Get("report", "")),
         trace_path_(flags.Get("trace", "")),
         stats_(flags.Has("stats")) {
-    if (stats_ || !report_path_.empty()) {
+    if (always_collect || stats_ || !report_path_.empty()) {
       sink_.emplace();
       SetObsSink(&*sink_);
     }
@@ -499,9 +503,25 @@ int CmdPack(const Flags& flags) {
   return obs.Finish("pack");
 }
 
+/// Opens the sampled JSONL access log configured by --access-log /
+/// --access-sample / --slow-ms, or returns nullptr when --access-log is
+/// absent. --access-sample 0 is normalized to 1 (log everything) so a
+/// mistyped zero cannot divide-by-zero the sampler.
+StatusOr<std::unique_ptr<AccessLog>> OpenAccessLog(const Flags& flags) {
+  const std::string path = flags.Get("access-log", "");
+  if (path.empty()) return std::unique_ptr<AccessLog>();
+  AccessLogOptions options;
+  options.path = path;
+  options.sample = std::max<uint64_t>(1, flags.GetSize("access-sample", 1));
+  options.slow_ms = flags.GetSize("slow-ms", 0);
+  return AccessLog::Open(options);
+}
+
 int CmdServe(const Flags& flags) {
   ApplyThreadFlag(flags);
-  ObsScope obs(flags);
+  // Always collect: the METRICS verb reads the process-wide sink, and
+  // backends spawned by the router never pass --stats/--report.
+  ObsScope obs(flags, /*always_collect=*/true);
   std::optional<ScopedTimer> load_timer;
   load_timer.emplace("load");
   auto snapshot = ReadSnapshot(flags.Get("snapshot", ""));
@@ -513,6 +533,9 @@ int CmdServe(const Flags& flags) {
           ? 0
           : flags.GetSize("cache-capacity", kDefaultServeCacheCapacity);
   SnapshotService service(std::move(*snapshot), cache_capacity);
+  auto access_log = OpenAccessLog(flags);
+  if (!access_log.ok()) return Fail(access_log.status());
+  if (*access_log != nullptr) service.set_access_log(access_log->get());
   // Load banner on stderr: in --stdin mode stdout carries only responses.
   std::fprintf(stderr,
                "lamo serve: loaded %s (%zu proteins, %zu terms, %zu labeled "
@@ -557,7 +580,9 @@ StatusOr<std::string> SelfExePath() {
 
 int CmdRouter(const Flags& flags) {
   ApplyThreadFlag(flags);
-  ObsScope obs(flags);
+  // Always collect, like serve: METRICS renders the router's own registry
+  // and re-exports per-backend scrapes.
+  ObsScope obs(flags, /*always_collect=*/true);
 
   const std::string mode = flags.Get("mode", "sharded");
   if (mode != "sharded" && mode != "replicated") {
@@ -574,6 +599,10 @@ int CmdRouter(const Flags& flags) {
   cluster_options.num_backends = flags.GetSize("backends", 2);
   cluster_options.retry_deadline_ms =
       flags.GetSize("retry-deadline-ms", cluster_options.retry_deadline_ms);
+  cluster_options.backend_access_log = flags.Get("backend-access-log", "");
+  cluster_options.backend_access_sample =
+      std::max<uint64_t>(1, flags.GetSize("access-sample", 1));
+  cluster_options.backend_slow_ms = flags.GetSize("slow-ms", 0);
   cluster_options.log = stdout;
   if (cluster_options.num_backends == 0 || cluster_options.num_backends > 64) {
     return Fail(Status::InvalidArgument("--backends must be in [1, 64]"));
@@ -605,6 +634,9 @@ int CmdRouter(const Flags& flags) {
                cluster_options.snapshot.c_str());
 
   RouterService service(&cluster, cluster_options.sharded);
+  auto access_log = OpenAccessLog(flags);
+  if (!access_log.ok()) return Fail(access_log.status());
+  if (*access_log != nullptr) service.set_access_log(access_log->get());
   ServeOptions options;
   options.port = static_cast<uint16_t>(flags.GetSize("port", 0));
   // The router's own budget must exceed the backend retry deadline, or a
@@ -660,10 +692,13 @@ int Usage() {
       "            --cache-capacity N --no-cache --threads N\n"
       "            --request-timeout-ms MS --idle-timeout-ms MS\n"
       "            --max-conns N --max-line-bytes B\n"
+      "            --access-log FILE --access-sample N --slow-ms MS\n"
       "  router    --snapshot FILE.lamosnap --backends N\n"
       "            --mode sharded|replicated --port P\n"
       "            --retry-deadline-ms MS --request-timeout-ms MS\n"
       "            --idle-timeout-ms MS --max-conns N --max-line-bytes B\n"
+      "            --access-log FILE --access-sample N --slow-ms MS\n"
+      "            --backend-access-log PREFIX\n"
       "  fault-points   (list registered fault-injection points)\n"
       "Unknown flags, missing flag values and malformed numbers are rejected.\n"
       "mine and label are crash-safe: --checkpoint DIR writes atomic progress\n"
@@ -690,10 +725,16 @@ int Usage() {
       "offline with lamo_trace_summary.\n"
       "pack compiles ontology+annotations+labeled motifs+network into one\n"
       "checksummed binary snapshot; serve answers PREDICT/MOTIFS/TERMINFO/\n"
-      "HEALTH/STATS queries over TCP on 127.0.0.1 (--port 0 picks a free\n"
-      "port) or line-by-line on stdin (--stdin); see docs/FORMATS.md for the\n"
-      "snapshot layout and the wire protocol. Benchmark a running server\n"
-      "with lamo_bench_client.\n"
+      "HEALTH/STATS/METRICS queries over TCP on 127.0.0.1 (--port 0 picks a\n"
+      "free port) or line-by-line on stdin (--stdin); see docs/FORMATS.md\n"
+      "for the snapshot layout and the wire protocol. METRICS renders live\n"
+      "counters, histograms and 10s/60s window rates in Prometheus text\n"
+      "exposition format (validate with lamo_metrics_check). --access-log\n"
+      "FILE appends one JSON line per served request (every --access-sample\n"
+      "Nth; requests at or over --slow-ms always) with the request id, verb,\n"
+      "status, latency and span breakdown. Benchmark a running server with\n"
+      "lamo_bench_client; `lamo_bench_client --top` polls STATS+METRICS\n"
+      "into a live per-backend table.\n"
       "router fronts N supervised serve backends with the same wire\n"
       "protocol: pack --shards N splits the per-protein index into\n"
       "FILE.lamosnap.shard<i>ofN files and --mode sharded routes by\n"
@@ -701,7 +742,12 @@ int Usage() {
       "consistent hashing with least-loaded failover. Dead backends are\n"
       "respawned, and `RELOAD PATH` (or SIGHUP) rolls every backend onto a\n"
       "new snapshot one at a time without failing in-flight requests;\n"
-      "aggregated HEALTH/STATS report per-backend snapshot checksums.\n");
+      "aggregated HEALTH/STATS report per-backend snapshot checksums. The\n"
+      "router stamps each forwarded query with a `#<id>` request-ID token\n"
+      "so router and backend access logs correlate; METRICS on the router\n"
+      "additionally scrapes every backend and re-exports its series with\n"
+      "backend=/shard= labels. --backend-access-log PREFIX gives backend i\n"
+      "its own access log at PREFIX.<i>.\n");
   return 2;
 }
 
@@ -771,7 +817,10 @@ const std::vector<Command>& Commands() {
                         {"request-timeout-ms", FlagKind::kSize},
                         {"idle-timeout-ms", FlagKind::kSize},
                         {"max-conns", FlagKind::kSize},
-                        {"max-line-bytes", FlagKind::kSize}}),
+                        {"max-line-bytes", FlagKind::kSize},
+                        {"access-log", FlagKind::kString},
+                        {"access-sample", FlagKind::kSize},
+                        {"slow-ms", FlagKind::kSize}}),
        CmdServe},
       {"router",
        WithCommonFlags({{"snapshot", FlagKind::kString},
@@ -782,7 +831,11 @@ const std::vector<Command>& Commands() {
                         {"request-timeout-ms", FlagKind::kSize},
                         {"idle-timeout-ms", FlagKind::kSize},
                         {"max-conns", FlagKind::kSize},
-                        {"max-line-bytes", FlagKind::kSize}}),
+                        {"max-line-bytes", FlagKind::kSize},
+                        {"access-log", FlagKind::kString},
+                        {"access-sample", FlagKind::kSize},
+                        {"slow-ms", FlagKind::kSize},
+                        {"backend-access-log", FlagKind::kString}}),
        CmdRouter},
       {"fault-points", {}, CmdFaultPoints},
   };

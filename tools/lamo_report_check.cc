@@ -202,6 +202,10 @@ int Check(const std::string& path, int num_required, char** required) {
         requests) {
       return Fail("serve cache hits+misses exceed serve.requests");
     }
+    // Access logging is sampled: at most one log line per request.
+    if (counter_value("serve.access_logged") > requests) {
+      return Fail("serve.access_logged exceeds serve.requests");
+    }
     if (v2) {
       const JsonValue* hist = histograms->Find("serve.request_us");
       const JsonValue* count =
@@ -231,6 +235,18 @@ int Check(const std::string& path, int num_required, char** required) {
     }
     if (counter_value("router.errors") > requests) {
       return Fail("router.errors exceeds router.requests");
+    }
+    // ID conservation: every stamped request either reached a backend or
+    // ended in a router-originated error — nothing double-counted, nothing
+    // dropped. Guarded on presence so archived pre-tracing reports still
+    // check out.
+    if (counters->Find("router.ids_issued") != nullptr &&
+        counter_value("router.ids_issued") !=
+            counter_value("router.backend_requests") +
+                counter_value("router.errors")) {
+      return Fail(
+          "router.ids_issued does not match router.backend_requests + "
+          "router.errors");
     }
     if (v2) {
       const JsonValue* hist = histograms->Find("router.request_us");
