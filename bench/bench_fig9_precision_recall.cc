@@ -2,25 +2,36 @@
 // function prediction, leave-one-out over the top functional categories, on
 // the MIPS-scale synthetic dataset:
 //
-//   LabeledMotif (this paper)  vs  MRF, Chi2, NC, PRODISTIN.
+//   LabeledMotif (this paper)  vs  MRF, Chi2, NC, PRODISTIN, plus the
+//   alternative registered serving backends GDS (graphlet degree
+//   signatures) and RoleSimilarity.
 //
 // Expected shape (paper): the labeled-motif method dominates the curve;
 // MRF is the strongest baseline.
 //
 //   bench_fig9_precision_recall [--full] [--proteins N] [--csv PATH]
+//                               [--json PATH]
+//
+// --json writes the registered-backend comparison (LabeledMotif vs GDS vs
+// RoleSimilarity) as one JSON document; scripts/reproduce.sh archives it as
+// BENCH_predictors.json.
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <memory>
 
 #include "core/lamofinder.h"
 #include "motif/uniqueness.h"
+#include "obs/json.h"
 #include "predict/chi_square.h"
 #include "predict/dataset_context.h"
 #include "predict/evaluation.h"
+#include "predict/gds.h"
 #include "predict/labeled_motif_predictor.h"
 #include "predict/mrf.h"
 #include "predict/neighbor_counting.h"
 #include "predict/prodistin.h"
+#include "predict/role_similarity.h"
 #include "synth/dataset.h"
 #include "util/string_util.h"
 #include "util/table_printer.h"
@@ -30,6 +41,7 @@ int main(int argc, char** argv) {
   using namespace lamo;
   size_t num_proteins = 800;
   const char* csv_path = nullptr;
+  const char* json_path = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--full") == 0) num_proteins = 1877;
     if (std::strcmp(argv[i], "--proteins") == 0 && i + 1 < argc) {
@@ -37,6 +49,9 @@ int main(int argc, char** argv) {
     }
     if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc) {
       csv_path = argv[i + 1];
+    }
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[i + 1];
     }
   }
 
@@ -82,6 +97,8 @@ int main(int argc, char** argv) {
   ProdistinConfig prodistin_config;
   prodistin_config.max_tree_proteins = std::min<size_t>(600, num_proteins);
   ProdistinPredictor prodistin(context, prodistin_config);
+  GdsPredictor gds(context);
+  RolePredictor role(context);
 
   // Evaluation set: annotated proteins covered by at least one labeled
   // motif (restriction reported; all methods are compared on the same set).
@@ -96,15 +113,15 @@ int main(int argc, char** argv) {
             << FormatDouble(100.0 * motif_predictor.CoverageOfAnnotated(), 1)
             << "% coverage)\n\n";
 
-  const FunctionPredictor* predictors[] = {&motif_predictor, &mrf, &chi2,
-                                           &nc, &prodistin};
+  const FunctionPredictor* predictors[] = {&motif_predictor, &gds, &role,
+                                           &mrf, &chi2, &nc, &prodistin};
   std::vector<PrCurve> curves;
   for (const FunctionPredictor* predictor : predictors) {
     curves.push_back(EvaluateLeaveOneOut(*predictor, context, eval));
   }
 
-  TablePrinter table({"k", "LabeledMotif P/R", "MRF P/R", "Chi2 P/R",
-                      "NC P/R", "PRODISTIN P/R"});
+  TablePrinter table({"k", "LabeledMotif P/R", "GDS P/R", "Role P/R",
+                      "MRF P/R", "Chi2 P/R", "NC P/R", "PRODISTIN P/R"});
   const size_t max_k = curves[0].points.size();
   for (size_t ki = 0; ki < max_k; ++ki) {
     std::vector<std::string> row{std::to_string(ki + 1)};
@@ -154,6 +171,51 @@ int main(int argc, char** argv) {
       }
     }
     std::cout << "curve written to " << csv_path << "\n";
+  }
+
+  if (json_path != nullptr) {
+    // The registered-backend comparison (what `lamo predict --predictor`
+    // serves), archived by scripts/reproduce.sh as BENCH_predictors.json.
+    JsonWriter json;
+    json.BeginObject();
+    json.Key("bench");
+    json.String("predictors");
+    json.Key("proteins");
+    json.Int(num_proteins);
+    json.Key("evaluation_set");
+    json.Int(eval.evaluation_set.size());
+    json.Key("methods");
+    json.BeginArray();
+    for (const PrCurve& curve : curves) {
+      if (curve.method != "LabeledMotif" && curve.method != "GDS" &&
+          curve.method != "RoleSimilarity") {
+        continue;
+      }
+      json.BeginObject();
+      json.Key("method");
+      json.String(curve.method);
+      json.Key("auc");
+      json.Double(AreaUnderPrCurve(curve));
+      json.Key("points");
+      json.BeginArray();
+      for (const PrPoint& point : curve.points) {
+        json.BeginObject();
+        json.Key("k");
+        json.Int(point.k);
+        json.Key("precision");
+        json.Double(point.precision);
+        json.Key("recall");
+        json.Double(point.recall);
+        json.EndObject();
+      }
+      json.EndArray();
+      json.EndObject();
+    }
+    json.EndArray();
+    json.EndObject();
+    std::ofstream out(json_path);
+    out << json.str() << "\n";
+    std::cout << "predictor comparison written to " << json_path << "\n";
   }
   return 0;
 }

@@ -22,6 +22,12 @@ for bench in build/bench/*; do
       "$bench" --benchmark_out="$OUT/$name.json" \
         --benchmark_out_format=json | tee "$OUT/$name.txt"
       ;;
+    bench_fig9_precision_recall)
+      # Also archives the registered-backend comparison (LabeledMotif vs
+      # GDS vs RoleSimilarity leave-one-out P/R, the same backends `lamo
+      # serve --predictor` offers) as BENCH_predictors.json.
+      "$bench" --json "$OUT/BENCH_predictors.json" | tee "$OUT/$name.txt"
+      ;;
     *)
       "$bench" | tee "$OUT/$name.txt"
       ;;
@@ -181,16 +187,20 @@ PYEOF
 # threads against live backend processes; motif_tests drives the shared
 # canonicalization table — lock-free CAS inserts on the dense path, mutex
 # shards past k=6 — from concurrent enumeration chunks; obs_tests hammers
-# the metric-window ring with concurrent observers vs METRICS scrapes).
-echo "== tsan smoke (parallel runtime + tracer + serve + router + motif) =="
+# the metric-window ring with concurrent observers vs METRICS scrapes;
+# predict_tests runs the per-vertex parallel GDS orbit counter, whose
+# relaxed-atomic signature cells TSan must see as race-free).
+echo "== tsan smoke (parallel runtime + tracer + serve + router + motif" \
+  "+ predict) =="
 cmake -B build-tsan -G Ninja -DLAMO_SANITIZE=thread
 cmake --build build-tsan --target parallel_tests obs_tests serve_tests \
-  router_tests motif_tests
+  router_tests motif_tests predict_tests
 LAMO_THREADS=4 ./build-tsan/tests/parallel_tests
 LAMO_THREADS=4 ./build-tsan/tests/obs_tests
 LAMO_THREADS=4 ./build-tsan/tests/serve_tests
 LAMO_THREADS=4 ./build-tsan/tests/router_tests
 LAMO_THREADS=4 ./build-tsan/tests/motif_tests
+LAMO_THREADS=4 ./build-tsan/tests/predict_tests
 
 # AddressSanitizer smoke run alongside it: the motif + obs tests cover the
 # enumeration hot paths and the metrics layer's thread-local blocks,
@@ -199,17 +209,21 @@ LAMO_THREADS=4 ./build-tsan/tests/motif_tests
 # ASan, and io_tests runs the parser fuzz matrix (every reader x 500
 # deterministic mutations) plus the GraphIndex build fuzz (500 mutated edge
 # lists through ReadEdgeList -> index build -> Validate) where ASan turns
-# silent overreads into hard failures.
-echo "== asan smoke (motif + graph + obs + serve + router + fuzz) =="
+# silent overreads into hard failures; predict_tests runs the GDS
+# brute-force differential, where the orbit lookup tables and the ESU
+# extension buffers are the overread-prone hot path.
+echo "== asan smoke (motif + graph + obs + serve + router + predict" \
+  "+ fuzz) =="
 cmake -B build-asan -G Ninja -DLAMO_SANITIZE=address
 cmake --build build-asan --target motif_tests graph_tests obs_tests \
-  serve_tests io_tests router_tests
+  serve_tests io_tests router_tests predict_tests
 LAMO_THREADS=4 ./build-asan/tests/motif_tests
 LAMO_THREADS=4 ./build-asan/tests/graph_tests
 LAMO_THREADS=4 ./build-asan/tests/obs_tests
 LAMO_THREADS=4 ./build-asan/tests/serve_tests
 LAMO_THREADS=4 ./build-asan/tests/io_tests
 LAMO_THREADS=4 ./build-asan/tests/router_tests
+LAMO_THREADS=4 ./build-asan/tests/predict_tests
 
 # Fault-injection smoke: crash the level-wise miner mid-run with LAMO_FAULT,
 # resume from the checkpoint, and require byte-identical output — the full

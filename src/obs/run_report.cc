@@ -87,8 +87,9 @@ void WriteHistogram(JsonWriter* json, const HistogramSnapshot& hist) {
 
 }  // namespace
 
-std::string RunReportJson(const ObsSink& sink, const std::string& command,
-                          size_t threads) {
+std::string RunReportJson(
+    const ObsSink& sink, const std::string& command, size_t threads,
+    const std::map<std::string, std::string>& annotations) {
   const std::map<std::string, uint64_t> counters = sink.CounterTotals();
   JsonWriter json;
   json.BeginObject();
@@ -100,6 +101,14 @@ std::string RunReportJson(const ObsSink& sink, const std::string& command,
   json.Int(threads);
   json.Key("wall_ms");
   json.Double(sink.ElapsedMs());
+
+  json.Key("annotations");
+  json.BeginObject();
+  for (const auto& [key, value] : annotations) {
+    json.Key(key);
+    json.String(value);
+  }
+  json.EndObject();
 
   json.Key("phases");
   json.BeginArray();
@@ -155,11 +164,14 @@ std::string RunReportJson(const ObsSink& sink, const std::string& command,
   return json.str();
 }
 
-Status WriteRunReport(const ObsSink& sink, const std::string& command,
-                      size_t threads, const std::string& path) {
+Status WriteRunReport(
+    const ObsSink& sink, const std::string& command, size_t threads,
+    const std::string& path,
+    const std::map<std::string, std::string>& annotations) {
   // Atomic replace: report consumers (lamo_report_check, dashboards) must
   // never observe a torn document.
-  const std::string document = RunReportJson(sink, command, threads) + "\n";
+  const std::string document =
+      RunReportJson(sink, command, threads, annotations) + "\n";
   return WriteFileAtomic(path, document);
 }
 

@@ -2,6 +2,7 @@
 #define LAMO_OBS_RUN_REPORT_H_
 
 #include <cstdio>
+#include <map>
 #include <string>
 
 #include "obs/obs.h"
@@ -17,6 +18,7 @@ namespace lamo {
 ///     "command": "mine",
 ///     "threads": 4,                  // resolved worker count
 ///     "wall_ms": 152.7,             // sink lifetime
+///     "annotations": {"predictor": "gds", ...},   // command metadata
 ///     "phases":   [{"name": ..., "wall_ms": ..., "children": [...]}],
 ///     "counters": {"esu.subgraphs": 123456, ...},   // merged totals
 ///     "gauges":   {"similarity.memo_hit_rate": 0.97, ...},
@@ -34,12 +36,18 @@ namespace lamo {
 /// are nonzero. Histogram "buckets" lists the nonzero log2 buckets with
 /// inclusive [lo, hi] value bounds; counts sum to "count" and percentiles
 /// lie within [min, max] (invariants enforced by tools/lamo_report_check).
-std::string RunReportJson(const ObsSink& sink, const std::string& command,
-                          size_t threads);
+/// "annotations" carries string facts about the run the counters cannot
+/// express — e.g. which predictor backend `lamo predict` ran (required by
+/// lamo_report_check for predict reports); always present, possibly empty.
+std::string RunReportJson(
+    const ObsSink& sink, const std::string& command, size_t threads,
+    const std::map<std::string, std::string>& annotations = {});
 
 /// Writes RunReportJson to `path` (trailing newline added).
-Status WriteRunReport(const ObsSink& sink, const std::string& command,
-                      size_t threads, const std::string& path);
+Status WriteRunReport(
+    const ObsSink& sink, const std::string& command, size_t threads,
+    const std::string& path,
+    const std::map<std::string, std::string>& annotations = {});
 
 /// Prints a human-oriented summary (phases, nonzero counters, per-worker
 /// task counts) to `out`; the CLI sends this to stderr under `--stats`.

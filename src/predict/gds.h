@@ -1,0 +1,111 @@
+#ifndef LAMO_PREDICT_GDS_H_
+#define LAMO_PREDICT_GDS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/small_graph.h"
+#include "predict/predictor.h"
+
+namespace lamo {
+
+/// Number of automorphism orbits across the 30 connected graphlets on 2..5
+/// vertices — the dimension of a graphlet degree signature (Milenković &
+/// Pržulj, "Uncovering biological network function via graphlet degree
+/// signatures").
+inline constexpr size_t kGdsOrbits = 73;
+
+/// The orbit table over all connected graphlets on 2..5 vertices, built once
+/// at first use: graphlets are enumerated by adjacency bitmask, deduplicated
+/// by canonical code, ordered by (size, edge count, canonical code), and
+/// their automorphism orbits numbered sequentially in that order. The total
+/// is asserted to be kGdsOrbits. Orbit ids are therefore deterministic for
+/// this build but are not claimed to match Pržulj's published numbering —
+/// correctness is pinned by the brute-force differential test instead.
+class GdsOrbitTable {
+ public:
+  /// The process-wide table (thread-safe lazy construction).
+  static const GdsOrbitTable& Get();
+
+  /// 30 connected graphlets on 2..5 vertices.
+  size_t num_graphlets() const { return graphlets_.size(); }
+
+  /// Orbit id (0..72) of vertex `v` of `g`, or -1 when `g` is not a
+  /// connected graph on 2..5 vertices. Canonicalizes `g`; meant for tests
+  /// and closed-form checks, not hot paths.
+  int OrbitOf(const SmallGraph& g, uint32_t v) const;
+
+  /// Per-position orbit ids of the size-`k` subgraph whose upper-triangle
+  /// adjacency is `mask` (GraphIndex::InducedBits bit layout: pair (i, j)
+  /// with i < j, lexicographic, lowest bit first). Returns a pointer to `k`
+  /// bytes; only valid when ConnectedMask(k, mask).
+  const uint8_t* OrbitsOfMask(size_t k, uint32_t mask) const {
+    return lookup_[k].data() + static_cast<size_t>(mask) * k;
+  }
+
+  /// True iff `mask` describes a connected graph on `k` vertices (2..5).
+  bool ConnectedMask(size_t k, uint32_t mask) const {
+    return lookup_[k][static_cast<size_t>(mask) * k] != kUnusedSlot;
+  }
+
+ private:
+  static constexpr uint8_t kUnusedSlot = 0xFF;
+
+  struct Graphlet {
+    SmallGraph canon;                    // canonical representative
+    std::vector<uint8_t> code;           // canonical code (dedupe + order)
+    std::vector<uint8_t> orbit_of_vertex;  // canonical position -> orbit id
+  };
+
+  GdsOrbitTable();
+
+  std::vector<Graphlet> graphlets_;
+  /// lookup_[k][mask * k + position] = orbit id of `position` in the graph
+  /// decoded from `mask`; kUnusedSlot for disconnected masks. Indexed by
+  /// subgraph size k = 2..5 (slots 0..1 unused).
+  std::vector<uint8_t> lookup_[6];
+};
+
+/// Computes the flat n x kGdsOrbits graphlet degree signature matrix of
+/// `ppi`: signatures[p * kGdsOrbits + o] = number of connected induced
+/// subgraphs on 2..5 vertices in which p touches orbit o. Enumeration is
+/// ESU over the GraphIndex, parallelized over roots; counts are exact
+/// integers, so the result is byte-identical for any thread count.
+std::vector<uint64_t> ComputeGdsSignatures(const Graph& ppi);
+
+/// Function prediction from graphlet degree signatures: proteins whose
+/// 73-orbit signatures are similar play similar topological roles, so each
+/// annotated protein votes for its categories with weight equal to its
+/// signature similarity to the query. Leave-one-out holds by construction —
+/// the query's own annotations never vote.
+class GdsPredictor : public FunctionPredictor {
+ public:
+  /// Computes signatures from context.ppi (offline `lamo predict`).
+  explicit GdsPredictor(const PredictionContext& context);
+
+  /// Adopts precomputed signatures (size n x kGdsOrbits, e.g. from a v3
+  /// snapshot); byte-identical to the computing constructor because
+  /// ComputeGdsSignatures is deterministic.
+  GdsPredictor(const PredictionContext& context,
+               std::vector<uint64_t> signatures);
+
+  std::string name() const override { return "GDS"; }
+  std::vector<Prediction> Predict(ProteinId p) const override;
+
+  /// Flat n x kGdsOrbits signature matrix (snapshot packing reads this).
+  const std::vector<uint64_t>& signatures() const { return signatures_; }
+
+  /// Signature similarity in (0, 1]: 1 minus the mean log-scaled per-orbit
+  /// distance |log(u_i+1) - log(v_i+1)| / log(max(u_i, v_i) + 2).
+  double Similarity(ProteinId a, ProteinId b) const;
+
+ private:
+  const PredictionContext& context_;
+  std::vector<uint64_t> signatures_;
+  std::vector<double> priors_;
+  std::vector<ProteinId> annotated_;  // ascending; the voting electorate
+};
+
+}  // namespace lamo
+
+#endif  // LAMO_PREDICT_GDS_H_

@@ -80,27 +80,10 @@ std::vector<Prediction> LabeledMotifPredictor::Predict(ProteinId p) const {
       scores[ci] += delta[ci] * motif.strength;
     }
   }
-  // z: normalize into [0, 1].
-  const double z = *std::max_element(scores.begin(), scores.end());
-  std::vector<Prediction> predictions;
-  predictions.reserve(scores.size());
-  std::vector<size_t> order(scores.size());
-  for (size_t ci = 0; ci < scores.size(); ++ci) order[ci] = ci;
-  // Rank by motif vote; categories the motifs say nothing about (equal
-  // scores, typically 0) fall back to the category prior. Eq. 5 only
-  // defines the ranking among voted categories — the prior fallback is the
-  // protocol choice for the tail of the precision/recall curve and is
-  // reported in EXPERIMENTS.md.
-  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
-    if (scores[a] != scores[b]) return scores[a] > scores[b];
-    if (priors_[a] != priors_[b]) return priors_[a] > priors_[b];
-    return context_.categories[a] < context_.categories[b];
-  });
-  for (size_t ci : order) {
-    predictions.push_back(
-        {context_.categories[ci], z > 0.0 ? scores[ci] / z : 0.0});
-  }
-  return predictions;
+  // Eq. 5 only defines the ranking among voted categories — the shared
+  // ranking tail normalizes by the max vote and settles the unvoted tail by
+  // category prior.
+  return RankCategories(context_, scores, priors_);
 }
 
 double LabeledMotifPredictor::CoverageOfAnnotated() const {

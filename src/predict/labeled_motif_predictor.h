@@ -54,7 +54,7 @@ class LabeledMotifPredictor : public FunctionPredictor {
 
   /// True iff p occurs in at least one labeled motif (the method has
   /// signal for p).
-  bool Covers(ProteinId p) const { return !index_[p].empty(); }
+  bool Covers(ProteinId p) const override { return !index_[p].empty(); }
 
   /// Fraction of annotated proteins covered by at least one labeled motif.
   double CoverageOfAnnotated() const;

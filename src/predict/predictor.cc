@@ -2,7 +2,18 @@
 
 #include <algorithm>
 
+#include "obs/obs.h"
+
 namespace lamo {
+namespace {
+
+/// One positive-signal ranking emitted by RankCategories. Every elementary
+/// vote a backend records implies at most one ranking, so
+/// predict.votes >= predict.predictions whenever predictions were emitted
+/// (enforced by lamo_report_check).
+const size_t kObsPredictions = ObsCounterId("predict.predictions");
+
+}  // namespace
 
 bool PredictionContext::HasCategory(ProteinId p, TermId c) const {
   const auto& cats = protein_categories[p];
@@ -19,6 +30,33 @@ double PredictionContext::CategoryPrior(TermId c) const {
   }
   if (annotated == 0) return 0.0;
   return static_cast<double>(carrying) / static_cast<double>(annotated);
+}
+
+std::vector<Prediction> RankCategories(const PredictionContext& context,
+                                       const std::vector<double>& scores,
+                                       const std::vector<double>& priors) {
+  // z: normalize into [0, 1].
+  const double z =
+      scores.empty() ? 0.0 : *std::max_element(scores.begin(), scores.end());
+  if (z > 0.0) ObsIncrement(kObsPredictions);
+  std::vector<size_t> order(scores.size());
+  for (size_t ci = 0; ci < scores.size(); ++ci) order[ci] = ci;
+  // Rank by raw score; categories the method says nothing about (equal
+  // scores, typically 0) fall back to the category prior. The prior
+  // fallback is the protocol choice for the tail of the precision/recall
+  // curve and is reported in EXPERIMENTS.md.
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    if (scores[a] != scores[b]) return scores[a] > scores[b];
+    if (priors[a] != priors[b]) return priors[a] > priors[b];
+    return context.categories[a] < context.categories[b];
+  });
+  std::vector<Prediction> predictions;
+  predictions.reserve(scores.size());
+  for (size_t ci : order) {
+    predictions.push_back(
+        {context.categories[ci], z > 0.0 ? scores[ci] / z : 0.0});
+  }
+  return predictions;
 }
 
 void SortPredictions(std::vector<Prediction>* predictions) {

@@ -52,10 +52,29 @@ class FunctionPredictor {
   /// (ties by ascending category id). May return fewer entries when the
   /// method has no signal for `p`.
   virtual std::vector<Prediction> Predict(ProteinId p) const = 0;
+
+  /// True when the method has signal for `p` (serving short-circuits
+  /// uncovered proteins into a "no prediction" line). Backends whose
+  /// signature exists for every protein keep the default.
+  virtual bool Covers(ProteinId p) const {
+    (void)p;
+    return true;
+  }
 };
 
 /// Sorts predictions by descending score, ties by ascending category.
 void SortPredictions(std::vector<Prediction>* predictions);
+
+/// Shared ranking tail of every registered backend: orders all categories by
+/// descending raw score, breaking ties by descending category prior and then
+/// ascending category id, and normalizes scores into [0, 1] by the max raw
+/// score (an all-zero score vector stays all-zero). `scores` and `priors`
+/// are indexed like `context.categories`. Increments `predict.predictions`
+/// when the ranking carries signal (max raw score > 0), so report invariants
+/// can compare it against the backend's `predict.votes`.
+std::vector<Prediction> RankCategories(const PredictionContext& context,
+                                       const std::vector<double>& scores,
+                                       const std::vector<double>& priors);
 
 }  // namespace lamo
 

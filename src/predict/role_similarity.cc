@@ -1,0 +1,106 @@
+#include "predict/role_similarity.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "obs/obs.h"
+#include "obs/trace.h"
+#include "parallel/parallel_for.h"
+#include "util/logging.h"
+
+namespace lamo {
+namespace {
+
+/// Role-vector cells computed (n x kRoleIterations per network).
+const size_t kObsVectorCells = ObsCounterId("role.vector_cells");
+/// One vote = one annotated protein contributing its similarity-weighted
+/// categories to a query's scores.
+const size_t kObsVotes = ObsCounterId("predict.votes");
+/// Per-protein scoring latency; shared with the other backends.
+const size_t kHistScoreUs = ObsHistogramId("predict.score_us");
+const size_t kSpanScore = ObsSpanId("predict.score");
+
+}  // namespace
+
+std::vector<double> ComputeRoleVectors(const Graph& ppi, size_t iterations) {
+  const size_t n = ppi.num_vertices();
+  std::vector<double> vectors(n * iterations, 0.0);
+  // walks[p] = #walks of length t starting at p; t = 0 is the constant 1,
+  // so the first recurrence step yields the degree.
+  std::vector<double> walks(n, 1.0);
+  const size_t grain = 256;
+  for (size_t t = 0; t < iterations; ++t) {
+    walks = ParallelMap(n, grain, [&](size_t p) {
+      double sum = 0.0;
+      for (const VertexId q : ppi.Neighbors(static_cast<VertexId>(p))) {
+        sum += walks[q];
+      }
+      return sum;
+    });
+    for (size_t p = 0; p < n; ++p) {
+      vectors[p * iterations + t] = std::log1p(walks[p]);
+    }
+  }
+  // Column normalization: every feature lands in [0, 1] so no walk depth
+  // dominates the L2 distance.
+  for (size_t t = 0; t < iterations; ++t) {
+    double max = 0.0;
+    for (size_t p = 0; p < n; ++p) {
+      max = std::max(max, vectors[p * iterations + t]);
+    }
+    if (max <= 0.0) continue;
+    for (size_t p = 0; p < n; ++p) {
+      vectors[p * iterations + t] /= max;
+    }
+  }
+  ObsAdd(kObsVectorCells, vectors.size());
+  return vectors;
+}
+
+RolePredictor::RolePredictor(const PredictionContext& context)
+    : RolePredictor(context, ComputeRoleVectors(*context.ppi),
+                    kRoleIterations) {}
+
+RolePredictor::RolePredictor(const PredictionContext& context,
+                             std::vector<double> vectors, size_t dim)
+    : context_(context), vectors_(std::move(vectors)), dim_(dim) {
+  LAMO_CHECK_GT(dim_, size_t{0});
+  LAMO_CHECK_EQ(vectors_.size(), context_.ppi->num_vertices() * dim_)
+      << "role vector matrix shape";
+  priors_.reserve(context_.categories.size());
+  for (TermId c : context_.categories) {
+    priors_.push_back(context_.CategoryPrior(c));
+  }
+  for (ProteinId p = 0; p < context_.protein_categories.size(); ++p) {
+    if (context_.IsAnnotated(p)) annotated_.push_back(p);
+  }
+}
+
+double RolePredictor::Similarity(ProteinId a, ProteinId b) const {
+  const double* ra = vectors_.data() + static_cast<size_t>(a) * dim_;
+  const double* rb = vectors_.data() + static_cast<size_t>(b) * dim_;
+  double sq = 0.0;
+  for (size_t t = 0; t < dim_; ++t) {
+    const double d = ra[t] - rb[t];
+    sq += d * d;
+  }
+  return 1.0 / (1.0 + std::sqrt(sq));
+}
+
+std::vector<Prediction> RolePredictor::Predict(ProteinId p) const {
+  const ScopedItemTimer timer(kSpanScore, kHistScoreUs, p, 0, 1);
+  std::vector<double> scores(context_.categories.size(), 0.0);
+  for (const ProteinId q : annotated_) {
+    if (q == p) continue;  // leave-one-out: the query never votes
+    const double sim = Similarity(p, q);
+    ObsIncrement(kObsVotes);
+    for (size_t ci = 0; ci < context_.categories.size(); ++ci) {
+      if (context_.HasCategory(q, context_.categories[ci])) {
+        scores[ci] += sim;
+      }
+    }
+  }
+  return RankCategories(context_, scores, priors_);
+}
+
+}  // namespace lamo

@@ -1,0 +1,60 @@
+#ifndef LAMO_PREDICT_ROLE_SIMILARITY_H_
+#define LAMO_PREDICT_ROLE_SIMILARITY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "predict/predictor.h"
+
+namespace lamo {
+
+/// Walk-count iterations per role vector (and hence its dimension): feature
+/// t of protein p is log(1 + #walks of length t+1 starting at p), column
+/// normalized. Holme & Huss score two proteins as role-equivalent when
+/// their iterated neighborhoods match; truncating the iteration at a fixed
+/// depth gives each protein a finite embedding the predictor can compare.
+inline constexpr size_t kRoleIterations = 5;
+
+/// Computes the flat n x `iterations` role-vector matrix of `ppi`. Walk
+/// counts are accumulated per vertex over its sorted neighbor list and the
+/// per-vertex loop is ParallelMap'ed, so the doubles are bit-identical for
+/// any thread count — the property the offline/serving byte-identity
+/// contract rests on.
+std::vector<double> ComputeRoleVectors(const Graph& ppi,
+                                       size_t iterations = kRoleIterations);
+
+/// Holme-style role-similarity prediction: each annotated protein votes for
+/// its categories with weight 1 / (1 + ||r_p - r_q||_2), the similarity of
+/// the truncated role embeddings. Like GDS (and unlike the neighborhood
+/// baselines) this can transfer annotations between proteins that are far
+/// apart in the network but play the same structural role.
+class RolePredictor : public FunctionPredictor {
+ public:
+  /// Computes role vectors from context.ppi (offline `lamo predict`).
+  explicit RolePredictor(const PredictionContext& context);
+
+  /// Adopts precomputed vectors (flat n x dim, e.g. from a v3 snapshot).
+  RolePredictor(const PredictionContext& context, std::vector<double> vectors,
+                size_t dim);
+
+  std::string name() const override { return "RoleSimilarity"; }
+  std::vector<Prediction> Predict(ProteinId p) const override;
+
+  /// Flat n x dim() role-vector matrix (snapshot packing reads this).
+  const std::vector<double>& vectors() const { return vectors_; }
+  size_t dim() const { return dim_; }
+
+  /// Role similarity in (0, 1]; symmetric. Exposed for tests.
+  double Similarity(ProteinId a, ProteinId b) const;
+
+ private:
+  const PredictionContext& context_;
+  std::vector<double> vectors_;
+  size_t dim_;
+  std::vector<double> priors_;
+  std::vector<ProteinId> annotated_;  // ascending; the voting electorate
+};
+
+}  // namespace lamo
+
+#endif  // LAMO_PREDICT_ROLE_SIMILARITY_H_

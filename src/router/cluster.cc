@@ -55,14 +55,18 @@ BackendConfig Cluster::MakeBackendConfig(
   config.spawn_timeout_ms = options_.spawn_timeout_ms;
   config.log = options_.log;
   if (!options_.backend_access_log.empty()) {
-    config.extra_args = {
-        "--access-log",
-        options_.backend_access_log + "." + std::to_string(index),
-        "--access-sample",
-        std::to_string(options_.backend_access_sample),
-        "--slow-ms",
-        std::to_string(options_.backend_slow_ms),
-    };
+    config.extra_args.push_back("--access-log");
+    config.extra_args.push_back(options_.backend_access_log + "." +
+                                std::to_string(index));
+    config.extra_args.push_back("--access-sample");
+    config.extra_args.push_back(std::to_string(options_.backend_access_sample));
+    config.extra_args.push_back("--slow-ms");
+    config.extra_args.push_back(std::to_string(options_.backend_slow_ms));
+  }
+  if (!options_.predictors.empty()) {
+    config.extra_args.push_back("--predictor");
+    config.extra_args.push_back(
+        options_.predictors[index % options_.predictors.size()]);
   }
   return config;
 }

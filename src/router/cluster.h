@@ -44,6 +44,13 @@ struct ClusterOptions {
   std::string backend_access_log;
   uint64_t backend_access_sample = 1;
   uint64_t backend_slow_ms = 0;
+  /// When non-empty, backend i is spawned with
+  /// `--predictor predictors[i % predictors.size()]`. A single entry pins
+  /// every backend to one predictor; several entries interleave backends
+  /// across predictors for A/B serving (e.g. {"lms", "gds"} alternates).
+  /// Names are validated by the CLI against the predictor registry before
+  /// the cluster is built.
+  std::vector<std::string> predictors;
 };
 
 class Cluster {

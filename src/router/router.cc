@@ -314,6 +314,7 @@ std::string RouterService::StatsView() {
         line += " snapshot=" + fields["snapshot_path"] +
                 " checksum=" + fields["snapshot_checksum"] +
                 " shard=" + fields["shard"] +
+                " predictor=" + fields["predictor"] +
                 " requests=" + fields["requests"];
       }
     }

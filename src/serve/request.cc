@@ -151,9 +151,10 @@ std::string FormatErrorResponse(const Status& status) {
          "\n";
 }
 
-std::vector<std::string> PredictionOutputLines(
-    const PredictionContext& context, const Ontology& ontology,
-    const LabeledMotifPredictor& predictor, ProteinId protein, size_t top_k) {
+std::vector<std::string> PredictionOutputLines(const PredictionContext& context,
+                                               const Ontology& ontology,
+                                               const FunctionPredictor& predictor,
+                                               ProteinId protein, size_t top_k) {
   std::vector<std::string> lines;
   char buffer[512];
   if (!predictor.Covers(protein)) {

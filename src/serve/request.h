@@ -6,7 +6,7 @@
 #include <vector>
 
 #include "ontology/annotation.h"
-#include "predict/labeled_motif_predictor.h"
+#include "predict/predictor.h"
 #include "util/status.h"
 
 namespace lamo {
@@ -74,12 +74,15 @@ std::string FormatOkResponse(const std::vector<std::string>& payload);
 std::string FormatErrorResponse(const Status& status);
 
 /// The offline `lamo predict` stdout for one protein, as lines without
-/// trailing newlines: either the "no prediction" line or the header plus one
-/// rank line per top-k prediction. Shared by the CLI and the PREDICT handler
-/// so the two paths cannot drift apart.
-std::vector<std::string> PredictionOutputLines(
-    const PredictionContext& context, const Ontology& ontology,
-    const LabeledMotifPredictor& predictor, ProteinId protein, size_t top_k);
+/// trailing newlines: either the "no prediction" line (backends whose
+/// Covers() declines the protein — only lms does) or the header plus one
+/// rank line per top-k prediction. Works for any registered backend and is
+/// shared by the CLI and the PREDICT handler, so the offline and serving
+/// paths cannot drift apart — the byte-identity contract rests here.
+std::vector<std::string> PredictionOutputLines(const PredictionContext& context,
+                                               const Ontology& ontology,
+                                               const FunctionPredictor& predictor,
+                                               ProteinId protein, size_t top_k);
 
 }  // namespace lamo
 

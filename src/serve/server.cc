@@ -20,6 +20,8 @@
 #include "obs/prometheus.h"
 #include "parallel/parallel_for.h"
 #include "parallel/thread_pool.h"
+#include "predict/registry.h"
+#include "util/logging.h"
 
 namespace lamo {
 namespace {
@@ -77,8 +79,30 @@ SnapshotService::SnapshotService(Snapshot snapshot, size_t cache_capacity)
   context_.ppi = &snapshot_.graph;
   context_.categories = snapshot_.categories;
   context_.protein_categories = snapshot_.protein_categories;
-  predictor_ = std::make_unique<LabeledMotifPredictor>(
-      context_, snapshot_.ontology, snapshot_.motifs);
+  const Status status = UsePredictor("lms");
+  LAMO_CHECK(status.ok());  // every snapshot carries the lms inputs
+}
+
+Status SnapshotService::UsePredictor(const std::string& name) {
+  if (name != "lms" && snapshot_.version < 3) {
+    return Status::InvalidArgument(
+        "snapshot is version " + std::to_string(snapshot_.version) +
+        " and carries no predictor section; repack with `lamo pack` to serve "
+        "--predictor " +
+        name);
+  }
+  PredictorInputs inputs;
+  inputs.context = &context_;
+  inputs.ontology = &snapshot_.ontology;
+  inputs.motifs = &snapshot_.motifs;
+  inputs.gds_signatures = &snapshot_.gds_signatures;
+  inputs.role_vectors = &snapshot_.role_vectors;
+  inputs.role_dim = snapshot_.role_dim;
+  auto made = MakePredictor(name, inputs);
+  if (!made.ok()) return made.status();
+  predictor_ = std::move(made).value();
+  predictor_name_ = name;
+  return Status::OK();
 }
 
 std::string SnapshotService::Handle(const std::string& line) {
@@ -249,6 +273,9 @@ std::vector<std::string> SnapshotService::Stats() const {
   lines.push_back(std::string("snapshot_checksum ") + checksum);
   lines.push_back("shard " + std::to_string(snapshot_.shard_id) + "/" +
                   std::to_string(snapshot_.num_shards));
+  // The active backend, so A/B deployments (different --predictor per router
+  // slot) are observable from outside.
+  lines.push_back("predictor " + predictor_name_);
   lines.push_back(
       "requests " +
       std::to_string(stats_.requests.load(std::memory_order_relaxed)));
@@ -289,9 +316,19 @@ std::vector<std::string> SnapshotService::Metrics() {
       std::chrono::duration_cast<std::chrono::milliseconds>(now - start_)
           .count());
   ObsSink* sink = GetObsSink();
-  return RenderPromLines(CollectPromFamilies(
+  std::vector<PromFamily> families = CollectPromFamilies(
       sink, sink != nullptr ? &windows_ : nullptr, now_ms, uptime_s,
-      start_time_s));
+      start_time_s);
+  // Prometheus-style info family: constant 1 with the active backend as a
+  // label, so scrapes (and the router's relabeled re-export) can tell which
+  // predictor each process serves.
+  PromFamily info;
+  info.name = "lamo_serve_predictor_info";
+  info.type = "gauge";
+  info.samples.push_back("lamo_serve_predictor_info{predictor=\"" +
+                         predictor_name_ + "\"} 1");
+  families.push_back(std::move(info));
+  return RenderPromLines(families);
 }
 
 namespace {

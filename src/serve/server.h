@@ -13,7 +13,7 @@
 #include <string>
 
 #include "obs/window.h"
-#include "predict/labeled_motif_predictor.h"
+#include "predict/predictor.h"
 #include "serve/access_log.h"
 #include "serve/cache.h"
 #include "serve/request.h"
@@ -60,16 +60,25 @@ class LineService {
 };
 
 /// Answers protocol requests against one loaded snapshot. Construction wires
-/// the prediction context and the labeled-motif predictor from the packed
-/// artifacts — no text parsing, no weight or closure recomputation. Handle()
-/// is thread-safe: the snapshot is immutable, the cache is internally
-/// locked, and the stats are atomics.
+/// the prediction context and the default (labeled-motif) predictor from the
+/// packed artifacts — no text parsing, no weight or closure recomputation;
+/// UsePredictor swaps in any registered backend before serving starts.
+/// Handle() is thread-safe: the snapshot is immutable, the cache is
+/// internally locked, and the stats are atomics.
 class SnapshotService : public LineService {
  public:
   /// Takes ownership of the snapshot. `cache_capacity` 0 disables response
   /// memoization (every request recomputes; responses are unchanged).
   explicit SnapshotService(Snapshot snapshot,
                            size_t cache_capacity = kDefaultServeCacheCapacity);
+
+  /// Replaces the active backend with the one registered under `name`
+  /// ("lms" | "gds" | "role"). gds/role draw their precomputed matrices from
+  /// the snapshot's predictor section, so a version-2 snapshot can only
+  /// serve lms — selecting another backend returns InvalidArgument advising
+  /// a repack. Call before serving starts: Handle() is not synchronized
+  /// against a concurrent swap.
+  Status UsePredictor(const std::string& name);
 
   SnapshotService(const SnapshotService&) = delete;
   SnapshotService& operator=(const SnapshotService&) = delete;
@@ -88,6 +97,8 @@ class SnapshotService : public LineService {
   }
 
   const Snapshot& snapshot() const { return snapshot_; }
+  /// Registry key of the active backend ("lms" until UsePredictor succeeds).
+  const std::string& predictor_name() const { return predictor_name_; }
   ServeStats& stats() { return stats_; }
   const ServeStats& stats() const { return stats_; }
   size_t cache_entries() const { return cache_.size(); }
@@ -107,7 +118,8 @@ class SnapshotService : public LineService {
 
   Snapshot snapshot_;
   PredictionContext context_;
-  std::unique_ptr<LabeledMotifPredictor> predictor_;
+  std::unique_ptr<FunctionPredictor> predictor_;
+  std::string predictor_name_ = "lms";
   ResponseCache cache_;
   ServeStats stats_;
   AccessLog* access_log_ = nullptr;

@@ -5,7 +5,10 @@
 #include <cstdio>
 #include <cstring>
 
+#include "predict/gds.h"
+#include "predict/role_similarity.h"
 #include "util/atomic_io.h"
+#include "util/logging.h"
 
 namespace lamo {
 
@@ -187,6 +190,11 @@ void PutSizeVec(std::string* out, const std::vector<size_t>& v) {
   for (size_t x : v) PutU64(out, x);
 }
 
+void PutU64Vec(std::string* out, const std::vector<uint64_t>& v) {
+  PutU64(out, v.size());
+  for (uint64_t x : v) PutU64(out, x);
+}
+
 void PutDoubleVec(std::string* out, const std::vector<double>& v) {
   PutU64(out, v.size());
   for (double x : v) PutDouble(out, x);
@@ -305,6 +313,15 @@ class Cursor {
     return v;
   }
 
+  std::vector<uint64_t> GetU64Vec(const char* what) {
+    const size_t n = GetCount(8, what);
+    std::vector<uint64_t> v;
+    if (!ok_) return v;
+    v.reserve(n);
+    for (size_t i = 0; i < n && ok_; ++i) v.push_back(GetU64());
+    return v;
+  }
+
   std::vector<double> GetDoubleVec(const char* what) {
     const size_t n = GetCount(8, what);
     std::vector<double> v;
@@ -389,6 +406,13 @@ Snapshot BuildSnapshot(Graph graph, Ontology ontology,
     }
   }
 
+  // Predictor section: the non-default backends' precomputed inputs. Both
+  // computations are deterministic, so serving from these matrices answers
+  // byte-identically to an offline `lamo predict` recompute.
+  snap.gds_signatures = ComputeGdsSignatures(snap.graph);
+  snap.role_dim = static_cast<uint32_t>(kRoleIterations);
+  snap.role_vectors = ComputeRoleVectors(snap.graph);
+
   // Prediction context: categories are the first root's children; protein
   // categories via the true path — the same derivation `lamo predict` runs.
   const TermId root = snap.ontology.Roots()[0];
@@ -449,9 +473,12 @@ Snapshot MakeShard(const Snapshot& full, uint32_t shard_id,
 }
 
 std::string EncodeSnapshot(const Snapshot& snap) {
+  LAMO_CHECK(snap.version >= kMinSnapshotVersion &&
+             snap.version <= kSnapshotVersion)
+      << "unencodable snapshot version " << snap.version;
   std::string out;
   out.append(kSnapshotMagic, sizeof kSnapshotMagic);
-  PutU32(&out, kSnapshotVersion);
+  PutU32(&out, snap.version);
 
   // -- shard section --
   PutU32(&out, snap.num_shards);
@@ -538,6 +565,13 @@ std::string EncodeSnapshot(const Snapshot& snap) {
     PutU32Vec(&out, cats);
   }
 
+  // -- predictor section (version 3) --
+  if (snap.version >= 3) {
+    PutU64Vec(&out, snap.gds_signatures);
+    PutU32(&out, snap.role_dim);
+    PutDoubleVec(&out, snap.role_vectors);
+  }
+
   PutU64(&out, Checksum(out.data(), out.size()));
   return out;
 }
@@ -572,15 +606,16 @@ StatusOr<Snapshot> DecodeSnapshot(const std::string& bytes) {
   in.GetU8();  // magic, already validated
   for (size_t i = 1; i < sizeof kSnapshotMagic; ++i) in.GetU8();
   const uint32_t version = in.GetU32();
-  if (version != kSnapshotVersion) {
+  if (version < kMinSnapshotVersion || version > kSnapshotVersion) {
     return Status::InvalidArgument(
         "unsupported snapshot version " + std::to_string(version) +
-        " (this build reads version " + std::to_string(kSnapshotVersion) +
-        ")");
+        " (this build reads versions " + std::to_string(kMinSnapshotVersion) +
+        ".." + std::to_string(kSnapshotVersion) + ")");
   }
 
   Snapshot snap;
   snap.checksum = actual;
+  snap.version = version;
 
   // -- shard section --
   snap.num_shards = in.GetU32();
@@ -775,6 +810,21 @@ StatusOr<Snapshot> DecodeSnapshot(const std::string& bytes) {
     snap.protein_categories[p] = in.GetU32Vec("protein categories");
     if (in.ok() && !IdsBelow(snap.protein_categories[p], num_terms)) {
       in.Fail("protein category out of range");
+    }
+  }
+
+  // -- predictor section (version 3; absent in version 2 files) --
+  if (version >= 3) {
+    snap.gds_signatures = in.GetU64Vec("gds signatures");
+    if (in.ok() && snap.gds_signatures.size() != num_proteins * kGdsOrbits) {
+      in.Fail("GDS signature matrix size does not match the graph");
+    }
+    snap.role_dim = in.GetU32();
+    snap.role_vectors = in.GetDoubleVec("role vectors");
+    if (in.ok() && (snap.role_dim == 0 ||
+                    snap.role_vectors.size() !=
+                        num_proteins * static_cast<size_t>(snap.role_dim))) {
+      in.Fail("role vector matrix size does not match the graph");
     }
   }
 

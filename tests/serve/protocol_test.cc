@@ -9,6 +9,9 @@
 #include <vector>
 
 #include "obs/obs.h"
+#include "predict/gds.h"
+#include "predict/labeled_motif_predictor.h"
+#include "predict/role_similarity.h"
 #include "serve/request.h"
 #include "serve/server.h"
 #include "serve/snapshot.h"
@@ -167,6 +170,55 @@ TEST_F(ServiceTest, PredictMatchesOfflineFormatter) {
               FormatOkResponse(lines))
         << "protein " << p;
   }
+}
+
+TEST_F(ServiceTest, UsePredictorSwapsBackendAndMatchesOffline) {
+  EXPECT_EQ(service_.predictor_name(), "lms");
+  ASSERT_TRUE(service_.UsePredictor("gds").ok());
+  EXPECT_EQ(service_.predictor_name(), "gds");
+  EXPECT_NE(service_.Handle("STATS").find("predictor gds"),
+            std::string::npos);
+
+  // Served answers under the swapped backend are byte-identical to an
+  // offline GdsPredictor built from the snapshot's precomputed matrices.
+  const Snapshot& snapshot = service_.snapshot();
+  PredictionContext context;
+  context.ppi = &snapshot.graph;
+  context.categories = snapshot.categories;
+  context.protein_categories = snapshot.protein_categories;
+  const GdsPredictor gds(context, snapshot.gds_signatures);
+  for (ProteinId p = 0; p < snapshot.graph.num_vertices(); p += 17) {
+    EXPECT_EQ(service_.Handle("PREDICT " + std::to_string(p)),
+              FormatOkResponse(
+                  PredictionOutputLines(context, snapshot.ontology, gds, p, 3)))
+        << "protein " << p;
+  }
+
+  // And the role backend swaps in the same way.
+  ASSERT_TRUE(service_.UsePredictor("role").ok());
+  EXPECT_EQ(service_.predictor_name(), "role");
+  EXPECT_NE(service_.Handle("STATS").find("predictor role"),
+            std::string::npos);
+}
+
+TEST_F(ServiceTest, UsePredictorRejectsUnknownName) {
+  const Status status = service_.UsePredictor("nope");
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(service_.predictor_name(), "lms");  // active backend unchanged
+}
+
+TEST(SnapshotServiceVersionTest, Version2SnapshotServesOnlyLms) {
+  Snapshot v2 = TestSnapshot();
+  v2.version = 2;
+  v2.gds_signatures.clear();
+  v2.role_dim = 0;
+  v2.role_vectors.clear();
+  SnapshotService service(std::move(v2));
+  EXPECT_TRUE(service.UsePredictor("lms").ok());
+  const Status status = service.UsePredictor("gds");
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("repack"), std::string::npos)
+      << status.ToString();
 }
 
 TEST_F(ServiceTest, MotifsListsSites) {

@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <string>
 
+#include "predict/gds.h"
 #include "serve/snapshot.h"
 #include "serve_test_util.h"
 
@@ -137,6 +138,53 @@ TEST_F(SnapshotTest, RoundTripPreservesEverything) {
   }
   EXPECT_EQ(decoded->categories, original.categories);
   EXPECT_EQ(decoded->protein_categories, original.protein_categories);
+
+  // Predictor section (version 3): the precomputed GDS signature and role
+  // vector matrices survive byte-for-byte.
+  EXPECT_EQ(decoded->version, kSnapshotVersion);
+  EXPECT_EQ(decoded->gds_signatures, original.gds_signatures);
+  EXPECT_EQ(decoded->role_dim, original.role_dim);
+  EXPECT_EQ(decoded->role_vectors, original.role_vectors);
+}
+
+TEST_F(SnapshotTest, PredictorSectionIsNontrivial) {
+  const Snapshot& snapshot = TestSnapshot();
+  ASSERT_EQ(snapshot.gds_signatures.size(),
+            snapshot.graph.num_vertices() * kGdsOrbits);
+  ASSERT_GT(snapshot.role_dim, 0u);
+  ASSERT_EQ(snapshot.role_vectors.size(),
+            snapshot.graph.num_vertices() * snapshot.role_dim);
+  // A real network produces nonzero orbit counts and role features.
+  uint64_t signature_sum = 0;
+  for (const uint64_t cell : snapshot.gds_signatures) signature_sum += cell;
+  EXPECT_GT(signature_sum, 0u);
+}
+
+TEST_F(SnapshotTest, Version2EncodeDecodesWithEmptyPredictorSection) {
+  Snapshot v2 = TestSnapshot();
+  v2.version = 2;
+  const std::string bytes = EncodeSnapshot(v2);
+  EXPECT_LT(bytes.size(), encoded_->size());  // no predictor section
+  auto decoded = DecodeSnapshot(bytes);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->version, 2u);
+  EXPECT_TRUE(decoded->gds_signatures.empty());
+  EXPECT_EQ(decoded->role_dim, 0u);
+  EXPECT_TRUE(decoded->role_vectors.empty());
+  // Everything else is intact: re-encoding the decoded image at version 2
+  // reproduces the file.
+  EXPECT_EQ(EncodeSnapshot(*decoded), bytes);
+  EXPECT_EQ(decoded->categories, TestSnapshot().categories);
+}
+
+TEST_F(SnapshotTest, ShardsKeepTheFullPredictorSection) {
+  // Scoring must be identical on every shard, so the precomputed matrices
+  // are never sliced by ownership.
+  const Snapshot shard = MakeShard(TestSnapshot(), 1, 2);
+  EXPECT_EQ(shard.gds_signatures, TestSnapshot().gds_signatures);
+  EXPECT_EQ(shard.role_dim, TestSnapshot().role_dim);
+  EXPECT_EQ(shard.role_vectors, TestSnapshot().role_vectors);
+  EXPECT_EQ(shard.version, TestSnapshot().version);
 }
 
 TEST_F(SnapshotTest, FileRoundTrip) {
@@ -172,13 +220,51 @@ TEST_F(SnapshotTest, RejectsBadMagic) {
 }
 
 TEST_F(SnapshotTest, RejectsUnsupportedVersion) {
-  std::string bytes = *encoded_;
-  bytes[8] = static_cast<char>(kSnapshotVersion + 1);  // u32 LE low byte
-  Reseal(&bytes);  // valid checksum: must fail on the version, not the seal
-  const auto result = DecodeSnapshot(bytes);
+  // Both off the top (a future format) and off the bottom (the pre-shard v1
+  // layout) of the supported [kMinSnapshotVersion, kSnapshotVersion] range.
+  for (const uint32_t bad :
+       {kSnapshotVersion + 1, kMinSnapshotVersion - 1}) {
+    std::string bytes = *encoded_;
+    bytes[8] = static_cast<char>(bad);  // u32 LE low byte
+    Reseal(&bytes);  // valid checksum: must fail on the version, not the seal
+    const auto result = DecodeSnapshot(bytes);
+    ASSERT_FALSE(result.ok()) << "version " << bad;
+    EXPECT_NE(result.status().message().find("version"), std::string::npos)
+        << result.status().ToString();
+  }
+}
+
+// ---- predictor-section corruption ------------------------------------------
+
+TEST_F(SnapshotTest, RejectsMisshapenGdsSignatureMatrix) {
+  Snapshot bad = TestSnapshot();
+  bad.gds_signatures.pop_back();  // no longer n x 73
+  const auto result = DecodeSnapshot(EncodeSnapshot(bad));
   ASSERT_FALSE(result.ok());
-  EXPECT_NE(result.status().message().find("version"), std::string::npos)
+  EXPECT_NE(result.status().message().find("GDS signature"),
+            std::string::npos)
       << result.status().ToString();
+}
+
+TEST_F(SnapshotTest, RejectsMisshapenRoleVectorMatrix) {
+  Snapshot bad = TestSnapshot();
+  bad.role_vectors.pop_back();  // no longer n x role_dim
+  EXPECT_FALSE(DecodeSnapshot(EncodeSnapshot(bad)).ok());
+
+  Snapshot zero_dim = TestSnapshot();
+  zero_dim.role_dim = 0;  // dim 0 with a nonempty matrix is incoherent
+  EXPECT_FALSE(DecodeSnapshot(EncodeSnapshot(zero_dim)).ok());
+}
+
+TEST_F(SnapshotTest, RejectsPredictorSectionTruncation) {
+  // A version-3 header with the bytes ending where a version-2 file would
+  // (predictor section missing entirely) must fail, not silently decode.
+  Snapshot v2 = TestSnapshot();
+  v2.version = 2;
+  std::string bytes = EncodeSnapshot(v2);
+  bytes[8] = 3;  // claim version 3
+  Reseal(&bytes);
+  EXPECT_FALSE(DecodeSnapshot(bytes).ok());
 }
 
 TEST_F(SnapshotTest, RejectsTruncation) {

@@ -45,7 +45,7 @@
 #include "obs/run_report.h"
 #include "obs/trace.h"
 #include "parallel/parallel_for.h"
-#include "predict/labeled_motif_predictor.h"
+#include "predict/registry.h"
 #include "router/cluster.h"
 #include "router/router.h"
 #include "serve/access_log.h"
@@ -213,6 +213,12 @@ class ObsScope {
     }
   }
 
+  // Records a string fact about this run (e.g. the selected predictor
+  // backend) for the report's "annotations" object.
+  void Annotate(const std::string& key, const std::string& value) {
+    annotations_[key] = value;
+  }
+
   // Uninstalls the sink and tracer, prints the --stats summary, writes the
   // --report JSON and the --trace Chrome trace. Returns the command's exit
   // code (non-zero on report/trace I/O failure).
@@ -227,8 +233,8 @@ class ObsScope {
     const size_t threads = ThreadCount();
     if (stats_) PrintRunSummary(*sink_, command, threads, stderr);
     if (!report_path_.empty()) {
-      const Status status =
-          WriteRunReport(*sink_, command, threads, report_path_);
+      const Status status = WriteRunReport(*sink_, command, threads,
+                                           report_path_, annotations_);
       if (!status.ok()) return Fail(status);
     }
     return 0;
@@ -238,6 +244,7 @@ class ObsScope {
   std::string report_path_;
   std::string trace_path_;
   bool stats_;
+  std::map<std::string, std::string> annotations_;
   std::optional<ObsSink> sink_;
   std::optional<TraceCollector> tracer_;
 };
@@ -381,9 +388,25 @@ int CmdLabel(const Flags& flags) {
   return obs.Finish("label");
 }
 
+/// Resolves the --predictor flag (default "lms") against the backend
+/// registry. False means the name is not registered; the caller prints usage
+/// and exits 2, matching every other malformed-flag path.
+bool ResolvePredictorFlag(const Flags& flags, std::string* name) {
+  *name = flags.Get("predictor", "lms");
+  if (IsRegisteredPredictor(*name)) return true;
+  std::fprintf(stderr, "error: unknown --predictor \"%s\" (registered: %s)\n",
+               name->c_str(), PredictorNamesUsage().c_str());
+  return false;
+}
+
+int Usage();
+
 int CmdPredict(const Flags& flags) {
   ApplyThreadFlag(flags);
   ObsScope obs(flags);
+  std::string predictor_name;
+  if (!ResolvePredictorFlag(flags, &predictor_name)) return Usage();
+  obs.Annotate("predictor", predictor_name);
   std::optional<ScopedTimer> load_timer;
   load_timer.emplace("load");
   auto graph = ReadEdgeList(flags.Get("graph", ""));
@@ -419,7 +442,12 @@ int CmdPredict(const Flags& flags) {
     }
   }
 
-  LabeledMotifPredictor predictor(context, *ontology, *labeled);
+  PredictorInputs inputs;
+  inputs.context = &context;
+  inputs.ontology = &*ontology;
+  inputs.motifs = &*labeled;
+  auto predictor = MakePredictor(predictor_name, inputs);
+  if (!predictor.ok()) return Fail(predictor.status());
   const ProteinId protein =
       static_cast<ProteinId>(flags.GetSize("protein", 0));
   if (protein >= graph->num_vertices()) {
@@ -429,7 +457,7 @@ int CmdPredict(const Flags& flags) {
   // so online and offline answers are byte-identical by construction.
   const size_t top_k = flags.GetSize("top-k", 3);
   for (const std::string& line : PredictionOutputLines(
-           context, *ontology, predictor, protein, top_k)) {
+           context, *ontology, **predictor, protein, top_k)) {
     std::printf("%s\n", line.c_str());
   }
   predict_timer.reset();
@@ -454,12 +482,24 @@ int CmdPack(const Flags& flags) {
   InformativeConfig informative_config;
   informative_config.min_direct_proteins = flags.GetSize(
       "informative", std::max<size_t>(5, graph->num_vertices() / 140));
-  const auto snapshot = [&] {
+  auto snapshot = [&] {
     const ScopedTimer timer("build");
     return BuildSnapshot(std::move(*graph), std::move(*ontology),
                          std::move(*annotations), std::move(*labeled),
                          informative_config);
   }();
+  // --snapshot-version 2 writes the previous layout (no predictor section)
+  // for downgrade/compatibility testing; such a file serves lms only.
+  const size_t snapshot_version =
+      flags.GetSize("snapshot-version", kSnapshotVersion);
+  if (snapshot_version < kMinSnapshotVersion ||
+      snapshot_version > kSnapshotVersion) {
+    return Fail(Status::InvalidArgument(
+        "--snapshot-version must be in [" +
+        std::to_string(kMinSnapshotVersion) + ", " +
+        std::to_string(kSnapshotVersion) + "]"));
+  }
+  snapshot.version = static_cast<uint32_t>(snapshot_version);
 
   const std::string out = flags.Get("out", "model.lamosnap");
   {
@@ -528,22 +568,30 @@ int CmdServe(const Flags& flags) {
   if (!snapshot.ok()) return Fail(snapshot.status());
   load_timer.reset();
 
+  std::string predictor_name;
+  if (!ResolvePredictorFlag(flags, &predictor_name)) return Usage();
+  obs.Annotate("predictor", predictor_name);
   const size_t cache_capacity =
       flags.Has("no-cache")
           ? 0
           : flags.GetSize("cache-capacity", kDefaultServeCacheCapacity);
   SnapshotService service(std::move(*snapshot), cache_capacity);
+  if (predictor_name != "lms") {
+    const Status status = service.UsePredictor(predictor_name);
+    if (!status.ok()) return Fail(status);
+  }
   auto access_log = OpenAccessLog(flags);
   if (!access_log.ok()) return Fail(access_log.status());
   if (*access_log != nullptr) service.set_access_log(access_log->get());
   // Load banner on stderr: in --stdin mode stdout carries only responses.
   std::fprintf(stderr,
                "lamo serve: loaded %s (%zu proteins, %zu terms, %zu labeled "
-               "motifs, cache capacity %zu)\n",
+               "motifs, cache capacity %zu, predictor %s)\n",
                flags.Get("snapshot", "").c_str(),
                service.snapshot().graph.num_vertices(),
                service.snapshot().ontology.num_terms(),
-               service.snapshot().motifs.size(), cache_capacity);
+               service.snapshot().motifs.size(), cache_capacity,
+               service.predictor_name().c_str());
 
   std::optional<ScopedTimer> serve_timer;
   serve_timer.emplace("serve");
@@ -603,6 +651,21 @@ int CmdRouter(const Flags& flags) {
   cluster_options.backend_access_sample =
       std::max<uint64_t>(1, flags.GetSize("access-sample", 1));
   cluster_options.backend_slow_ms = flags.GetSize("slow-ms", 0);
+  // --predictors NAME[,NAME...] assigns backend i the i-th name (mod the
+  // list), so `--predictors lms,gds` A/B-splits a replicated cluster across
+  // two backends. Every name must be registered.
+  if (flags.Has("predictors")) {
+    for (const std::string& name : Split(flags.Get("predictors", ""), ',')) {
+      if (!IsRegisteredPredictor(name)) {
+        std::fprintf(stderr,
+                     "error: unknown predictor \"%s\" in --predictors "
+                     "(registered: %s)\n",
+                     name.c_str(), PredictorNamesUsage().c_str());
+        return Usage();
+      }
+      cluster_options.predictors.push_back(name);
+    }
+  }
   cluster_options.log = stdout;
   if (cluster_options.num_backends == 0 || cluster_options.num_backends > 64) {
     return Fail(Status::InvalidArgument("--backends must be in [1, 64]"));
@@ -672,6 +735,9 @@ int CmdFaultPoints(const Flags&) {
 }
 
 int Usage() {
+  // Predictor names render from the registry so this text cannot drift from
+  // the factories (the same string validates --predictor/--predictors).
+  const std::string predictors = PredictorNamesUsage();
   std::fprintf(
       stderr,
       "usage: lamo <command> [--flag value ...]\n"
@@ -686,14 +752,18 @@ int Usage() {
       "            --out FILE\n"
       "  predict   --graph FILE --obo FILE --annotations FILE\n"
       "            --labeled FILE --protein ID --top-k K --threads N\n"
+      "            --predictor %s\n"
       "  pack      --graph FILE --obo FILE --annotations FILE --labeled FILE\n"
-      "            --informative T --shards N --out FILE.lamosnap\n"
+      "            --informative T --shards N --snapshot-version %u|%u\n"
+      "            --out FILE.lamosnap\n"
       "  serve     --snapshot FILE.lamosnap [--port P | --stdin]\n"
+      "            --predictor %s\n"
       "            --cache-capacity N --no-cache --threads N\n"
       "            --request-timeout-ms MS --idle-timeout-ms MS\n"
       "            --max-conns N --max-line-bytes B\n"
       "            --access-log FILE --access-sample N --slow-ms MS\n"
       "  router    --snapshot FILE.lamosnap --backends N\n"
+      "            --predictors NAME[,NAME...]   (NAME: %s)\n"
       "            --mode sharded|replicated --port P\n"
       "            --retry-deadline-ms MS --request-timeout-ms MS\n"
       "            --idle-timeout-ms MS --max-conns N --max-line-bytes B\n"
@@ -747,7 +817,21 @@ int Usage() {
       "so router and backend access logs correlate; METRICS on the router\n"
       "additionally scrapes every backend and re-exports its series with\n"
       "backend=/shard= labels. --backend-access-log PREFIX gives backend i\n"
-      "its own access log at PREFIX.<i>.\n");
+      "its own access log at PREFIX.<i>.\n"
+      "predict and serve answer through a pluggable predictor backend\n"
+      "(--predictor %s): lms votes from labeled motifs (the paper's\n"
+      "method), gds by graphlet-degree-signature similarity, role by\n"
+      "iterative role similarity; for the same backend, served PREDICT\n"
+      "responses are byte-identical to offline predict output. gds/role\n"
+      "serving needs the snapshot's predictor section (version %u;\n"
+      "--snapshot-version %u packs the old layout, which serves lms only).\n"
+      "router --predictors lms,gds interleaves backends across predictors\n"
+      "for A/B serving; STATS shows each backend's active predictor.\n",
+      predictors.c_str(), static_cast<unsigned>(kMinSnapshotVersion),
+      static_cast<unsigned>(kSnapshotVersion), predictors.c_str(),
+      predictors.c_str(), predictors.c_str(),
+      static_cast<unsigned>(kSnapshotVersion),
+      static_cast<unsigned>(kMinSnapshotVersion));
   return 2;
 }
 
@@ -797,7 +881,8 @@ const std::vector<Command>& Commands() {
                         {"annotations", FlagKind::kString},
                         {"labeled", FlagKind::kString},
                         {"protein", FlagKind::kSize},
-                        {"top-k", FlagKind::kSize}}),
+                        {"top-k", FlagKind::kSize},
+                        {"predictor", FlagKind::kString}}),
        CmdPredict},
       {"pack",
        WithCommonFlags({{"graph", FlagKind::kString},
@@ -806,10 +891,12 @@ const std::vector<Command>& Commands() {
                         {"labeled", FlagKind::kString},
                         {"informative", FlagKind::kSize},
                         {"shards", FlagKind::kSize},
+                        {"snapshot-version", FlagKind::kSize},
                         {"out", FlagKind::kString}}),
        CmdPack},
       {"serve",
        WithCommonFlags({{"snapshot", FlagKind::kString},
+                        {"predictor", FlagKind::kString},
                         {"port", FlagKind::kSize},
                         {"stdin", FlagKind::kBool},
                         {"cache-capacity", FlagKind::kSize},
@@ -824,6 +911,7 @@ const std::vector<Command>& Commands() {
        CmdServe},
       {"router",
        WithCommonFlags({{"snapshot", FlagKind::kString},
+                        {"predictors", FlagKind::kString},
                         {"backends", FlagKind::kSize},
                         {"mode", FlagKind::kString},
                         {"port", FlagKind::kSize},

@@ -260,6 +260,37 @@ int Check(const std::string& path, int num_required, char** required) {
       }
     }
   }
+  // Predict reports must say which backend answered (the registry key in
+  // the "annotations" object), so archived reports and A/B comparisons stay
+  // attributable. Other commands may omit annotations — older reports
+  // predate the key entirely.
+  const JsonValue* command = report.Find("command");
+  const JsonValue* annotations = report.Find("annotations");
+  if (annotations != nullptr && !annotations->is_object()) {
+    return Fail("\"annotations\" is not an object");
+  }
+  if (command != nullptr && command->is_string() &&
+      command->string_value == "predict") {
+    const JsonValue* predictor =
+        annotations == nullptr ? nullptr : annotations->Find("predictor");
+    if (predictor == nullptr || !predictor->is_string() ||
+        predictor->string_value.empty()) {
+      return Fail("predict report lacks annotations.predictor");
+    }
+  }
+  // Predictor backends: every scored protein that produced a ranking had at
+  // least one vote behind it, so predictions can never outnumber votes; and
+  // the GDS signature matrix is per-protein rows of the 73 graphlet orbits,
+  // so its cell counter must be a multiple of 73.
+  if (counter_value("predict.predictions") > counter_value("predict.votes")) {
+    return Fail("predict.predictions exceeds predict.votes");
+  }
+  {
+    const double cells = counter_value("gds.signature_cells");
+    if (cells != 73.0 * static_cast<uint64_t>(cells / 73.0)) {
+      return Fail("gds.signature_cells is not a multiple of 73 orbits");
+    }
+  }
   // Shared canonicalization table: Lookup ticks the lookup counter and then
   // exactly one of hit/miss, so the totals must agree exactly on every run
   // that used the table.
