@@ -22,6 +22,14 @@ for bench in build/bench/*; do
       "$bench" --benchmark_out="$OUT/$name.json" \
         --benchmark_out_format=json | tee "$OUT/$name.txt"
       ;;
+    bench_update)
+      # Dynamic-interactome perf gate: one incremental UpdateEngine::Apply
+      # must beat a full re-mine+relabel+repack by 10x; BENCH_update.json
+      # archives the measured ratio so the incremental path is tracked
+      # across PRs like the mining and routing throughput numbers.
+      "$bench" --json "$OUT/BENCH_update.json" --min-speedup 10 \
+        | tee "$OUT/$name.txt"
+      ;;
     bench_fig9_precision_recall)
       # Also archives the registered-backend comparison (LabeledMotif vs
       # GDS vs RoleSimilarity leave-one-out P/R, the same backends `lamo
@@ -183,7 +191,8 @@ PYEOF
 # ThreadSanitizer smoke run of the parallel runtime, the tracer and the
 # serving stack: rebuilds those tests under -fsanitize=thread and fails on
 # any reported race (serve_tests hammers the sharded cache and the stream
-# server from multiple threads; router_tests exercises the monitor/reload
+# server from multiple threads, plus the live-update writer applying
+# ADDEDGE/DELEDGE against concurrent PREDICT readers in update_test; router_tests exercises the monitor/reload
 # threads against live backend processes; motif_tests drives the shared
 # canonicalization table — lock-free CAS inserts on the dense path, mutex
 # shards past k=6 — from concurrent enumeration chunks; obs_tests hammers
@@ -205,8 +214,9 @@ LAMO_THREADS=4 ./build-tsan/tests/predict_tests
 # AddressSanitizer smoke run alongside it: the motif + obs tests cover the
 # enumeration hot paths and the metrics layer's thread-local blocks,
 # graph_tests runs the GraphIndex property battery (bitset kernels, CSR
-# round trips), serve_tests replays the snapshot corruption matrix under
-# ASan, and io_tests runs the parser fuzz matrix (every reader x 500
+# round trips), serve_tests replays the snapshot corruption matrix and the
+# incremental-update differential (update_test's in-place occurrence/site
+# patches are the overwrite-prone path) under ASan, and io_tests runs the parser fuzz matrix (every reader x 500
 # deterministic mutations) plus the GraphIndex build fuzz (500 mutated edge
 # lists through ReadEdgeList -> index build -> Validate) where ASan turns
 # silent overreads into hard failures; predict_tests runs the GDS

@@ -1,0 +1,103 @@
+#include "graph/mutable_index.h"
+
+#include <algorithm>
+#include <string>
+
+namespace lamo {
+namespace {
+
+Status CheckEndpoints(size_t n, VertexId u, VertexId v) {
+  if (u >= n || v >= n) {
+    return Status::InvalidArgument("edge endpoint out of range: {" +
+                                   std::to_string(u) + ", " +
+                                   std::to_string(v) + "} on " +
+                                   std::to_string(n) + " vertices");
+  }
+  if (u == v) {
+    return Status::InvalidArgument("self-link {" + std::to_string(u) + ", " +
+                                   std::to_string(u) + "} rejected");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+MutableGraphIndex::MutableGraphIndex(const Graph& g, size_t dense_vertex_limit)
+    : adjacency_(g.num_vertices()),
+      num_edges_(g.num_edges()),
+      dense_vertex_limit_(dense_vertex_limit) {
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const auto nbrs = g.Neighbors(v);
+    adjacency_[v].assign(nbrs.begin(), nbrs.end());
+  }
+}
+
+bool MutableGraphIndex::HasEdge(VertexId u, VertexId v) const {
+  if (u >= adjacency_.size() || v >= adjacency_.size()) return false;
+  const std::vector<VertexId>& nbrs =
+      adjacency_[u].size() <= adjacency_[v].size() ? adjacency_[u]
+                                                   : adjacency_[v];
+  const VertexId other =
+      adjacency_[u].size() <= adjacency_[v].size() ? v : u;
+  return std::binary_search(nbrs.begin(), nbrs.end(), other);
+}
+
+Status MutableGraphIndex::AddEdge(VertexId u, VertexId v) {
+  const Status check = CheckEndpoints(adjacency_.size(), u, v);
+  if (!check.ok()) return check;
+  if (HasEdge(u, v)) {
+    return Status::AlreadyExists("edge {" + std::to_string(u) + ", " +
+                                 std::to_string(v) + "} already present");
+  }
+  adjacency_[u].insert(
+      std::lower_bound(adjacency_[u].begin(), adjacency_[u].end(), v), v);
+  adjacency_[v].insert(
+      std::lower_bound(adjacency_[v].begin(), adjacency_[v].end(), u), u);
+  ++num_edges_;
+  dirty_ = true;
+  return Status::OK();
+}
+
+Status MutableGraphIndex::RemoveEdge(VertexId u, VertexId v) {
+  const Status check = CheckEndpoints(adjacency_.size(), u, v);
+  if (!check.ok()) return check;
+  if (!HasEdge(u, v)) {
+    return Status::NotFound("edge {" + std::to_string(u) + ", " +
+                            std::to_string(v) + "} does not exist");
+  }
+  adjacency_[u].erase(
+      std::lower_bound(adjacency_[u].begin(), adjacency_[u].end(), v));
+  adjacency_[v].erase(
+      std::lower_bound(adjacency_[v].begin(), adjacency_[v].end(), u));
+  --num_edges_;
+  dirty_ = true;
+  return Status::OK();
+}
+
+const Graph& MutableGraphIndex::graph() {
+  Materialize();
+  return graph_;
+}
+
+const GraphIndex& MutableGraphIndex::index() {
+  Materialize();
+  return index_;
+}
+
+void MutableGraphIndex::Materialize() {
+  if (!dirty_) return;
+  GraphBuilder builder(adjacency_.size());
+  for (VertexId v = 0; v < adjacency_.size(); ++v) {
+    for (const VertexId w : adjacency_[v]) {
+      if (v < w) {
+        const Status status = builder.AddEdge(v, w);
+        (void)status;  // endpoints were validated at edit time
+      }
+    }
+  }
+  graph_ = builder.Build();
+  index_ = GraphIndex(graph_, dense_vertex_limit_);
+  dirty_ = false;
+}
+
+}  // namespace lamo

@@ -1,0 +1,75 @@
+#ifndef LAMO_GRAPH_MUTABLE_INDEX_H_
+#define LAMO_GRAPH_MUTABLE_INDEX_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/graph_index.h"
+#include "util/status.h"
+
+namespace lamo {
+
+/// A mutable adjacency overlay over the immutable Graph/GraphIndex pair — the
+/// graph-layer half of the dynamic-interactome path. Graph and GraphIndex
+/// stay build-once artifacts (every mining and serving hot path keeps its
+/// flat CSR + dense-bitset layout); this class owns the edit state as sorted
+/// per-vertex neighbor lists and re-materializes both immutable views lazily
+/// after a batch of edits.
+///
+/// Edits are validated (range, self-link, duplicate add, missing delete) so
+/// callers can rely on the overlay and the materialized views never
+/// disagreeing. Materialization is deterministic: the same edit sequence
+/// always yields byte-identical CSR arrays, which the serve-path update
+/// engine depends on for its online/offline byte-identity contract.
+///
+/// Cost model: an edit is O(degree) (one sorted insert/erase); Materialize is
+/// O(n + m log m) via GraphBuilder. At PPI scale (thousands of vertices, tens
+/// of thousands of edges) a full re-materialization is microseconds — noise
+/// next to the subgraph re-enumeration an update triggers — so no
+/// incremental CSR surgery is attempted.
+class MutableGraphIndex {
+ public:
+  /// Copies the adjacency of `g`. `dense_vertex_limit` is forwarded to every
+  /// GraphIndex this overlay materializes (tests pass 0 to force the sparse
+  /// index paths).
+  explicit MutableGraphIndex(
+      const Graph& g, size_t dense_vertex_limit = GraphIndex::kDenseVertexLimit);
+
+  size_t num_vertices() const { return adjacency_.size(); }
+  size_t num_edges() const { return num_edges_; }
+
+  /// True iff the undirected edge {u, v} exists in the *current* (edited)
+  /// adjacency. O(log degree).
+  bool HasEdge(VertexId u, VertexId v) const;
+
+  /// Adds the undirected edge {u, v}. InvalidArgument when an endpoint is
+  /// out of range, u == v, or the edge already exists.
+  Status AddEdge(VertexId u, VertexId v);
+
+  /// Removes the undirected edge {u, v}. InvalidArgument when an endpoint is
+  /// out of range, u == v, or the edge does not exist.
+  Status RemoveEdge(VertexId u, VertexId v);
+
+  /// The current adjacency as an immutable Graph, re-materialized lazily
+  /// after edits. The reference is invalidated by the next edit.
+  const Graph& graph();
+
+  /// The current adjacency as a query index, re-materialized lazily after
+  /// edits (same dense/sparse mode as construction chose). The reference is
+  /// invalidated by the next edit.
+  const GraphIndex& index();
+
+ private:
+  void Materialize();
+
+  std::vector<std::vector<VertexId>> adjacency_;  // sorted neighbor lists
+  size_t num_edges_ = 0;
+  size_t dense_vertex_limit_;
+  bool dirty_ = true;
+  Graph graph_;
+  GraphIndex index_;
+};
+
+}  // namespace lamo
+
+#endif  // LAMO_GRAPH_MUTABLE_INDEX_H_

@@ -34,6 +34,11 @@ const size_t kObsReloads = ObsCounterId("router.reloads");
 const size_t kObsConnections = ObsCounterId("router.connections");
 const size_t kObsIdsIssued = ObsCounterId("router.ids_issued");
 const size_t kObsAccessLogged = ObsCounterId("router.access_logged");
+/// Edge mutations (ADDEDGE/DELEDGE) fanned out to every backend. These are
+/// admin-style: id 0, not counted as proxied/backend_requests (they go to
+/// all N backends, which would break the proxied == backend_requests
+/// invariant), and a backend-relayed rejection is not a router error.
+const size_t kObsUpdatesFanned = ObsCounterId("router.updates_fanned");
 const size_t kHistRequestUs = ObsHistogramId("router.request_us");
 
 uint64_t ElapsedUs(Clock::time_point start) {
@@ -121,9 +126,16 @@ std::string RouterService::Handle(const std::string& line) {
         case RequestType::kMetrics:
           response = Metrics();
           break;
+        case RequestType::kAddEdge:
+        case RequestType::kDelEdge:
+          // Admin-style (id 0): applied on every backend or reported as a
+          // failure, never silently partial.
+          response = FanOutUpdate(request);
+          break;
         case RequestType::kPredict:
         case RequestType::kMotifs:
-        case RequestType::kTermInfo: {
+        case RequestType::kTermInfo:
+        case RequestType::kPredictEdge: {
           id = next_id_.fetch_add(1, std::memory_order_relaxed);
           stats_.ids_issued.fetch_add(1, std::memory_order_relaxed);
           ObsIncrement(kObsIdsIssued);
@@ -238,6 +250,51 @@ std::string RouterService::Route(const std::string& key, uint32_t protein,
     ObsIncrement(kObsRetries);
   }
   return FormatErrorResponse(last);
+}
+
+std::string RouterService::FanOutUpdate(const Request& request) {
+  // An edge mutation must land on every backend or the shards' global
+  // frequency/strength state diverges, so refuse up front unless the whole
+  // cluster is up — the client retries once the supervisor has respawned
+  // the missing backend.
+  const std::string line = CacheKey(request);
+  for (size_t i = 0; i < cluster_->size(); ++i) {
+    const BackendState state = cluster_->backend(i).state();
+    if (state != BackendState::kUp) {
+      return FormatErrorResponse(Status::Unavailable(
+          "backend " + std::to_string(i) + " " + BackendStateName(state) +
+          "; update not applied"));
+    }
+  }
+  size_t applied = 0;
+  for (size_t i = 0; i < cluster_->size(); ++i) {
+    std::string response;
+    const Status status = cluster_->backend(i).SendRequest(line, &response);
+    const bool ok = status.ok() && response.rfind("OK", 0) == 0;
+    if (ok) {
+      ++applied;
+      continue;
+    }
+    if (applied == 0 && status.ok()) {
+      // First backend rejected (bad vertex, duplicate edge, ...). Nothing
+      // has been applied anywhere, and the same validation would fail on
+      // every backend, so relay its answer verbatim.
+      return response;
+    }
+    std::string detail = status.ok()
+                             ? response.substr(0, response.find('\n'))
+                             : status.message();
+    return FormatErrorResponse(Status::Internal(
+        "backend " + std::to_string(i) + " failed \"" + line + "\" (" +
+        detail + "); applied on " + std::to_string(applied) + "/" +
+        std::to_string(cluster_->size()) +
+        " backends — cluster may be inconsistent, RELOAD to converge"));
+  }
+  ObsIncrement(kObsUpdatesFanned);
+  char out[256];
+  std::snprintf(out, sizeof out, "applied %s backends=%zu", line.c_str(),
+                applied);
+  return FormatOkResponse({out});
 }
 
 std::string RouterService::Health() {

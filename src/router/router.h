@@ -23,8 +23,11 @@ namespace lamo {
 ///
 /// `lamo router` front-end: speaks the same line protocol as `lamo serve`,
 /// but instead of answering from a snapshot it forwards PREDICT / MOTIFS /
-/// TERMINFO to one of N supervised backend serve processes and aggregates
-/// HEALTH / STATS into cluster views. Placement is sharded (protein % N,
+/// TERMINFO / PREDICT_EDGE to one of N supervised backend serve processes,
+/// fans the edge mutations ADDEDGE / DELEDGE out to every backend (each
+/// shard keeps the full graph and the global motif frequencies, so all of
+/// them must see every delta), and aggregates HEALTH / STATS into cluster
+/// views. Placement is sharded (protein % N,
 /// matching `lamo pack --shards`) or replicated (consistent hashing with
 /// least-loaded fallback); see router/placement.h. The admin verb
 ///
@@ -103,6 +106,10 @@ class RouterService : public LineService {
   /// least-loaded candidate on failover.
   std::string Route(const std::string& key, uint32_t protein,
                     bool pinned, const std::string& line, RouteResult* result);
+  /// Fans an ADDEDGE/DELEDGE out to every backend sequentially. All-up
+  /// precondition, all-must-apply postcondition; a mid-sequence failure is
+  /// reported with how far it got so the operator can RELOAD to converge.
+  std::string FanOutUpdate(const Request& request);
   std::string Health();
   std::string StatsView();
   std::string Metrics();

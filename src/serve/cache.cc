@@ -49,6 +49,25 @@ void ResponseCache::Put(const std::string& key, std::string value) {
   }
 }
 
+size_t ResponseCache::EraseIf(
+    const std::function<bool(const std::string&)>& pred) {
+  if (capacity_ == 0) return 0;
+  size_t erased = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (auto it = shard->entries.begin(); it != shard->entries.end();) {
+      if (pred(it->first)) {
+        shard->index.erase(it->first);
+        it = shard->entries.erase(it);
+        ++erased;
+      } else {
+        ++it;
+      }
+    }
+  }
+  return erased;
+}
+
 size_t ResponseCache::size() const {
   size_t total = 0;
   for (const auto& shard : shards_) {

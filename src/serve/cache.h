@@ -2,6 +2,7 @@
 #define LAMO_SERVE_CACHE_H_
 
 #include <cstddef>
+#include <functional>
 #include <list>
 #include <memory>
 #include <mutex>
@@ -35,6 +36,12 @@ class ResponseCache {
   /// Inserts or refreshes `key`, evicting the shard's least-recently-used
   /// entry when its slice is full.
   void Put(const std::string& key, std::string value);
+
+  /// Removes every entry whose key satisfies `pred`; returns how many were
+  /// dropped. Live updates use this to invalidate exactly the responses an
+  /// edge mutation can change (per-shard scan — invalidation is rare next
+  /// to queries, so O(entries) under short per-shard locks is fine).
+  size_t EraseIf(const std::function<bool(const std::string&)>& pred);
 
   /// Entries currently held, summed over shards.
   size_t size() const;

@@ -99,6 +99,19 @@ StatusOr<Request> ParseRequest(const std::string& line) {
     request.type = RequestType::kMetrics;
     return request;
   }
+  if (verb == "ADDEDGE" || verb == "DELEDGE" || verb == "PREDICT_EDGE") {
+    if (tokens.size() != 3) return BadArity(verb.c_str(), "<u> <v>");
+    uint64_t u = 0, v = 0;
+    if (!ParseUint64(tokens[1], &u) || !ParseUint64(tokens[2], &v)) {
+      return Status::InvalidArgument(verb + ": proteins must be integers");
+    }
+    request.type = verb == "ADDEDGE"   ? RequestType::kAddEdge
+                   : verb == "DELEDGE" ? RequestType::kDelEdge
+                                       : RequestType::kPredictEdge;
+    request.protein = static_cast<ProteinId>(u);
+    request.protein2 = static_cast<ProteinId>(v);
+    return request;
+  }
   return Status::InvalidArgument("unknown command \"" + verb + "\"");
 }
 
@@ -111,6 +124,13 @@ bool IsCacheable(RequestType type) {
     case RequestType::kHealth:
     case RequestType::kStats:
     case RequestType::kMetrics:
+      return false;
+    // Mutations are never cacheable; PREDICT_EDGE answers depend on live
+    // graph state that updates would have to invalidate pairwise — cheaper
+    // to always score (the enumeration is a few hundred local subgraphs).
+    case RequestType::kAddEdge:
+    case RequestType::kDelEdge:
+    case RequestType::kPredictEdge:
       return false;
   }
   return false;
@@ -131,6 +151,17 @@ std::string CacheKey(const Request& request) {
       return "STATS";
     case RequestType::kMetrics:
       return "METRICS";
+    // Not cacheable, but the canonical render doubles as the line the
+    // router forwards to every backend on mutation fan-out.
+    case RequestType::kAddEdge:
+      return "ADDEDGE " + std::to_string(request.protein) + " " +
+             std::to_string(request.protein2);
+    case RequestType::kDelEdge:
+      return "DELEDGE " + std::to_string(request.protein) + " " +
+             std::to_string(request.protein2);
+    case RequestType::kPredictEdge:
+      return "PREDICT_EDGE " + std::to_string(request.protein) + " " +
+             std::to_string(request.protein2);
   }
   return {};
 }

@@ -22,6 +22,10 @@ namespace lamo {
 ///   HEALTH                  snapshot identity + readiness (one line)
 ///   STATS                   server counters (requests, cache, connections)
 ///   METRICS                 Prometheus text exposition of the obs registry
+///   ADDEDGE <u> <v>         admin: add interaction {u, v} to the live graph
+///   DELEDGE <u> <v>         admin: remove interaction {u, v}
+///   PREDICT_EDGE <u> <v>    score candidate interaction {u, v} by motif
+///                           completion (edge must be absent)
 ///
 /// Any request line may carry an optional leading request-ID token
 /// `#<u64>` (e.g. `#17 PREDICT 42 3`): the router stamps one per request
@@ -43,12 +47,16 @@ enum class RequestType : uint8_t {
   kHealth,
   kStats,
   kMetrics,
+  kAddEdge,
+  kDelEdge,
+  kPredictEdge,
 };
 
 /// One parsed request line.
 struct Request {
   RequestType type = RequestType::kHealth;
-  ProteinId protein = 0;          // PREDICT / MOTIFS
+  ProteinId protein = 0;          // PREDICT / MOTIFS / edge verbs (u)
+  ProteinId protein2 = 0;         // ADDEDGE / DELEDGE / PREDICT_EDGE (v)
   size_t top_k = kDefaultPredictTopK;  // PREDICT
   std::string term;               // TERMINFO
   uint64_t id = 0;                // `#<u64>` request-ID token (0 = none)

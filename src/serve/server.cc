@@ -14,6 +14,7 @@
 #include <future>
 #include <mutex>
 #include <thread>
+#include <unordered_set>
 #include <vector>
 
 #include "obs/obs.h"
@@ -21,7 +22,9 @@
 #include "parallel/parallel_for.h"
 #include "parallel/thread_pool.h"
 #include "predict/registry.h"
+#include "util/fault.h"
 #include "util/logging.h"
+#include "util/string_util.h"
 
 namespace lamo {
 namespace {
@@ -46,6 +49,32 @@ const size_t kObsTimeouts = ObsCounterId("serve.timeouts");
 const size_t kObsIdleReaped = ObsCounterId("serve.idle_reaped");
 const size_t kObsOverlongLines = ObsCounterId("serve.overlong_lines");
 const size_t kObsBackpressureWaits = ObsCounterId("serve.backpressure_waits");
+
+/// Live-update telemetry. applied == added + deleted always (report-check
+/// invariant); resubgraphs counts the connected k-sets re-enumerated around
+/// mutated edges (each also ticks esu.subgraphs, so resubgraphs <=
+/// esu.subgraphs holds in serve reports); journal_replayed counts entries
+/// re-applied at AttachJournal time after a restart.
+const size_t kObsUpdatesApplied = ObsCounterId("update.applied");
+const size_t kObsUpdatesAdded = ObsCounterId("update.added");
+const size_t kObsUpdatesDeleted = ObsCounterId("update.deleted");
+const size_t kObsUpdateOccAdded = ObsCounterId("update.occ_added");
+const size_t kObsUpdateOccRemoved = ObsCounterId("update.occ_removed");
+const size_t kObsUpdateResubgraphs = ObsCounterId("update.resubgraphs");
+const size_t kObsUpdateJournalReplayed = ObsCounterId("update.journal_replayed");
+const size_t kObsUpdateCacheEvicted = ObsCounterId("update.cache_evicted");
+const size_t kHistUpdateUs = ObsHistogramId("update.update_us");
+
+/// Armed between the durable journal append and the in-memory apply: a
+/// crash here proves replay reconstructs the acknowledged-but-unapplied
+/// update (the "entry present" consistency case).
+const size_t kFaultUpdateApply = FaultPointId("update.apply");
+
+/// True for the verbs that need the snapshot lock exclusively.
+bool NeedsExclusive(RequestType type) {
+  return type == RequestType::kAddEdge || type == RequestType::kDelEdge ||
+         type == RequestType::kPredictEdge;
+}
 
 using Clock = std::chrono::steady_clock;
 
@@ -81,6 +110,10 @@ SnapshotService::SnapshotService(Snapshot snapshot, size_t cache_capacity)
   context_.protein_categories = snapshot_.protein_categories;
   const Status status = UsePredictor("lms");
   LAMO_CHECK(status.ok());  // every snapshot carries the lms inputs
+  // The update engine borrows the snapshot in place; snapshot_.graph keeps
+  // its address across updates (contents are reassigned), so context_.ppi
+  // stays valid.
+  engine_ = std::make_unique<UpdateEngine>(&snapshot_);
 }
 
 Status SnapshotService::UsePredictor(const std::string& name) {
@@ -125,6 +158,20 @@ std::string SnapshotService::Handle(const std::string& line) {
   } else {
     const Request& request = *parsed;
     request_id = request.id;
+    // Queries share the snapshot lock; mutations (and PREDICT_EDGE, which
+    // borrows the update engine's scratch state) take it exclusively. The
+    // cache operations sit inside the lock so a reader can never Put a
+    // response computed against a pre-update snapshot after the update's
+    // invalidation pass ran.
+    std::shared_lock<std::shared_mutex> read_lock(snapshot_mu_,
+                                                  std::defer_lock);
+    std::unique_lock<std::shared_mutex> write_lock(snapshot_mu_,
+                                                   std::defer_lock);
+    if (NeedsExclusive(request.type)) {
+      write_lock.lock();
+    } else {
+      read_lock.lock();
+    }
     const bool cacheable = IsCacheable(request.type) && cache_.capacity() > 0;
     const std::string key = cacheable ? CacheKey(request) : std::string();
     if (cacheable && cache_.Get(key, &response)) {
@@ -180,8 +227,145 @@ StatusOr<std::vector<std::string>> SnapshotService::Payload(
       return Stats();
     case RequestType::kMetrics:
       return Metrics();
+    case RequestType::kAddEdge:
+    case RequestType::kDelEdge:
+      return ApplyEdge(request);
+    case RequestType::kPredictEdge:
+      return PredictEdge(request);
   }
   return Status::Internal("unhandled request type");
+}
+
+StatusOr<std::vector<std::string>> SnapshotService::ApplyEdge(
+    const Request& request) {
+  const bool add = request.type == RequestType::kAddEdge;
+  const VertexId u = request.protein;
+  const VertexId v = request.protein2;
+  Status status = engine_->Check(add, u, v);
+  if (!status.ok()) return status;
+  // Journal first (durably), then apply: at every kill point the journal
+  // either misses the entry (update never acked — replay gives the
+  // pre-update state) or holds it (replay gives the post-update state).
+  if (journal_ != nullptr) {
+    status = journal_->Append({add, u, v});
+    if (!status.ok()) return status;
+  }
+  const FaultAction fault = FaultHit(kFaultUpdateApply);
+  if (fault == FaultAction::kError) {
+    return Status::Internal(
+        "injected apply failure; the update is journaled and will replay on "
+        "restart");
+  }
+  const Clock::time_point start = Clock::now();
+  UpdateResult result;
+  status = engine_->Apply(add, u, v, &result);
+  if (!status.ok()) return status;
+  // The predictor indexes the pre-update motif state (lms copies the site
+  // index at construction); rebuild it from the patched snapshot.
+  status = UsePredictor(predictor_name_);
+  if (!status.ok()) return status;
+  const size_t evicted = InvalidateCache(result);
+
+  stats_.updates.fetch_add(1, std::memory_order_relaxed);
+  ObsIncrement(kObsUpdatesApplied);
+  ObsIncrement(add ? kObsUpdatesAdded : kObsUpdatesDeleted);
+  ObsAdd(kObsUpdateOccAdded, result.occ_added);
+  ObsAdd(kObsUpdateOccRemoved, result.occ_removed);
+  ObsAdd(kObsUpdateResubgraphs, result.resubgraphs);
+  ObsAdd(kObsUpdateCacheEvicted, evicted);
+  if (ObsEnabled()) ObsObserve(kHistUpdateUs, MicrosSince(start));
+
+  char buffer[192];
+  std::snprintf(buffer, sizeof buffer,
+                "applied %s %u %u resubgraphs=%zu occ_added=%zu "
+                "occ_removed=%zu affected=%zu evicted=%zu",
+                add ? "ADDEDGE" : "DELEDGE", u, v, result.resubgraphs,
+                result.occ_added, result.occ_removed, result.affected.size(),
+                evicted);
+  return std::vector<std::string>{buffer};
+}
+
+StatusOr<std::vector<std::string>> SnapshotService::PredictEdge(
+    const Request& request) {
+  EdgeScore score;
+  Status status = engine_->ScoreEdge(request.protein, request.protein2,
+                                     &score);
+  if (!status.ok()) return status;
+  std::vector<std::string> lines;
+  char buffer[192];
+  std::snprintf(buffer, sizeof buffer,
+                "candidate edge %u %u score %.3f completions %zu motifs %zu",
+                request.protein, request.protein2, score.score,
+                score.completions, score.per_motif.size());
+  lines.emplace_back(buffer);
+  for (const auto& [mi, count] : score.per_motif) {
+    const LabeledMotif& motif = snapshot_.motifs[mi];
+    std::snprintf(buffer, sizeof buffer,
+                  "  motif %u size %zu strength %.3f completions %zu", mi,
+                  motif.size(), motif.strength, count);
+    lines.emplace_back(buffer);
+  }
+  return lines;
+}
+
+size_t SnapshotService::InvalidateCache(const UpdateResult& result) {
+  if (cache_.capacity() == 0) return 0;
+  // gds ranks every protein against the whole signature matrix and role
+  // vectors are globally normalized, so when those inputs moved every
+  // PREDICT answer is suspect. lms answers depend only on the protein's
+  // own sites and the strengths of motifs siting it — both folded into
+  // `affected` by the engine.
+  const bool all_predicts =
+      (predictor_name_ == "gds" && result.signatures_changed) ||
+      (predictor_name_ == "role" && result.roles_changed);
+  std::unordered_set<std::string> exact;
+  std::unordered_set<std::string> predict_prefixes;
+  for (const VertexId p : result.affected) {
+    exact.insert("MOTIFS " + std::to_string(p));
+    predict_prefixes.insert("PREDICT " + std::to_string(p) + " ");
+  }
+  return cache_.EraseIf([&](const std::string& key) {
+    if (key.rfind("PREDICT ", 0) == 0) {
+      if (all_predicts) return true;
+      const size_t space = key.find(' ', 8);
+      return space != std::string::npos &&
+             predict_prefixes.count(key.substr(0, space + 1)) > 0;
+    }
+    return exact.count(key) > 0;
+  });
+}
+
+Status SnapshotService::AttachJournal(const std::string& path) {
+  std::vector<DeltaEntry> replay;
+  auto journal = UpdateJournal::Open(path, snapshot_.checksum, &replay);
+  if (!journal.ok()) return journal.status();
+  journal_ = std::make_unique<UpdateJournal>(std::move(journal).value());
+  // Re-apply journaled mutations in order — the crash-recovery path. Each
+  // replayed entry ticks the same update counters a live apply would, plus
+  // update.journal_replayed, so a restart is observable.
+  for (const DeltaEntry& entry : replay) {
+    UpdateResult result;
+    Status status = engine_->Apply(entry.add, entry.u, entry.v, &result);
+    if (!status.ok()) {
+      return Status::Corruption(
+          "journal replay failed at " + std::string(entry.add ? "ADDEDGE "
+                                                              : "DELEDGE ") +
+          std::to_string(entry.u) + " " + std::to_string(entry.v) + ": " +
+          status.message());
+    }
+    stats_.updates.fetch_add(1, std::memory_order_relaxed);
+    ObsIncrement(kObsUpdatesApplied);
+    ObsIncrement(entry.add ? kObsUpdatesAdded : kObsUpdatesDeleted);
+    ObsAdd(kObsUpdateOccAdded, result.occ_added);
+    ObsAdd(kObsUpdateOccRemoved, result.occ_removed);
+    ObsAdd(kObsUpdateResubgraphs, result.resubgraphs);
+    ObsIncrement(kObsUpdateJournalReplayed);
+  }
+  if (!replay.empty()) {
+    const Status status = UsePredictor(predictor_name_);
+    if (!status.ok()) return status;
+  }
+  return Status::OK();
 }
 
 StatusOr<std::vector<std::string>> SnapshotService::Predict(
@@ -292,6 +476,9 @@ std::vector<std::string> SnapshotService::Stats() const {
   lines.push_back(
       "connections " +
       std::to_string(stats_.connections.load(std::memory_order_relaxed)));
+  lines.push_back(
+      "updates " +
+      std::to_string(stats_.updates.load(std::memory_order_relaxed)));
   lines.push_back("threads " + std::to_string(ThreadCount()));
   // Monotonic-clock fields so external scrapers can turn counter deltas into
   // rates: uptime_s is seconds since this service was constructed and

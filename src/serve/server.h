@@ -10,14 +10,17 @@
 #include <memory>
 #include <mutex>
 #include <ostream>
+#include <shared_mutex>
 #include <string>
 
 #include "obs/window.h"
 #include "predict/predictor.h"
 #include "serve/access_log.h"
 #include "serve/cache.h"
+#include "serve/journal.h"
 #include "serve/request.h"
 #include "serve/snapshot.h"
+#include "serve/update.h"
 #include "util/status.h"
 
 namespace lamo {
@@ -35,6 +38,7 @@ struct ServeStats {
   std::atomic<uint64_t> cache_hits{0};
   std::atomic<uint64_t> cache_misses{0};
   std::atomic<uint64_t> connections{0};
+  std::atomic<uint64_t> updates{0};
 };
 
 /// What the stream/TCP server loops need from a request handler: one
@@ -63,8 +67,12 @@ class LineService {
 /// the prediction context and the default (labeled-motif) predictor from the
 /// packed artifacts — no text parsing, no weight or closure recomputation;
 /// UsePredictor swaps in any registered backend before serving starts.
-/// Handle() is thread-safe: the snapshot is immutable, the cache is
-/// internally locked, and the stats are atomics.
+/// Handle() is thread-safe: queries hold the snapshot lock shared (the
+/// snapshot is immutable to them, the cache is internally locked, the stats
+/// are atomics), while the mutation verbs (ADDEDGE / DELEDGE) and
+/// PREDICT_EDGE serialize behind it exclusively — updates patch the
+/// snapshot in place and both paths share the engine's single-threaded
+/// labeling machinery.
 class SnapshotService : public LineService {
  public:
   /// Takes ownership of the snapshot. `cache_capacity` 0 disables response
@@ -107,6 +115,13 @@ class SnapshotService : public LineService {
   /// past the last Handle call). Logging never changes response bytes.
   void set_access_log(AccessLog* log) { access_log_ = log; }
 
+  /// Attaches the write-ahead delta journal at `path` (created if absent;
+  /// Corruption if an existing journal binds a different snapshot) and
+  /// replays any entries it already holds — the crash-recovery path. Call
+  /// before serving starts. Without a journal, updates are accepted but
+  /// ephemeral: a restart reloads the untouched base snapshot.
+  Status AttachJournal(const std::string& path);
+
  private:
   StatusOr<std::vector<std::string>> Payload(const Request& request);
   StatusOr<std::vector<std::string>> Predict(const Request& request);
@@ -115,6 +130,14 @@ class SnapshotService : public LineService {
   std::vector<std::string> Health() const;
   std::vector<std::string> Stats() const;
   std::vector<std::string> Metrics();
+  /// ADDEDGE / DELEDGE: journal, apply, refresh predictor state, invalidate
+  /// affected cache entries. Caller holds snapshot_mu_ exclusively.
+  StatusOr<std::vector<std::string>> ApplyEdge(const Request& request);
+  /// PREDICT_EDGE. Caller holds snapshot_mu_ exclusively (the scoring
+  /// shares the engine's scratch overlay and memoizing similarity).
+  StatusOr<std::vector<std::string>> PredictEdge(const Request& request);
+  /// Drops the cache entries an applied update can have changed.
+  size_t InvalidateCache(const UpdateResult& result);
 
   Snapshot snapshot_;
   PredictionContext context_;
@@ -123,6 +146,12 @@ class SnapshotService : public LineService {
   ResponseCache cache_;
   ServeStats stats_;
   AccessLog* access_log_ = nullptr;
+  /// Readers (queries) shared, writers (ADDEDGE/DELEDGE/PREDICT_EDGE)
+  /// exclusive. Cache operations happen under the same lock so an update's
+  /// invalidation can never interleave with a stale Put.
+  std::shared_mutex snapshot_mu_;
+  std::unique_ptr<UpdateEngine> engine_;   // guarded by snapshot_mu_
+  std::unique_ptr<UpdateJournal> journal_;  // guarded by snapshot_mu_
   const std::chrono::steady_clock::time_point start_ =
       std::chrono::steady_clock::now();
   std::mutex metrics_mu_;

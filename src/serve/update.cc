@@ -1,0 +1,354 @@
+#include "serve/update.h"
+
+#include <algorithm>
+#include <set>
+
+#include "motif/delta_esu.h"
+#include "obs/obs.h"
+#include "predict/gds.h"
+#include "predict/role_similarity.h"
+
+namespace lamo {
+namespace {
+
+// Same id as the miner's counter on purpose: re-enumerated delta sets are
+// ESU subgraph visits, so serve-side reports satisfy
+// update.resubgraphs <= esu.subgraphs without a parallel counter family.
+const size_t kObsEsuSubgraphs = ObsCounterId("esu.subgraphs");
+
+std::string CodeKey(const std::vector<uint8_t>& code) {
+  return std::string(code.begin(), code.end());
+}
+
+// The occurrence aligned the way the mining pipeline aligns emissions:
+// canonical position i holds the canonical_to_original[i]-th smallest
+// vertex of the set.
+MotifOccurrence AlignedOccurrence(const std::vector<VertexId>& verts,
+                                  const CanonicalResult& canon) {
+  MotifOccurrence occ;
+  occ.proteins.resize(verts.size());
+  for (size_t i = 0; i < verts.size(); ++i) {
+    occ.proteins[i] = verts[canon.canonical_to_original[i]];
+  }
+  return occ;
+}
+
+bool SameVertexSet(const std::vector<VertexId>& sorted_verts,
+                   const std::vector<VertexId>& proteins) {
+  if (sorted_verts.size() != proteins.size()) return false;
+  std::vector<VertexId> sorted = proteins;
+  std::sort(sorted.begin(), sorted.end());
+  return sorted == sorted_verts;
+}
+
+}  // namespace
+
+UpdateEngine::UpdateEngine(Snapshot* snapshot)
+    : snap_(snapshot),
+      graph_(snapshot->graph),
+      finder_(snapshot->ontology, snapshot->weights, snapshot->informative,
+              snapshot->annotations) {
+  for (uint32_t mi = 0; mi < snap_->motifs.size(); ++mi) {
+    const LabeledMotif& m = snap_->motifs[mi];
+    motifs_by_code_[m.size()][CodeKey(m.code)].push_back(mi);
+  }
+}
+
+SharedCanonCache& UpdateEngine::CacheFor(size_t k) {
+  auto it = caches_.find(k);
+  if (it == caches_.end()) {
+    it = caches_.emplace(k, std::make_unique<SharedCanonCache>(k)).first;
+  }
+  return *it->second;
+}
+
+std::vector<size_t> UpdateEngine::UpdateSizes() const {
+  std::set<size_t> sizes;
+  for (const auto& [size, codes] : motifs_by_code_) sizes.insert(size);
+  if (!snap_->gds_signatures.empty()) {
+    for (size_t k = 2; k <= 5; ++k) sizes.insert(k);
+  }
+  std::vector<size_t> out;
+  for (const size_t k : sizes) {
+    if (k >= 2 && k <= GraphIndex::kMaxInducedBitsVertices &&
+        k <= graph_.num_vertices()) {
+      out.push_back(k);
+    }
+  }
+  return out;
+}
+
+Status UpdateEngine::Check(bool add, VertexId u, VertexId v) const {
+  const size_t n = graph_.num_vertices();
+  if (u >= n || v >= n) {
+    return Status::InvalidArgument(
+        "edge endpoint out of range: {" + std::to_string(u) + ", " +
+        std::to_string(v) + "} on " + std::to_string(n) + " proteins");
+  }
+  if (u == v) {
+    return Status::InvalidArgument("self-interaction {" + std::to_string(u) +
+                                   ", " + std::to_string(u) + "} rejected");
+  }
+  if (add && graph_.HasEdge(u, v)) {
+    return Status::AlreadyExists("edge {" + std::to_string(u) + ", " +
+                                 std::to_string(v) + "} already present");
+  }
+  if (!add && !graph_.HasEdge(u, v)) {
+    return Status::NotFound("edge {" + std::to_string(u) + ", " +
+                            std::to_string(v) + "} does not exist");
+  }
+  return Status::OK();
+}
+
+Status UpdateEngine::Apply(bool add, VertexId u, VertexId v,
+                           UpdateResult* result) {
+  Status check = Check(add, u, v);
+  if (!check.ok()) return check;
+  *result = UpdateResult{};
+  result->add = add;
+  result->u = u;
+  result->v = v;
+
+  // Enumerate on the graph WITH the edge: for additions insert it first,
+  // for deletions keep it until after the enumeration. One pass classifies
+  // both directions — every delta set's pattern with the edge (bits_with)
+  // and without it (bits_without, valid when still connected).
+  if (add) {
+    Status st = graph_.AddEdge(u, v);
+    if (!st.ok()) return st;
+  }
+
+  const bool track_gds = !snap_->gds_signatures.empty();
+  std::set<VertexId> affected = {u, v};
+  std::map<uint32_t, int64_t> freq_delta;
+
+  for (const size_t k : UpdateSizes()) {
+    const GraphIndex& index = graph_.index();
+    std::vector<PairSubgraph> subs;
+    EnumeratePairSubgraphs(index, u, v, k, &subs);
+    result->resubgraphs += subs.size();
+    ObsAdd(kObsEsuSubgraphs, subs.size());
+
+    if (track_gds && k <= 5) {
+      // Each delta set gains/loses its with-edge orbit contribution and
+      // loses/gains its without-edge one — sets not containing both
+      // endpoints keep their induced adjacency, so this patch is exact.
+      const GdsOrbitTable& orbits = GdsOrbitTable::Get();
+      const uint64_t sign = add ? uint64_t{1} : ~uint64_t{0};  // +1 / -1
+      for (const PairSubgraph& ps : subs) {
+        result->signatures_changed = true;
+        const uint8_t* with =
+            orbits.OrbitsOfMask(k, static_cast<uint32_t>(ps.bits_with));
+        for (size_t i = 0; i < k; ++i) {
+          snap_->gds_signatures[ps.verts[i] * kGdsOrbits + with[i]] += sign;
+        }
+        if (ps.connected_without) {
+          const uint8_t* without =
+              orbits.OrbitsOfMask(k, static_cast<uint32_t>(ps.bits_without));
+          for (size_t i = 0; i < k; ++i) {
+            snap_->gds_signatures[ps.verts[i] * kGdsOrbits + without[i]] -=
+                sign;
+          }
+        }
+      }
+    }
+
+    const auto by_code = motifs_by_code_.find(k);
+    if (by_code == motifs_by_code_.end()) continue;
+    SharedCanonCache& cache = CacheFor(k);
+
+    for (const PairSubgraph& ps : subs) {
+      // Pattern transition of this vertex set. The edge changes the edge
+      // count, so before != after always; "none" marks a disconnected side.
+      const CanonicalResult& canon_with = cache.Lookup(ps.bits_with);
+      const CanonicalResult* canon_without =
+          ps.connected_without ? &cache.Lookup(ps.bits_without) : nullptr;
+      const CanonicalResult* before = add ? canon_without : &canon_with;
+      const CanonicalResult* after = add ? &canon_with : canon_without;
+
+      if (before != nullptr) {
+        const auto mis = by_code->second.find(CodeKey(before->code));
+        if (mis != by_code->second.end()) {
+          const MotifOccurrence aligned = AlignedOccurrence(ps.verts, *before);
+          for (const uint32_t mi : mis->second) {
+            LabeledMotif& motif = snap_->motifs[mi];
+            // Conformance is label-only, so the verdict is the one the
+            // labeling stage reached at pack time: conforming implies the
+            // occurrence counts in the (global) frequency.
+            const Motif probe{motif.pattern, motif.code, {aligned}, 1, -1.0, {}};
+            if (finder_.ConformingOccurrences(probe, motif.scheme).empty()) {
+              continue;
+            }
+            --freq_delta[mi];
+            // The stored list holds it only if this shard owns a member.
+            for (auto it = motif.occurrences.begin();
+                 it != motif.occurrences.end(); ++it) {
+              if (SameVertexSet(ps.verts, it->proteins)) {
+                for (const VertexId p : it->proteins) affected.insert(p);
+                motif.occurrences.erase(it);
+                ++result->occ_removed;
+                break;
+              }
+            }
+          }
+        }
+      }
+      if (after != nullptr) {
+        const auto mis = by_code->second.find(CodeKey(after->code));
+        if (mis != by_code->second.end()) {
+          const MotifOccurrence aligned = AlignedOccurrence(ps.verts, *after);
+          bool owned = snap_->num_shards == 1;
+          for (const VertexId p : ps.verts) {
+            owned = owned || snap_->OwnsProtein(p);
+          }
+          for (const uint32_t mi : mis->second) {
+            LabeledMotif& motif = snap_->motifs[mi];
+            const Motif probe{motif.pattern, motif.code, {aligned}, 1, -1.0, {}};
+            const std::vector<MotifOccurrence> conf =
+                finder_.ConformingOccurrences(probe, motif.scheme);
+            if (conf.empty()) continue;
+            ++freq_delta[mi];
+            if (owned) {
+              // conf.front() carries the scheme alignment LabelAll would
+              // have stored — the repack byte-identity depends on it.
+              motif.occurrences.push_back(conf.front());
+              for (const VertexId p : conf.front().proteins) {
+                affected.insert(p);
+              }
+              ++result->occ_added;
+            }
+          }
+        }
+      }
+    }
+  }
+
+  if (!add) {
+    Status st = graph_.RemoveEdge(u, v);
+    if (!st.ok()) return st;
+  }
+  snap_->graph = graph_.graph();
+
+  // Frequencies moved; recompute every LMS strength (normalization is per
+  // size class, so one frequency change can shift a whole class). Any motif
+  // whose frequency or strength moved changes the MOTIFS/PREDICT answers of
+  // every protein siting it.
+  std::vector<double> old_strengths(snap_->motifs.size());
+  for (size_t mi = 0; mi < snap_->motifs.size(); ++mi) {
+    old_strengths[mi] = snap_->motifs[mi].strength;
+  }
+  std::vector<bool> motif_changed(snap_->motifs.size(), false);
+  for (const auto& [mi, delta] : freq_delta) {
+    if (delta == 0) continue;
+    motif_changed[mi] = true;
+    const int64_t next = static_cast<int64_t>(snap_->motifs[mi].frequency) +
+                         delta;
+    snap_->motifs[mi].frequency = next < 0 ? 0 : static_cast<size_t>(next);
+  }
+  ComputeMotifStrengths(&snap_->motifs);
+  for (size_t mi = 0; mi < snap_->motifs.size(); ++mi) {
+    if (snap_->motifs[mi].strength != old_strengths[mi]) {
+      motif_changed[mi] = true;
+    }
+  }
+
+  // Rebuild the site index exactly as BuildSnapshot does (first-seen dedup;
+  // shards keep owned rows only), then fold every row that changed — and
+  // every row siting a changed motif — into the affected set.
+  std::vector<std::vector<SnapshotSite>> sites(snap_->graph.num_vertices());
+  for (uint32_t mi = 0; mi < snap_->motifs.size(); ++mi) {
+    for (const MotifOccurrence& occ : snap_->motifs[mi].occurrences) {
+      for (uint32_t pos = 0; pos < occ.proteins.size(); ++pos) {
+        auto& row = sites[occ.proteins[pos]];
+        const SnapshotSite site{mi, pos};
+        if (std::find(row.begin(), row.end(), site) == row.end()) {
+          row.push_back(site);
+        }
+      }
+    }
+  }
+  if (snap_->num_shards > 1) {
+    for (uint32_t p = 0; p < sites.size(); ++p) {
+      if (!snap_->OwnsProtein(p)) {
+        sites[p].clear();
+        sites[p].shrink_to_fit();
+      }
+    }
+  }
+  for (uint32_t p = 0; p < sites.size(); ++p) {
+    const bool row_changed =
+        p < snap_->sites.size() ? sites[p] != snap_->sites[p] : true;
+    if (row_changed) {
+      affected.insert(p);
+      continue;
+    }
+    for (const SnapshotSite& site : sites[p]) {
+      if (motif_changed[site.motif]) {
+        affected.insert(p);
+        break;
+      }
+    }
+  }
+  snap_->sites = std::move(sites);
+
+  // Role vectors: the iteration column-normalizes over all proteins, so one
+  // edge perturbs every row — recompute and report whether anything moved.
+  if (!snap_->role_vectors.empty()) {
+    std::vector<double> roles = ComputeRoleVectors(snap_->graph,
+                                                   snap_->role_dim);
+    result->roles_changed = roles != snap_->role_vectors;
+    snap_->role_vectors = std::move(roles);
+  }
+
+  result->affected.assign(affected.begin(), affected.end());
+  return Status::OK();
+}
+
+Status UpdateEngine::ScoreEdge(VertexId u, VertexId v, EdgeScore* out) {
+  Status check = Check(/*add=*/true, u, v);
+  if (!check.ok()) return check;
+  *out = EdgeScore{};
+
+  // Score on a scratch overlay: insert the candidate edge, count the
+  // conforming motif instances it completes, take it back out. The edge
+  // changes every delta set's edge count, so each conforming with-edge
+  // instance is genuinely new — completed by this candidate.
+  Status st = graph_.AddEdge(u, v);
+  if (!st.ok()) return st;
+  std::map<uint32_t, size_t> completions;
+  for (const auto& [k, by_code] : motifs_by_code_) {
+    if (k < 2 || k > GraphIndex::kMaxInducedBitsVertices ||
+        k > graph_.num_vertices()) {
+      continue;
+    }
+    const GraphIndex& index = graph_.index();
+    std::vector<PairSubgraph> subs;
+    EnumeratePairSubgraphs(index, u, v, k, &subs);
+    ObsAdd(kObsEsuSubgraphs, subs.size());
+    SharedCanonCache& cache = CacheFor(k);
+    for (const PairSubgraph& ps : subs) {
+      const CanonicalResult& canon = cache.Lookup(ps.bits_with);
+      const auto mis = by_code.find(CodeKey(canon.code));
+      if (mis == by_code.end()) continue;
+      const MotifOccurrence aligned = AlignedOccurrence(ps.verts, canon);
+      for (const uint32_t mi : mis->second) {
+        const LabeledMotif& motif = snap_->motifs[mi];
+        const Motif probe{motif.pattern, motif.code, {aligned}, 1, -1.0, {}};
+        if (!finder_.ConformingOccurrences(probe, motif.scheme).empty()) {
+          ++completions[mi];
+        }
+      }
+    }
+  }
+  st = graph_.RemoveEdge(u, v);
+  if (!st.ok()) return st;
+
+  for (const auto& [mi, count] : completions) {
+    out->completions += count;
+    out->score += static_cast<double>(count) * snap_->motifs[mi].strength;
+    out->per_motif.emplace_back(mi, count);
+  }
+  return Status::OK();
+}
+
+}  // namespace lamo

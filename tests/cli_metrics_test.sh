@@ -103,6 +103,14 @@ grep -q "start_time " "$WORK/serve_stats.txt" || {
   echo "FAIL: serve STATS lacks start_time" >&2
   exit 1
 }
+# One live edge mutation before the scrape, so the update.* counter family
+# shows up in the exposition and the final report.
+EDGE="$(sed -n '3p' "$WORK/ds.graph.txt")"
+"$BENCH" --port "$SPORT" --query "DELEDGE $EDGE" > "$WORK/deledge.txt"
+grep -q "applied DELEDGE $EDGE" "$WORK/deledge.txt" || {
+  echo "FAIL: DELEDGE not acknowledged: $(cat "$WORK/deledge.txt")" >&2
+  exit 1
+}
 # Two scrapes a beat apart so the window ring has an archived slot.
 "$BENCH" --port "$SPORT" --query "METRICS" > /dev/null
 sleep 1
@@ -121,6 +129,11 @@ grep -q 'lamo_serve_request_us_bucket{le="+Inf"}' "$WORK/serve_metrics.txt" || {
 }
 grep -q 'window="lifetime"' "$WORK/serve_metrics.txt" || {
   echo "FAIL: serve METRICS lacks lifetime window rates" >&2
+  exit 1
+}
+grep -q '^lamo_update_applied_total 1$' "$WORK/serve_metrics.txt" || {
+  echo "FAIL: serve METRICS lacks lamo_update_applied_total after DELEDGE" >&2
+  grep '^lamo_update' "$WORK/serve_metrics.txt" >&2 || true
   exit 1
 }
 
@@ -155,7 +168,7 @@ SERVER=""
   exit 1
 }
 "$REPORT_CHECK" "$WORK/serve_report.json" serve.requests \
-  serve.access_logged hist:serve.request_us > /dev/null
+  serve.access_logged update.applied hist:serve.request_us > /dev/null
 grep -q '"id":' "$WORK/serve_access.jsonl" || {
   echo "FAIL: serve access log is empty" >&2
   exit 1

@@ -170,6 +170,57 @@ for point in $POINTS; do
         exit 1
       fi
       ;;
+    update.journal | update.apply)
+      # Kill the serve daemon mid-update, at both sides of the write-ahead
+      # barrier. update.journal fires BEFORE the entry reaches the journal:
+      # the update was never acknowledged, so a restart must answer exactly
+      # like an untouched server. update.apply fires AFTER the fsync'd
+      # append but BEFORE the in-memory apply: the entry is durable, so a
+      # restart must replay it and answer exactly like a server that
+      # completed the update. Both compared byte-for-byte.
+      router_setup
+      EDGE_LINE="$(sed -n '3p' "$WORK/ds.graph.txt")"
+      EU="${EDGE_LINE%% *}"
+      EV="${EDGE_LINE##* }"
+      QUERIES="$WORK/update_queries.txt"
+      if [ ! -f "$QUERIES" ]; then
+        printf 'PREDICT %s 3\nPREDICT %s 3\nMOTIFS %s\n' \
+          "$EU" "$EV" "$EU" > "$QUERIES"
+        "$LAMO" serve --snapshot "$WORK/model.lamosnap" --stdin \
+          < "$QUERIES" 2> /dev/null > "$WORK/update_pre_baseline.txt"
+        { printf 'DELEDGE %s %s\n' "$EU" "$EV"; cat "$QUERIES"; } \
+          | "$LAMO" serve --snapshot "$WORK/model.lamosnap" --stdin \
+            2> /dev/null | sed '1,2d' > "$WORK/update_post_baseline.txt"
+      fi
+      JOURNAL="$WORK/journal_$point"
+      rm -f "$JOURNAL" "$WORK/serve_$point.log"
+      LAMO_FAULT="$point:1" "$LAMO" serve \
+        --snapshot "$WORK/model.lamosnap" --journal "$JOURNAL" --port 0 \
+        > "$WORK/serve_$point.log" 2> /dev/null &
+      ROUTER_PID=$!
+      router_wait_port "$WORK/serve_$point.log"
+      "$BENCH" --port "$ROUTER_PORT" --query "DELEDGE $EU $EV" \
+        > /dev/null 2>&1 || true
+      rc=0
+      wait "$ROUTER_PID" || rc=$?
+      ROUTER_PID=""
+      if [ "$rc" -ne "$FAULT_EXIT" ]; then
+        echo "FAIL: $point: armed serve exited $rc, expected $FAULT_EXIT" >&2
+        exit 1
+      fi
+      case "$point" in
+        update.journal) EXPECT="$WORK/update_pre_baseline.txt" ;;
+        *) EXPECT="$WORK/update_post_baseline.txt" ;;
+      esac
+      "$LAMO" serve --snapshot "$WORK/model.lamosnap" --journal "$JOURNAL" \
+        --stdin < "$QUERIES" 2> /dev/null > "$WORK/update_replay_$point.txt"
+      cmp "$EXPECT" "$WORK/update_replay_$point.txt" || {
+        echo "FAIL: $point: restarted server state differs from the" \
+          "$([ "$point" = update.journal ] && echo pre || echo post)-update" \
+          "baseline" >&2
+        exit 1
+      }
+      ;;
     *)
       echo "FAIL: fault point '$point' has no crash-matrix entry —" \
         "add one to tests/fault_resume_test.sh" >&2

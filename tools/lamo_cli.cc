@@ -24,13 +24,17 @@
 // flag, a missing value, or a malformed numeric value prints the usage text
 // and exits nonzero.
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/lamofinder.h"
@@ -49,9 +53,11 @@
 #include "router/cluster.h"
 #include "router/router.h"
 #include "serve/access_log.h"
+#include "serve/journal.h"
 #include "serve/request.h"
 #include "serve/server.h"
 #include "serve/snapshot.h"
+#include "serve/update.h"
 #include "synth/dataset.h"
 #include "util/checkpoint.h"
 #include "util/fault.h"
@@ -464,6 +470,41 @@ int CmdPredict(const Flags& flags) {
   return obs.Finish("predict");
 }
 
+/// `pack --apply-deltas FILE`: folds a file of `ADDEDGE u v` / `DELEDGE u v`
+/// lines (blank lines and `#` comments skipped — the journal grammar) into
+/// the freshly built snapshot through the same UpdateEngine the serve daemon
+/// uses, so the packed file is byte-identical to what a live server reaches
+/// after applying the same deltas.
+Status ApplyDeltaFile(const std::string& path, Snapshot* snapshot) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::NotFound("cannot open delta file " + path);
+  }
+  UpdateEngine engine(snapshot);
+  std::string line;
+  size_t line_no = 0;
+  size_t applied = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (IsDeltaComment(line)) continue;
+    auto entry = ParseDeltaLine(line);
+    if (!entry.ok()) {
+      return Status::InvalidArgument(path + ":" + std::to_string(line_no) +
+                                     ": " + entry.status().message());
+    }
+    UpdateResult result;
+    const Status status = engine.Apply(entry->add, entry->u, entry->v,
+                                       &result);
+    if (!status.ok()) {
+      return Status::InvalidArgument(path + ":" + std::to_string(line_no) +
+                                     ": " + status.message());
+    }
+    ++applied;
+  }
+  std::printf("applied %zu deltas from %s\n", applied, path.c_str());
+  return Status::OK();
+}
+
 int CmdPack(const Flags& flags) {
   ApplyThreadFlag(flags);
   ObsScope obs(flags);
@@ -488,6 +529,14 @@ int CmdPack(const Flags& flags) {
                          std::move(*annotations), std::move(*labeled),
                          informative_config);
   }();
+  // Deltas fold in before versioning/sharding so shard files carry the
+  // updated state too.
+  const std::string deltas = flags.Get("apply-deltas", "");
+  if (!deltas.empty()) {
+    const ScopedTimer timer("apply-deltas");
+    const Status status = ApplyDeltaFile(deltas, &snapshot);
+    if (!status.ok()) return Fail(status);
+  }
   // --snapshot-version 2 writes the previous layout (no predictor section)
   // for downgrade/compatibility testing; such a file serves lms only.
   const size_t snapshot_version =
@@ -580,6 +629,18 @@ int CmdServe(const Flags& flags) {
     const Status status = service.UsePredictor(predictor_name);
     if (!status.ok()) return Fail(status);
   }
+  // Journal before serving starts: replay of a pre-existing journal must
+  // finish before the first query, and AttachJournal is not synchronized
+  // against concurrent Handle calls.
+  const std::string journal_path = flags.Get("journal", "");
+  if (!journal_path.empty()) {
+    const Status status = service.AttachJournal(journal_path);
+    if (!status.ok()) return Fail(status);
+    std::fprintf(stderr, "lamo serve: journal %s attached (%llu updates)\n",
+                 journal_path.c_str(),
+                 static_cast<unsigned long long>(
+                     service.stats().updates.load()));
+  }
   auto access_log = OpenAccessLog(flags);
   if (!access_log.ok()) return Fail(access_log.status());
   if (*access_log != nullptr) service.set_access_log(access_log->get());
@@ -592,6 +653,60 @@ int CmdServe(const Flags& flags) {
                service.snapshot().ontology.num_terms(),
                service.snapshot().motifs.size(), cache_capacity,
                service.predictor_name().c_str());
+
+  // --watch-deltas FILE: a background poller tails the file for complete
+  // `ADDEDGE u v` / `DELEDGE u v` lines (blank/# lines skipped) and feeds
+  // each through the ordinary Handle path — same validation, journaling,
+  // cache invalidation and update.* metrics as a TCP mutation. A torn
+  // trailing line (writer mid-append) waits for its newline; a shrunken
+  // file (rotation) restarts the tail from the top.
+  std::atomic<bool> watch_stop{false};
+  std::thread watcher;
+  const std::string watch_path = flags.Get("watch-deltas", "");
+  if (!watch_path.empty()) {
+    const uint64_t interval_ms = flags.GetSize("watch-interval-ms", 200);
+    watcher = std::thread([&service, watch_path, interval_ms, &watch_stop] {
+      uint64_t offset = 0;
+      while (!watch_stop.load(std::memory_order_acquire)) {
+        std::ifstream in(watch_path, std::ios::binary);
+        if (in.is_open()) {
+          in.seekg(0, std::ios::end);
+          const uint64_t size = static_cast<uint64_t>(in.tellg());
+          if (size < offset) offset = 0;  // truncated/rotated: re-tail
+          if (size > offset) {
+            in.seekg(static_cast<std::streamoff>(offset));
+            std::string pending(size - offset, '\0');
+            in.read(pending.data(),
+                    static_cast<std::streamsize>(pending.size()));
+            size_t consumed = 0;
+            size_t newline;
+            while ((newline = pending.find('\n', consumed)) !=
+                   std::string::npos) {
+              std::string line = pending.substr(consumed, newline - consumed);
+              if (!line.empty() && line.back() == '\r') line.pop_back();
+              consumed = newline + 1;
+              if (!IsDeltaComment(line)) {
+                std::string response = service.Handle(line);
+                while (!response.empty() &&
+                       (response.back() == '\n' || response.back() == '\r')) {
+                  response.pop_back();
+                }
+                std::replace(response.begin(), response.end(), '\n', ' ');
+                std::fprintf(stderr, "lamo serve: watch-deltas \"%s\": %s\n",
+                             line.c_str(), response.c_str());
+              }
+            }
+            offset += consumed;
+          }
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+      }
+    });
+    std::fprintf(stderr,
+                 "lamo serve: watching %s for deltas every %llu ms\n",
+                 watch_path.c_str(),
+                 static_cast<unsigned long long>(interval_ms));
+  }
 
   std::optional<ScopedTimer> serve_timer;
   serve_timer.emplace("serve");
@@ -610,6 +725,10 @@ int CmdServe(const Flags& flags) {
         flags.GetSize("max-line-bytes", options.max_line_bytes);
     options.log = stdout;
     status = RunTcpServer(&service, options);
+  }
+  if (watcher.joinable()) {
+    watch_stop.store(true, std::memory_order_release);
+    watcher.join();
   }
   serve_timer.reset();
   if (!status.ok()) return Fail(status);
@@ -755,13 +874,14 @@ int Usage() {
       "            --predictor %s\n"
       "  pack      --graph FILE --obo FILE --annotations FILE --labeled FILE\n"
       "            --informative T --shards N --snapshot-version %u|%u\n"
-      "            --out FILE.lamosnap\n"
+      "            --apply-deltas FILE --out FILE.lamosnap\n"
       "  serve     --snapshot FILE.lamosnap [--port P | --stdin]\n"
       "            --predictor %s\n"
       "            --cache-capacity N --no-cache --threads N\n"
       "            --request-timeout-ms MS --idle-timeout-ms MS\n"
       "            --max-conns N --max-line-bytes B\n"
       "            --access-log FILE --access-sample N --slow-ms MS\n"
+      "            --journal FILE --watch-deltas FILE --watch-interval-ms MS\n"
       "  router    --snapshot FILE.lamosnap --backends N\n"
       "            --predictors NAME[,NAME...]   (NAME: %s)\n"
       "            --mode sharded|replicated --port P\n"
@@ -826,7 +946,18 @@ int Usage() {
       "serving needs the snapshot's predictor section (version %u;\n"
       "--snapshot-version %u packs the old layout, which serves lms only).\n"
       "router --predictors lms,gds interleaves backends across predictors\n"
-      "for A/B serving; STATS shows each backend's active predictor.\n",
+      "for A/B serving; STATS shows each backend's active predictor.\n"
+      "serve also accepts live edge updates: ADDEDGE/DELEDGE patch the\n"
+      "in-memory interactome incrementally (motif occurrences, frequencies,\n"
+      "strengths, site index, predictor matrices) and PREDICT_EDGE scores a\n"
+      "candidate interaction by weighted motif completion. --journal FILE\n"
+      "write-ahead-logs every update (fsync before apply) and replays it on\n"
+      "restart; --watch-deltas FILE tails a delta file for the same grammar\n"
+      "every --watch-interval-ms (default 200). pack --apply-deltas FILE\n"
+      "folds a delta file into the snapshot through the same engine, so a\n"
+      "live-updated server and a repacked one answer byte-identically. The\n"
+      "router fans ADDEDGE/DELEDGE out to every backend and routes\n"
+      "PREDICT_EDGE like PREDICT.\n",
       predictors.c_str(), static_cast<unsigned>(kMinSnapshotVersion),
       static_cast<unsigned>(kSnapshotVersion), predictors.c_str(),
       predictors.c_str(), predictors.c_str(),
@@ -892,6 +1023,7 @@ const std::vector<Command>& Commands() {
                         {"informative", FlagKind::kSize},
                         {"shards", FlagKind::kSize},
                         {"snapshot-version", FlagKind::kSize},
+                        {"apply-deltas", FlagKind::kString},
                         {"out", FlagKind::kString}}),
        CmdPack},
       {"serve",
@@ -907,7 +1039,10 @@ const std::vector<Command>& Commands() {
                         {"max-line-bytes", FlagKind::kSize},
                         {"access-log", FlagKind::kString},
                         {"access-sample", FlagKind::kSize},
-                        {"slow-ms", FlagKind::kSize}}),
+                        {"slow-ms", FlagKind::kSize},
+                        {"journal", FlagKind::kString},
+                        {"watch-deltas", FlagKind::kString},
+                        {"watch-interval-ms", FlagKind::kSize}}),
        CmdServe},
       {"router",
        WithCommonFlags({{"snapshot", FlagKind::kString},

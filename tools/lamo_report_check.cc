@@ -315,6 +315,27 @@ int Check(const std::string& path, int num_required, char** required) {
           counter_value("checkpoint.fsyncs")) {
     return Fail("checkpoint.writes does not match checkpoint.fsyncs");
   }
+  // Live-update runs: every applied edge mutation is exactly one ADDEDGE or
+  // one DELEDGE; journal replay only re-applies updates that were counted as
+  // applied; and the incremental path re-enumerates pair-anchored subgraphs
+  // through the same ESU emit hook, so it can never claim more re-enumerated
+  // subgraphs than the run's esu.subgraphs total. Guarded on presence so
+  // reports from builds predating live updates still check out.
+  if (counters->Find("update.applied") != nullptr) {
+    if (counter_value("update.applied") !=
+        counter_value("update.added") + counter_value("update.deleted")) {
+      return Fail("update.applied does not match update.added + "
+                  "update.deleted");
+    }
+    if (counter_value("update.journal_replayed") >
+        counter_value("update.applied")) {
+      return Fail("update.journal_replayed exceeds update.applied");
+    }
+    if (counters->Find("esu.subgraphs") != nullptr &&
+        counter_value("update.resubgraphs") > counter_value("esu.subgraphs")) {
+      return Fail("update.resubgraphs exceeds esu.subgraphs");
+    }
+  }
   for (const JsonValue& worker : workers->items) {
     if (RequireMember(worker, "name", JsonValue::Type::kString, &rc) ==
         nullptr)
